@@ -1,0 +1,93 @@
+// Microbenchmarks of the substrates (google-benchmark): SHA-1 hashing,
+// ring arithmetic, Pastry routing (hop counts scale O(log N)), local-FS
+// metadata ops, and koshad placement resolution. Not a paper table —
+// supporting data for the overhead discussion in §6.1.2.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/sha1.hpp"
+#include "fs/local_fs.hpp"
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
+#include "pastry/overlay.hpp"
+
+namespace {
+
+using namespace kosha;
+
+void BM_Sha1Name(benchmark::State& state) {
+  const std::string name = "some_directory_name";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash128(name));
+  }
+}
+BENCHMARK(BM_Sha1Name);
+
+void BM_Sha1Throughput(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha1Throughput)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_RingDistance(benchmark::State& state) {
+  Rng rng(1);
+  const Uint128 a = rng.next_id();
+  const Uint128 b = rng.next_id();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring_distance(a, b));
+  }
+}
+BENCHMARK(BM_RingDistance);
+
+void BM_PastryRoute(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  SimClock clock;
+  net::SimNetwork network({}, &clock);
+  pastry::PastryOverlay overlay({}, &network);
+  Rng rng(7);
+  for (std::size_t i = 0; i < nodes; ++i) overlay.join(rng.next_id(), network.add_host());
+
+  std::uint64_t hops = 0;
+  std::uint64_t routes = 0;
+  for (auto _ : state) {
+    const auto result = overlay.route(0, rng.next_id());
+    hops += result.hops;
+    ++routes;
+    benchmark::DoNotOptimize(result.owner);
+  }
+  state.counters["mean_hops"] =
+      static_cast<double>(hops) / static_cast<double>(routes ? routes : 1);
+}
+BENCHMARK(BM_PastryRoute)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_LocalFsCreate(benchmark::State& state) {
+  fs::LocalFs store;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.create(store.root(), "f" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_LocalFsCreate);
+
+void BM_KoshaWriteSmallFile(benchmark::State& state) {
+  ClusterConfig config;
+  config.nodes = 8;
+  config.kosha.distribution_level = 2;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  if (!mount.mkdir_p("/bench/dir").ok()) return;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mount.write_file("/bench/dir/f" + std::to_string(i++), "payload"));
+  }
+}
+BENCHMARK(BM_KoshaWriteSmallFile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

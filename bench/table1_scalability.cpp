@@ -1,0 +1,150 @@
+// Table 1 — Modified Andrew Benchmark on Kosha vs unmodified NFS as the
+// node count grows (paper §6.1.1).
+//
+// Setup mirrors the paper: distribution level 1 (isolates p2p lookup
+// overhead), replication factor 1, per-node capacity large enough to rule
+// out redirection. The NFS baseline is one client cross-mounting one
+// central server over the same network/cost model.
+//
+// Flags: --runs N (default 5; paper used 50), --model (print the §6.1.2
+// analytic overhead model next to the measurement), --csv.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/nfs_mount.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
+#include "trace/mab.hpp"
+
+namespace {
+
+using namespace kosha;
+
+trace::MabPhaseTimes run_nfs_baseline(std::size_t runs, std::uint64_t seed) {
+  SimClock clock;
+  net::SimNetwork network({}, &clock);
+  const net::HostId client = network.add_host();
+  const net::HostId server_host = network.add_host();
+  fs::FsConfig fs_config;
+  fs_config.capacity_bytes = 64ull << 30;
+  nfs::NfsServer server(server_host, fs_config, {}, &clock);
+  nfs::ServerDirectory directory;
+  directory.add(&server);
+
+  trace::MabPhaseTimes sum;
+  for (std::size_t run = 0; run < runs; ++run) {
+    baseline::NfsMount mount(&network, &directory, client, server_host);
+    trace::MabConfig mab;
+    mab.seed = seed + run;
+    mab.prefix = "r" + std::to_string(run);
+    const auto workload = trace::generate_mab(mab);
+    sum += trace::run_mab(mount, workload, clock);
+    trace::cleanup_mab(mount, workload);
+  }
+  sum /= static_cast<double>(runs);
+  return sum;
+}
+
+struct KoshaRun {
+  trace::MabPhaseTimes times;
+  double mean_hops = 0;  // average DHT hops per lookup
+};
+
+KoshaRun run_kosha(std::size_t nodes, std::size_t runs, std::uint64_t seed) {
+  trace::MabPhaseTimes sum;
+  std::uint64_t hops = 0;
+  std::uint64_t lookups = 0;
+  // Fresh cluster (fresh node-id assignment) per run, like the paper's
+  // repeated measurements.
+  for (std::size_t run = 0; run < runs; ++run) {
+    ClusterConfig config;
+    config.nodes = nodes;
+    config.kosha.distribution_level = 1;
+    config.kosha.replicas = 1;
+    config.node_capacity_bytes = 64ull << 30;
+    config.seed = seed + run * 1000;
+    KoshaCluster cluster(config);
+    KoshaMount mount(&cluster.daemon(0));
+
+    trace::MabConfig mab;
+    mab.seed = seed + run;
+    mab.prefix = "r" + std::to_string(run);
+    const auto workload = trace::generate_mab(mab);
+    sum += trace::run_mab(mount, workload, cluster.clock());
+    trace::cleanup_mab(mount, workload);
+    hops += cluster.daemon(0).stats().dht_hops;
+    lookups += cluster.daemon(0).stats().dht_lookups;
+  }
+  sum /= static_cast<double>(runs);
+  KoshaRun result{sum, 0.0};
+  if (lookups > 0) {
+    result.mean_hops = static_cast<double>(hops) / static_cast<double>(lookups);
+  }
+  return result;
+}
+
+std::string overhead(double kosha_s, double nfs_s) {
+  if (nfs_s <= 0) return "-";
+  return TextTable::pct((kosha_s - nfs_s) / nfs_s, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const kosha::CliArgs args(argc, argv);
+  if (const auto err = args.check_known("runs,seed,model,csv"); !err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  const auto runs = static_cast<std::size_t>(args.get_int("runs", 5));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  std::printf("Table 1: Modified Andrew Benchmark, Kosha vs NFS (runs=%zu)\n", runs);
+  std::printf("distribution level 1, replication factor 1, no redirection\n\n");
+
+  const auto nfs = run_nfs_baseline(runs, seed);
+  const std::size_t node_counts[] = {1, 2, 4, 8};
+  std::vector<KoshaRun> kosha_runs;
+  for (const std::size_t n : node_counts) kosha_runs.push_back(run_kosha(n, runs, seed));
+
+  kosha::TextTable table({"Benchmark", "NFS", "K-1", "ov%", "K-2", "ov%", "K-4", "ov%", "K-8",
+                          "ov%"});
+  auto phase_row = [&](const char* name, auto select) {
+    std::vector<std::string> row{name, kosha::TextTable::fmt(select(nfs), 2)};
+    for (const auto& k : kosha_runs) {
+      row.push_back(kosha::TextTable::fmt(select(k.times), 2));
+      row.push_back(overhead(select(k.times), select(nfs)));
+    }
+    table.add_row(std::move(row));
+  };
+  phase_row("mkdir", [](const auto& t) { return t.mkdir_s; });
+  phase_row("copy", [](const auto& t) { return t.copy_s; });
+  phase_row("stat", [](const auto& t) { return t.stat_s; });
+  phase_row("grep", [](const auto& t) { return t.grep_s; });
+  phase_row("compile", [](const auto& t) { return t.compile_s; });
+  phase_row("Total", [](const auto& t) { return t.total(); });
+
+  std::fputs(table.to_string().c_str(), stdout);
+  if (args.get_bool("csv", false)) std::fputs(table.to_csv().c_str(), stdout);
+
+  if (args.get_bool("model", false)) {
+    // Analytic model of §6.1.2: D = I + H*hc*(N-1)/N per operation.
+    std::printf("\nOverhead model D = I + H*hc*(N-1)/N (per-op, microseconds):\n");
+    kosha::ClusterConfig model_config;
+    const double interposition_us =
+        static_cast<double>(model_config.kosha.interposition_cost.ns) / 1000.0;
+    const double hop_us = static_cast<double>(kosha::net::NetworkConfig{}.hop_latency.ns) / 1e3;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto n = static_cast<double>(node_counts[i]);
+      const double model =
+          interposition_us + kosha_runs[i].mean_hops * hop_us * (n - 1.0) / n;
+      std::printf("  N=%zu: measured mean DHT hops=%.2f, model D=%.1f us\n", node_counts[i],
+                  kosha_runs[i].mean_hops, model);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Load-balance report: ingest a (scaled-down) departmental trace into a
+// real Kosha cluster at two distribution levels and print how evenly the
+// bytes land across nodes — the live-system counterpart of Figure 5's
+// simulation.
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
+#include "trace/fs_trace.hpp"
+#include "trace/mab.hpp"
+
+namespace {
+
+using namespace kosha;
+
+void report(unsigned level) {
+  ClusterConfig config;
+  config.nodes = 16;
+  config.kosha.distribution_level = level;
+  config.kosha.replicas = 0;  // count primary placement only, like Fig. 5
+  config.node_capacity_bytes = 8ull << 30;
+  config.seed = 11;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+
+  trace::FsTraceConfig trace_config;
+  trace_config.users = 12;
+  trace_config.files = 3000;
+  trace_config.total_bytes = 96ull << 20;
+  const auto trace = trace::generate_fs_trace(trace_config);
+
+  for (const auto& dir : trace.directories) (void)mount.mkdir_p(dir);
+  std::size_t stored = 0;
+  for (const auto& file : trace.files) {
+    if (mount.write_file(file.path, trace::mab_content(file.size, stored)).ok()) ++stored;
+  }
+
+  RunningStats share;
+  std::uint64_t total = 0;
+  for (const auto host : cluster.live_hosts()) total += cluster.server(host).store().used_bytes();
+  std::printf("distribution level %u: %zu/%zu files stored\n", level, stored,
+              trace.files.size());
+  for (const auto host : cluster.live_hosts()) {
+    const auto bytes = cluster.server(host).store().used_bytes();
+    const double pct = 100.0 * static_cast<double>(bytes) / static_cast<double>(total);
+    share.add(pct);
+    std::printf("  host %2u: %6.2f%%  %s\n", host, pct,
+                std::string(static_cast<std::size_t>(pct), '#').c_str());
+  }
+  std::printf("  mean %.2f%%  stddev %.2f%%\n\n", share.mean(), share.stddev());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("How directory distribution spreads a department across 16 desktops\n\n");
+  report(1);
+  report(4);
+  std::printf("Deeper distribution levels spread subdirectories to more nodes,\n"
+              "approaching the balance of hashing every file individually (Fig. 5).\n");
+  return 0;
+}

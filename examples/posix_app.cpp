@@ -1,0 +1,87 @@
+// An "unmodified application" on Kosha (paper §1): a small log-structured
+// journal written through the POSIX descriptor layer. The app never learns
+// it is talking to a distributed file system — and its journal survives
+// the crash of the node storing it.
+
+#include <cstdio>
+#include <string>
+
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
+#include "kosha/posix.hpp"
+
+namespace {
+
+// The "application": appends entries to a journal and replays it.
+int journal_append(kosha::PosixAdapter& posix, const char* path, const std::string& entry) {
+  const kosha::Fd fd = posix.open(path, kosha::kWrOnly | kosha::kCreate | kosha::kAppend);
+  if (!fd.valid()) return -1;
+  const auto n = posix.write(fd, entry + "\n");
+  (void)posix.close(fd);
+  return n < 0 ? -1 : 0;
+}
+
+int journal_replay(kosha::PosixAdapter& posix, const char* path) {
+  const kosha::Fd fd = posix.open(path, kosha::kRdOnly);
+  if (!fd.valid()) return -1;
+  std::string all;
+  char buffer[256];
+  for (;;) {
+    const auto n = posix.read(fd, buffer, sizeof(buffer));
+    if (n <= 0) break;
+    all.append(buffer, static_cast<std::size_t>(n));
+  }
+  (void)posix.close(fd);
+  int entries = 0;
+  std::size_t start = 0;
+  while (start < all.size()) {
+    const auto end = all.find('\n', start);
+    if (end == std::string::npos) break;
+    std::printf("    replay: %s\n", all.substr(start, end - start).c_str());
+    ++entries;
+    start = end + 1;
+  }
+  return entries;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kosha;
+
+  ClusterConfig config;
+  config.nodes = 8;
+  config.kosha.replicas = 2;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  PosixAdapter posix(&mount);
+
+  std::printf("a plain POSIX application writing its journal to /kosha:\n\n");
+  (void)posix.mkdir("/app");
+  for (int i = 0; i < 5; ++i) {
+    if (journal_append(posix, "/app/journal", "transaction " + std::to_string(i)) != 0) {
+      std::fprintf(stderr, "append failed\n");
+      return 1;
+    }
+  }
+  std::printf("  wrote 5 entries; replaying:\n");
+  int entries = journal_replay(posix, "/app/journal");
+  std::printf("  -> %d entries\n\n", entries);
+
+  // Crash whichever node holds the journal; the app never notices.
+  const auto vh = mount.resolve("/app/journal");
+  const net::HostId primary = cluster.daemon(0).handle_table().find(*vh)->real.server;
+  if (primary != 0) {
+    std::printf("crashing storage node %u mid-run...\n", primary);
+    cluster.fail_node(primary);
+  }
+  if (journal_append(posix, "/app/journal", "transaction after crash") != 0) {
+    std::fprintf(stderr, "append after crash failed\n");
+    return 1;
+  }
+  std::printf("  appended one more entry; replaying:\n");
+  entries = journal_replay(posix, "/app/journal");
+  std::printf("  -> %d entries (failovers performed by koshad: %llu)\n", entries,
+              static_cast<unsigned long long>(cluster.daemon(0).stats().failovers));
+  return 0;
+}

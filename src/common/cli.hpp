@@ -1,0 +1,33 @@
+#pragma once
+
+// Tiny command-line flag parser for bench/example binaries.
+//
+// Supports "--name value" and "--name=value". Unknown flags are an error so
+// typos in sweep scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace kosha {
+
+class CliArgs {
+ public:
+  /// Parse argv; throws std::invalid_argument on malformed input.
+  CliArgs(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name, std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Reject flags outside `known` (comma-separated list); returns an error
+  /// message or empty string.
+  [[nodiscard]] std::string check_known(const std::string& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace kosha

@@ -1,0 +1,42 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace kosha {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), buf);
+}
+
+}  // namespace kosha

@@ -1,0 +1,27 @@
+#pragma once
+
+// Minimal leveled logger.
+//
+// Off by default; experiments enable kInfo for progress lines, tests enable
+// kDebug when diagnosing a failure. Not thread-safe beyond the atomicity of
+// a single fprintf — fine for the coarse progress messages used here.
+
+#include <cstdarg>
+
+namespace kosha {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging at `level`.
+void log_message(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define KOSHA_LOG_DEBUG(...) ::kosha::log_message(::kosha::LogLevel::kDebug, __VA_ARGS__)
+#define KOSHA_LOG_INFO(...) ::kosha::log_message(::kosha::LogLevel::kInfo, __VA_ARGS__)
+#define KOSHA_LOG_WARN(...) ::kosha::log_message(::kosha::LogLevel::kWarn, __VA_ARGS__)
+#define KOSHA_LOG_ERROR(...) ::kosha::log_message(::kosha::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace kosha

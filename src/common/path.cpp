@@ -1,0 +1,69 @@
+#include "common/path.hpp"
+
+namespace kosha {
+
+std::vector<std::string> split_path(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t j = i;
+    while (j < path.size() && path[j] != '/') ++j;
+    if (j > i) parts.emplace_back(path.substr(i, j - i));
+    i = j;
+  }
+  return parts;
+}
+
+std::string join_path(const std::vector<std::string>& components) {
+  if (components.empty()) return "/";
+  std::string out;
+  for (const auto& c : components) {
+    out += '/';
+    out += c;
+  }
+  return out;
+}
+
+std::string path_child(std::string_view parent, std::string_view name) {
+  std::string out(parent);
+  if (out.empty() || out.back() != '/') out += '/';
+  out += name;
+  return out;
+}
+
+std::string path_parent(std::string_view path) {
+  auto parts = split_path(path);
+  if (parts.empty()) return "/";
+  parts.pop_back();
+  return join_path(parts);
+}
+
+std::string path_basename(std::string_view path) {
+  const auto parts = split_path(path);
+  return parts.empty() ? std::string{} : parts.back();
+}
+
+std::string normalize_path(std::string_view path) {
+  std::vector<std::string> out;
+  for (auto& part : split_path(path)) {
+    if (part == ".") continue;
+    if (part == "..") return {};
+    out.push_back(std::move(part));
+  }
+  return join_path(out);
+}
+
+std::size_t path_depth(std::string_view path) { return split_path(path).size(); }
+
+bool path_is_within(std::string_view path, std::string_view ancestor) {
+  const auto p = split_path(path);
+  const auto a = split_path(ancestor);
+  if (a.size() > p.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (p[i] != a[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace kosha

@@ -1,0 +1,54 @@
+#pragma once
+
+// Lightweight Result<T, E>: value-or-error without exceptions on hot paths.
+//
+// NFS-style layers report errno-like status codes; Result keeps those codes
+// in-band (C++ Core Guidelines E.27 style) while remaining cheap to return.
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace kosha {
+
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(E error) : storage_(std::in_place_index<1>, std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return storage_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] E error() const {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+/// Result specialisation for operations that return no value.
+struct Unit {
+  friend constexpr bool operator==(const Unit&, const Unit&) = default;
+};
+
+}  // namespace kosha

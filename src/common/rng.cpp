@@ -1,0 +1,26 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace kosha {
+
+double Rng::next_gaussian() {
+  // Box-Muller; discard the second value to keep the stream layout simple.
+  double u1 = next_double();
+  const double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  constexpr double two_pi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+std::string Rng::next_name(std::size_t n) {
+  static constexpr char alphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(alphabet[next_below(sizeof(alphabet) - 1)]);
+  }
+  return out;
+}
+
+}  // namespace kosha

@@ -1,0 +1,83 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// Every stochastic component of the reproduction (node-id assignment, trace
+// synthesis, failure injection) draws from an explicitly seeded generator so
+// experiments replay bit-for-bit. Monte-Carlo sweeps derive independent
+// per-run streams with Rng::fork().
+
+#include <cstdint>
+#include <string>
+
+#include "common/uint128.hpp"
+
+namespace kosha {
+
+/// SplitMix64 — used to expand seeds into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator: small, fast, and high quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Modulo bias is below 2^-53
+  /// for the bounds used here; determinism is what matters.
+  std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and exact
+  /// enough for trace synthesis).
+  double next_gaussian();
+
+  /// Uniform random 128-bit identifier.
+  Uint128 next_id() { return {next_u64(), next_u64()}; }
+
+  /// Independent child stream for run `index`.
+  [[nodiscard]] Rng fork(std::uint64_t index) const {
+    std::uint64_t sm = s_[0] ^ (s_[3] + 0x9E3779B97F4A7C15ull * (index + 1));
+    return Rng(splitmix64(sm));
+  }
+
+  /// Random lowercase alphanumeric string of length n.
+  std::string next_name(std::size_t n);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace kosha

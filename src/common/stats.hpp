@@ -1,0 +1,41 @@
+#pragma once
+
+// Summary statistics for experiment harnesses.
+
+#include <cstddef>
+#include <vector>
+
+namespace kosha {
+
+/// Single-pass accumulator for mean and (sample) standard deviation
+/// (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance / standard deviation (the paper reports dispersion
+  /// across a fixed set of nodes, which is a population, not a sample).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0..100) by linear interpolation; sorts a copy.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+}  // namespace kosha

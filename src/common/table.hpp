@@ -1,0 +1,36 @@
+#pragma once
+
+// Fixed-width text tables for benchmark output.
+//
+// Every bench binary regenerates one of the paper's tables/figures as rows
+// on stdout; TextTable keeps that output aligned and also exports CSV.
+
+#include <string>
+#include <vector>
+
+namespace kosha {
+
+/// Simple right-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; cells beyond the header width are dropped.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with aligned columns and a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (no quoting; experiment cells never contain commas).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Format helpers used by the bench harnesses.
+  [[nodiscard]] static std::string fmt(double v, int precision = 2);
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kosha

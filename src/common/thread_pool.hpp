@@ -1,0 +1,57 @@
+#pragma once
+
+// Work-sharing thread pool and parallel_for.
+//
+// Monte-Carlo experiment sweeps (50-100 independent seeded runs in the
+// paper) are embarrassingly parallel; parallel_for distributes run indices
+// across a pool with a simple atomic counter. Each run owns its RNG stream,
+// so results are independent of the schedule.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kosha {
+
+/// Fixed-size thread pool executing queued tasks.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 = hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [0, count) across `threads` workers (0 = hardware
+/// concurrency). Blocks until complete. Exceptions from the body terminate
+/// (experiments treat a failed run as fatal).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace kosha

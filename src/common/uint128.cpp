@@ -1,0 +1,37 @@
+#include "common/uint128.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace kosha {
+
+std::string Uint128::to_hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx", static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+Uint128 Uint128::from_hex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 32) {
+    throw std::invalid_argument("Uint128::from_hex: need 1..32 hex digits");
+  }
+  Uint128 v;
+  for (const char c : hex) {
+    unsigned nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("Uint128::from_hex: invalid hex digit");
+    }
+    v.hi = (v.hi << 4) | (v.lo >> 60);
+    v.lo = (v.lo << 4) | nibble;
+  }
+  return v;
+}
+
+}  // namespace kosha

@@ -1,0 +1,111 @@
+#pragma once
+
+// 128-bit unsigned integer used as the Pastry identifier/key space.
+//
+// Pastry (Rowstron & Druschel, Middleware'01) places node identifiers and
+// object keys in a circular 2^128 space. This type provides the exact ring
+// arithmetic the overlay needs: modular add/subtract, circular distance, and
+// base-2^b digit extraction for prefix routing.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace kosha {
+
+/// Unsigned 128-bit integer with wrap-around (ring) semantics.
+struct Uint128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr Uint128() = default;
+  constexpr Uint128(std::uint64_t high, std::uint64_t low) : hi(high), lo(low) {}
+
+  /// Smallest and largest representable values.
+  [[nodiscard]] static constexpr Uint128 zero() { return {0, 0}; }
+  [[nodiscard]] static constexpr Uint128 max() {
+    return {~std::uint64_t{0}, ~std::uint64_t{0}};
+  }
+
+  friend constexpr bool operator==(const Uint128&, const Uint128&) = default;
+  friend constexpr auto operator<=>(const Uint128& a, const Uint128& b) {
+    if (auto c = a.hi <=> b.hi; c != 0) return c;
+    return a.lo <=> b.lo;
+  }
+
+  /// Modular addition (wraps at 2^128).
+  friend constexpr Uint128 operator+(const Uint128& a, const Uint128& b) {
+    const std::uint64_t lo = a.lo + b.lo;
+    const std::uint64_t carry = (lo < a.lo) ? 1 : 0;
+    return {a.hi + b.hi + carry, lo};
+  }
+
+  /// Modular subtraction (wraps at 2^128).
+  friend constexpr Uint128 operator-(const Uint128& a, const Uint128& b) {
+    const std::uint64_t lo = a.lo - b.lo;
+    const std::uint64_t borrow = (a.lo < b.lo) ? 1 : 0;
+    return {a.hi - b.hi - borrow, lo};
+  }
+
+  /// Digit at position `index` (0 = most significant) in base 2^bits_per_digit.
+  [[nodiscard]] constexpr unsigned digit(unsigned index, unsigned bits_per_digit) const {
+    const unsigned total_digits = 128 / bits_per_digit;
+    const unsigned shift = (total_digits - 1 - index) * bits_per_digit;
+    const std::uint64_t word = (shift >= 64) ? hi : lo;
+    const unsigned word_shift = (shift >= 64) ? shift - 64 : shift;
+    const std::uint64_t mask = (bits_per_digit == 64)
+                                   ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << bits_per_digit) - 1);
+    return static_cast<unsigned>((word >> word_shift) & mask);
+  }
+
+  /// Length of the shared digit prefix with `other` in base 2^bits_per_digit.
+  [[nodiscard]] constexpr unsigned shared_prefix_length(const Uint128& other,
+                                                        unsigned bits_per_digit) const {
+    const unsigned total_digits = 128 / bits_per_digit;
+    for (unsigned i = 0; i < total_digits; ++i) {
+      if (digit(i, bits_per_digit) != other.digit(i, bits_per_digit)) return i;
+    }
+    return total_digits;
+  }
+
+  /// Lowercase hexadecimal representation, 32 characters.
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Parse a hexadecimal string (up to 32 hex digits, no prefix).
+  [[nodiscard]] static Uint128 from_hex(const std::string& hex);
+
+  /// Build from 16 big-endian bytes (e.g. the first half of a SHA-1 digest).
+  [[nodiscard]] static constexpr Uint128 from_bytes(const std::array<std::uint8_t, 16>& b) {
+    std::uint64_t h = 0;
+    std::uint64_t l = 0;
+    for (int i = 0; i < 8; ++i) h = (h << 8) | b[static_cast<std::size_t>(i)];
+    for (int i = 8; i < 16; ++i) l = (l << 8) | b[static_cast<std::size_t>(i)];
+    return {h, l};
+  }
+};
+
+/// Circular (ring) distance: min(|a-b|, 2^128 - |a-b|).
+[[nodiscard]] constexpr Uint128 ring_distance(const Uint128& a, const Uint128& b) {
+  const Uint128 d1 = a - b;
+  const Uint128 d2 = b - a;
+  return (d1 < d2) ? d1 : d2;
+}
+
+/// True if moving clockwise (increasing ids, with wrap) from `from` reaches
+/// `x` no later than `to`. Used for key-space ownership checks.
+[[nodiscard]] constexpr bool in_clockwise_range(const Uint128& x, const Uint128& from,
+                                                const Uint128& to) {
+  return (x - from) <= (to - from);
+}
+
+}  // namespace kosha
+
+template <>
+struct std::hash<kosha::Uint128> {
+  std::size_t operator()(const kosha::Uint128& v) const noexcept {
+    // Mix the halves; ids are uniformly random so this is already strong.
+    return static_cast<std::size_t>(v.hi ^ (v.lo * 0x9E3779B97F4A7C15ull));
+  }
+};

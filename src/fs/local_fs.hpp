@@ -1,0 +1,160 @@
+#pragma once
+
+// Per-node local file system — the node's /kosha_store partition.
+//
+// An in-memory, inode-based hierarchical file system with the operation
+// vocabulary NFS needs (lookup/create/read/write/remove/rename/readdir/
+// symlink) plus byte-capacity accounting. Each Kosha node dedicates one
+// LocalFs instance as its contributed storage (paper §5: "A local disk
+// partition is created and used for space contribution"); capacity and the
+// utilization threshold drive the redirection mechanism of §3.3.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace kosha::fs {
+
+/// errno-like status codes (subset of the NFSv3 error vocabulary).
+enum class FsStatus {
+  kOk,
+  kNoEnt,     // no such file or directory
+  kExist,     // entry already exists
+  kNotDir,    // component is not a directory
+  kIsDir,     // operation needs a non-directory
+  kNotEmpty,  // directory not empty
+  kNoSpace,   // capacity exceeded
+  kInval,     // invalid argument (bad name, bad offset)
+  kStale,     // inode no longer exists (stale handle)
+};
+
+[[nodiscard]] const char* to_string(FsStatus status);
+
+/// Inode number; 0 is invalid, 1 is the root directory.
+using InodeId = std::uint64_t;
+inline constexpr InodeId kInvalidInode = 0;
+
+enum class FileType : std::uint8_t { kFile, kDirectory, kSymlink };
+
+/// Subset of NFS fattr3.
+struct Attr {
+  FileType type = FileType::kFile;
+  std::uint32_t mode = 0644;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint64_t size = 0;
+  std::uint64_t mtime = 0;  // logical modification counter
+  InodeId inode = kInvalidInode;
+  std::uint64_t generation = 0;
+};
+
+struct DirEntry {
+  std::string name;
+  InodeId inode = kInvalidInode;
+  FileType type = FileType::kFile;
+};
+
+struct FsConfig {
+  /// Contributed partition size in bytes.
+  std::uint64_t capacity_bytes = 35ull << 30;
+  /// Fraction of capacity above which new allocations are refused — the
+  /// "pre-specified utilization" that triggers Kosha redirection (§3.3).
+  double utilization_threshold = 1.0;
+};
+
+template <typename T>
+using FsResult = Result<T, FsStatus>;
+
+class LocalFs {
+ public:
+  explicit LocalFs(FsConfig config = {});
+
+  [[nodiscard]] InodeId root() const { return kRootInode; }
+
+  // --- name-space operations (all take a directory inode + name) ---
+  [[nodiscard]] FsResult<InodeId> lookup(InodeId dir, std::string_view name) const;
+  [[nodiscard]] FsResult<InodeId> create(InodeId dir, std::string_view name,
+                                         std::uint32_t mode = 0644, std::uint32_t uid = 0);
+  [[nodiscard]] FsResult<InodeId> mkdir(InodeId dir, std::string_view name,
+                                        std::uint32_t mode = 0755, std::uint32_t uid = 0);
+  [[nodiscard]] FsResult<InodeId> symlink(InodeId dir, std::string_view name,
+                                          std::string_view target);
+  [[nodiscard]] FsResult<Unit> remove(InodeId dir, std::string_view name);
+  [[nodiscard]] FsResult<Unit> rmdir(InodeId dir, std::string_view name);
+  [[nodiscard]] FsResult<Unit> rename(InodeId from_dir, std::string_view from_name,
+                                      InodeId to_dir, std::string_view to_name);
+  [[nodiscard]] FsResult<std::vector<DirEntry>> readdir(InodeId dir) const;
+
+  // --- inode operations ---
+  [[nodiscard]] FsResult<Attr> getattr(InodeId inode) const;
+  [[nodiscard]] FsResult<Unit> set_mode(InodeId inode, std::uint32_t mode);
+  [[nodiscard]] FsResult<Unit> truncate(InodeId inode, std::uint64_t size);
+  [[nodiscard]] FsResult<std::uint32_t> write(InodeId inode, std::uint64_t offset,
+                                              std::string_view data);
+  [[nodiscard]] FsResult<std::string> read(InodeId inode, std::uint64_t offset,
+                                           std::uint32_t count) const;
+  [[nodiscard]] FsResult<std::string> readlink(InodeId inode) const;
+
+  // --- path conveniences (absolute paths within this store) ---
+  [[nodiscard]] FsResult<InodeId> resolve(std::string_view path) const;
+  /// mkdir -p; returns the deepest directory's inode.
+  [[nodiscard]] FsResult<InodeId> mkdir_p(std::string_view path);
+  /// Remove an entry and, for directories, its whole subtree.
+  [[nodiscard]] FsResult<Unit> remove_recursive(InodeId dir, std::string_view name);
+
+  // --- capacity ---
+  [[nodiscard]] std::uint64_t capacity_bytes() const { return config_.capacity_bytes; }
+  [[nodiscard]] std::uint64_t used_bytes() const { return used_bytes_; }
+  [[nodiscard]] double utilization() const {
+    return config_.capacity_bytes == 0
+               ? 1.0
+               : static_cast<double>(used_bytes_) / static_cast<double>(config_.capacity_bytes);
+  }
+  /// True when storing `extra` more bytes would cross the threshold.
+  [[nodiscard]] bool would_exceed(std::uint64_t extra) const;
+
+  /// Total bytes of all files under an inode (the inode's own data for
+  /// files, recursive for directories).
+  [[nodiscard]] std::uint64_t subtree_bytes(InodeId inode) const;
+  /// Number of regular files under an inode (recursive).
+  [[nodiscard]] std::uint64_t subtree_file_count(InodeId inode) const;
+
+  /// Drop everything (paper §4.3: a revived node purges all Kosha data).
+  void purge();
+
+  [[nodiscard]] std::size_t live_inode_count() const { return live_inodes_; }
+
+ private:
+  static constexpr InodeId kRootInode = 1;
+
+  struct Inode {
+    bool allocated = false;
+    FileType type = FileType::kFile;
+    std::uint32_t mode = 0;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    std::uint64_t mtime = 0;
+    std::uint64_t generation = 0;
+    std::string data;                        // file content / symlink target
+    std::map<std::string, InodeId> entries;  // directory children
+  };
+
+  [[nodiscard]] const Inode* get(InodeId id) const;
+  [[nodiscard]] Inode* get(InodeId id);
+  [[nodiscard]] InodeId allocate(FileType type, std::uint32_t mode, std::uint32_t uid);
+  void release(InodeId id);
+  [[nodiscard]] static bool valid_name(std::string_view name);
+
+  FsConfig config_;
+  std::vector<Inode> inodes_;  // index = InodeId - 1
+  std::vector<InodeId> free_list_;
+  std::uint64_t used_bytes_ = 0;
+  std::uint64_t mtime_counter_ = 0;
+  std::size_t live_inodes_ = 0;
+};
+
+}  // namespace kosha::fs

@@ -1,0 +1,38 @@
+#pragma once
+
+// Cluster-wide consistency audit — the fsck of the reproduction.
+//
+// Walks a quiescent cluster and verifies the durable invariants the design
+// relies on:
+//   1. every registered anchor physically exists on its node, and that
+//      node is the current ring owner of the anchor's key;
+//   2. the whole virtual namespace resolves from a fresh client: every
+//      special link leads to a live directory, every file is readable;
+//   3. every replica target holds a byte-identical copy of each anchor
+//      subtree (mirroring is synchronous, so no divergence is tolerable
+//      unless a MIGRATION_NOT_COMPLETE flag marks it in-progress);
+//   4. per-store byte accounting matches the actual content.
+//
+// Tests run the audit after churn; a production deployment would run it as
+// a background scrubber.
+
+#include <string>
+#include <vector>
+
+#include "kosha/cluster.hpp"
+
+namespace kosha {
+
+struct AuditReport {
+  std::vector<std::string> issues;
+
+  [[nodiscard]] bool clean() const { return issues.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Audit every live node and the virtual namespace. `client_host` is the
+/// host whose daemon performs the namespace walk.
+[[nodiscard]] AuditReport audit_cluster(KoshaCluster& cluster,
+                                        net::HostId client_host = 0);
+
+}  // namespace kosha

@@ -1,0 +1,129 @@
+#include "kosha/cluster.hpp"
+
+#include <stdexcept>
+
+#include "kosha/placement.hpp"
+
+namespace kosha {
+
+KoshaCluster::KoshaCluster(ClusterConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      network_(config_.network, &clock_),
+      overlay_(config_.kosha.pastry, &network_) {
+  runtime_.clock = &clock_;
+  runtime_.network = &network_;
+  runtime_.overlay = &overlay_;
+  runtime_.servers = &servers_;
+  runtime_.config = config_.kosha;
+
+  for (std::size_t i = 0; i < config_.nodes; ++i) {
+    const std::uint64_t capacity =
+        i < config_.capacities.size() ? config_.capacities[i] : config_.node_capacity_bytes;
+    (void)add_node(capacity);
+  }
+}
+
+KoshaCluster::~KoshaCluster() = default;
+
+KoshaCluster::Node& KoshaCluster::node_ref(net::HostId host) {
+  if (host >= nodes_.size() || nodes_[host] == nullptr) {
+    throw std::invalid_argument("unknown host");
+  }
+  return *nodes_[host];
+}
+
+const KoshaCluster::Node& KoshaCluster::node_ref(net::HostId host) const {
+  if (host >= nodes_.size() || nodes_[host] == nullptr) {
+    throw std::invalid_argument("unknown host");
+  }
+  return *nodes_[host];
+}
+
+void KoshaCluster::join_overlay(Node& node) {
+  const bool first = overlay_.ring().empty();
+  overlay_.join(node.id, node.host);
+  // The join's own leaf-set notification fired before the callback could be
+  // registered; run it by hand, then subscribe for future changes.
+  node.replicas->on_neighbors_changed();
+  ReplicaManager* rm = node.replicas.get();
+  overlay_.set_neighbor_callback(node.id, [rm] { rm->on_neighbors_changed(); });
+  if (first) {
+    // Bootstrap the virtual root: the first node owns every key, including
+    // the root directory's. Create its anchor container and register it;
+    // later ownership changes migrate it like any other anchor.
+    (void)node.server->store().mkdir_p(root_stored_path());
+    rm->register_primary(root_stored_path(), "/");
+  }
+}
+
+net::HostId KoshaCluster::add_node(std::uint64_t capacity_bytes) {
+  if (capacity_bytes == 0) capacity_bytes = config_.node_capacity_bytes;
+  const net::HostId host = network_.add_host();
+  auto node = std::make_unique<Node>();
+  node->host = host;
+  node->id = rng_.next_id();
+  fs::FsConfig fs_config;
+  fs_config.capacity_bytes = capacity_bytes;
+  node->server = std::make_unique<nfs::NfsServer>(host, fs_config, config_.costs, &clock_);
+  servers_.add(node->server.get());
+  node->replicas = std::make_unique<ReplicaManager>(&runtime_, host, node->id);
+  runtime_.replica_managers[host] = node->replicas.get();
+  node->daemon = std::make_unique<Koshad>(&runtime_, host);
+  if (nodes_.size() <= host) nodes_.resize(host + 1);
+  nodes_[host] = std::move(node);
+  join_overlay(*nodes_[host]);
+  return host;
+}
+
+void KoshaCluster::fail_node(net::HostId host) {
+  Node& node = node_ref(host);
+  if (!node.alive) return;
+  node.alive = false;
+  network_.set_up(host, false);
+  runtime_.replica_managers.erase(host);
+  overlay_.fail(node.id);  // triggers repair, promotion, re-replication
+}
+
+void KoshaCluster::retire_node(net::HostId host) {
+  Node& node = node_ref(host);
+  if (!node.alive) return;
+  // Hand over all primary content while the node is still reachable, then
+  // depart like a failure (the overlay handles both identically; the data
+  // is already gone from this node).
+  node.replicas->evacuate();
+  fail_node(host);
+}
+
+void KoshaCluster::revive_node(net::HostId host) {
+  Node& node = node_ref(host);
+  if (node.alive) return;
+  // "All Kosha data on a revived node is purged" and it rejoins under a
+  // fresh identifier (paper §4.3.2).
+  node.server->store().purge();
+  node.id = rng_.next_id();
+  node.alive = true;
+  network_.set_up(host, true);
+  node.replicas = std::make_unique<ReplicaManager>(&runtime_, host, node.id);
+  runtime_.replica_managers[host] = node.replicas.get();
+  node.daemon = std::make_unique<Koshad>(&runtime_, host);
+  join_overlay(node);
+}
+
+std::vector<net::HostId> KoshaCluster::live_hosts() const {
+  std::vector<net::HostId> out;
+  for (const auto& node : nodes_) {
+    if (node != nullptr && node->alive) out.push_back(node->host);
+  }
+  return out;
+}
+
+Koshad& KoshaCluster::daemon(net::HostId host) { return *node_ref(host).daemon; }
+
+nfs::NfsServer& KoshaCluster::server(net::HostId host) { return *node_ref(host).server; }
+
+ReplicaManager& KoshaCluster::replicas(net::HostId host) { return *node_ref(host).replicas; }
+
+pastry::NodeId KoshaCluster::node_id(net::HostId host) const { return node_ref(host).id; }
+
+}  // namespace kosha

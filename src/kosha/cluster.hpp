@@ -1,0 +1,99 @@
+#pragma once
+
+// KoshaCluster — the top-level public API of the reproduction.
+//
+// Owns the simulated infrastructure (clock, network, Pastry overlay, NFS
+// servers) and one Kosha node per host: an NFS server exporting the host's
+// /kosha_store partition, a replica manager, and a koshad loopback daemon.
+// Drives node lifecycle: join (with key-space migration), crash failure
+// (with replica promotion), and revival (with purge + fresh node id, paper
+// §4.3).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kosha/koshad.hpp"
+#include "kosha/replication.hpp"
+#include "kosha/runtime.hpp"
+#include "nfs/nfs_server.hpp"
+
+namespace kosha {
+
+struct ClusterConfig {
+  /// Nodes created by the constructor (more can be added later).
+  std::size_t nodes = 8;
+  /// Per-node contributed capacity; `capacities` overrides per node.
+  std::uint64_t node_capacity_bytes = 35ull << 30;
+  std::vector<std::uint64_t> capacities;
+  std::uint64_t seed = 42;
+  KoshaConfig kosha;
+  net::NetworkConfig network;
+  nfs::NfsCostModel costs;
+};
+
+class KoshaCluster {
+ public:
+  explicit KoshaCluster(ClusterConfig config);
+  ~KoshaCluster();
+
+  KoshaCluster(const KoshaCluster&) = delete;
+  KoshaCluster& operator=(const KoshaCluster&) = delete;
+
+  /// Add a node contributing `capacity_bytes` (0 = config default).
+  /// Triggers the join protocol and any key-space migration.
+  net::HostId add_node(std::uint64_t capacity_bytes = 0);
+
+  /// Crash a node. Its leaf-set neighbors repair, replicas are promoted,
+  /// and clients fail over transparently on their next access.
+  void fail_node(net::HostId host);
+
+  /// Gracefully retire a node (paper §4.3: leaving is distinct from
+  /// failing): its primaries are evacuated to their successor owners
+  /// before it departs, so nothing is lost even without replicas.
+  void retire_node(net::HostId host);
+
+  /// Bring a crashed node back: Kosha purges all its data and it rejoins
+  /// the overlay under a fresh node id (paper §4.3.2).
+  void revive_node(net::HostId host);
+
+  [[nodiscard]] bool is_up(net::HostId host) const { return network_.is_up(host); }
+  [[nodiscard]] std::vector<net::HostId> live_hosts() const;
+
+  [[nodiscard]] Koshad& daemon(net::HostId host);
+  [[nodiscard]] nfs::NfsServer& server(net::HostId host);
+  [[nodiscard]] ReplicaManager& replicas(net::HostId host);
+  [[nodiscard]] pastry::NodeId node_id(net::HostId host) const;
+
+  [[nodiscard]] SimClock& clock() { return clock_; }
+  [[nodiscard]] net::SimNetwork& network() { return network_; }
+  [[nodiscard]] pastry::PastryOverlay& overlay() { return overlay_; }
+  [[nodiscard]] Runtime& runtime() { return runtime_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+ private:
+  struct Node {
+    net::HostId host = net::kInvalidHost;
+    pastry::NodeId id;
+    std::unique_ptr<nfs::NfsServer> server;
+    std::unique_ptr<ReplicaManager> replicas;
+    std::unique_ptr<Koshad> daemon;
+    bool alive = true;
+  };
+
+  Node& node_ref(net::HostId host);
+  const Node& node_ref(net::HostId host) const;
+  void join_overlay(Node& node);
+
+  ClusterConfig config_;
+  SimClock clock_;
+  Rng rng_;
+  net::SimNetwork network_;
+  pastry::PastryOverlay overlay_;
+  nfs::ServerDirectory servers_;
+  Runtime runtime_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // indexed by host id
+};
+
+}  // namespace kosha

@@ -1,0 +1,45 @@
+#pragma once
+
+// Kosha system-wide configuration (paper §3-§4).
+
+#include <cstdint>
+
+#include "common/sim_clock.hpp"
+#include "pastry/types.hpp"
+
+namespace kosha {
+
+struct KoshaConfig {
+  /// Fixed cost of interposing one NFS RPC in koshad (four extra
+  /// user/kernel crossings through the user-level loopback server, plus
+  /// virtual-handle bookkeeping). This is the constant term I in the
+  /// paper's overhead model D = I + H*hc*(N-1)/N (§6.1.2).
+  SimDuration interposition_cost = SimDuration::micros(510);
+
+  /// How many levels of subdirectories under /kosha are distributed to
+  /// their own nodes (paper §3.2). Level 1 distributes only the direct
+  /// children of the mount point.
+  unsigned distribution_level = 1;
+
+  /// K: number of additional replicas the primary maintains on its K
+  /// closest leaf-set neighbors (paper §4.2). 0 = primary copy only.
+  unsigned replicas = 1;
+
+  /// Maximum salted-rehash attempts when the selected node is over the
+  /// utilization threshold (paper §3.3, PAST-style iterative redirection).
+  unsigned max_redirects = 4;
+
+  /// Disk utilization fraction above which new directories are redirected.
+  double redirect_threshold = 0.95;
+
+  /// Serve reads round-robin from the primary and its replicas. The paper
+  /// leaves this as future work ("we currently are exploring optimization
+  /// techniques that allow at least read operations to be served from any
+  /// one of the K replicas", §4.2); off by default to match the evaluated
+  /// system. See bench/ablation_read_replicas.
+  bool read_from_replicas = false;
+
+  pastry::PastryConfig pastry;
+};
+
+}  // namespace kosha

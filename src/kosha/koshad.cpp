@@ -1,0 +1,638 @@
+#include "kosha/koshad.hpp"
+
+#include <type_traits>
+
+#include "common/path.hpp"
+#include "kosha/placement.hpp"
+
+namespace kosha {
+
+Koshad::Koshad(Runtime* runtime, net::HostId host)
+    : runtime_(runtime), host_(host), client_(runtime->network, runtime->servers, host) {}
+
+bool Koshad::valid_user_name(std::string_view name) {
+  if (name.empty() || name == "." || name == ".." || name == kReplicaArea ||
+      name == kAnchorArea || name == kMigrationFlag) {
+    return false;
+  }
+  if (name.find('/') != std::string_view::npos) return false;
+  // '#' is reserved as the redirection-salt separator (paper §3.3).
+  if (name.find(kSaltSeparator) != std::string_view::npos) return false;
+  return true;
+}
+
+void Koshad::note_forward(net::HostId host) {
+  ++stats_.rpcs_forwarded;
+  if (host != host_) ++stats_.remote_rpcs;
+}
+
+void Koshad::charge_interposition() {
+  runtime_->clock->advance(runtime_->config.interposition_cost);
+}
+
+pastry::RouteResult Koshad::route(pastry::Key key) {
+  const auto result = runtime_->overlay->route(host_, key);
+  ++stats_.dht_lookups;
+  stats_.dht_hops += result.hops;
+  return result;
+}
+
+net::HostId Koshad::host_of(pastry::NodeId node) const {
+  return runtime_->overlay->host_of(node);
+}
+
+// ---------------------------------------------------------------------------
+// Path resolution
+// ---------------------------------------------------------------------------
+
+nfs::NfsResult<Koshad::Resolved> Koshad::resolve_path(const std::string& path, bool fresh) {
+  if (!fresh) {
+    if (const auto vh = vht_.find_by_path(path)) {
+      const VhEntry* entry = vht_.find(*vh);
+      return Resolved{entry->real.server, entry->real, entry->stored_path, entry->type};
+    }
+  }
+  if (path == "/") {
+    const auto owner = route(root_key());
+    const net::HostId host = host_of(owner.owner);
+    const std::string stored = root_stored_path();
+    const auto handle = remote_lookup_path(host, stored);
+    if (!handle.ok()) return handle.error();
+    vht_.bind("/", stored, handle->handle, fs::FileType::kDirectory);
+    return Resolved{host, handle->handle, stored, fs::FileType::kDirectory};
+  }
+  const auto parent = resolve_path(path_parent(path), fresh);
+  if (!parent.ok()) return parent.error();
+  return resolve_entry(*parent, path, path_basename(path), fresh);
+}
+
+nfs::NfsResult<Koshad::Resolved> Koshad::resolve_entry(const Resolved& parent,
+                                                       const std::string& path,
+                                                       std::string_view name, bool fresh) {
+  (void)fresh;
+  note_forward(parent.host);
+  const auto looked = client_.lookup(parent.handle, name);
+  if (!looked.ok()) return looked.error();
+
+  if (looked->attr.type == fs::FileType::kSymlink) {
+    // Special link: the directory is distributed; its target is the
+    // effective (possibly salted) name to hash (paper §3.3).
+    note_forward(parent.host);
+    const auto target = client_.readlink(looked->handle);
+    if (!target.ok()) return target.error();
+    const std::string& effective = target.value();
+
+    const auto owner = route(key_for_name(effective));
+    const net::HostId host = host_of(owner.owner);
+    const auto components = split_path(path);
+    const std::string stored =
+        stored_path(components, static_cast<unsigned>(components.size()), effective);
+    const auto handle = remote_lookup_path(host, stored);
+    if (!handle.ok()) return handle.error();
+    vht_.bind(path, stored, handle->handle, handle->attr.type);
+    return Resolved{host, handle->handle, stored, handle->attr.type, handle->attr};
+  }
+
+  const std::string stored = path_child(parent.stored_path, name);
+  vht_.bind(path, stored, looked->handle, looked->attr.type);
+  return Resolved{parent.host, looked->handle, stored, looked->attr.type, looked->attr};
+}
+
+nfs::NfsResult<nfs::HandleReply> Koshad::remote_lookup_path(net::HostId host,
+                                                            const std::string& stored_path) {
+  // "Kosha looks up the entire path on R, as if it is an NFS client of R"
+  // (paper §4.1.3).
+  note_forward(host);
+  const auto root = client_.mount(host);
+  if (!root.ok()) return root.error();
+  nfs::HandleReply current{*root, {}};
+  current.attr.type = fs::FileType::kDirectory;
+  for (const auto& component : split_path(stored_path)) {
+    note_forward(host);
+    const auto next = client_.lookup(current.handle, component);
+    if (!next.ok()) return next.error();
+    current = next.value();
+  }
+  return current;
+}
+
+nfs::NfsResult<nfs::HandleReply> Koshad::remote_mkdir_p(net::HostId host,
+                                                        const std::string& stored_path,
+                                                        std::uint32_t leaf_mode,
+                                                        std::uint32_t leaf_uid) {
+  note_forward(host);
+  const auto root = client_.mount(host);
+  if (!root.ok()) return root.error();
+  nfs::HandleReply current{*root, {}};
+  current.attr.type = fs::FileType::kDirectory;
+  const auto components = split_path(stored_path);
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    const bool leaf = i + 1 == components.size();
+    note_forward(host);
+    auto next = client_.lookup(current.handle, components[i]);
+    if (!next.ok()) {
+      if (next.error() != nfs::NfsStat::kNoEnt) return next.error();
+      note_forward(host);
+      // Scaffolding directories get defaults; the caller's attributes
+      // apply to the directory being created.
+      next = leaf ? client_.mkdir(current.handle, components[i], leaf_mode, leaf_uid)
+                  : client_.mkdir(current.handle, components[i]);
+      if (!next.ok()) return next.error();
+    }
+    current = next.value();
+  }
+  return current;
+}
+
+nfs::NfsResult<std::pair<pastry::NodeId, std::string>> Koshad::place_directory(
+    std::string_view name) {
+  // Iterative salted redirection (paper §3.3): rehash with a salt until a
+  // node below the utilization threshold is found or retries run out.
+  for (unsigned salt = 0; salt <= runtime_->config.max_redirects; ++salt) {
+    const std::string effective = salted_name(name, salt);
+    const auto owner = route(key_for_name(effective));
+    const net::HostId host = host_of(owner.owner);
+    note_forward(host);
+    const auto stat = client_.fsstat(host);
+    if (stat.ok() && stat->utilization < runtime_->config.redirect_threshold) {
+      return std::make_pair(owner.owner, effective);
+    }
+    ++stats_.redirects;
+  }
+  return nfs::NfsStat::kNoSpace;
+}
+
+// ---------------------------------------------------------------------------
+// Failover wrapper
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+auto Koshad::with_handle(VirtualHandle vh, Fn&& fn) {
+  using Ret = std::invoke_result_t<Fn, const Resolved&>;
+  const VhEntry* entry = vht_.find(vh);
+  if (entry == nullptr) return Ret(nfs::NfsStat::kStale);
+  const std::string path = entry->path;  // copy: the table may rehash below
+  const Resolved cached{entry->real.server, entry->real, entry->stored_path, entry->type};
+
+  Ret first = fn(cached);
+  if (first.ok() || !is_error_retryable(first.error())) return first;
+
+  // Transparent fault handling (paper §4.4): drop the mapping, re-resolve
+  // the full path (reaching the promoted replica), rebind, retry once.
+  ++stats_.failovers;
+  const auto fresh = resolve_path(path, /*fresh=*/true);
+  if (!fresh.ok()) return Ret(fresh.error());
+  vht_.rebind(vh, fresh->stored_path, fresh->handle);
+  return fn(*fresh);
+}
+
+// ---------------------------------------------------------------------------
+// The virtual NFS interface
+// ---------------------------------------------------------------------------
+
+nfs::NfsResult<VirtualHandle> Koshad::root() {
+  charge_interposition();
+  const auto resolved = resolve_path("/", false);
+  if (!resolved.ok()) return resolved.error();
+  return *vht_.find_by_path("/");
+}
+
+nfs::NfsResult<VhReply> Koshad::lookup(VirtualHandle dir, std::string_view name) {
+  charge_interposition();
+  const VhEntry* entry = vht_.find(dir);
+  if (entry == nullptr) return nfs::NfsStat::kStale;
+  const std::string path = path_child(entry->path, name);
+  const std::string name_copy(name);
+  return with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<VhReply> {
+    const auto resolved = resolve_entry(parent, path, name_copy, false);
+    if (!resolved.ok()) return resolved.error();
+    return VhReply{*vht_.find_by_path(path), resolved->attr};
+  });
+}
+
+nfs::NfsResult<fs::Attr> Koshad::getattr(VirtualHandle obj) {
+  charge_interposition();
+  return with_handle(obj, [&](const Resolved& r) {
+    note_forward(r.host);
+    return client_.getattr(r.handle);
+  });
+}
+
+nfs::NfsResult<fs::Attr> Koshad::set_mode(VirtualHandle obj, std::uint32_t mode) {
+  charge_interposition();
+  return with_handle(obj, [&](const Resolved& r) {
+    note_forward(r.host);
+    auto result = client_.set_mode(r.handle, mode);
+    if (result.ok()) {
+      if (ReplicaManager* rm = manager_of(r.host)) rm->mirror_set_mode(r.stored_path, mode);
+    }
+    return result;
+  });
+}
+
+nfs::NfsResult<fs::Attr> Koshad::truncate(VirtualHandle obj, std::uint64_t size) {
+  charge_interposition();
+  return with_handle(obj, [&](const Resolved& r) {
+    note_forward(r.host);
+    auto result = client_.truncate(r.handle, size);
+    if (result.ok()) {
+      if (ReplicaManager* rm = manager_of(r.host)) rm->mirror_truncate(r.stored_path, size);
+    }
+    return result;
+  });
+}
+
+nfs::NfsResult<nfs::ReadReply> Koshad::read(VirtualHandle file, std::uint64_t offset,
+                                            std::uint32_t count) {
+  charge_interposition();
+  return with_handle(file, [&](const Resolved& r) -> nfs::NfsResult<nfs::ReadReply> {
+    if (runtime_->config.read_from_replicas) {
+      if (auto reply = try_replica_read(r, offset, count)) return *std::move(reply);
+    }
+    note_forward(r.host);
+    return client_.read(r.handle, offset, count);
+  });
+}
+
+std::optional<nfs::NfsResult<nfs::ReadReply>> Koshad::try_replica_read(
+    const Resolved& resolved, std::uint64_t offset, std::uint32_t count) {
+  ReplicaManager* rm = manager_of(resolved.host);
+  if (rm == nullptr || rm->targets().empty()) return std::nullopt;
+  const auto& targets = rm->targets();
+  // Round-robin over {replica_0, ..., replica_{K-1}, primary}.
+  const std::size_t pick = replica_read_cursor_++ % (targets.size() + 1);
+  if (pick == targets.size()) return std::nullopt;  // the primary's turn
+  const pastry::NodeId target = targets[pick];
+  if (!runtime_->overlay->is_live(target)) return std::nullopt;
+  const net::HostId host = runtime_->overlay->host_of(target);
+
+  const std::string hidden =
+      ReplicaManager::hidden_root(rm->id()) + resolved.stored_path;
+  const std::string cache_key = std::to_string(host) + ":" + hidden;
+  nfs::FileHandle handle;
+  if (const auto it = replica_handle_cache_.find(cache_key);
+      it != replica_handle_cache_.end()) {
+    handle = it->second;
+  } else {
+    const auto looked = remote_lookup_path(host, hidden);
+    if (!looked.ok()) return std::nullopt;  // replica lagging: use the primary
+    handle = looked->handle;
+    replica_handle_cache_[cache_key] = handle;
+  }
+
+  note_forward(host);
+  auto reply = client_.read(handle, offset, count);
+  if (!reply.ok()) {
+    replica_handle_cache_.erase(cache_key);
+    return std::nullopt;  // fall back to the primary copy
+  }
+  ++stats_.replica_reads;
+  return reply;
+}
+
+nfs::NfsResult<std::uint32_t> Koshad::write(VirtualHandle file, std::uint64_t offset,
+                                            std::string_view data) {
+  charge_interposition();
+  return with_handle(file, [&](const Resolved& r) {
+    note_forward(r.host);
+    auto result = client_.write(r.handle, offset, data);
+    if (result.ok()) {
+      if (ReplicaManager* rm = manager_of(r.host)) {
+        rm->mirror_write(r.stored_path, offset, data);
+      }
+    }
+    return result;
+  });
+}
+
+nfs::NfsResult<VhReply> Koshad::create(VirtualHandle dir, std::string_view name,
+                                       std::uint32_t mode, std::uint32_t uid) {
+  charge_interposition();
+  if (!valid_user_name(name)) return nfs::NfsStat::kInval;
+  const VhEntry* entry = vht_.find(dir);
+  if (entry == nullptr) return nfs::NfsStat::kStale;
+  const std::string path = path_child(entry->path, name);
+  const std::string name_copy(name);
+  return with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<VhReply> {
+    note_forward(parent.host);
+    const auto created = client_.create(parent.handle, name_copy, mode, uid);
+    if (!created.ok()) return created.error();
+    const std::string stored = path_child(parent.stored_path, name_copy);
+    if (ReplicaManager* rm = manager_of(parent.host)) rm->mirror_create(stored, mode, uid);
+    const VirtualHandle vh = vht_.bind(path, stored, created->handle, fs::FileType::kFile);
+    return VhReply{vh, created->attr};
+  });
+}
+
+nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
+                                      std::uint32_t mode, std::uint32_t uid) {
+  charge_interposition();
+  if (!valid_user_name(name)) return nfs::NfsStat::kInval;
+  const VhEntry* entry = vht_.find(dir);
+  if (entry == nullptr) return nfs::NfsStat::kStale;
+  const std::string path = path_child(entry->path, name);
+  const std::string name_copy(name);
+  const auto depth = static_cast<unsigned>(path_depth(path));
+
+  return with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<VhReply> {
+    note_forward(parent.host);
+    const auto existing = client_.lookup(parent.handle, name_copy);
+    if (existing.ok()) return nfs::NfsStat::kExist;
+    if (existing.error() != nfs::NfsStat::kNoEnt) return existing.error();
+
+    if (!is_distributed_depth(runtime_->config.distribution_level, depth)) {
+      // Below the distribution level: stored with the parent (paper §3.2).
+      note_forward(parent.host);
+      const auto made = client_.mkdir(parent.handle, name_copy, mode, uid);
+      if (!made.ok()) return made.error();
+      const std::string stored = path_child(parent.stored_path, name_copy);
+      if (ReplicaManager* rm = manager_of(parent.host)) rm->mirror_mkdir_p(stored);
+      const VirtualHandle vh = vht_.bind(path, stored, made->handle, fs::FileType::kDirectory);
+      return VhReply{vh, made->attr};
+    }
+
+    // Distributed directory: pick the node (with capacity redirection),
+    // build the scaffolding hierarchy there, and plant the special link in
+    // the parent (paper §3.1, §4.1.4).
+    const auto placed = place_directory(name_copy);
+    if (!placed.ok()) return placed.error();
+    const auto& [node, effective] = placed.value();
+    const net::HostId host = host_of(node);
+    const auto components = split_path(path);
+    const std::string stored = stored_path(components, depth, effective);
+    const auto made = remote_mkdir_p(host, stored, mode, uid);
+    if (!made.ok()) return made.error();
+    if (ReplicaManager* rm = manager_of(host)) rm->register_primary(stored, effective);
+
+    // Plant the special link in the parent directory (paper §3.1/§3.3).
+    note_forward(parent.host);
+    const auto link = client_.symlink(parent.handle, name_copy, effective);
+    if (link.ok()) {
+      if (ReplicaManager* rm = manager_of(parent.host)) {
+        rm->mirror_symlink(path_child(parent.stored_path, name_copy), effective);
+      }
+    }
+    const VirtualHandle vh = vht_.bind(path, stored, made->handle, fs::FileType::kDirectory);
+    return VhReply{vh, made->attr};
+  });
+}
+
+nfs::NfsResult<Unit> Koshad::remove(VirtualHandle dir, std::string_view name) {
+  charge_interposition();
+  const VhEntry* entry = vht_.find(dir);
+  if (entry == nullptr) return nfs::NfsStat::kStale;
+  const std::string path = path_child(entry->path, name);
+  const std::string name_copy(name);
+  return with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<Unit> {
+    note_forward(parent.host);
+    const auto looked = client_.lookup(parent.handle, name_copy);
+    if (!looked.ok()) return looked.error();
+    if (looked->attr.type != fs::FileType::kFile) return nfs::NfsStat::kIsDir;
+    note_forward(parent.host);
+    const auto removed = client_.remove(parent.handle, name_copy);
+    if (!removed.ok()) return removed.error();
+    if (ReplicaManager* rm = manager_of(parent.host)) {
+      rm->mirror_remove(path_child(parent.stored_path, name_copy));
+    }
+    vht_.drop_subtree(path);
+    return Unit{};
+  });
+}
+
+nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
+  charge_interposition();
+  const VhEntry* entry = vht_.find(dir);
+  if (entry == nullptr) return nfs::NfsStat::kStale;
+  const std::string path = path_child(entry->path, name);
+  const std::string name_copy(name);
+  const auto depth = static_cast<unsigned>(path_depth(path));
+
+  return with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<Unit> {
+    note_forward(parent.host);
+    const auto looked = client_.lookup(parent.handle, name_copy);
+    if (!looked.ok()) return looked.error();
+    if (looked->attr.type == fs::FileType::kFile) return nfs::NfsStat::kNotDir;
+
+    // Distributed directories appear in their parent as special links.
+    const bool distributed = looked->attr.type == fs::FileType::kSymlink;
+    (void)depth;
+    if (!distributed) {
+      note_forward(parent.host);
+      const auto removed = client_.rmdir(parent.handle, name_copy);
+      if (!removed.ok()) return removed.error();
+      if (ReplicaManager* rm = manager_of(parent.host)) {
+        rm->mirror_rmdir(path_child(parent.stored_path, name_copy));
+      }
+      vht_.drop_subtree(path);
+      return Unit{};
+    }
+
+    // Distributed directory (paper §4.1.5): verify emptiness at the storage
+    // node, remove the stored directory, prune the now-unused empty
+    // scaffolding, and finally drop the special link in the parent.
+    const auto child = resolve_entry(parent, path, name_copy, true);
+    if (!child.ok()) return child.error();
+    note_forward(child->host);
+    const auto listing = client_.readdir(child->handle);
+    if (!listing.ok()) return listing.error();
+    if (!listing->entries.empty()) return nfs::NfsStat::kNotEmpty;
+
+    const std::string stored_parent = path_parent(child->stored_path);
+    const auto stored_dir = remote_lookup_path(child->host, stored_parent);
+    if (stored_dir.ok()) {
+      note_forward(child->host);
+      const auto removed =
+          client_.rmdir(stored_dir->handle, path_basename(child->stored_path));
+      if (!removed.ok()) return removed.error();
+      ReplicaManager* rm = manager_of(child->host);
+      if (rm != nullptr) {
+        rm->mirror_rmdir(child->stored_path);
+        rm->unregister_primary(child->stored_path);
+      }
+      // Prune the now-empty scaffolding bottom-up, container included, but
+      // stop at a directory still used by a colliding same-name anchor
+      // (paper §4.1.5).
+      std::string cursor = stored_parent;
+      while (path_depth(cursor) >= 2) {  // never remove /.a itself
+        const auto cursor_handle = remote_lookup_path(child->host, cursor);
+        if (!cursor_handle.ok()) break;
+        note_forward(child->host);
+        const auto cursor_listing = client_.readdir(cursor_handle->handle);
+        if (!cursor_listing.ok() || !cursor_listing->entries.empty()) break;
+        const auto up = remote_lookup_path(child->host, path_parent(cursor));
+        if (!up.ok()) break;
+        note_forward(child->host);
+        if (!client_.rmdir(up->handle, path_basename(cursor)).ok()) break;
+        if (rm != nullptr) rm->mirror_rmdir(cursor);
+        cursor = path_parent(cursor);
+      }
+    }
+
+    // Remove the special link (absent in the directly-visible case, where
+    // the stored-directory removal above already deleted the entry).
+    note_forward(parent.host);
+    const auto link = client_.lookup(parent.handle, name_copy);
+    if (link.ok() && link->attr.type == fs::FileType::kSymlink) {
+      note_forward(parent.host);
+      (void)client_.remove(parent.handle, name_copy);
+      if (ReplicaManager* rm = manager_of(parent.host)) {
+        rm->mirror_remove(path_child(parent.stored_path, name_copy));
+      }
+    }
+    vht_.drop_subtree(path);
+    return Unit{};
+  });
+}
+
+nfs::NfsResult<nfs::ReaddirReply> Koshad::readdir(VirtualHandle dir) {
+  charge_interposition();
+  return with_handle(dir, [&](const Resolved& r) -> nfs::NfsResult<nfs::ReaddirReply> {
+    note_forward(r.host);
+    auto listing = client_.readdir(r.handle);
+    if (!listing.ok()) return listing;
+    nfs::ReaddirReply filtered;
+    for (auto& e : listing->entries) {
+      // Hide the replica area, migration flags, and raw salted directories;
+      // present special links as the directories they stand for.
+      if (e.name == kReplicaArea || e.name == kMigrationFlag) continue;
+      if (e.name.find(kSaltSeparator) != std::string::npos) continue;
+      if (e.type == fs::FileType::kSymlink) e.type = fs::FileType::kDirectory;
+      filtered.entries.push_back(std::move(e));
+    }
+    return filtered;
+  });
+}
+
+nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view from_name,
+                                    VirtualHandle to_dir, std::string_view to_name) {
+  charge_interposition();
+  if (!valid_user_name(to_name)) return nfs::NfsStat::kInval;
+  const VhEntry* from_entry = vht_.find(from_dir);
+  const VhEntry* to_entry = vht_.find(to_dir);
+  if (from_entry == nullptr || to_entry == nullptr) return nfs::NfsStat::kStale;
+  const std::string from_path = path_child(from_entry->path, from_name);
+  const std::string to_path = path_child(to_entry->path, to_name);
+  if (path_is_within(to_path, from_path)) return nfs::NfsStat::kInval;
+  if (from_path == to_path) return Unit{};
+  const std::string to_parent_path = to_entry->path;
+  const bool same_parent = from_entry->path == to_entry->path;
+  const std::string from_copy(from_name);
+  const std::string to_copy(to_name);
+
+  return with_handle(from_dir, [&](const Resolved& from_parent) -> nfs::NfsResult<Unit> {
+    const auto to_parent = resolve_path(to_parent_path, false);
+    if (!to_parent.ok()) return to_parent.error();
+
+    note_forward(from_parent.host);
+    const auto looked = client_.lookup(from_parent.handle, from_copy);
+    if (!looked.ok()) return looked.error();
+    note_forward(to_parent->host);
+    const auto existing = client_.lookup(to_parent->handle, to_copy);
+    if (existing.ok()) return nfs::NfsStat::kExist;
+    if (existing.error() != nfs::NfsStat::kNoEnt) return existing.error();
+
+    const bool is_link = looked->attr.type == fs::FileType::kSymlink;
+
+    if (is_link && same_parent) {
+      // The cheap case from §4.1.4: rename only the link; the stored
+      // directory keeps its (hashed) name, so DHT(hash(target)) still
+      // holds and nothing moves.
+      note_forward(from_parent.host);
+      const auto renamed =
+          client_.rename(from_parent.handle, from_copy, from_parent.handle, to_copy);
+      if (!renamed.ok()) return renamed.error();
+      if (ReplicaManager* rm = manager_of(from_parent.host)) {
+        rm->mirror_rename(path_child(from_parent.stored_path, from_copy),
+                          path_child(from_parent.stored_path, to_copy));
+      }
+      vht_.drop_subtree(from_path);
+      return Unit{};
+    }
+
+    if (is_link) {
+      // Moving a distributed directory across directories: copy to the new
+      // location, then delete the old (paper §4.1.4).
+      if (const auto copied = copy_tree(from_dir, from_copy, to_dir, to_copy); !copied.ok()) {
+        return copied.error();
+      }
+      return remove_tree(from_dir, from_copy);
+    }
+
+    if (from_parent.host == to_parent->host) {
+      // Plain same-node rename (files and non-distributed directories).
+      note_forward(from_parent.host);
+      const auto renamed =
+          client_.rename(from_parent.handle, from_copy, to_parent->handle, to_copy);
+      if (!renamed.ok()) return renamed.error();
+      if (ReplicaManager* rm = manager_of(from_parent.host)) {
+        rm->mirror_rename(path_child(from_parent.stored_path, from_copy),
+                          path_child(to_parent->stored_path, to_copy));
+      }
+      vht_.drop_subtree(from_path);
+      return Unit{};
+    }
+
+    // Cross-node move: copy + delete.
+    if (const auto copied = copy_tree(from_dir, from_copy, to_dir, to_copy); !copied.ok()) {
+      return copied.error();
+    }
+    if (looked->attr.type == fs::FileType::kFile) return remove(from_dir, from_copy);
+    return remove_tree(from_dir, from_copy);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Recursive helpers for expensive renames
+// ---------------------------------------------------------------------------
+
+nfs::NfsResult<Unit> Koshad::copy_tree(VirtualHandle src_dir, std::string_view src_name,
+                                       VirtualHandle dst_dir, std::string_view dst_name) {
+  const auto src = lookup(src_dir, src_name);
+  if (!src.ok()) return src.error();
+
+  if (src->attr.type == fs::FileType::kFile) {
+    const auto dst = create(dst_dir, dst_name, src->attr.mode, src->attr.uid);
+    if (!dst.ok()) return dst.error();
+    constexpr std::uint32_t kChunk = 64 * 1024;
+    std::uint64_t offset = 0;
+    for (;;) {
+      const auto chunk = read(src->handle, offset, kChunk);
+      if (!chunk.ok()) return chunk.error();
+      if (!chunk->data.empty()) {
+        const auto written = write(dst->handle, offset, chunk->data);
+        if (!written.ok()) return written.error();
+        offset += chunk->data.size();
+      }
+      if (chunk->eof || chunk->data.empty()) break;
+    }
+    return Unit{};
+  }
+
+  const auto dst = mkdir(dst_dir, dst_name, src->attr.mode, src->attr.uid);
+  if (!dst.ok()) return dst.error();
+  const auto listing = readdir(src->handle);
+  if (!listing.ok()) return listing.error();
+  for (const auto& entry : listing->entries) {
+    if (const auto copied = copy_tree(src->handle, entry.name, dst->handle, entry.name);
+        !copied.ok()) {
+      return copied.error();
+    }
+  }
+  return Unit{};
+}
+
+nfs::NfsResult<Unit> Koshad::remove_tree(VirtualHandle dir, std::string_view name) {
+  const auto target = lookup(dir, name);
+  if (!target.ok()) return target.error();
+  if (target->attr.type == fs::FileType::kFile) return remove(dir, name);
+  const auto listing = readdir(target->handle);
+  if (!listing.ok()) return listing.error();
+  for (const auto& entry : listing->entries) {
+    if (const auto removed = remove_tree(target->handle, entry.name); !removed.ok()) {
+      return removed.error();
+    }
+  }
+  return rmdir(dir, name);
+}
+
+}  // namespace kosha

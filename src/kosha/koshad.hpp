@@ -1,0 +1,159 @@
+#pragma once
+
+// koshad — the Kosha loopback daemon (paper §4, §5).
+//
+// One koshad runs per participating host. It exposes the NFS RPC
+// vocabulary against the virtual /kosha namespace: it locates the storage
+// node for each path (directory-name hashing through Pastry, following
+// special links for distributed/redirected directories), forwards the RPC
+// to that node's NFS server, mirrors mutations to the primary's replicas,
+// and hands clients *virtual* handles so failures can be masked by
+// re-resolving the stored path on a promoted replica.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "kosha/replication.hpp"
+#include "kosha/runtime.hpp"
+#include "kosha/virtual_handles.hpp"
+#include "nfs/nfs_client.hpp"
+
+namespace kosha {
+
+/// Reply carrying a virtual handle plus attributes (LOOKUP/CREATE/MKDIR).
+struct VhReply {
+  VirtualHandle handle;
+  fs::Attr attr;
+};
+
+/// Daemon-level counters (drive the §6.1.2 overhead-model comparison).
+struct KoshadStats {
+  std::uint64_t rpcs_forwarded = 0;  // NFS RPCs sent to storage nodes
+  std::uint64_t dht_lookups = 0;     // overlay routes performed
+  std::uint64_t dht_hops = 0;        // total overlay hops across routes
+  std::uint64_t remote_rpcs = 0;     // RPCs whose storage node != this host
+  std::uint64_t failovers = 0;       // transparent handle rebinds after errors
+  std::uint64_t redirects = 0;       // capacity redirections performed
+  std::uint64_t replica_reads = 0;   // reads served by a replica node
+};
+
+class Koshad {
+ public:
+  Koshad(Runtime* runtime, net::HostId host);
+
+  [[nodiscard]] net::HostId host() const { return host_; }
+
+  // --- the virtual NFS interface ------------------------------------------
+  [[nodiscard]] nfs::NfsResult<VirtualHandle> root();
+  [[nodiscard]] nfs::NfsResult<VhReply> lookup(VirtualHandle dir, std::string_view name);
+  [[nodiscard]] nfs::NfsResult<fs::Attr> getattr(VirtualHandle obj);
+  [[nodiscard]] nfs::NfsResult<fs::Attr> set_mode(VirtualHandle obj, std::uint32_t mode);
+  [[nodiscard]] nfs::NfsResult<fs::Attr> truncate(VirtualHandle obj, std::uint64_t size);
+  [[nodiscard]] nfs::NfsResult<nfs::ReadReply> read(VirtualHandle file, std::uint64_t offset,
+                                                    std::uint32_t count);
+  [[nodiscard]] nfs::NfsResult<std::uint32_t> write(VirtualHandle file, std::uint64_t offset,
+                                                    std::string_view data);
+  [[nodiscard]] nfs::NfsResult<VhReply> create(VirtualHandle dir, std::string_view name,
+                                               std::uint32_t mode = 0644,
+                                               std::uint32_t uid = 0);
+  [[nodiscard]] nfs::NfsResult<VhReply> mkdir(VirtualHandle dir, std::string_view name,
+                                              std::uint32_t mode = 0755,
+                                              std::uint32_t uid = 0);
+  [[nodiscard]] nfs::NfsResult<Unit> remove(VirtualHandle dir, std::string_view name);
+  [[nodiscard]] nfs::NfsResult<Unit> rmdir(VirtualHandle dir, std::string_view name);
+  [[nodiscard]] nfs::NfsResult<Unit> rename(VirtualHandle from_dir, std::string_view from_name,
+                                            VirtualHandle to_dir, std::string_view to_name);
+  [[nodiscard]] nfs::NfsResult<nfs::ReaddirReply> readdir(VirtualHandle dir);
+
+  /// Recursive delete through the virtual interface (convenience; also the
+  /// delete half of distributed-directory renames).
+  [[nodiscard]] nfs::NfsResult<Unit> remove_tree(VirtualHandle dir, std::string_view name);
+  /// Recursive copy through the virtual interface (paper §4.1.4: renaming
+  /// distributed subdirectories is "a copy ... followed by a delete").
+  [[nodiscard]] nfs::NfsResult<Unit> copy_tree(VirtualHandle src_dir, std::string_view src_name,
+                                               VirtualHandle dst_dir,
+                                               std::string_view dst_name);
+
+  [[nodiscard]] const KoshadStats& stats() const { return stats_; }
+  [[nodiscard]] const VirtualHandleTable& handle_table() const { return vht_; }
+
+ private:
+  /// A virtual path resolved to its storage node.
+  struct Resolved {
+    net::HostId host = net::kInvalidHost;
+    nfs::FileHandle handle;
+    std::string stored_path;
+    fs::FileType type = fs::FileType::kDirectory;
+    fs::Attr attr{};
+  };
+
+  /// Run `fn(resolved)` against the cached handle; on a retryable error
+  /// (unreachable/stale) re-resolve the path from scratch, rebind the
+  /// virtual handle, and retry once — the paper's transparent fault
+  /// handling (§4.4).
+  template <typename Fn>
+  auto with_handle(VirtualHandle vh, Fn&& fn);
+
+  /// Resolve a virtual path; `fresh` bypasses (and repopulates) the cache —
+  /// used on the failover path after an RPC error.
+  [[nodiscard]] nfs::NfsResult<Resolved> resolve_path(const std::string& path, bool fresh);
+  /// Resolve one child entry of an already-resolved parent directory.
+  [[nodiscard]] nfs::NfsResult<Resolved> resolve_entry(const Resolved& parent,
+                                                       const std::string& path,
+                                                       std::string_view name, bool fresh);
+
+  /// Route a key through the overlay, updating daemon statistics.
+  [[nodiscard]] pastry::RouteResult route(pastry::Key key);
+  /// Storage host of an overlay node.
+  [[nodiscard]] net::HostId host_of(pastry::NodeId node) const;
+
+  /// Walk `stored_path` component by component on `host` (lookup RPCs).
+  [[nodiscard]] nfs::NfsResult<nfs::HandleReply> remote_lookup_path(
+      net::HostId host, const std::string& stored_path);
+  /// mkdir -p over RPC on `host`; returns the deepest directory's handle.
+  /// `leaf_mode`/`leaf_uid` apply to the final component only.
+  [[nodiscard]] nfs::NfsResult<nfs::HandleReply> remote_mkdir_p(net::HostId host,
+                                                                const std::string& stored_path,
+                                                                std::uint32_t leaf_mode = 0755,
+                                                                std::uint32_t leaf_uid = 0);
+
+  /// Pick the storage node for a new distributed directory, applying
+  /// capacity redirection (paper §3.3). Returns the chosen node and the
+  /// effective (possibly salted) name.
+  [[nodiscard]] nfs::NfsResult<std::pair<pastry::NodeId, std::string>> place_directory(
+      std::string_view name);
+
+  /// Optional read path via a replica copy (the §4.2 future-work
+  /// optimization). Returns nullopt when the primary should serve the read
+  /// (its round-robin turn, no replicas, or the replica copy unreadable).
+  [[nodiscard]] std::optional<nfs::NfsResult<nfs::ReadReply>> try_replica_read(
+      const Resolved& resolved, std::uint64_t offset, std::uint32_t count);
+
+  [[nodiscard]] ReplicaManager* manager_of(net::HostId host) const {
+    return runtime_->replica_manager(host);
+  }
+
+  /// Record an RPC destined for `host` in the remote/local statistics.
+  void note_forward(net::HostId host);
+  /// Charge the fixed loopback interposition cost of one client RPC.
+  void charge_interposition();
+
+  [[nodiscard]] static bool is_error_retryable(nfs::NfsStat status) {
+    return status == nfs::NfsStat::kUnreachable || status == nfs::NfsStat::kStale;
+  }
+  [[nodiscard]] static bool valid_user_name(std::string_view name);
+
+  Runtime* runtime_;
+  net::HostId host_;
+  nfs::NfsClient client_;
+  VirtualHandleTable vht_;
+  KoshadStats stats_;
+  /// Round-robin cursor and handle cache for replica reads.
+  std::uint64_t replica_read_cursor_ = 0;
+  std::unordered_map<std::string, nfs::FileHandle> replica_handle_cache_;
+};
+
+}  // namespace kosha

@@ -1,0 +1,165 @@
+#include "kosha/mount.hpp"
+
+#include "common/path.hpp"
+
+namespace kosha {
+
+void KoshaMount::invalidate(std::string_view path) {
+  const std::string normalized = normalize_path(path);
+  for (auto it = handle_cache_.begin(); it != handle_cache_.end();) {
+    if (path_is_within(it->first, normalized)) {
+      it = handle_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+nfs::NfsResult<VirtualHandle> KoshaMount::resolve(std::string_view path) {
+  const std::string normalized = normalize_path(path);
+  if (const auto it = handle_cache_.find(normalized); it != handle_cache_.end()) {
+    return it->second;
+  }
+  auto current = daemon_->root();
+  if (!current.ok()) return current;
+  std::string prefix;
+  for (const auto& component : split_path(normalized)) {
+    prefix += '/';
+    prefix += component;
+    const auto next = daemon_->lookup(*current, component);
+    if (!next.ok()) return next.error();
+    handle_cache_[prefix] = next->handle;
+    current = next->handle;
+  }
+  return current;
+}
+
+nfs::NfsResult<std::pair<VirtualHandle, std::string>> KoshaMount::parent_of(
+    std::string_view path) {
+  const std::string normalized = normalize_path(path);
+  if (normalized.empty() || normalized == "/") return nfs::NfsStat::kInval;
+  const auto parent = resolve(path_parent(normalized));
+  if (!parent.ok()) return parent.error();
+  return std::make_pair(*parent, path_basename(normalized));
+}
+
+nfs::NfsResult<VirtualHandle> KoshaMount::mkdir_p(std::string_view path) {
+  auto current = daemon_->root();
+  if (!current.ok()) return current;
+  std::string prefix;
+  for (const auto& component : split_path(path)) {
+    prefix += '/';
+    prefix += component;
+    if (const auto it = handle_cache_.find(prefix); it != handle_cache_.end()) {
+      current = it->second;
+      continue;
+    }
+    auto next = daemon_->lookup(*current, component);
+    if (next.ok()) {
+      if (next->attr.type != fs::FileType::kDirectory) return nfs::NfsStat::kNotDir;
+      handle_cache_[prefix] = next->handle;
+      current = next->handle;
+      continue;
+    }
+    if (next.error() != nfs::NfsStat::kNoEnt) return next.error();
+    const auto made = daemon_->mkdir(*current, component);
+    if (!made.ok()) return made.error();
+    handle_cache_[prefix] = made->handle;
+    current = made->handle;
+  }
+  return current;
+}
+
+nfs::NfsResult<Unit> KoshaMount::write_file(std::string_view path, std::string_view content) {
+  const auto parent = parent_of(path);
+  if (!parent.ok()) return parent.error();
+  const auto& [dir, name] = parent.value();
+
+  auto file = daemon_->lookup(dir, name);
+  if (!file.ok()) {
+    if (file.error() != nfs::NfsStat::kNoEnt) return file.error();
+    file = daemon_->create(dir, name);
+    if (!file.ok()) return file.error();
+  } else if (file->attr.type != fs::FileType::kFile) {
+    return nfs::NfsStat::kIsDir;
+  } else if (const auto truncated = daemon_->truncate(file->handle, 0); !truncated.ok()) {
+    return truncated.error();
+  }
+  handle_cache_[normalize_path(path)] = file->handle;
+  const auto written = daemon_->write(file->handle, 0, content);
+  if (!written.ok()) return written.error();
+  return Unit{};
+}
+
+nfs::NfsResult<std::string> KoshaMount::read_file(std::string_view path) {
+  const auto file = resolve(path);
+  if (!file.ok()) return file.error();
+  std::string out;
+  constexpr std::uint32_t kChunk = 64 * 1024;
+  for (;;) {
+    const auto chunk = daemon_->read(*file, out.size(), kChunk);
+    if (!chunk.ok()) return chunk.error();
+    out += chunk->data;
+    if (chunk->eof || chunk->data.empty()) break;
+  }
+  return out;
+}
+
+nfs::NfsResult<fs::Attr> KoshaMount::stat(std::string_view path) {
+  const auto handle = resolve(path);
+  if (!handle.ok()) return handle.error();
+  auto attr = daemon_->getattr(*handle);
+  if (!attr.ok() && attr.error() == nfs::NfsStat::kStale) {
+    // The cached dentry pointed at a removed object: revalidate from
+    // scratch, like the kernel's NFS client would.
+    invalidate(path);
+    const auto fresh = resolve(path);
+    if (!fresh.ok()) return fresh.error();
+    attr = daemon_->getattr(*fresh);
+  }
+  return attr;
+}
+
+bool KoshaMount::exists(std::string_view path) { return stat(path).ok(); }
+
+nfs::NfsResult<std::vector<fs::DirEntry>> KoshaMount::list(std::string_view path) {
+  const auto handle = resolve(path);
+  if (!handle.ok()) return handle.error();
+  const auto listing = daemon_->readdir(*handle);
+  if (!listing.ok()) return listing.error();
+  return listing->entries;
+}
+
+nfs::NfsResult<Unit> KoshaMount::remove(std::string_view path) {
+  const auto parent = parent_of(path);
+  if (!parent.ok()) return parent.error();
+  invalidate(path);
+  return daemon_->remove(parent->first, parent->second);
+}
+
+nfs::NfsResult<Unit> KoshaMount::rmdir(std::string_view path) {
+  const auto parent = parent_of(path);
+  if (!parent.ok()) return parent.error();
+  invalidate(path);
+  return daemon_->rmdir(parent->first, parent->second);
+}
+
+nfs::NfsResult<Unit> KoshaMount::remove_all(std::string_view path) {
+  const auto parent = parent_of(path);
+  if (!parent.ok()) return parent.error();
+  invalidate(path);
+  return daemon_->remove_tree(parent->first, parent->second);
+}
+
+nfs::NfsResult<Unit> KoshaMount::rename(std::string_view from, std::string_view to) {
+  const auto from_parent = parent_of(from);
+  if (!from_parent.ok()) return from_parent.error();
+  const auto to_parent = parent_of(to);
+  if (!to_parent.ok()) return to_parent.error();
+  invalidate(from);
+  invalidate(to);
+  return daemon_->rename(from_parent->first, from_parent->second, to_parent->first,
+                         to_parent->second);
+}
+
+}  // namespace kosha

@@ -1,0 +1,57 @@
+#include "kosha/placement.hpp"
+
+#include <algorithm>
+
+namespace kosha {
+
+pastry::Key root_key() { return key_for_name("/"); }
+
+pastry::Key key_for_name(std::string_view effective_name) {
+  return Sha1::hash128(effective_name);
+}
+
+std::string salted_name(std::string_view name, unsigned salt) {
+  if (salt == 0) return std::string(name);
+  return std::string(name) + kSaltSeparator + std::to_string(salt);
+}
+
+std::string plain_name(std::string_view effective_name) {
+  const auto pos = effective_name.rfind(kSaltSeparator);
+  if (pos == std::string_view::npos) return std::string(effective_name);
+  return std::string(effective_name.substr(0, pos));
+}
+
+unsigned anchor_depth(unsigned distribution_level, unsigned component_count) {
+  return std::min(distribution_level, component_count);
+}
+
+bool is_distributed_depth(unsigned distribution_level, unsigned depth) {
+  return depth >= 1 && depth <= distribution_level;
+}
+
+std::string anchor_container(std::string_view effective_name) {
+  // '#' cannot appear in user names, so "#root" never collides.
+  if (effective_name == "/") return "#root";
+  return std::string(effective_name);
+}
+
+std::string stored_path(const std::vector<std::string>& components, unsigned anchor,
+                        std::string_view effective_anchor_name) {
+  std::string out = "/";
+  out += kAnchorArea;
+  out += '/';
+  out += anchor_container(effective_anchor_name);
+  for (unsigned i = 0; i < components.size(); ++i) {
+    out += '/';
+    if (i + 1 == anchor) {
+      out += effective_anchor_name;
+    } else {
+      out += components[i];
+    }
+  }
+  return out;
+}
+
+std::string root_stored_path() { return stored_path({}, 0, "/"); }
+
+}  // namespace kosha

@@ -1,0 +1,75 @@
+#pragma once
+
+// Placement: mapping virtual /kosha paths to DHT keys and stored paths.
+//
+// Kosha distributes at *directory* granularity (paper §3.1): a path's
+// storage node is found by hashing the name of its "anchor" directory —
+// the component at depth min(distribution_level, dir_depth). Everything
+// below the anchor lives on the anchor's node; the anchor's entry in its
+// parent directory is a special link whose target is the anchor's
+// *effective* name (the name plus an optional "#salt" from capacity
+// redirection, §3.3). Hashing uses only the final component name — name
+// collisions simply co-locate directories; full paths disambiguate.
+//
+// Stored layout on the chosen node: each anchor subtree lives inside a
+// private container /.a/<effective-name>/, and within it the full virtual
+// path is mirrored with plain ancestor names and the effective name at the
+// anchor position — the paper's Fig. 3 empty-hierarchy layout, one level
+// down. The container keeps one anchor's scaffolding from colliding with
+// special links or scaffolding of *other* anchors stored on the same node
+// (same-name anchors share a container and are disambiguated by their full
+// paths, exactly as the paper argues in §3.1).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sha1.hpp"
+#include "pastry/types.hpp"
+
+namespace kosha {
+
+/// Marker separating a directory name from its redirection salt.
+inline constexpr char kSaltSeparator = '#';
+
+/// Reserved top-level directory holding anchor containers on each node.
+inline constexpr const char* kAnchorArea = ".a";
+
+/// Container directory name for an anchor's effective name ("/" maps to a
+/// reserved name no user path can produce).
+[[nodiscard]] std::string anchor_container(std::string_view effective_name);
+
+/// Key for the virtual root directory "/" (files directly under /kosha).
+[[nodiscard]] pastry::Key root_key();
+
+/// DHT key of a directory's effective name (paper §3.1: SHA-1 of the name).
+[[nodiscard]] pastry::Key key_for_name(std::string_view effective_name);
+
+/// Effective name for redirection attempt `salt` (0 = unsalted).
+[[nodiscard]] std::string salted_name(std::string_view name, unsigned salt);
+
+/// Strip a salt suffix, returning the plain name.
+[[nodiscard]] std::string plain_name(std::string_view effective_name);
+
+/// Depth (1-based component index) of the anchor directory governing a
+/// path. `component_count` is the number of components of the *object's
+/// directory chain*: for a file /a/x/f pass 2 (chain a,x); for directory
+/// /a/x itself pass 2 as well — a directory is its own anchor when within
+/// the distribution level. Returns 0 when the anchor is the virtual root.
+[[nodiscard]] unsigned anchor_depth(unsigned distribution_level, unsigned component_count);
+
+/// True if a directory at `depth` (1-based) is itself distributed — i.e.
+/// it is an anchor and appears in its parent as a special link.
+[[nodiscard]] bool is_distributed_depth(unsigned distribution_level, unsigned depth);
+
+/// Build the path stored on the anchor node for a virtual path whose
+/// components are `components`, where the anchor sits at `anchor` (1-based;
+/// 0 = root anchor) and carries `effective_anchor_name`:
+/// "/.a/<container>/<plain ancestors>/<effective>/<rest>".
+[[nodiscard]] std::string stored_path(const std::vector<std::string>& components,
+                                      unsigned anchor, std::string_view effective_anchor_name);
+
+/// Stored path of the virtual root directory itself.
+[[nodiscard]] std::string root_stored_path();
+
+}  // namespace kosha

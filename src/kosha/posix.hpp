@@ -1,0 +1,97 @@
+#pragma once
+
+// POSIX-style file-descriptor layer over koshad.
+//
+// The paper's pitch is that Kosha "does not burden the user with the need
+// to learn a new interface, and supports unmodified applications" (§1):
+// applications keep calling open/read/write/close and the kernel's NFS
+// client turns those into the RPCs koshad interposes on. This adapter
+// plays the role of that POSIX surface for programs written against the
+// library: descriptors with independent offsets over virtual handles.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "kosha/mount.hpp"
+
+namespace kosha {
+
+/// open(2)-style flags (subset).
+enum OpenFlags : unsigned {
+  kRdOnly = 0x0,
+  kWrOnly = 0x1,
+  kRdWr = 0x2,
+  kCreate = 0x40,
+  kTrunc = 0x200,
+  kAppend = 0x400,
+};
+
+/// File descriptor handle; invalid() when an operation fails.
+struct Fd {
+  int value = -1;
+  [[nodiscard]] bool valid() const { return value >= 0; }
+};
+
+enum class Whence { kSet, kCur, kEnd };
+
+class PosixAdapter {
+ public:
+  explicit PosixAdapter(KoshaMount* mount) : mount_(mount) {}
+
+  /// Open (optionally creating/truncating) a file. Returns an invalid Fd
+  /// and sets last_error() on failure.
+  [[nodiscard]] Fd open(std::string_view path, unsigned flags, std::uint32_t mode = 0644);
+
+  /// Read up to `count` bytes at the descriptor's offset; advances it.
+  /// Returns bytes read (0 at EOF) or -1 on error.
+  [[nodiscard]] std::int64_t read(Fd fd, char* buffer, std::size_t count);
+
+  /// Write `data` at the descriptor's offset (or the end with kAppend);
+  /// advances it. Returns bytes written or -1.
+  [[nodiscard]] std::int64_t write(Fd fd, std::string_view data);
+
+  /// Reposition the offset; returns the new offset or -1.
+  [[nodiscard]] std::int64_t lseek(Fd fd, std::int64_t offset, Whence whence);
+
+  /// ftruncate(2).
+  [[nodiscard]] bool ftruncate(Fd fd, std::uint64_t size);
+
+  /// fstat(2)-lite.
+  [[nodiscard]] nfs::NfsResult<fs::Attr> fstat(Fd fd);
+
+  /// close(2). Returns false on a bad descriptor.
+  bool close(Fd fd);
+
+  /// unlink / mkdir / rmdir / rename convenience passthroughs.
+  [[nodiscard]] bool unlink(std::string_view path);
+  [[nodiscard]] bool mkdir(std::string_view path);
+  [[nodiscard]] bool rmdir(std::string_view path);
+  [[nodiscard]] bool rename(std::string_view from, std::string_view to);
+
+  /// errno-equivalent: the NFS status of the last failing call.
+  [[nodiscard]] nfs::NfsStat last_error() const { return last_error_; }
+
+  [[nodiscard]] std::size_t open_files() const { return open_.size(); }
+
+ private:
+  struct OpenFile {
+    VirtualHandle handle;
+    std::uint64_t offset = 0;
+    unsigned flags = 0;
+  };
+
+  OpenFile* lookup_fd(Fd fd);
+  bool fail(nfs::NfsStat status) {
+    last_error_ = status;
+    return false;
+  }
+
+  KoshaMount* mount_;
+  std::unordered_map<int, OpenFile> open_;
+  int next_fd_ = 3;  // 0-2 are traditionally taken
+  nfs::NfsStat last_error_ = nfs::NfsStat::kOk;
+};
+
+}  // namespace kosha

@@ -1,0 +1,577 @@
+#include "kosha/replication.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+#include "common/path.hpp"
+#include "kosha/placement.hpp"
+
+namespace kosha {
+
+namespace {
+
+/// Split a stored path into (parent path, leaf name).
+std::pair<std::string, std::string> dir_and_name(const std::string& path) {
+  return {path_parent(path), path_basename(path)};
+}
+
+/// Ensure a file exists at `path` with the given content (overwrite).
+void put_file(fs::LocalFs& store, const std::string& path, const std::string& content,
+              std::uint32_t mode, std::uint32_t uid) {
+  const auto [parent, name] = dir_and_name(path);
+  const auto dir = store.mkdir_p(parent);
+  if (!dir.ok()) return;
+  auto inode = store.lookup(*dir, name);
+  if (!inode.ok()) {
+    const auto created = store.create(*dir, name, mode, uid);
+    if (!created.ok()) return;  // typically NOSPC: replica stays incomplete
+    inode = created.value();
+  }
+  (void)store.truncate(*inode, 0);
+  (void)store.write(*inode, 0, content);
+}
+
+}  // namespace
+
+bool copy_subtree(Runtime& runtime, net::HostId src_host, fs::LocalFs& src,
+                  const std::string& src_path, net::HostId dst_host, fs::LocalFs& dst,
+                  const std::string& dst_path) {
+  const auto root = src.resolve(src_path);
+  if (!root.ok()) return true;  // nothing to copy
+  const auto attr = src.getattr(*root);
+  if (!attr.ok()) return true;
+
+  if (attr->type == fs::FileType::kFile) {
+    const auto content = src.read(*root, 0, static_cast<std::uint32_t>(attr->size));
+    runtime.network->charge_message(src_host, dst_host, attr->size);
+    put_file(dst, dst_path, content.ok() ? content.value() : std::string{}, attr->mode,
+             attr->uid);
+    return true;
+  }
+  if (attr->type == fs::FileType::kSymlink) {
+    const auto target = src.readlink(*root);
+    runtime.network->charge_message(src_host, dst_host, 64);
+    const auto [parent, name] = dir_and_name(dst_path);
+    if (const auto dir = dst.mkdir_p(parent); dir.ok()) {
+      if (dst.lookup(*dir, name).ok()) (void)dst.remove_recursive(*dir, name);
+      (void)dst.symlink(*dir, name, target.ok() ? target.value() : std::string{});
+    }
+    return true;
+  }
+
+  // Directory: create it, then copy children depth-first.
+  runtime.network->charge_message(src_host, dst_host, 64);
+  if (!dst.mkdir_p(dst_path).ok()) return true;
+  const auto entries = src.readdir(*root);
+  if (!entries.ok()) return true;
+  for (const auto& entry : entries.value()) {
+    if (src_path == "/" && entry.name == kReplicaArea) continue;  // never copy replicas
+    if (runtime.migration_interrupt && runtime.migration_interrupt()) return false;
+    if (!copy_subtree(runtime, src_host, src, path_child(src_path, entry.name), dst_host, dst,
+                      path_child(dst_path, entry.name))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ReplicaManager::ReplicaManager(Runtime* runtime, net::HostId host, pastry::NodeId id)
+    : runtime_(runtime), host_(host), id_(id) {
+  assert(runtime_ != nullptr);
+}
+
+std::string ReplicaManager::hidden_root(pastry::NodeId primary) {
+  return std::string("/") + kReplicaArea + "/" + primary.to_hex();
+}
+
+fs::LocalFs& ReplicaManager::local_store() const {
+  nfs::NfsServer* server = runtime_->servers->find(host_);
+  assert(server != nullptr);
+  return server->store();
+}
+
+fs::LocalFs* ReplicaManager::store_of(net::HostId host) const {
+  nfs::NfsServer* server = runtime_->servers->find(host);
+  if (server == nullptr || !runtime_->network->is_up(host)) return nullptr;
+  return &server->store();
+}
+
+std::string ReplicaManager::anchor_of(const std::string& stored_path) const {
+  std::string best;
+  bool found = false;
+  for (const auto& [anchor, name] : primaries_) {
+    (void)name;
+    if (path_is_within(stored_path, anchor) && (!found || anchor.size() > best.size())) {
+      best = anchor;
+      found = true;
+    }
+  }
+  return found ? best : std::string{};
+}
+
+std::vector<net::HostId> ReplicaManager::live_target_hosts() const {
+  std::vector<net::HostId> out;
+  for (const pastry::NodeId t : targets_) {
+    if (!runtime_->overlay->is_live(t)) continue;
+    const net::HostId host = runtime_->overlay->host_of(t);
+    if (runtime_->network->is_up(host)) out.push_back(host);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Primary registry
+// ---------------------------------------------------------------------------
+
+void ReplicaManager::register_primary(const std::string& stored_anchor_path,
+                                      const std::string& effective_name) {
+  primaries_[stored_anchor_path] = effective_name;
+  ClockPauser pause(*runtime_->clock);
+  for (const pastry::NodeId t : targets_) {
+    if (runtime_->overlay->is_live(t)) (void)push_anchor_to(t, stored_anchor_path);
+  }
+}
+
+void ReplicaManager::unregister_primary(const std::string& stored_anchor_path) {
+  primaries_.erase(stored_anchor_path);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation mirroring
+// ---------------------------------------------------------------------------
+// Every mirror op applies the primary-side mutation at the same stored path
+// inside the hidden area of each live replica target. Mirroring is
+// asynchronous: the clock is paused but the messages are counted.
+
+void ReplicaManager::for_each_replica(
+    const std::string& stored_path, std::size_t payload,
+    const std::function<void(fs::LocalFs&, const std::string&)>& op) {
+  if (anchor_of(stored_path).empty()) return;
+  ClockPauser pause(*runtime_->clock);
+  for (const net::HostId host : live_target_hosts()) {
+    runtime_->network->charge_message(host_, host, payload);
+    if (fs::LocalFs* store = store_of(host)) {
+      op(*store, hidden_root(id_) + stored_path);
+    }
+  }
+}
+
+void ReplicaManager::mirror_mkdir_p(const std::string& stored_path) {
+  for_each_replica(stored_path, 96, [](fs::LocalFs& store, const std::string& path) {
+    (void)store.mkdir_p(path);
+  });
+}
+
+void ReplicaManager::mirror_create(const std::string& stored_path, std::uint32_t mode,
+                                   std::uint32_t uid) {
+  for_each_replica(stored_path, 96,
+                   [mode, uid](fs::LocalFs& store, const std::string& path) {
+                     const auto [parent, name] = dir_and_name(path);
+                     if (const auto dir = store.mkdir_p(parent); dir.ok()) {
+                       (void)store.create(*dir, name, mode, uid);
+                     }
+                   });
+}
+
+void ReplicaManager::mirror_write(const std::string& stored_path, std::uint64_t offset,
+                                  std::string_view data) {
+  for_each_replica(stored_path, data.size(),
+                   [offset, data](fs::LocalFs& store, const std::string& path) {
+                     if (const auto inode = store.resolve(path); inode.ok()) {
+                       (void)store.write(*inode, offset, data);
+                     }
+                   });
+}
+
+void ReplicaManager::mirror_truncate(const std::string& stored_path, std::uint64_t size) {
+  for_each_replica(stored_path, 96, [size](fs::LocalFs& store, const std::string& path) {
+    if (const auto inode = store.resolve(path); inode.ok()) {
+      (void)store.truncate(*inode, size);
+    }
+  });
+}
+
+void ReplicaManager::mirror_set_mode(const std::string& stored_path, std::uint32_t mode) {
+  for_each_replica(stored_path, 96, [mode](fs::LocalFs& store, const std::string& path) {
+    if (const auto inode = store.resolve(path); inode.ok()) {
+      (void)store.set_mode(*inode, mode);
+    }
+  });
+}
+
+void ReplicaManager::mirror_symlink(const std::string& stored_path, const std::string& target) {
+  for_each_replica(stored_path, 96, [&target](fs::LocalFs& store, const std::string& path) {
+    const auto [parent, name] = dir_and_name(path);
+    if (const auto dir = store.mkdir_p(parent); dir.ok()) {
+      (void)store.symlink(*dir, name, target);
+    }
+  });
+}
+
+void ReplicaManager::mirror_remove(const std::string& stored_path) {
+  for_each_replica(stored_path, 96, [](fs::LocalFs& store, const std::string& path) {
+    const auto [parent, name] = dir_and_name(path);
+    if (const auto dir = store.resolve(parent); dir.ok()) {
+      (void)store.remove(*dir, name);
+    }
+  });
+}
+
+void ReplicaManager::mirror_rmdir(const std::string& stored_path) {
+  for_each_replica(stored_path, 96, [](fs::LocalFs& store, const std::string& path) {
+    const auto [parent, name] = dir_and_name(path);
+    if (const auto dir = store.resolve(parent); dir.ok()) {
+      (void)store.rmdir(*dir, name);
+    }
+  });
+}
+
+void ReplicaManager::mirror_remove_recursive(const std::string& stored_path) {
+  for_each_replica(stored_path, 96, [](fs::LocalFs& store, const std::string& path) {
+    const auto [parent, name] = dir_and_name(path);
+    if (const auto dir = store.resolve(parent); dir.ok()) {
+      (void)store.remove_recursive(*dir, name);
+    }
+  });
+}
+
+void ReplicaManager::mirror_rename(const std::string& from_path, const std::string& to_path) {
+  if (anchor_of(from_path).empty()) return;
+  ClockPauser pause(*runtime_->clock);
+  for (const net::HostId host : live_target_hosts()) {
+    runtime_->network->charge_message(host_, host, 96);
+    fs::LocalFs* store = store_of(host);
+    if (store == nullptr) continue;
+    const auto [from_parent, from_name] = dir_and_name(hidden_root(id_) + from_path);
+    const auto [to_parent, to_name] = dir_and_name(hidden_root(id_) + to_path);
+    const auto fd = store->resolve(from_parent);
+    const auto td = store->mkdir_p(to_parent);
+    if (fd.ok() && td.ok()) (void)store->rename(*fd, from_name, *td, to_name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replica establishment / teardown
+// ---------------------------------------------------------------------------
+
+bool ReplicaManager::push_anchor_to(pastry::NodeId target, const std::string& anchor_path) {
+  if (!runtime_->overlay->is_live(target)) return true;
+  const net::HostId host = runtime_->overlay->host_of(target);
+  fs::LocalFs* store = store_of(host);
+  if (store == nullptr) return true;
+  const std::string root = hidden_root(id_);
+
+  // MIGRATION_NOT_COMPLETE guards the copy (paper §4.4).
+  if (const auto dir = store->mkdir_p(root); dir.ok()) {
+    (void)store->create(*dir, kMigrationFlag);
+  }
+  runtime_->network->charge_message(host_, host, 96);
+  const bool complete = copy_subtree(*runtime_, host_, local_store(), anchor_path, host,
+                                     *store, root + anchor_path);
+  if (complete) {
+    if (const auto dir = store->resolve(root); dir.ok()) {
+      (void)store->remove(*dir, kMigrationFlag);
+    }
+    if (ReplicaManager* rm = runtime_->replica_manager(host)) {
+      rm->accept_replica(id_, anchor_path, primaries_.at(anchor_path));
+    }
+  } else {
+    KOSHA_LOG_WARN("migration to node %s interrupted; flag left in place",
+                   target.to_hex().c_str());
+  }
+  return complete;
+}
+
+void ReplicaManager::push_all_to(pastry::NodeId target) {
+  ClockPauser pause(*runtime_->clock);
+  for (const auto& [anchor, name] : primaries_) {
+    (void)name;
+    if (!push_anchor_to(target, anchor)) return;  // interrupted: flag stays
+  }
+}
+
+void ReplicaManager::delete_from(pastry::NodeId target) {
+  if (!runtime_->overlay->is_live(target)) return;
+  const net::HostId host = runtime_->overlay->host_of(target);
+  fs::LocalFs* store = store_of(host);
+  if (store == nullptr) return;
+  ClockPauser pause(*runtime_->clock);
+  runtime_->network->charge_message(host_, host, 96);
+  if (const auto area = store->resolve(std::string("/") + kReplicaArea); area.ok()) {
+    (void)store->remove_recursive(*area, id_.to_hex());
+  }
+  if (ReplicaManager* rm = runtime_->replica_manager(host)) rm->drop_replicas_of(id_);
+}
+
+void ReplicaManager::accept_replica(pastry::NodeId primary,
+                                    const std::string& stored_anchor_path,
+                                    const std::string& effective_name) {
+  replicas_held_[primary][stored_anchor_path] = effective_name;
+  // A fresh copy from a live primary supersedes copies of the same anchor
+  // held for primaries that have since died — reclaim their space.
+  for (auto it = replicas_held_.begin(); it != replicas_held_.end();) {
+    if (it->first != primary && !runtime_->overlay->is_live(it->first) &&
+        it->second.count(stored_anchor_path) != 0) {
+      it->second.erase(stored_anchor_path);
+      fs::LocalFs& store = local_store();
+      const auto [parent, name] = dir_and_name(hidden_root(it->first) + stored_anchor_path);
+      if (const auto dir = store.resolve(parent); dir.ok()) {
+        (void)store.remove_recursive(*dir, name);
+      }
+      if (it->second.empty()) {
+        it = replicas_held_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+void ReplicaManager::drop_replicas_of(pastry::NodeId primary) {
+  replicas_held_.erase(primary);
+}
+
+// ---------------------------------------------------------------------------
+// Membership changes
+// ---------------------------------------------------------------------------
+
+void ReplicaManager::on_neighbors_changed() {
+  bool content_changed = false;
+
+  // 1. Primaries we held replicas for may have died: promote the anchors
+  //    whose key space we now own. Anchors owned by another node are handed
+  //    to it directly if it has neither promoted nor received them —
+  //    callback ordering must not decide whether data survives.
+  const auto held_snapshot = replicas_held_;
+  for (const auto& [primary, anchors] : held_snapshot) {
+    if (runtime_->overlay->is_live(primary)) continue;
+    std::map<std::string, std::string> mine;
+    for (const auto& [anchor, name] : anchors) {
+      const auto route = runtime_->overlay->route(host_, key_for_name(name));
+      if (route.owner == id_) {
+        if (primaries_.count(anchor) != 0) {
+          // We are already primary (the anchor migrated to us while its old
+          // owner was still alive): the hidden copy is stale — discard it
+          // rather than promote it over live content.
+          discard_replica(primary, anchor);
+        } else {
+          mine.emplace(anchor, name);
+        }
+      } else {
+        hand_off_replica(primary, route.owner, anchor, name);
+      }
+    }
+    if (!mine.empty()) {
+      promote(primary, mine);
+      content_changed = true;
+    }
+  }
+
+  // 2. Refresh replica targets.
+  const std::vector<pastry::NodeId> fresh =
+      runtime_->overlay->replica_targets(id_, runtime_->config.replicas);
+  for (const pastry::NodeId old : targets_) {
+    if (std::find(fresh.begin(), fresh.end(), old) == fresh.end()) delete_from(old);
+  }
+  for (const pastry::NodeId t : fresh) {
+    const bool is_new = std::find(targets_.begin(), targets_.end(), t) == targets_.end();
+    if (is_new || content_changed) push_all_to(t);
+  }
+  targets_ = fresh;
+
+  // 3. A join may have taken over part of our key space: hand over anchors
+  //    we no longer own (paper §4.3.1).
+  const auto primaries_snapshot = primaries_;
+  for (const auto& [anchor, name] : primaries_snapshot) {
+    const auto route = runtime_->overlay->route(host_, key_for_name(name));
+    if (route.owner != id_) migrate_anchor_to(route.owner, anchor, name);
+  }
+}
+
+void ReplicaManager::discard_replica(pastry::NodeId primary, const std::string& anchor) {
+  const auto it = replicas_held_.find(primary);
+  if (it == replicas_held_.end()) return;
+  it->second.erase(anchor);
+  fs::LocalFs& store = local_store();
+  const auto [parent, name] = dir_and_name(hidden_root(primary) + anchor);
+  if (const auto dir = store.resolve(parent); dir.ok()) {
+    (void)store.remove_recursive(*dir, name);
+  }
+  if (it->second.empty()) replicas_held_.erase(it);
+}
+
+void ReplicaManager::hand_off_replica(pastry::NodeId dead_primary, pastry::NodeId owner,
+                                      const std::string& anchor, const std::string& name) {
+  if (!runtime_->overlay->is_live(owner)) return;
+  const net::HostId owner_host = runtime_->overlay->host_of(owner);
+  ReplicaManager* owner_rm = runtime_->replica_manager(owner_host);
+  fs::LocalFs* owner_store = store_of(owner_host);
+  if (owner_rm == nullptr || owner_store == nullptr) return;
+  // Skip if the owner already promoted its own copy or received a handoff.
+  if (owner_rm->primaries_.count(anchor) != 0) return;
+  // Skip if our copy is known-incomplete; a holder with a complete copy
+  // will perform the handoff instead.
+  fs::LocalFs& store = local_store();
+  const std::string root = hidden_root(dead_primary);
+  if (store.resolve(path_child(root, kMigrationFlag)).ok()) return;
+  if (!store.resolve(root + anchor).ok()) return;
+
+  ClockPauser pause(*runtime_->clock);
+  if (!copy_subtree(*runtime_, host_, store, root + anchor, owner_host, *owner_store,
+                    anchor)) {
+    return;
+  }
+  owner_rm->register_primary(anchor, name);
+  // Our copy of the dead primary's anchor is spent; the new primary pushes
+  // fresh replicas to its own targets.
+  if (const auto it = replicas_held_.find(dead_primary); it != replicas_held_.end()) {
+    it->second.erase(anchor);
+    const auto [parent, leaf] = dir_and_name(root + anchor);
+    if (const auto dir = store.resolve(parent); dir.ok()) {
+      (void)store.remove_recursive(*dir, leaf);
+    }
+    if (it->second.empty()) replicas_held_.erase(it);
+  }
+}
+
+void ReplicaManager::evacuate() {
+  // For each anchor, the post-departure owner is the closest *other* node
+  // to the key; hand the content over exactly as a join migration would.
+  const auto snapshot = primaries_;
+  for (const auto& [anchor, name] : snapshot) {
+    const pastry::Key key = key_for_name(name);
+    pastry::NodeId successor{};
+    bool found = false;
+    for (const auto& [candidate, host] : runtime_->overlay->ring().sorted()) {
+      (void)host;
+      if (candidate == id_ || !runtime_->overlay->is_live(candidate)) continue;
+      if (!found || ring_distance(candidate, key) < ring_distance(successor, key) ||
+          (ring_distance(candidate, key) == ring_distance(successor, key) &&
+           candidate < successor)) {
+        successor = candidate;
+        found = true;
+      }
+    }
+    if (found) migrate_anchor_to(successor, anchor, name);
+  }
+}
+
+void ReplicaManager::promote(pastry::NodeId dead_primary,
+                             const std::map<std::string, std::string>& anchors) {
+  fs::LocalFs& store = local_store();
+  const std::string root = hidden_root(dead_primary);
+
+  // If our copy was mid-migration when the primary died, repair it from a
+  // replica that holds a complete copy (paper §4.4).
+  const bool incomplete = store.resolve(path_child(root, kMigrationFlag)).ok();
+  if (incomplete) {
+    for (const auto& [host, rm] : runtime_->replica_managers) {
+      if (host == host_ || rm->replicas_held_.count(dead_primary) == 0) continue;
+      fs::LocalFs* peer = store_of(host);
+      if (peer == nullptr) continue;
+      if (peer->resolve(path_child(root, kMigrationFlag)).ok()) continue;  // also incomplete
+      ClockPauser pause(*runtime_->clock);
+      for (const auto& [anchor, name] : anchors) {
+        (void)name;
+        (void)copy_subtree(*runtime_, host, *peer, root + anchor, host_, store,
+                           root + anchor);
+      }
+      if (const auto dir = store.resolve(root); dir.ok()) {
+        (void)store.remove(*dir, kMigrationFlag);
+      }
+      break;
+    }
+  }
+
+  for (const auto& [anchor, name] : anchors) {
+    const std::string hidden_path = root + anchor;
+    if (!store.resolve(hidden_path).ok()) continue;  // no data: lost with the primary
+    // Move the hidden copy into the live namespace.
+    const auto [live_parent, live_name] = dir_and_name(anchor);
+    const auto parent_dir = store.mkdir_p(live_parent);
+    if (!parent_dir.ok()) continue;
+    if (store.lookup(*parent_dir, live_name).ok()) {
+      (void)store.remove_recursive(*parent_dir, live_name);
+    }
+    const auto [hidden_parent, hidden_name] = dir_and_name(hidden_path);
+    const auto hdir = store.resolve(hidden_parent);
+    if (!hdir.ok() || !store.rename(*hdir, hidden_name, *parent_dir, live_name).ok()) {
+      continue;
+    }
+    primaries_[anchor] = name;
+    replicas_held_[dead_primary].erase(anchor);
+  }
+
+  if (const auto it = replicas_held_.find(dead_primary);
+      it != replicas_held_.end() && it->second.empty()) {
+    replicas_held_.erase(it);
+    const auto [parent, name] = dir_and_name(root);
+    if (const auto dir = store.resolve(parent); dir.ok()) {
+      (void)store.remove_recursive(*dir, name);
+    }
+  }
+}
+
+void ReplicaManager::migrate_anchor_to(pastry::NodeId new_owner,
+                                       const std::string& stored_anchor_path,
+                                       const std::string& effective_name) {
+  if (!runtime_->overlay->is_live(new_owner)) return;
+  const net::HostId owner_host = runtime_->overlay->host_of(new_owner);
+  fs::LocalFs* owner_store = store_of(owner_host);
+  ReplicaManager* owner_rm = runtime_->replica_manager(owner_host);
+  if (owner_store == nullptr || owner_rm == nullptr) return;
+
+  ClockPauser pause(*runtime_->clock);
+  fs::LocalFs& store = local_store();
+  if (!copy_subtree(*runtime_, host_, store, stored_anchor_path, owner_host, *owner_store,
+                    stored_anchor_path)) {
+    return;  // interrupted; retried on the next membership event
+  }
+  // The new owner takes over as primary; our live copy becomes a replica
+  // (paper §4.3.1: "their copy on N becomes one of the replicas").
+  primaries_.erase(stored_anchor_path);
+  owner_rm->register_primary(stored_anchor_path, effective_name);
+
+  const auto [src_parent, src_name] = dir_and_name(stored_anchor_path);
+  const bool keep_as_replica =
+      std::find(owner_rm->targets_.begin(), owner_rm->targets_.end(), id_) !=
+      owner_rm->targets_.end();
+  if (keep_as_replica) {
+    // "Their copy on N becomes one of the replicas" (paper §4.3.1).
+    const std::string dst = hidden_root(new_owner) + stored_anchor_path;
+    const auto [dst_parent, dst_name] = dir_and_name(dst);
+    const auto sdir = store.resolve(src_parent);
+    const auto ddir = store.mkdir_p(dst_parent);
+    if (sdir.ok() && ddir.ok()) {
+      if (store.lookup(*ddir, dst_name).ok()) {
+        (void)store.remove_recursive(*ddir, dst_name);
+      }
+      if (store.rename(*sdir, src_name, *ddir, dst_name).ok()) {
+        replicas_held_[new_owner][stored_anchor_path] = effective_name;
+      }
+    }
+  } else {
+    // Not a replica target of the new owner: reclaim the space.
+    if (const auto sdir = store.resolve(src_parent); sdir.ok()) {
+      (void)store.remove_recursive(*sdir, src_name);
+    }
+  }
+
+  // Prune the private scaffolding chain the anchor left behind (it lives
+  // entirely inside the anchor container, so nothing else can use it).
+  std::string cursor = src_parent;
+  while (split_path(cursor).size() >= 2) {  // never remove /.a itself
+    const auto inode = store.resolve(cursor);
+    if (!inode.ok()) break;
+    const auto listing = store.readdir(*inode);
+    if (!listing.ok() || !listing->empty()) break;
+    const auto [parent, name] = dir_and_name(cursor);
+    const auto pdir = store.resolve(parent);
+    if (!pdir.ok() || !store.rmdir(*pdir, name).ok()) break;
+    cursor = parent;
+  }
+}
+
+
+}  // namespace kosha

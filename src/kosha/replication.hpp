@@ -1,0 +1,146 @@
+#pragma once
+
+// Replica management (paper §4.2-§4.4).
+//
+// Each node's primary content (the anchor subtrees it owns) is replicated
+// on its K closest leaf-set neighbors. Replicas live in a hidden area of
+// the replica node's store (/.r/<primary-id>/...), inaccessible through
+// koshad, and count against the node's capacity. The primary:
+//   * mirrors every mutation to its replicas (asynchronously — the clock
+//     is paused, the traffic is still counted),
+//   * re-establishes replicas when its leaf set changes,
+//   * migrates anchors whose key space moved to a newly joined node,
+//   * and is replaced on failure by the neighbor that now owns its keys,
+//     which promotes its hidden copy to live state (transparent fault
+//     handling; incomplete copies are detected via MIGRATION_NOT_COMPLETE
+//     and repaired from a complete replica).
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kosha/runtime.hpp"
+
+namespace kosha {
+
+/// Name of the in-band flag guarding content migration (paper §4.4).
+inline constexpr const char* kMigrationFlag = "MIGRATION_NOT_COMPLETE";
+/// Reserved top-level directory holding replica copies on each node.
+inline constexpr const char* kReplicaArea = ".r";
+
+class ReplicaManager {
+ public:
+  ReplicaManager(Runtime* runtime, net::HostId host, pastry::NodeId id);
+
+  [[nodiscard]] net::HostId host() const { return host_; }
+  [[nodiscard]] pastry::NodeId id() const { return id_; }
+
+  // --- primary registry -------------------------------------------------
+  /// Record that this node is primary for an anchor subtree rooted at
+  /// `stored_anchor_path` whose DHT name is `effective_name`, and push the
+  /// (initially empty) subtree to the current replica targets.
+  void register_primary(const std::string& stored_anchor_path,
+                        const std::string& effective_name);
+  void unregister_primary(const std::string& stored_anchor_path);
+  [[nodiscard]] const std::map<std::string, std::string>& primaries() const {
+    return primaries_;
+  }
+  [[nodiscard]] const std::vector<pastry::NodeId>& targets() const { return targets_; }
+
+  // --- mutation mirroring (called by koshad after the primary op) -------
+  void mirror_mkdir_p(const std::string& stored_path);
+  void mirror_create(const std::string& stored_path, std::uint32_t mode, std::uint32_t uid);
+  void mirror_write(const std::string& stored_path, std::uint64_t offset,
+                    std::string_view data);
+  void mirror_truncate(const std::string& stored_path, std::uint64_t size);
+  void mirror_set_mode(const std::string& stored_path, std::uint32_t mode);
+  void mirror_symlink(const std::string& stored_path, const std::string& target);
+  void mirror_remove(const std::string& stored_path);
+  void mirror_rmdir(const std::string& stored_path);
+  void mirror_remove_recursive(const std::string& stored_path);
+  void mirror_rename(const std::string& from_path, const std::string& to_path);
+
+  // --- membership events (wired to the overlay leaf-set callback) -------
+  /// React to a leaf-set change: refresh replica targets, migrate anchors
+  /// whose owner changed (node join), and promote replicas whose primary
+  /// died (node failure).
+  void on_neighbors_changed();
+
+  /// Graceful departure (paper §4.3: nodes may *leave*, not only fail):
+  /// hand every primary anchor to the node that will own its key once this
+  /// node is gone. Called before the overlay removes the node; loses
+  /// nothing even with zero replicas.
+  void evacuate();
+
+  // --- replica-holder side ----------------------------------------------
+  /// Invoked by a primary when it starts replicating to this node.
+  void accept_replica(pastry::NodeId primary, const std::string& stored_anchor_path,
+                      const std::string& effective_name);
+  /// Invoked by a primary that stops using this node as a replica.
+  void drop_replicas_of(pastry::NodeId primary);
+
+  /// Hidden-area root for copies of `primary`'s content on any node.
+  [[nodiscard]] static std::string hidden_root(pastry::NodeId primary);
+
+  /// Introspection for tests.
+  [[nodiscard]] const std::map<Uint128, std::map<std::string, std::string>>& held() const {
+    return replicas_held_;
+  }
+
+ private:
+  [[nodiscard]] fs::LocalFs& local_store() const;
+  [[nodiscard]] fs::LocalFs* store_of(net::HostId host) const;
+  /// Longest registered anchor path containing `stored_path`, or empty.
+  [[nodiscard]] std::string anchor_of(const std::string& stored_path) const;
+  /// Live replica target hosts for mirroring.
+  [[nodiscard]] std::vector<net::HostId> live_target_hosts() const;
+  /// Apply `op` at the replicated stored path on every live target.
+  void for_each_replica(const std::string& stored_path, std::size_t payload,
+                        const std::function<void(fs::LocalFs&, const std::string&)>& op);
+
+  /// Copy one anchor subtree to a target's hidden area (flag-guarded).
+  /// Returns false if interrupted by fault injection.
+  bool push_anchor_to(pastry::NodeId target, const std::string& stored_anchor_path);
+  /// Push all anchors to one target under a single migration flag.
+  void push_all_to(pastry::NodeId target);
+  void delete_from(pastry::NodeId target);
+
+  /// Take over a dead primary's anchor: move the hidden copy live,
+  /// register, and re-replicate. Repairs from a complete replica if this
+  /// node's copy carries the migration flag.
+  void promote(pastry::NodeId dead_primary,
+               const std::map<std::string, std::string>& anchors);
+  /// Give a dead primary's anchor to the node that now owns its key but
+  /// holds no copy of it (replica-holder-driven promotion).
+  void hand_off_replica(pastry::NodeId dead_primary, pastry::NodeId owner,
+                        const std::string& anchor, const std::string& name);
+  /// Drop a (stale) hidden copy held for `primary`.
+  void discard_replica(pastry::NodeId primary, const std::string& anchor);
+
+  /// Hand an anchor over to `new_owner` (key space moved on join); the
+  /// local copy is demoted to a replica (paper §4.3.1).
+  void migrate_anchor_to(pastry::NodeId new_owner, const std::string& stored_anchor_path,
+                         const std::string& effective_name);
+
+  Runtime* runtime_;
+  net::HostId host_;
+  pastry::NodeId id_;
+
+  /// stored anchor path -> effective (possibly salted) directory name.
+  std::map<std::string, std::string> primaries_;
+  /// Current replica targets (K closest live leaf-set neighbors).
+  std::vector<pastry::NodeId> targets_;
+  /// Content this node holds *for others*: primary id -> anchors.
+  std::map<Uint128, std::map<std::string, std::string>> replicas_held_;
+};
+
+/// Copy a subtree between two stores, charging one message per entry plus
+/// payload bytes on the network. Does not follow symlinks (special links
+/// are copied as links). Returns false if interrupted by the runtime's
+/// fault-injection hook.
+bool copy_subtree(Runtime& runtime, net::HostId src_host, fs::LocalFs& src,
+                  const std::string& src_path, net::HostId dst_host, fs::LocalFs& dst,
+                  const std::string& dst_path);
+
+}  // namespace kosha

@@ -1,0 +1,42 @@
+#pragma once
+
+// Shared infrastructure handles threaded through the Kosha components.
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/sim_clock.hpp"
+#include "kosha/config.hpp"
+#include "net/sim_network.hpp"
+#include "nfs/nfs_client.hpp"
+#include "pastry/overlay.hpp"
+
+namespace kosha {
+
+class ReplicaManager;
+
+/// One per cluster; owned by KoshaCluster, borrowed by every node-level
+/// component. Bundles the simulated infrastructure plus the cluster-wide
+/// Kosha configuration.
+struct Runtime {
+  SimClock* clock = nullptr;
+  net::SimNetwork* network = nullptr;
+  pastry::PastryOverlay* overlay = nullptr;
+  nfs::ServerDirectory* servers = nullptr;
+  KoshaConfig config;
+
+  /// Per-host replica managers, filled in by the cluster as nodes start.
+  std::unordered_map<net::HostId, ReplicaManager*> replica_managers;
+
+  /// Fault-injection hook for tests: when set and it returns true, an
+  /// in-progress subtree copy aborts midway, leaving the
+  /// MIGRATION_NOT_COMPLETE flag in place (paper §4.4 failure scenario).
+  std::function<bool()> migration_interrupt;
+
+  [[nodiscard]] ReplicaManager* replica_manager(net::HostId host) const {
+    const auto it = replica_managers.find(host);
+    return it == replica_managers.end() ? nullptr : it->second;
+  }
+};
+
+}  // namespace kosha

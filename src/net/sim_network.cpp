@@ -1,0 +1,40 @@
+#include "net/sim_network.hpp"
+
+#include <cassert>
+
+namespace kosha::net {
+
+SimNetwork::SimNetwork(NetworkConfig config, SimClock* clock)
+    : config_(config), clock_(clock) {
+  assert(clock_ != nullptr);
+}
+
+HostId SimNetwork::add_host() {
+  up_.push_back(true);
+  return static_cast<HostId>(up_.size() - 1);
+}
+
+void SimNetwork::charge_message(HostId src, HostId dst, std::size_t payload_bytes) {
+  ++stats_.messages;
+  stats_.bytes += payload_bytes;
+  const SimDuration latency = (src == dst) ? config_.local_latency : config_.hop_latency;
+  clock_->advance(latency + SimDuration::nanos(config_.per_byte.ns *
+                                               static_cast<std::int64_t>(payload_bytes)));
+}
+
+void SimNetwork::charge_rtt(HostId src, HostId dst, std::size_t payload_bytes) {
+  charge_message(src, dst, payload_bytes);
+  charge_message(dst, src, 0);
+}
+
+void SimNetwork::charge_overlay_hop(HostId src, HostId dst) {
+  if (src != dst) ++stats_.overlay_hops;
+  charge_message(src, dst, 0);
+}
+
+void SimNetwork::charge_timeout() {
+  ++stats_.timeouts;
+  clock_->advance(config_.rpc_timeout);
+}
+
+}  // namespace kosha::net

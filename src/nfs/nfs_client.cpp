@@ -1,0 +1,183 @@
+#include "nfs/nfs_client.hpp"
+
+#include <cassert>
+
+#include "nfs/wire.hpp"
+
+namespace kosha::nfs {
+
+NfsClient::NfsClient(net::SimNetwork* network, const ServerDirectory* directory,
+                     net::HostId self)
+    : network_(network), directory_(directory), self_(self) {
+  assert(network_ != nullptr && directory_ != nullptr);
+}
+
+NfsServer* NfsClient::begin_rpc(net::HostId server, std::size_t request_bytes) {
+  NfsServer* s = directory_->find(server);
+  if (s == nullptr || !network_->is_up(server)) {
+    network_->charge_timeout();
+    return nullptr;
+  }
+  network_->charge_message(self_, server, request_bytes);
+  return s;
+}
+
+void NfsClient::end_rpc(net::HostId server, std::size_t reply_bytes) {
+  network_->charge_message(server, self_, reply_bytes);
+}
+
+NfsResult<FileHandle> NfsClient::mount(net::HostId server) {
+  NfsServer* s = begin_rpc(server, encode_mount_call(next_xid()).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  const FileHandle root = s->root_handle();
+  end_rpc(server, kReplyBytes);
+  return root;
+}
+
+NfsResult<HandleReply> NfsClient::lookup(FileHandle dir, std::string_view name) {
+  NfsServer* s = begin_rpc(
+      dir.server, encode_diropargs_call(next_xid(), NfsProc::kLookup, dir, name).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->lookup(dir, name);
+  end_rpc(dir.server, kReplyBytes);
+  return r;
+}
+
+NfsResult<fs::Attr> NfsClient::getattr(FileHandle obj) {
+  NfsServer* s = begin_rpc(obj.server,
+                           encode_handle_call(next_xid(), NfsProc::kGetattr, obj).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->getattr(obj);
+  end_rpc(obj.server, kReplyBytes);
+  return r;
+}
+
+NfsResult<fs::Attr> NfsClient::set_mode(FileHandle obj, std::uint32_t mode) {
+  NfsServer* s = begin_rpc(
+      obj.server, encode_setattr_call(next_xid(), obj, true, mode, false, 0).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->set_mode(obj, mode);
+  end_rpc(obj.server, kReplyBytes);
+  return r;
+}
+
+NfsResult<fs::Attr> NfsClient::truncate(FileHandle obj, std::uint64_t size) {
+  NfsServer* s = begin_rpc(
+      obj.server, encode_setattr_call(next_xid(), obj, false, 0, true, size).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->truncate(obj, size);
+  end_rpc(obj.server, kReplyBytes);
+  return r;
+}
+
+NfsResult<ReadReply> NfsClient::read(FileHandle file, std::uint64_t offset,
+                                     std::uint32_t count) {
+  NfsServer* s = begin_rpc(file.server,
+                           encode_read_call(next_xid(), file, offset, count).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->read(file, offset, count);
+  end_rpc(file.server, kReplyBytes + (r.ok() ? r.value().data.size() : 0));
+  return r;
+}
+
+NfsResult<std::uint32_t> NfsClient::write(FileHandle file, std::uint64_t offset,
+                                          std::string_view data) {
+  NfsServer* s = begin_rpc(file.server,
+                           encode_write_call(next_xid(), file, offset, data).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->write(file, offset, data);
+  end_rpc(file.server, kReplyBytes);
+  return r;
+}
+
+NfsResult<HandleReply> NfsClient::create(FileHandle dir, std::string_view name,
+                                         std::uint32_t mode, std::uint32_t uid) {
+  NfsServer* s = begin_rpc(
+      dir.server,
+      encode_create_call(next_xid(), NfsProc::kCreate, dir, name, mode, uid).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->create(dir, name, mode, uid);
+  end_rpc(dir.server, kReplyBytes);
+  return r;
+}
+
+NfsResult<HandleReply> NfsClient::mkdir(FileHandle dir, std::string_view name,
+                                        std::uint32_t mode, std::uint32_t uid) {
+  NfsServer* s = begin_rpc(
+      dir.server,
+      encode_create_call(next_xid(), NfsProc::kMkdir, dir, name, mode, uid).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->mkdir(dir, name, mode, uid);
+  end_rpc(dir.server, kReplyBytes);
+  return r;
+}
+
+NfsResult<HandleReply> NfsClient::symlink(FileHandle dir, std::string_view name,
+                                          std::string_view target) {
+  NfsServer* s = begin_rpc(dir.server,
+                           encode_symlink_call(next_xid(), dir, name, target).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->symlink(dir, name, target);
+  end_rpc(dir.server, kReplyBytes);
+  return r;
+}
+
+NfsResult<std::string> NfsClient::readlink(FileHandle link) {
+  NfsServer* s = begin_rpc(
+      link.server, encode_handle_call(next_xid(), NfsProc::kReadlink, link).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->readlink(link);
+  end_rpc(link.server, kReplyBytes + (r.ok() ? r.value().size() : 0));
+  return r;
+}
+
+NfsResult<Unit> NfsClient::remove(FileHandle dir, std::string_view name) {
+  NfsServer* s = begin_rpc(
+      dir.server, encode_diropargs_call(next_xid(), NfsProc::kRemove, dir, name).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->remove(dir, name);
+  end_rpc(dir.server, kReplyBytes);
+  return r;
+}
+
+NfsResult<Unit> NfsClient::rmdir(FileHandle dir, std::string_view name) {
+  NfsServer* s = begin_rpc(
+      dir.server, encode_diropargs_call(next_xid(), NfsProc::kRmdir, dir, name).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->rmdir(dir, name);
+  end_rpc(dir.server, kReplyBytes);
+  return r;
+}
+
+NfsResult<Unit> NfsClient::rename(FileHandle from_dir, std::string_view from_name,
+                                  FileHandle to_dir, std::string_view to_name) {
+  if (from_dir.server != to_dir.server) return NfsStat::kInval;
+  NfsServer* s = begin_rpc(
+      from_dir.server,
+      encode_rename_call(next_xid(), from_dir, from_name, to_dir, to_name).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->rename(from_dir, from_name, to_dir, to_name);
+  end_rpc(from_dir.server, kReplyBytes);
+  return r;
+}
+
+NfsResult<ReaddirReply> NfsClient::readdir(FileHandle dir) {
+  NfsServer* s = begin_rpc(dir.server,
+                           encode_handle_call(next_xid(), NfsProc::kReaddir, dir).size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->readdir(dir);
+  end_rpc(dir.server, kReplyBytes + (r.ok() ? r.value().entries.size() * 40 : 0));
+  return r;
+}
+
+NfsResult<FsstatReply> NfsClient::fsstat(net::HostId server) {
+  NfsServer* s = begin_rpc(
+      server, encode_handle_call(next_xid(), NfsProc::kFsstat, FileHandle{server, 1, 1})
+                  .size());
+  if (s == nullptr) return NfsStat::kUnreachable;
+  auto r = s->fsstat();
+  end_rpc(server, kReplyBytes);
+  return r;
+}
+
+}  // namespace kosha::nfs

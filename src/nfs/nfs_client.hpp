@@ -1,0 +1,81 @@
+#pragma once
+
+// NFS client: issues RPCs to servers across the simulated network.
+//
+// Destination selection uses the server id embedded in the (opaque) handle.
+// Every call charges request and reply messages on the network; calls to a
+// down host cost a timeout and fail with kUnreachable — this is the error
+// Kosha's transparent fault handling reacts to (paper §4.4).
+
+#include <string_view>
+#include <unordered_map>
+
+#include "nfs/nfs_server.hpp"
+
+namespace kosha::nfs {
+
+/// Host -> server registry (the simulation's stand-in for portmap/mountd).
+class ServerDirectory {
+ public:
+  void add(NfsServer* server) { servers_[server->host()] = server; }
+  void erase(net::HostId host) { servers_.erase(host); }
+  [[nodiscard]] NfsServer* find(net::HostId host) const {
+    const auto it = servers_.find(host);
+    return it == servers_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::unordered_map<net::HostId, NfsServer*> servers_;
+};
+
+class NfsClient {
+ public:
+  NfsClient(net::SimNetwork* network, const ServerDirectory* directory, net::HostId self);
+
+  [[nodiscard]] net::HostId self() const { return self_; }
+
+  /// Fetch the root handle of a server's export (MOUNT protocol stand-in).
+  [[nodiscard]] NfsResult<FileHandle> mount(net::HostId server);
+
+  [[nodiscard]] NfsResult<HandleReply> lookup(FileHandle dir, std::string_view name);
+  [[nodiscard]] NfsResult<fs::Attr> getattr(FileHandle obj);
+  [[nodiscard]] NfsResult<fs::Attr> set_mode(FileHandle obj, std::uint32_t mode);
+  [[nodiscard]] NfsResult<fs::Attr> truncate(FileHandle obj, std::uint64_t size);
+  [[nodiscard]] NfsResult<ReadReply> read(FileHandle file, std::uint64_t offset,
+                                          std::uint32_t count);
+  [[nodiscard]] NfsResult<std::uint32_t> write(FileHandle file, std::uint64_t offset,
+                                               std::string_view data);
+  [[nodiscard]] NfsResult<HandleReply> create(FileHandle dir, std::string_view name,
+                                              std::uint32_t mode = 0644,
+                                              std::uint32_t uid = 0);
+  [[nodiscard]] NfsResult<HandleReply> mkdir(FileHandle dir, std::string_view name,
+                                             std::uint32_t mode = 0755, std::uint32_t uid = 0);
+  [[nodiscard]] NfsResult<HandleReply> symlink(FileHandle dir, std::string_view name,
+                                               std::string_view target);
+  [[nodiscard]] NfsResult<std::string> readlink(FileHandle link);
+  [[nodiscard]] NfsResult<Unit> remove(FileHandle dir, std::string_view name);
+  [[nodiscard]] NfsResult<Unit> rmdir(FileHandle dir, std::string_view name);
+  /// Both directories must live on the same server (always true in Kosha:
+  /// files in one directory share a node).
+  [[nodiscard]] NfsResult<Unit> rename(FileHandle from_dir, std::string_view from_name,
+                                       FileHandle to_dir, std::string_view to_name);
+  [[nodiscard]] NfsResult<ReaddirReply> readdir(FileHandle dir);
+  [[nodiscard]] NfsResult<FsstatReply> fsstat(net::HostId server);
+
+ private:
+  /// Reachability check + request charge; returns the server or null.
+  NfsServer* begin_rpc(net::HostId server, std::size_t request_bytes);
+  void end_rpc(net::HostId server, std::size_t reply_bytes);
+  std::uint32_t next_xid() { return ++xid_; }
+
+  /// Replies are charged with a fixed header estimate plus payload; only
+  /// the call direction is fully XDR-encoded (see nfs/wire.hpp).
+  static constexpr std::size_t kReplyBytes = 96;
+
+  net::SimNetwork* network_;
+  const ServerDirectory* directory_;
+  net::HostId self_;
+  std::uint32_t xid_ = 0;
+};
+
+}  // namespace kosha::nfs

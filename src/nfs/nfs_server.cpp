@@ -1,0 +1,227 @@
+#include "nfs/nfs_server.hpp"
+
+namespace kosha::nfs {
+
+const char* to_string(NfsStat status) {
+  switch (status) {
+    case NfsStat::kOk:
+      return "NFS_OK";
+    case NfsStat::kNoEnt:
+      return "NFS3ERR_NOENT";
+    case NfsStat::kExist:
+      return "NFS3ERR_EXIST";
+    case NfsStat::kNotDir:
+      return "NFS3ERR_NOTDIR";
+    case NfsStat::kIsDir:
+      return "NFS3ERR_ISDIR";
+    case NfsStat::kNotEmpty:
+      return "NFS3ERR_NOTEMPTY";
+    case NfsStat::kNoSpace:
+      return "NFS3ERR_NOSPC";
+    case NfsStat::kInval:
+      return "NFS3ERR_INVAL";
+    case NfsStat::kStale:
+      return "NFS3ERR_STALE";
+    case NfsStat::kUnreachable:
+      return "NFS3ERR_UNREACHABLE";
+  }
+  return "?";
+}
+
+NfsStat from_fs(fs::FsStatus status) {
+  switch (status) {
+    case fs::FsStatus::kOk:
+      return NfsStat::kOk;
+    case fs::FsStatus::kNoEnt:
+      return NfsStat::kNoEnt;
+    case fs::FsStatus::kExist:
+      return NfsStat::kExist;
+    case fs::FsStatus::kNotDir:
+      return NfsStat::kNotDir;
+    case fs::FsStatus::kIsDir:
+      return NfsStat::kIsDir;
+    case fs::FsStatus::kNotEmpty:
+      return NfsStat::kNotEmpty;
+    case fs::FsStatus::kNoSpace:
+      return NfsStat::kNoSpace;
+    case fs::FsStatus::kInval:
+      return NfsStat::kInval;
+    case fs::FsStatus::kStale:
+      return NfsStat::kStale;
+  }
+  return NfsStat::kInval;
+}
+
+NfsServer::NfsServer(net::HostId host, fs::FsConfig fs_config, NfsCostModel costs,
+                     SimClock* clock)
+    : host_(host), store_(fs_config), costs_(costs), clock_(clock) {}
+
+void NfsServer::charge(SimDuration cost) {
+  ++rpc_count_;
+  if (clock_ != nullptr) clock_->advance(costs_.rpc_base + cost);
+}
+
+void NfsServer::charge_data(std::size_t bytes) {
+  if (clock_ != nullptr) {
+    clock_->advance(SimDuration::nanos(costs_.data_per_kib.ns *
+                                       static_cast<std::int64_t>(bytes) / 1024));
+  }
+}
+
+NfsResult<fs::InodeId> NfsServer::resolve(FileHandle handle) const {
+  if (!handle.valid() || handle.server != host_) return NfsStat::kStale;
+  const auto attr = store_.getattr(handle.inode);
+  if (!attr.ok()) return NfsStat::kStale;
+  if (attr.value().generation != handle.generation) return NfsStat::kStale;
+  return handle.inode;
+}
+
+FileHandle NfsServer::handle_for(fs::InodeId inode) const {
+  const auto attr = store_.getattr(inode);
+  return {host_, inode, attr.ok() ? attr.value().generation : 0};
+}
+
+FileHandle NfsServer::root_handle() const { return handle_for(store_.root()); }
+
+NfsResult<HandleReply> NfsServer::lookup(FileHandle dir, std::string_view name) {
+  charge(costs_.read_meta);
+  const auto d = resolve(dir);
+  if (!d.ok()) return d.error();
+  const auto inode = store_.lookup(d.value(), name);
+  if (!inode.ok()) return from_fs(inode.error());
+  const auto attr = store_.getattr(inode.value());
+  if (!attr.ok()) return from_fs(attr.error());
+  return HandleReply{handle_for(inode.value()), attr.value()};
+}
+
+NfsResult<fs::Attr> NfsServer::getattr(FileHandle obj) {
+  charge(costs_.read_meta);
+  const auto inode = resolve(obj);
+  if (!inode.ok()) return inode.error();
+  const auto attr = store_.getattr(inode.value());
+  if (!attr.ok()) return from_fs(attr.error());
+  return attr.value();
+}
+
+NfsResult<fs::Attr> NfsServer::set_mode(FileHandle obj, std::uint32_t mode) {
+  charge(costs_.metadata_op);
+  const auto inode = resolve(obj);
+  if (!inode.ok()) return inode.error();
+  if (const auto r = store_.set_mode(inode.value(), mode); !r.ok()) return from_fs(r.error());
+  return *store_.getattr(inode.value());
+}
+
+NfsResult<fs::Attr> NfsServer::truncate(FileHandle obj, std::uint64_t size) {
+  charge(costs_.metadata_op);
+  const auto inode = resolve(obj);
+  if (!inode.ok()) return inode.error();
+  if (const auto r = store_.truncate(inode.value(), size); !r.ok()) return from_fs(r.error());
+  return *store_.getattr(inode.value());
+}
+
+NfsResult<ReadReply> NfsServer::read(FileHandle file, std::uint64_t offset,
+                                     std::uint32_t count) {
+  charge(costs_.read_meta);
+  const auto inode = resolve(file);
+  if (!inode.ok()) return inode.error();
+  auto data = store_.read(inode.value(), offset, count);
+  if (!data.ok()) return from_fs(data.error());
+  charge_data(data.value().size());
+  const auto attr = *store_.getattr(inode.value());
+  const bool eof = offset + data.value().size() >= attr.size;
+  return ReadReply{std::move(data.value()), eof};
+}
+
+NfsResult<std::uint32_t> NfsServer::write(FileHandle file, std::uint64_t offset,
+                                          std::string_view data) {
+  charge(costs_.read_meta);
+  const auto inode = resolve(file);
+  if (!inode.ok()) return inode.error();
+  const auto written = store_.write(inode.value(), offset, data);
+  if (!written.ok()) return from_fs(written.error());
+  charge_data(data.size());
+  return written.value();
+}
+
+NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
+                                         std::uint32_t mode, std::uint32_t uid) {
+  charge(costs_.metadata_op);
+  const auto d = resolve(dir);
+  if (!d.ok()) return d.error();
+  const auto inode = store_.create(d.value(), name, mode, uid);
+  if (!inode.ok()) return from_fs(inode.error());
+  return HandleReply{handle_for(inode.value()), *store_.getattr(inode.value())};
+}
+
+NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
+                                        std::uint32_t mode, std::uint32_t uid) {
+  charge(costs_.metadata_op);
+  const auto d = resolve(dir);
+  if (!d.ok()) return d.error();
+  const auto inode = store_.mkdir(d.value(), name, mode, uid);
+  if (!inode.ok()) return from_fs(inode.error());
+  return HandleReply{handle_for(inode.value()), *store_.getattr(inode.value())};
+}
+
+NfsResult<HandleReply> NfsServer::symlink(FileHandle dir, std::string_view name,
+                                          std::string_view target) {
+  charge(costs_.metadata_op);
+  const auto d = resolve(dir);
+  if (!d.ok()) return d.error();
+  const auto inode = store_.symlink(d.value(), name, target);
+  if (!inode.ok()) return from_fs(inode.error());
+  return HandleReply{handle_for(inode.value()), *store_.getattr(inode.value())};
+}
+
+NfsResult<std::string> NfsServer::readlink(FileHandle link) {
+  charge(costs_.read_meta);
+  const auto inode = resolve(link);
+  if (!inode.ok()) return inode.error();
+  auto target = store_.readlink(inode.value());
+  if (!target.ok()) return from_fs(target.error());
+  return target.value();
+}
+
+NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name) {
+  charge(costs_.metadata_op);
+  const auto d = resolve(dir);
+  if (!d.ok()) return d.error();
+  if (const auto r = store_.remove(d.value(), name); !r.ok()) return from_fs(r.error());
+  return Unit{};
+}
+
+NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name) {
+  charge(costs_.metadata_op);
+  const auto d = resolve(dir);
+  if (!d.ok()) return d.error();
+  if (const auto r = store_.rmdir(d.value(), name); !r.ok()) return from_fs(r.error());
+  return Unit{};
+}
+
+NfsResult<Unit> NfsServer::rename(FileHandle from_dir, std::string_view from_name,
+                                  FileHandle to_dir, std::string_view to_name) {
+  charge(costs_.metadata_op);
+  const auto fd = resolve(from_dir);
+  if (!fd.ok()) return fd.error();
+  const auto td = resolve(to_dir);
+  if (!td.ok()) return td.error();
+  const auto r = store_.rename(fd.value(), from_name, td.value(), to_name);
+  if (!r.ok()) return from_fs(r.error());
+  return Unit{};
+}
+
+NfsResult<ReaddirReply> NfsServer::readdir(FileHandle dir) {
+  charge(costs_.read_meta);
+  const auto d = resolve(dir);
+  if (!d.ok()) return d.error();
+  auto entries = store_.readdir(d.value());
+  if (!entries.ok()) return from_fs(entries.error());
+  return ReaddirReply{std::move(entries.value())};
+}
+
+NfsResult<FsstatReply> NfsServer::fsstat() {
+  charge(costs_.read_meta);
+  return FsstatReply{store_.capacity_bytes(), store_.used_bytes(), store_.utilization()};
+}
+
+}  // namespace kosha::nfs

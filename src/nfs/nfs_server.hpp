@@ -1,0 +1,81 @@
+#pragma once
+
+// NFS server: exports one LocalFs over opaque handles.
+//
+// Each Kosha node runs one of these on its /kosha_store partition (paper
+// §4: "The nodes are assumed to run NFS servers, so that their contributed
+// disk space can be accessed via NFS"). Server-side service times (CPU +
+// disk) are charged on the shared virtual clock through a cost model so the
+// Table 1/2 experiments measure stable, host-independent numbers.
+
+#include <string_view>
+
+#include "common/sim_clock.hpp"
+#include "nfs/nfs_types.hpp"
+
+namespace kosha::nfs {
+
+/// Virtual-time cost of server-side RPC processing. Values approximate a
+/// 2 GHz P4 with a 7200 RPM disk and an in-kernel NFS server; Tables 1-2
+/// only depend on their ratios to the network costs.
+struct NfsCostModel {
+  /// Fixed per-RPC server CPU cost (decode, handle lookup, reply).
+  SimDuration rpc_base = SimDuration::micros(60);
+  /// Metadata mutation (create/mkdir/remove/rename/symlink/setattr).
+  SimDuration metadata_op = SimDuration::micros(400);
+  /// Attribute or directory read.
+  SimDuration read_meta = SimDuration::micros(80);
+  /// Data transfer cost per KiB moved from/to the store.
+  SimDuration data_per_kib = SimDuration::micros(25);
+};
+
+class NfsServer {
+ public:
+  NfsServer(net::HostId host, fs::FsConfig fs_config, NfsCostModel costs, SimClock* clock);
+
+  [[nodiscard]] net::HostId host() const { return host_; }
+  [[nodiscard]] fs::LocalFs& store() { return store_; }
+  [[nodiscard]] const fs::LocalFs& store() const { return store_; }
+
+  /// Handle of the exported root directory.
+  [[nodiscard]] FileHandle root_handle() const;
+
+  // --- RPC procedures (server-side; network costs are the client's) ---
+  [[nodiscard]] NfsResult<HandleReply> lookup(FileHandle dir, std::string_view name);
+  [[nodiscard]] NfsResult<fs::Attr> getattr(FileHandle obj);
+  [[nodiscard]] NfsResult<fs::Attr> set_mode(FileHandle obj, std::uint32_t mode);
+  [[nodiscard]] NfsResult<fs::Attr> truncate(FileHandle obj, std::uint64_t size);
+  [[nodiscard]] NfsResult<ReadReply> read(FileHandle file, std::uint64_t offset,
+                                          std::uint32_t count);
+  [[nodiscard]] NfsResult<std::uint32_t> write(FileHandle file, std::uint64_t offset,
+                                               std::string_view data);
+  [[nodiscard]] NfsResult<HandleReply> create(FileHandle dir, std::string_view name,
+                                              std::uint32_t mode, std::uint32_t uid);
+  [[nodiscard]] NfsResult<HandleReply> mkdir(FileHandle dir, std::string_view name,
+                                             std::uint32_t mode, std::uint32_t uid);
+  [[nodiscard]] NfsResult<HandleReply> symlink(FileHandle dir, std::string_view name,
+                                               std::string_view target);
+  [[nodiscard]] NfsResult<std::string> readlink(FileHandle link);
+  [[nodiscard]] NfsResult<Unit> remove(FileHandle dir, std::string_view name);
+  [[nodiscard]] NfsResult<Unit> rmdir(FileHandle dir, std::string_view name);
+  [[nodiscard]] NfsResult<Unit> rename(FileHandle from_dir, std::string_view from_name,
+                                       FileHandle to_dir, std::string_view to_name);
+  [[nodiscard]] NfsResult<ReaddirReply> readdir(FileHandle dir);
+  [[nodiscard]] NfsResult<FsstatReply> fsstat();
+
+  [[nodiscard]] std::uint64_t rpc_count() const { return rpc_count_; }
+
+ private:
+  [[nodiscard]] NfsResult<fs::InodeId> resolve(FileHandle handle) const;
+  [[nodiscard]] FileHandle handle_for(fs::InodeId inode) const;
+  void charge(SimDuration cost);
+  void charge_data(std::size_t bytes);
+
+  net::HostId host_;
+  fs::LocalFs store_;
+  NfsCostModel costs_;
+  SimClock* clock_;
+  std::uint64_t rpc_count_ = 0;
+};
+
+}  // namespace kosha::nfs

@@ -1,0 +1,75 @@
+#pragma once
+
+// NFS-v3-like protocol types.
+//
+// Handles are opaque to clients: "they only have meaning to the NFS server"
+// (paper §4.1.2). Kosha exploits exactly that opacity to interpose virtual
+// handles, so the reproduction keeps handles strictly opaque too — clients
+// never inspect the fields, only compare and pass them back.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/local_fs.hpp"
+#include "net/sim_network.hpp"
+
+namespace kosha::nfs {
+
+/// Opaque file handle: identifies an inode generation on one server.
+struct FileHandle {
+  net::HostId server = net::kInvalidHost;
+  fs::InodeId inode = fs::kInvalidInode;
+  std::uint64_t generation = 0;
+
+  [[nodiscard]] bool valid() const { return server != net::kInvalidHost && inode != 0; }
+  friend bool operator==(const FileHandle&, const FileHandle&) = default;
+};
+
+/// NFS status codes: the local-FS vocabulary plus transport failure.
+enum class NfsStat {
+  kOk,
+  kNoEnt,
+  kExist,
+  kNotDir,
+  kIsDir,
+  kNotEmpty,
+  kNoSpace,
+  kInval,
+  kStale,
+  kUnreachable,  // RPC timeout: server host is down
+};
+
+[[nodiscard]] const char* to_string(NfsStat status);
+
+/// Map a local-FS error onto the wire status.
+[[nodiscard]] NfsStat from_fs(fs::FsStatus status);
+
+template <typename T>
+using NfsResult = Result<T, NfsStat>;
+
+/// LOOKUP / CREATE / MKDIR / SYMLINK reply.
+struct HandleReply {
+  FileHandle handle;
+  fs::Attr attr;
+};
+
+/// READ reply.
+struct ReadReply {
+  std::string data;
+  bool eof = false;
+};
+
+/// READDIR reply entry (type included, as NFSv3 readdirplus would give).
+struct ReaddirReply {
+  std::vector<fs::DirEntry> entries;
+};
+
+/// FSSTAT reply — Kosha's redirection logic polls this (paper §3.3).
+struct FsstatReply {
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t used_bytes = 0;
+  double utilization = 0.0;
+};
+
+}  // namespace kosha::nfs

@@ -1,0 +1,123 @@
+#pragma once
+
+// NFS call marshalling over XDR.
+//
+// Each RPC the client issues is encoded into its on-the-wire form (RPC
+// header + procedure arguments, RFC 1813 shapes) so the network cost model
+// charges the true message sizes, and so the protocol layer is testable as
+// a codec: every call encoder has a matching decoder and they round-trip.
+
+#include <string>
+#include <string_view>
+
+#include "nfs/nfs_types.hpp"
+#include "nfs/xdr.hpp"
+
+namespace kosha::nfs {
+
+/// NFS procedure numbers (NFSv3 order where applicable).
+enum class NfsProc : std::uint32_t {
+  kNull = 0,
+  kGetattr = 1,
+  kSetattr = 2,
+  kLookup = 3,
+  kReadlink = 5,
+  kRead = 6,
+  kWrite = 7,
+  kCreate = 8,
+  kMkdir = 9,
+  kSymlink = 10,
+  kRemove = 12,
+  kRmdir = 13,
+  kRename = 14,
+  kReaddir = 16,
+  kFsstat = 18,
+  kMount = 100,  // stand-in for the separate MOUNT protocol
+};
+
+void encode_handle(XdrWriter& writer, const FileHandle& handle);
+[[nodiscard]] Result<FileHandle, XdrError> decode_handle(XdrReader& reader);
+
+/// The fixed RPC call header (xid, message type, program, version, proc;
+/// AUTH_NULL credentials/verifier).
+void encode_call_header(XdrWriter& writer, std::uint32_t xid, NfsProc proc);
+[[nodiscard]] Result<NfsProc, XdrError> decode_call_header(XdrReader& reader,
+                                                           std::uint32_t* xid = nullptr);
+
+// --- per-procedure argument encoders (full message incl. header) -----------
+[[nodiscard]] std::string encode_mount_call(std::uint32_t xid);
+[[nodiscard]] std::string encode_handle_call(std::uint32_t xid, NfsProc proc,
+                                             const FileHandle& handle);
+[[nodiscard]] std::string encode_diropargs_call(std::uint32_t xid, NfsProc proc,
+                                                const FileHandle& dir, std::string_view name);
+[[nodiscard]] std::string encode_create_call(std::uint32_t xid, NfsProc proc,
+                                             const FileHandle& dir, std::string_view name,
+                                             std::uint32_t mode, std::uint32_t uid);
+[[nodiscard]] std::string encode_symlink_call(std::uint32_t xid, const FileHandle& dir,
+                                              std::string_view name, std::string_view target);
+[[nodiscard]] std::string encode_read_call(std::uint32_t xid, const FileHandle& file,
+                                           std::uint64_t offset, std::uint32_t count);
+[[nodiscard]] std::string encode_write_call(std::uint32_t xid, const FileHandle& file,
+                                            std::uint64_t offset, std::string_view data);
+[[nodiscard]] std::string encode_setattr_call(std::uint32_t xid, const FileHandle& obj,
+                                              bool set_mode, std::uint32_t mode, bool set_size,
+                                              std::uint64_t size);
+[[nodiscard]] std::string encode_rename_call(std::uint32_t xid, const FileHandle& from_dir,
+                                             std::string_view from_name,
+                                             const FileHandle& to_dir,
+                                             std::string_view to_name);
+
+// --- matching argument decoders (assume the header was consumed) -----------
+struct DiropArgs {
+  FileHandle dir;
+  std::string name;
+};
+[[nodiscard]] Result<DiropArgs, XdrError> decode_diropargs(XdrReader& reader);
+
+struct CreateArgs {
+  FileHandle dir;
+  std::string name;
+  std::uint32_t mode = 0;
+  std::uint32_t uid = 0;
+};
+[[nodiscard]] Result<CreateArgs, XdrError> decode_create_args(XdrReader& reader);
+
+struct SymlinkArgs {
+  FileHandle dir;
+  std::string name;
+  std::string target;
+};
+[[nodiscard]] Result<SymlinkArgs, XdrError> decode_symlink_args(XdrReader& reader);
+
+struct ReadArgs {
+  FileHandle file;
+  std::uint64_t offset = 0;
+  std::uint32_t count = 0;
+};
+[[nodiscard]] Result<ReadArgs, XdrError> decode_read_args(XdrReader& reader);
+
+struct WriteArgs {
+  FileHandle file;
+  std::uint64_t offset = 0;
+  std::string data;
+};
+[[nodiscard]] Result<WriteArgs, XdrError> decode_write_args(XdrReader& reader);
+
+struct SetattrArgs {
+  FileHandle obj;
+  bool set_mode = false;
+  std::uint32_t mode = 0;
+  bool set_size = false;
+  std::uint64_t size = 0;
+};
+[[nodiscard]] Result<SetattrArgs, XdrError> decode_setattr_args(XdrReader& reader);
+
+struct RenameArgs {
+  FileHandle from_dir;
+  std::string from_name;
+  FileHandle to_dir;
+  std::string to_name;
+};
+[[nodiscard]] Result<RenameArgs, XdrError> decode_rename_args(XdrReader& reader);
+
+}  // namespace kosha::nfs

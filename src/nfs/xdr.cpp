@@ -1,0 +1,77 @@
+#include "nfs/xdr.hpp"
+
+#include <cstring>
+
+namespace kosha::nfs {
+
+void XdrWriter::put_u32(std::uint32_t value) {
+  char bytes[4];
+  bytes[0] = static_cast<char>(value >> 24);
+  bytes[1] = static_cast<char>(value >> 16);
+  bytes[2] = static_cast<char>(value >> 8);
+  bytes[3] = static_cast<char>(value);
+  buffer_.append(bytes, 4);
+}
+
+void XdrWriter::put_u64(std::uint64_t value) {
+  put_u32(static_cast<std::uint32_t>(value >> 32));
+  put_u32(static_cast<std::uint32_t>(value));
+}
+
+void XdrWriter::put_opaque(std::string_view data) {
+  put_u32(static_cast<std::uint32_t>(data.size()));
+  put_fixed(data.data(), data.size());
+}
+
+void XdrWriter::put_fixed(const void* data, std::size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+  buffer_.append(xdr_pad(size), '\0');
+}
+
+Result<std::uint32_t, XdrError> XdrReader::get_u32() {
+  if (remaining() < 4) return XdrError::kTruncated;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data_.data() + offset_);
+  offset_ += 4;
+  return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[2]) << 8) | static_cast<std::uint32_t>(bytes[3]);
+}
+
+Result<std::uint64_t, XdrError> XdrReader::get_u64() {
+  const auto hi = get_u32();
+  if (!hi.ok()) return hi.error();
+  const auto lo = get_u32();
+  if (!lo.ok()) return lo.error();
+  return (static_cast<std::uint64_t>(*hi) << 32) | *lo;
+}
+
+Result<bool, XdrError> XdrReader::get_bool() {
+  const auto value = get_u32();
+  if (!value.ok()) return value.error();
+  return *value != 0;
+}
+
+Result<std::string, XdrError> XdrReader::get_opaque(std::size_t max) {
+  const auto length = get_u32();
+  if (!length.ok()) return length.error();
+  if (*length > max) return XdrError::kOversize;
+  const std::size_t padded = *length + xdr_pad(*length);
+  if (remaining() < padded) return XdrError::kTruncated;
+  std::string out(data_.substr(offset_, *length));
+  // XDR requires the padding to be zero.
+  for (std::size_t i = *length; i < padded; ++i) {
+    if (data_[offset_ + i] != '\0') return XdrError::kBadPadding;
+  }
+  offset_ += padded;
+  return out;
+}
+
+Result<Unit, XdrError> XdrReader::get_fixed(void* out, std::size_t size) {
+  const std::size_t padded = size + xdr_pad(size);
+  if (remaining() < padded) return XdrError::kTruncated;
+  std::memcpy(out, data_.data() + offset_, size);
+  offset_ += padded;
+  return Unit{};
+}
+
+}  // namespace kosha::nfs

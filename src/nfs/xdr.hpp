@@ -1,0 +1,75 @@
+#pragma once
+
+// XDR (RFC 4506) encoding — the wire format of ONC RPC / NFS.
+//
+// The real Kosha interposes on SunRPC messages; koshad "modifies the RPC"
+// and forwards it (paper §4). This codec provides the same wire
+// discipline: big-endian 4-byte alignment, length-prefixed opaques, and
+// it is what the simulated client uses to compute byte-accurate message
+// sizes for the network cost model.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace kosha::nfs {
+
+enum class XdrError { kTruncated, kOversize, kBadPadding };
+
+/// Append-only XDR encoder.
+class XdrWriter {
+ public:
+  void put_u32(std::uint32_t value);
+  void put_u64(std::uint64_t value);
+  void put_i64(std::int64_t value) { put_u64(static_cast<std::uint64_t>(value)); }
+  void put_bool(bool value) { put_u32(value ? 1 : 0); }
+  /// Variable-length opaque: 4-byte length + data + zero padding to 4.
+  void put_opaque(std::string_view data);
+  /// Strings are opaques in XDR.
+  void put_string(std::string_view value) { put_opaque(value); }
+  /// Fixed-length opaque: data + padding, no length prefix.
+  void put_fixed(const void* data, std::size_t size);
+
+  [[nodiscard]] const std::string& data() const { return buffer_; }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked XDR decoder.
+class XdrReader {
+ public:
+  explicit XdrReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] Result<std::uint32_t, XdrError> get_u32();
+  [[nodiscard]] Result<std::uint64_t, XdrError> get_u64();
+  [[nodiscard]] Result<bool, XdrError> get_bool();
+  /// Variable-length opaque; `max` bounds the accepted length.
+  [[nodiscard]] Result<std::string, XdrError> get_opaque(std::size_t max = 1 << 22);
+  [[nodiscard]] Result<std::string, XdrError> get_string(std::size_t max = 4096) {
+    return get_opaque(max);
+  }
+  [[nodiscard]] Result<Unit, XdrError> get_fixed(void* out, std::size_t size);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - offset_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  std::string_view data_;
+  std::size_t offset_ = 0;
+};
+
+/// XDR padding of a payload of `size` bytes.
+[[nodiscard]] constexpr std::size_t xdr_pad(std::size_t size) { return (4 - size % 4) % 4; }
+
+/// Encoded size of a variable-length opaque of `size` bytes.
+[[nodiscard]] constexpr std::size_t xdr_opaque_size(std::size_t size) {
+  return 4 + size + xdr_pad(size);
+}
+
+}  // namespace kosha::nfs

@@ -1,0 +1,70 @@
+#pragma once
+
+// Pastry leaf set.
+//
+// Each node tracks the l/2 numerically closest smaller and l/2 closest
+// larger node ids (with wrap-around). The leaf set delivers messages in the
+// final routing step and — in Kosha — defines where the K file replicas
+// live (paper §4.2).
+
+#include <vector>
+
+#include "pastry/types.hpp"
+
+namespace kosha::pastry {
+
+class LeafSet {
+ public:
+  /// `half` is l/2: the capacity of each side.
+  LeafSet(NodeId owner, unsigned half);
+
+  [[nodiscard]] NodeId owner() const { return owner_; }
+
+  /// Offer a node id; keeps it only if it belongs among the closest on its
+  /// side. Returns true if membership changed.
+  bool insert(NodeId id);
+
+  /// Remove an id if present; returns true if it was a member.
+  bool remove(NodeId id);
+
+  [[nodiscard]] bool contains(NodeId id) const;
+
+  /// All members, smaller side then larger side, each closest-first.
+  [[nodiscard]] std::vector<NodeId> members() const;
+
+  /// Members sorted by ring distance from the owner, closest first.
+  [[nodiscard]] std::vector<NodeId> closest_members(std::size_t k) const;
+
+  /// Members alternating sides (closest smaller, closest larger, second
+  /// smaller, ...), starting with the overall closest. Kosha places its K
+  /// replicas on the first K of these: with K >= 2 both immediate ring
+  /// neighbors hold a copy, so whichever node inherits a failed primary's
+  /// key space already stores the data (paper §4.4).
+  [[nodiscard]] std::vector<NodeId> alternating_members(std::size_t k) const;
+
+  /// True when `key` falls inside the id range spanned by the leaf set
+  /// (routing can finish here). An underfull leaf set — the node knows the
+  /// whole network — covers everything.
+  [[nodiscard]] bool covers(Key key) const;
+
+  /// Numerically closest node to `key` among the owner and all members.
+  [[nodiscard]] NodeId closest_to(Key key) const;
+
+  /// Farthest member on the smaller/larger side, if any.
+  [[nodiscard]] std::vector<NodeId> side(bool larger) const;
+
+  [[nodiscard]] std::size_t size() const { return smaller_.size() + larger_.size(); }
+  [[nodiscard]] bool underfull() const {
+    return smaller_.size() < half_ || larger_.size() < half_;
+  }
+
+ private:
+  // Offsets: smaller side keyed by (owner - id), larger by (id - owner);
+  // both sorted ascending (closest neighbor first).
+  NodeId owner_;
+  unsigned half_;
+  std::vector<NodeId> smaller_;
+  std::vector<NodeId> larger_;
+};
+
+}  // namespace kosha::pastry

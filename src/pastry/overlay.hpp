@@ -1,0 +1,110 @@
+#pragma once
+
+// The Pastry overlay: a set of message-passing nodes with prefix routing.
+//
+// This is the substrate Kosha runs on (paper §2.2, §4.3). Nodes join by
+// routing a join message to the numerically closest existing node and
+// copying state from the nodes along the path; failures trigger leaf-set
+// repair at affected nodes and are detected lazily in routing tables.
+// All inter-node traffic is charged on the simulated network.
+//
+// The overlay keeps a ground-truth Ring of live nodes for verification and
+// for picking deterministic bootstrap nodes; the routing protocol itself
+// never consults it.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/sim_network.hpp"
+#include "pastry/leaf_set.hpp"
+#include "pastry/ring.hpp"
+#include "pastry/routing_table.hpp"
+#include "pastry/types.hpp"
+
+namespace kosha::pastry {
+
+/// Result of routing a key: the owning node and the overlay hops taken.
+struct RouteResult {
+  NodeId owner;
+  unsigned hops = 0;
+};
+
+/// Fired on a node when its leaf set membership changes (join or repair).
+/// Kosha's replication manager reacts by re-establishing replicas.
+using NeighborCallback = std::function<void()>;
+
+class PastryOverlay {
+ public:
+  PastryOverlay(PastryConfig config, net::SimNetwork* network);
+
+  /// Join a new node with identifier `id` living on `host` (one overlay
+  /// node per host). Performs the Pastry join protocol against a live
+  /// bootstrap node, charging overlay traffic.
+  void join(NodeId id, net::HostId host);
+
+  /// Crash-fail a node. Live nodes holding it in their leaf sets repair
+  /// immediately (charged); routing-table entries decay lazily.
+  void fail(NodeId id);
+
+  [[nodiscard]] bool is_live(NodeId id) const;
+  [[nodiscard]] std::size_t live_count() const { return ring_.size(); }
+
+  [[nodiscard]] net::HostId host_of(NodeId id) const;
+  /// The live node on `host`, or kInvalid if none.
+  [[nodiscard]] NodeId node_on_host(net::HostId host) const;
+  [[nodiscard]] bool host_has_node(net::HostId host) const;
+
+  /// Route `key` from the node on `from_host`; charges one message per hop.
+  [[nodiscard]] RouteResult route(net::HostId from_host, Key key);
+
+  /// Route without charging the network (diagnostics / analytics).
+  [[nodiscard]] RouteResult trace_route(NodeId from, Key key) const;
+
+  /// The K leaf-set neighbors of `node`, closest first — Kosha's replica
+  /// targets.
+  [[nodiscard]] std::vector<NodeId> replica_targets(NodeId node, std::size_t k) const;
+
+  void set_neighbor_callback(NodeId id, NeighborCallback callback);
+
+  /// Ground truth over live nodes (tests, simulators, bootstrap choice).
+  [[nodiscard]] const Ring& ring() const { return ring_; }
+
+  [[nodiscard]] const LeafSet& leaf_set(NodeId id) const;
+  [[nodiscard]] const RoutingTable& routing_table(NodeId id) const;
+  [[nodiscard]] const PastryConfig& config() const { return config_; }
+
+ private:
+  struct Node {
+    NodeId id;
+    net::HostId host;
+    bool alive = true;
+    RoutingTable table;
+    LeafSet leaves;
+    NeighborCallback on_leaf_change;
+
+    Node(NodeId node_id, net::HostId h, const PastryConfig& cfg)
+        : id(node_id), host(h), table(node_id, cfg), leaves(node_id, cfg.leaf_half()) {}
+  };
+
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+  /// One routing step from `cur` toward `key`; nullopt when `cur` is the
+  /// destination. Dead routing-table entries encountered are appended to
+  /// `dead_rt` (if non-null) for the caller to prune.
+  [[nodiscard]] std::optional<NodeId> compute_next_hop(const Node& cur, Key key,
+                                                       std::vector<NodeId>* dead_rt) const;
+  void repair_leaf_set(Node& n);
+  void notify_leaf_change(Node& n);
+
+  PastryConfig config_;
+  net::SimNetwork* network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<Uint128, std::size_t> index_by_id_;
+  std::unordered_map<net::HostId, std::size_t> index_by_host_;
+  Ring ring_;
+};
+
+}  // namespace kosha::pastry

@@ -1,0 +1,98 @@
+#include "pastry/ring.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace kosha::pastry {
+
+namespace {
+
+bool closer(Key target, NodeId a, NodeId b) {
+  const Uint128 da = ring_distance(a, target);
+  const Uint128 db = ring_distance(b, target);
+  if (da != db) return da < db;
+  return a < b;
+}
+
+}  // namespace
+
+Ring::Ring(std::vector<std::pair<NodeId, Tag>> nodes) : nodes_(std::move(nodes)) {
+  std::sort(nodes_.begin(), nodes_.end());
+}
+
+std::size_t Ring::lower_bound_index(NodeId id) const {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), id,
+                                   [](const auto& p, NodeId v) { return p.first < v; });
+  return static_cast<std::size_t>(it - nodes_.begin());
+}
+
+void Ring::insert(NodeId id, Tag tag) {
+  const std::size_t i = lower_bound_index(id);
+  if (i < nodes_.size() && nodes_[i].first == id) {
+    throw std::invalid_argument("Ring::insert: duplicate node id");
+  }
+  nodes_.insert(nodes_.begin() + static_cast<std::ptrdiff_t>(i), {id, tag});
+}
+
+void Ring::remove(NodeId id) {
+  const std::size_t i = lower_bound_index(id);
+  if (i >= nodes_.size() || nodes_[i].first != id) return;
+  nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+bool Ring::contains(NodeId id) const {
+  const std::size_t i = lower_bound_index(id);
+  return i < nodes_.size() && nodes_[i].first == id;
+}
+
+NodeId Ring::owner(Key key) const {
+  assert(!nodes_.empty());
+  const std::size_t n = nodes_.size();
+  const std::size_t i = lower_bound_index(key);
+  // Candidates: the id at/after the key and the one before (circularly).
+  const NodeId after = nodes_[i % n].first;
+  const NodeId before = nodes_[(i + n - 1) % n].first;
+  return closer(key, before, after) ? before : after;
+}
+
+Ring::Tag Ring::owner_tag(Key key) const { return tag_of(owner(key)); }
+
+std::vector<NodeId> Ring::neighbors(NodeId id, std::size_t k) const {
+  std::vector<NodeId> out;
+  const std::size_t n = nodes_.size();
+  if (n <= 1 || k == 0) return out;
+
+  const std::size_t self = lower_bound_index(id);
+  assert(self < n && nodes_[self].first == id);
+  // Two-pointer merge walking outward in both directions.
+  std::size_t down = (self + n - 1) % n;
+  std::size_t up = (self + 1) % n;
+  const std::size_t limit = std::min(k, n - 1);
+  while (out.size() < limit) {
+    if (down == up) {  // pointers met: one candidate left
+      out.push_back(nodes_[up].first);
+      break;
+    }
+    const NodeId a = nodes_[down].first;
+    const NodeId b = nodes_[up].first;
+    if (closer(id, a, b)) {
+      out.push_back(a);
+      down = (down + n - 1) % n;
+    } else {
+      out.push_back(b);
+      up = (up + 1) % n;
+    }
+  }
+  return out;
+}
+
+Ring::Tag Ring::tag_of(NodeId id) const {
+  const std::size_t i = lower_bound_index(id);
+  if (i >= nodes_.size() || nodes_[i].first != id) {
+    throw std::invalid_argument("Ring::tag_of: unknown node id");
+  }
+  return nodes_[i].second;
+}
+
+}  // namespace kosha::pastry

@@ -1,0 +1,57 @@
+#pragma once
+
+// Ground-truth DHT ring.
+//
+// A sorted view of all live node ids. Gives O(log N) exact answers for
+// "who owns this key" and "who are the K closest neighbors" — the
+// invariants the full message-passing overlay must agree with. The
+// figure-level simulators (Figures 5-7 are simulations in the paper too)
+// use the Ring directly; the overlay tests use it as the oracle.
+
+#include <cstdint>
+#include <vector>
+
+#include "pastry/types.hpp"
+
+namespace kosha::pastry {
+
+class Ring {
+ public:
+  /// Opaque per-node tag supplied at insert (e.g. a host index).
+  using Tag = std::uint32_t;
+
+  Ring() = default;
+
+  /// Bulk-build from (id, tag) pairs.
+  explicit Ring(std::vector<std::pair<NodeId, Tag>> nodes);
+
+  void insert(NodeId id, Tag tag);
+  void remove(NodeId id);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] bool contains(NodeId id) const;
+
+  /// Node numerically closest to `key` (ties -> smaller id). Ring must be
+  /// non-empty.
+  [[nodiscard]] NodeId owner(Key key) const;
+  [[nodiscard]] Tag owner_tag(Key key) const;
+
+  /// The `k` nodes (other than `id` itself) closest to `id` in the ring —
+  /// the leaf-set neighbors replica placement uses. Fewer if the ring is
+  /// small.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId id, std::size_t k) const;
+
+  /// Tag registered for an id.
+  [[nodiscard]] Tag tag_of(NodeId id) const;
+
+  /// All ids in ascending order.
+  [[nodiscard]] const std::vector<std::pair<NodeId, Tag>>& sorted() const { return nodes_; }
+
+ private:
+  [[nodiscard]] std::size_t lower_bound_index(NodeId id) const;
+
+  std::vector<std::pair<NodeId, Tag>> nodes_;  // sorted by id
+};
+
+}  // namespace kosha::pastry

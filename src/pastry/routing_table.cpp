@@ -1,0 +1,62 @@
+#include "pastry/routing_table.hpp"
+
+namespace kosha::pastry {
+
+RoutingTable::RoutingTable(NodeId owner, const PastryConfig& config)
+    : owner_(owner), config_(config) {
+  slots_.resize(static_cast<std::size_t>(config_.digits()) * config_.columns());
+}
+
+std::size_t RoutingTable::slot_index(unsigned row, unsigned column) const {
+  return static_cast<std::size_t>(row) * config_.columns() + column;
+}
+
+std::optional<NodeId> RoutingTable::entry(unsigned row, unsigned column) const {
+  return slots_.at(slot_index(row, column));
+}
+
+bool RoutingTable::insert(NodeId id) {
+  if (id == owner_) return false;
+  const unsigned row = owner_.shared_prefix_length(id, config_.bits_per_digit);
+  const unsigned column = id.digit(row, config_.bits_per_digit);
+  auto& slot = slots_.at(slot_index(row, column));
+  if (slot.has_value()) return false;
+  slot = id;
+  ++populated_;
+  return true;
+}
+
+bool RoutingTable::remove(NodeId id) {
+  if (id == owner_) return false;
+  const unsigned row = owner_.shared_prefix_length(id, config_.bits_per_digit);
+  const unsigned column = id.digit(row, config_.bits_per_digit);
+  auto& slot = slots_.at(slot_index(row, column));
+  if (slot != id) return false;
+  slot.reset();
+  --populated_;
+  return true;
+}
+
+bool RoutingTable::contains(NodeId id) const {
+  const unsigned row = owner_.shared_prefix_length(id, config_.bits_per_digit);
+  const unsigned column = id.digit(row, config_.bits_per_digit);
+  return slots_.at(slot_index(row, column)) == id;
+}
+
+std::optional<NodeId> RoutingTable::next_hop(Key key) const {
+  const unsigned row = owner_.shared_prefix_length(key, config_.bits_per_digit);
+  if (row >= config_.digits()) return std::nullopt;  // key == owner id
+  const unsigned column = key.digit(row, config_.bits_per_digit);
+  return slots_.at(slot_index(row, column));
+}
+
+std::vector<NodeId> RoutingTable::entries() const {
+  std::vector<NodeId> out;
+  out.reserve(populated_);
+  for (const auto& slot : slots_) {
+    if (slot.has_value()) out.push_back(*slot);
+  }
+  return out;
+}
+
+}  // namespace kosha::pastry

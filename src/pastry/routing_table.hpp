@@ -1,0 +1,53 @@
+#pragma once
+
+// Pastry routing table: digits() rows of columns() entries.
+//
+// Row r holds nodes whose ids share exactly r leading digits with the
+// owner; the column is the (r+1)-th digit of the stored node's id. Prefix
+// routing resolves a key in O(log N) hops by fixing one digit per step.
+
+#include <optional>
+#include <vector>
+
+#include "pastry/types.hpp"
+
+namespace kosha::pastry {
+
+class RoutingTable {
+ public:
+  RoutingTable(NodeId owner, const PastryConfig& config);
+
+  [[nodiscard]] NodeId owner() const { return owner_; }
+
+  /// Entry at (row, column); nullopt when empty.
+  [[nodiscard]] std::optional<NodeId> entry(unsigned row, unsigned column) const;
+
+  /// Offer a node id; stored if its slot is empty. Returns true if stored.
+  /// (Proximity-based slot replacement is not modeled — the simulated LAN
+  /// has uniform latency, so all candidates are equally good.)
+  bool insert(NodeId id);
+
+  /// Remove a (failed) node wherever it appears.
+  bool remove(NodeId id);
+
+  [[nodiscard]] bool contains(NodeId id) const;
+
+  /// The entry prefix-routing would forward a message for `key` to:
+  /// row = shared prefix length, column = next digit of the key.
+  [[nodiscard]] std::optional<NodeId> next_hop(Key key) const;
+
+  /// All populated entries.
+  [[nodiscard]] std::vector<NodeId> entries() const;
+
+  [[nodiscard]] std::size_t size() const { return populated_; }
+
+ private:
+  [[nodiscard]] std::size_t slot_index(unsigned row, unsigned column) const;
+
+  NodeId owner_;
+  PastryConfig config_;
+  std::vector<std::optional<NodeId>> slots_;  // digits() x columns(), row-major
+  std::size_t populated_ = 0;
+};
+
+}  // namespace kosha::pastry

@@ -1,0 +1,26 @@
+#pragma once
+
+// Shared Pastry types.
+
+#include "common/uint128.hpp"
+
+namespace kosha::pastry {
+
+/// 128-bit node identifier in the circular Pastry id space.
+using NodeId = Uint128;
+/// 128-bit object key; lives in the same space as NodeId.
+using Key = Uint128;
+
+/// Overlay tuning parameters (defaults follow Rowstron & Druschel).
+struct PastryConfig {
+  /// b: digits are base 2^b. The paper quotes typical bases of 16 or 32.
+  unsigned bits_per_digit = 4;
+  /// l: leaf set size; l/2 numerically smaller and l/2 larger neighbors.
+  unsigned leaf_set_size = 16;
+
+  [[nodiscard]] constexpr unsigned digits() const { return 128 / bits_per_digit; }
+  [[nodiscard]] constexpr unsigned columns() const { return 1u << bits_per_digit; }
+  [[nodiscard]] constexpr unsigned leaf_half() const { return leaf_set_size / 2; }
+};
+
+}  // namespace kosha::pastry

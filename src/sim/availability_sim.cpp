@@ -1,0 +1,240 @@
+#include "sim/availability_sim.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "kosha/placement.hpp"
+
+namespace kosha::sim {
+
+namespace {
+
+struct Group {
+  pastry::Key key;
+  std::uint32_t files = 0;
+  std::vector<std::uint32_t> holders;  // machines holding a *complete* copy
+  /// Machines whose copy is still being written: (machine, ready hour).
+  std::vector<std::pair<std::uint32_t, std::size_t>> pending;
+  bool dark = false;  // no complete copy reachable
+};
+
+}  // namespace
+
+AvailabilityResult simulate_availability(const trace::FsTrace& fs_trace,
+                                         const trace::AvailabilityTrace& machines,
+                                         const AvailabilitySimConfig& config) {
+  const std::size_t machine_count = machines.machines;
+  const std::size_t hours = machines.hours;
+  const std::size_t copies = config.replicas + 1;
+
+  // Group files by anchor name: one key, one holder set, many files.
+  std::vector<Group> group_template;
+  {
+    std::unordered_map<std::string, std::size_t> index;
+    for (const auto& file : fs_trace.files) {
+      const std::string anchor = trace::file_anchor_name(file.path, config.level);
+      const auto [it, inserted] = index.try_emplace(anchor, group_template.size());
+      if (inserted) {
+        Group group;
+        group.key = key_for_name(anchor);
+        group_template.push_back(group);
+      }
+      ++group_template[it->second].files;
+    }
+  }
+  const auto total_files = static_cast<double>(fs_trace.files.size());
+
+  const Rng base(config.seed);
+  std::vector<double> pct_sum(hours, 0.0);
+  std::mutex merge_mutex;
+
+  parallel_for(
+      config.runs,
+      [&](std::size_t run) {
+        Rng rng = base.fork(run);
+        // Sorted machine ids for "closest live holders" queries.
+        std::vector<std::pair<Uint128, std::uint32_t>> ring(machine_count);
+        for (std::size_t m = 0; m < machine_count; ++m) {
+          ring[m] = {rng.next_id(), static_cast<std::uint32_t>(m)};
+        }
+        std::sort(ring.begin(), ring.end());
+
+        const std::vector<bool>* up = &machines.up[0];
+        // The `copies` closest live machines to a key.
+        auto holders_for = [&](const pastry::Key& key) {
+          std::vector<std::uint32_t> out;
+          const auto start = static_cast<std::size_t>(
+              std::lower_bound(ring.begin(), ring.end(), key,
+                               [](const auto& entry, const Uint128& k) {
+                                 return entry.first < k;
+                               }) -
+              ring.begin());
+          const std::size_t n = ring.size();
+          std::size_t down_i = (start + n - 1) % n;
+          std::size_t up_i = start % n;
+          std::size_t scanned = 0;
+          while (out.size() < copies && scanned < 2 * n) {
+            // Alternate outward, preferring the numerically closer side.
+            const Uint128 d_up = ring_distance(ring[up_i].first, key);
+            const Uint128 d_down = ring_distance(ring[down_i].first, key);
+            std::size_t* advance = nullptr;
+            std::uint32_t candidate = 0;
+            if (d_up <= d_down) {
+              candidate = ring[up_i].second;
+              advance = &up_i;
+            } else {
+              candidate = ring[down_i].second;
+              advance = &down_i;
+            }
+            if ((*up)[candidate] &&
+                std::find(out.begin(), out.end(), candidate) == out.end()) {
+              out.push_back(candidate);
+            }
+            *advance = (advance == &up_i) ? (up_i + 1) % n : (down_i + n - 1) % n;
+            ++scanned;
+          }
+          return out;
+        };
+
+        std::vector<Group> groups = group_template;
+        std::vector<std::vector<std::uint32_t>> held_by(machine_count);
+        // Groups with in-flight copies, checked for maturation each hour.
+        std::vector<std::uint32_t> maturing;
+        // Repair at hour `h`: the new replica set is chosen among live
+        // machines; members that already held a complete copy stay
+        // complete, newcomers become pending for `repair_hours`.
+        auto repair = [&](std::size_t g, std::size_t hour) {
+          Group& group = groups[g];
+          // Live machines with a complete copy remain the sources until the
+          // fresh copies finish; newcomers are pending for `repair_hours`.
+          std::vector<std::uint32_t> complete;
+          for (const std::uint32_t m : group.holders) {
+            if ((*up)[m]) complete.push_back(m);
+          }
+          std::vector<std::pair<std::uint32_t, std::size_t>> pending = group.pending;
+          for (const std::uint32_t m : holders_for(group.key)) {
+            const bool has_copy = std::find(complete.begin(), complete.end(), m) !=
+                                  complete.end();
+            const bool already_pending =
+                std::find_if(pending.begin(), pending.end(),
+                             [m](const auto& p) { return p.first == m; }) != pending.end();
+            if (has_copy || already_pending) continue;
+            if (config.repair_hours == 0) {
+              complete.push_back(m);
+            } else {
+              pending.emplace_back(m, hour + config.repair_hours);
+            }
+          }
+          group.holders = std::move(complete);
+          group.pending = std::move(pending);
+          for (const std::uint32_t m : group.holders) {
+            held_by[m].push_back(static_cast<std::uint32_t>(g));
+          }
+          if (!group.pending.empty()) maturing.push_back(static_cast<std::uint32_t>(g));
+        };
+        auto assign_initial = [&](std::size_t g) {
+          groups[g].holders = holders_for(groups[g].key);
+          for (const std::uint32_t m : groups[g].holders) {
+            held_by[m].push_back(static_cast<std::uint32_t>(g));
+          }
+        };
+
+        up = &machines.up[0];
+        for (std::size_t g = 0; g < groups.size(); ++g) assign_initial(g);
+
+        double dark_files = 0;
+        std::vector<double> pct(hours, 100.0);
+        for (std::size_t h = 0; h < hours; ++h) {
+          up = &machines.up[h];
+          const std::vector<bool>& prev = machines.up[h == 0 ? 0 : h - 1];
+
+          // 1. In-flight copies finish (if their machine survived).
+          if (!maturing.empty()) {
+            std::vector<std::uint32_t> still_maturing;
+            for (const std::uint32_t g : maturing) {
+              Group& group = groups[g];
+              bool pending_left = false;
+              for (auto it = group.pending.begin(); it != group.pending.end();) {
+                if (it->second <= h) {
+                  if ((*up)[it->first]) {
+                    group.holders.push_back(it->first);
+                    held_by[it->first].push_back(g);
+                  }
+                  it = group.pending.erase(it);
+                } else {
+                  pending_left = true;
+                  ++it;
+                }
+              }
+              if (pending_left) still_maturing.push_back(g);
+            }
+            maturing.swap(still_maturing);
+          }
+
+          // 2. React to machine state changes.
+          for (std::uint32_t m = 0; m < machine_count; ++m) {
+            if (h > 0 && prev[m] == (*up)[m]) continue;
+            std::vector<std::uint32_t> touched;
+            touched.swap(held_by[m]);
+            for (const std::uint32_t g : touched) {
+              Group& group = groups[g];
+              if (std::find(group.holders.begin(), group.holders.end(), m) ==
+                  group.holders.end()) {
+                continue;  // stale index entry from an earlier repair
+              }
+              if (!(*up)[m]) {
+                // Holder went down: repair from a surviving complete copy,
+                // or go dark if none is reachable.
+                const bool any_live = std::any_of(
+                    group.holders.begin(), group.holders.end(),
+                    [&](std::uint32_t holder) { return (*up)[holder]; });
+                if (!any_live) {
+                  if (!group.dark) {
+                    group.dark = true;
+                    dark_files += group.files;
+                  }
+                  // In-flight copies lost their sources and are void.
+                  group.pending.clear();
+                  held_by[m].push_back(g);  // keep: the copy is still on disk
+                } else {
+                  repair(g, h);
+                }
+              } else {
+                // Holder came back: the on-disk copy makes the group
+                // reachable again; re-establish the replica set.
+                if (group.dark) {
+                  group.dark = false;
+                  dark_files -= group.files;
+                }
+                repair(g, h);
+              }
+            }
+          }
+          pct[h] = 100.0 * (1.0 - dark_files / total_files);
+        }
+
+        const std::lock_guard lock(merge_mutex);
+        for (std::size_t h = 0; h < hours; ++h) pct_sum[h] += pct[h];
+      },
+      config.threads);
+
+  AvailabilityResult result;
+  result.available_pct.resize(hours);
+  double total = 0;
+  for (std::size_t h = 0; h < hours; ++h) {
+    result.available_pct[h] = pct_sum[h] / static_cast<double>(config.runs);
+    total += result.available_pct[h];
+    if (result.available_pct[h] < result.min_pct) {
+      result.min_pct = result.available_pct[h];
+      result.min_hour = h;
+    }
+  }
+  result.average_pct = total / static_cast<double>(hours);
+  return result;
+}
+
+}  // namespace kosha::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+// Availability simulation (paper Figure 7).
+//
+// Distributes the departmental trace across a machine population, replays
+// an 840-hour availability trace, and measures the percentage of files
+// reachable each hour for replica counts 0..4. Files are grouped by their
+// anchor directory (everything in one anchor lives and dies with the same
+// K+1 holders); a group is unavailable while all of its holders are down
+// and is re-replicated onto live ring neighbors as soon as any holder is
+// reachable again, matching Kosha's continuous replica maintenance (§4.2).
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/availability.hpp"
+#include "trace/fs_trace.hpp"
+
+namespace kosha::sim {
+
+struct AvailabilitySimConfig {
+  unsigned level = 3;  // paper: distribution level fixed at 3
+  unsigned replicas = 3;
+  std::size_t runs = 10;  // paper: 100 node-id assignments
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
+  /// Hours a freshly created replica takes before it can serve (copying
+  /// an anchor's content over the LAN is not instantaneous). A copy whose
+  /// source machines all fail within the window is lost with them; 0 =
+  /// instantaneous repair.
+  std::size_t repair_hours = 0;
+};
+
+struct AvailabilityResult {
+  /// Percentage of files available per hour, averaged over runs.
+  std::vector<double> available_pct;
+  double average_pct = 0;
+  double min_pct = 100;
+  std::size_t min_hour = 0;
+};
+
+[[nodiscard]] AvailabilityResult simulate_availability(const trace::FsTrace& fs_trace,
+                                                       const trace::AvailabilityTrace& machines,
+                                                       const AvailabilitySimConfig& config);
+
+}  // namespace kosha::sim

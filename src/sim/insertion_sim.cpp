@@ -1,0 +1,180 @@
+#include "sim/insertion_sim.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/path.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "kosha/placement.hpp"
+#include "pastry/ring.hpp"
+
+namespace kosha::sim {
+
+std::vector<std::uint64_t> InsertionSimConfig::paper_capacities() {
+  std::vector<std::uint64_t> caps;
+  for (int i = 0; i < 8; ++i) caps.push_back(3ull << 30);
+  for (int i = 0; i < 4; ++i) caps.push_back(4ull << 30);
+  for (int i = 0; i < 4; ++i) caps.push_back(5ull << 30);
+  return caps;
+}
+
+namespace {
+
+/// Anchor-directory path of a file (the unit of placement/redirection).
+std::string anchor_path_of(const std::string& file_path, unsigned level) {
+  const auto components = split_path(file_path);
+  if (components.size() <= 1) return "/";
+  const auto dir_depth = static_cast<unsigned>(components.size() - 1);
+  const unsigned anchor = anchor_depth(level, dir_depth);
+  if (anchor == 0) return "/";
+  std::string out;
+  for (unsigned i = 0; i < anchor; ++i) {
+    out += '/';
+    out += components[i];
+  }
+  return out;
+}
+
+struct Placement {
+  pastry::Ring::Tag node = 0;
+  unsigned salt = 0;
+};
+
+}  // namespace
+
+InsertionCurve simulate_insertion(const trace::FsTrace& trace,
+                                  const InsertionSimConfig& config) {
+  const std::size_t node_count = config.capacities.size();
+  std::uint64_t total_capacity = 0;
+  for (const auto capacity : config.capacities) total_capacity += capacity;
+
+  // Precompute each file's anchor path index and anchor name.
+  std::vector<std::uint32_t> file_anchor(trace.files.size());
+  std::vector<std::string> anchor_names;  // plain name of each anchor path
+  {
+    std::unordered_map<std::string, std::uint32_t> index;
+    for (std::size_t i = 0; i < trace.files.size(); ++i) {
+      const std::string path = anchor_path_of(trace.files[i].path, config.level);
+      const auto [it, inserted] =
+          index.try_emplace(path, static_cast<std::uint32_t>(anchor_names.size()));
+      if (inserted) anchor_names.push_back(path_basename(path).empty()
+                                               ? std::string("/")
+                                               : path_basename(path));
+      file_anchor[i] = it->second;
+    }
+  }
+
+  const Rng base(config.seed);
+  const std::size_t grid = 101;
+  std::vector<double> grid_sum(grid, 0.0);
+  std::vector<std::size_t> grid_n(grid, 0);
+  double final_util_sum = 0;
+  double final_ratio_sum = 0;
+  std::mutex merge_mutex;
+
+  parallel_for(
+      config.runs,
+      [&](std::size_t run) {
+        Rng rng = base.fork(run);
+        std::vector<std::pair<pastry::NodeId, pastry::Ring::Tag>> ids;
+        ids.reserve(node_count);
+        std::vector<pastry::NodeId> id_of_node(node_count);
+        for (std::size_t n = 0; n < node_count; ++n) {
+          const pastry::NodeId id = rng.next_id();
+          id_of_node[n] = id;
+          ids.emplace_back(id, static_cast<pastry::Ring::Tag>(n));
+        }
+        const pastry::Ring ring(std::move(ids));
+
+        std::vector<std::uint64_t> used(node_count, 0);
+        std::vector<Placement> placement(anchor_names.size(), Placement{0, ~0u});
+        std::vector<double> local_grid(grid, std::nan(""));
+
+        auto node_for_salt = [&](std::uint32_t anchor, unsigned salt) {
+          return ring.owner_tag(key_for_name(salted_name(anchor_names[anchor], salt)));
+        };
+        auto over_threshold = [&](pastry::Ring::Tag node) {
+          return static_cast<double>(used[node]) >
+                 config.redirect_threshold * static_cast<double>(config.capacities[node]);
+        };
+
+        std::uint64_t inserted_bytes = 0;
+        std::size_t failures = 0;
+        for (std::size_t i = 0; i < trace.files.size(); ++i) {
+          const std::uint32_t anchor = file_anchor[i];
+          Placement& place = placement[anchor];
+          if (place.salt == ~0u) {
+            // First file of this directory: place it, redirecting away from
+            // hot nodes (paper §3.3).
+            place.salt = 0;
+            place.node = node_for_salt(anchor, 0);
+            for (unsigned s = 0; s < config.redirects && over_threshold(place.node); ++s) {
+              place.salt = s + 1;
+              place.node = node_for_salt(anchor, place.salt);
+            }
+          }
+
+          const std::uint64_t size = trace.files[i].size;
+          // The iterative redirection also applies when a directory's node
+          // can no longer hold a new file: the directory overflows to the
+          // next salted location.
+          while (used[place.node] + size > config.capacities[place.node] &&
+                 place.salt < config.redirects) {
+            ++place.salt;
+            place.node = node_for_salt(anchor, place.salt);
+          }
+          if (used[place.node] + size > config.capacities[place.node]) {
+            ++failures;
+          } else {
+            used[place.node] += size;
+            inserted_bytes += size;
+            // Best-effort replicas on the primary's ring neighbors.
+            for (const auto& neighbor :
+                 ring.neighbors(id_of_node[place.node], config.replicas)) {
+              const auto tag = ring.tag_of(neighbor);
+              if (used[tag] + size <= config.capacities[tag]) {
+                used[tag] += size;
+                inserted_bytes += size;
+              }
+            }
+          }
+          const double utilization =
+              static_cast<double>(inserted_bytes) / static_cast<double>(total_capacity);
+          const auto bucket = static_cast<std::size_t>(utilization * 100.0);
+          if (bucket < grid) {
+            local_grid[bucket] =
+                static_cast<double>(failures) / static_cast<double>(i + 1);
+          }
+        }
+
+        const std::lock_guard lock(merge_mutex);
+        for (std::size_t b = 0; b < grid; ++b) {
+          if (!std::isnan(local_grid[b])) {
+            grid_sum[b] += local_grid[b];
+            ++grid_n[b];
+          }
+        }
+        final_util_sum +=
+            static_cast<double>(inserted_bytes) / static_cast<double>(total_capacity);
+        final_ratio_sum +=
+            static_cast<double>(failures) / static_cast<double>(trace.files.size());
+      },
+      config.threads);
+
+  InsertionCurve curve;
+  curve.failure_ratio_at_pct.assign(grid, std::nan(""));
+  for (std::size_t b = 0; b < grid; ++b) {
+    if (grid_n[b] > 0) {
+      curve.failure_ratio_at_pct[b] = grid_sum[b] / static_cast<double>(grid_n[b]);
+    }
+  }
+  curve.final_utilization = final_util_sum / static_cast<double>(config.runs);
+  curve.final_failure_ratio = final_ratio_sum / static_cast<double>(config.runs);
+  return curve;
+}
+
+}  // namespace kosha::sim

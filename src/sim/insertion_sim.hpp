@@ -1,0 +1,46 @@
+#pragma once
+
+// Capacity / redirection simulation (paper Figure 6).
+//
+// Replays the departmental trace against a heterogeneous cluster (the
+// paper's 8x3GB + 4x4GB + 4x5GB setup), applying Kosha's salted
+// redirection when a directory's node runs hot, and records the
+// cumulative ratio of failed file insertions as total disk utilization
+// grows (the PAST metric the paper adopts).
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/fs_trace.hpp"
+
+namespace kosha::sim {
+
+struct InsertionSimConfig {
+  /// Per-node contributed capacities in bytes.
+  std::vector<std::uint64_t> capacities;
+  unsigned level = 4;
+  unsigned replicas = 3;
+  /// Maximum salted rehash attempts (0 = no redirection).
+  unsigned redirects = 4;
+  /// Utilization fraction above which a node refuses new directories.
+  double redirect_threshold = 0.9;
+  std::size_t runs = 10;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
+
+  /// The paper's 16-node heterogeneous cluster.
+  [[nodiscard]] static std::vector<std::uint64_t> paper_capacities();
+};
+
+struct InsertionCurve {
+  /// Cumulative failure ratio sampled on a 1%-utilization grid
+  /// (index i = i percent utilization); NaN where never reached.
+  std::vector<double> failure_ratio_at_pct;
+  double final_utilization = 0;
+  double final_failure_ratio = 0;
+};
+
+[[nodiscard]] InsertionCurve simulate_insertion(const trace::FsTrace& trace,
+                                                const InsertionSimConfig& config);
+
+}  // namespace kosha::sim

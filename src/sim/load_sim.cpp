@@ -1,0 +1,79 @@
+#include "sim/load_sim.hpp"
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "kosha/placement.hpp"
+#include "pastry/ring.hpp"
+
+namespace kosha::sim {
+
+LoadDistribution simulate_load_distribution(const trace::FsTrace& trace,
+                                            const LoadSimConfig& config) {
+  // Hash once per file (keys do not depend on the run's node ids).
+  std::vector<pastry::Key> keys(trace.files.size());
+  {
+    std::unordered_map<std::string, pastry::Key> cache;
+    for (std::size_t i = 0; i < trace.files.size(); ++i) {
+      if (config.level == 0) {
+        keys[i] = key_for_name(trace.files[i].path);  // per-file hashing
+      } else {
+        const std::string anchor = trace::file_anchor_name(trace.files[i].path, config.level);
+        const auto [it, inserted] = cache.try_emplace(anchor, Uint128{});
+        if (inserted) it->second = key_for_name(anchor);
+        keys[i] = it->second;
+      }
+    }
+  }
+
+  const Rng base(config.seed);
+  RunningStats count_mean;
+  RunningStats count_std;
+  RunningStats bytes_mean;
+  RunningStats bytes_std;
+  std::mutex merge_mutex;
+
+  parallel_for(
+      config.runs,
+      [&](std::size_t run) {
+        Rng rng = base.fork(run);
+        std::vector<std::pair<pastry::NodeId, pastry::Ring::Tag>> ids;
+        ids.reserve(config.nodes);
+        for (std::size_t n = 0; n < config.nodes; ++n) {
+          ids.emplace_back(rng.next_id(), static_cast<pastry::Ring::Tag>(n));
+        }
+        const pastry::Ring ring(std::move(ids));
+
+        std::vector<std::uint64_t> count(config.nodes, 0);
+        std::vector<std::uint64_t> bytes(config.nodes, 0);
+        for (std::size_t i = 0; i < trace.files.size(); ++i) {
+          const auto node = ring.owner_tag(keys[i]);
+          ++count[node];
+          bytes[node] += trace.files[i].size;
+        }
+
+        RunningStats count_pct;
+        RunningStats bytes_pct;
+        for (std::size_t n = 0; n < config.nodes; ++n) {
+          count_pct.add(100.0 * static_cast<double>(count[n]) /
+                        static_cast<double>(trace.files.size()));
+          bytes_pct.add(100.0 * static_cast<double>(bytes[n]) /
+                        static_cast<double>(trace.total_bytes));
+        }
+
+        const std::lock_guard lock(merge_mutex);
+        count_mean.add(count_pct.mean());
+        count_std.add(count_pct.stddev());
+        bytes_mean.add(bytes_pct.mean());
+        bytes_std.add(bytes_pct.stddev());
+      },
+      config.threads);
+
+  return {count_mean.mean(), count_std.mean(), bytes_mean.mean(), bytes_std.mean()};
+}
+
+}  // namespace kosha::sim

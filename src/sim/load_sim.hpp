@@ -1,0 +1,39 @@
+#pragma once
+
+// Load-distribution simulation (paper Figure 5).
+//
+// Places every file of a departmental trace on a simulated Kosha cluster
+// by hashing its anchor directory name, and measures how evenly file
+// counts and bytes spread across nodes as the distribution level grows.
+// Level 0 selects the hypothetical finest-grained scheme — hashing every
+// individual file path — which upper-bounds the achievable balance.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "trace/fs_trace.hpp"
+
+namespace kosha::sim {
+
+struct LoadDistribution {
+  /// Mean/stddev across nodes of the per-node share (in percent) of the
+  /// file count and of the total bytes, averaged over runs.
+  double mean_count_pct = 0;
+  double std_count_pct = 0;
+  double mean_bytes_pct = 0;
+  double std_bytes_pct = 0;
+};
+
+struct LoadSimConfig {
+  std::size_t nodes = 16;
+  /// Distribution level; 0 = per-file hashing (the upper bound).
+  unsigned level = 1;
+  std::size_t runs = 50;  // paper: 50 node-id assignments
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+[[nodiscard]] LoadDistribution simulate_load_distribution(const trace::FsTrace& trace,
+                                                          const LoadSimConfig& config);
+
+}  // namespace kosha::sim

@@ -1,0 +1,61 @@
+#include "trace/availability.hpp"
+
+#include "common/rng.hpp"
+
+namespace kosha::trace {
+
+std::size_t AvailabilityTrace::down_count(std::size_t hour) const {
+  std::size_t count = 0;
+  for (const bool status : up[hour]) {
+    if (!status) ++count;
+  }
+  return count;
+}
+
+double AvailabilityTrace::mean_availability() const {
+  std::uint64_t up_hours = 0;
+  for (const auto& hour : up) {
+    for (const bool status : hour) up_hours += status ? 1 : 0;
+  }
+  return static_cast<double>(up_hours) /
+         (static_cast<double>(machines) * static_cast<double>(hours));
+}
+
+AvailabilityTrace generate_availability_trace(const AvailabilityConfig& config) {
+  Rng rng(config.seed);
+  AvailabilityTrace trace;
+  trace.machines = config.machines;
+  trace.hours = config.hours;
+  trace.up.assign(config.hours, std::vector<bool>(config.machines, true));
+
+  std::vector<bool> state(config.machines, true);
+  std::vector<std::size_t> spike_victims;
+
+  for (std::size_t h = 0; h < config.hours; ++h) {
+    // Independent failure/recovery processes.
+    for (std::size_t m = 0; m < config.machines; ++m) {
+      if (state[m]) {
+        if (rng.next_bool(config.hourly_failure_prob)) state[m] = false;
+      } else {
+        if (rng.next_bool(config.hourly_recovery_prob)) state[m] = true;
+      }
+    }
+    // Correlated mass failure.
+    if (h == config.spike_hour) {
+      for (std::size_t m = 0; m < config.machines; ++m) {
+        if (state[m] && rng.next_bool(config.spike_fraction)) {
+          state[m] = false;
+          spike_victims.push_back(m);
+        }
+      }
+    }
+    if (!spike_victims.empty() && h == config.spike_hour + config.spike_duration_hours) {
+      for (const std::size_t m : spike_victims) state[m] = true;
+      spike_victims.clear();
+    }
+    trace.up[h] = state;
+  }
+  return trace;
+}
+
+}  // namespace kosha::trace

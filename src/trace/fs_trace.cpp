@@ -1,0 +1,100 @@
+#include "trace/fs_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/path.hpp"
+#include "common/rng.hpp"
+#include "kosha/placement.hpp"
+
+namespace kosha::trace {
+
+FsTrace generate_fs_trace(const FsTraceConfig& config) {
+  Rng rng(config.seed);
+  FsTrace trace;
+
+  // Zipf-like file counts per user.
+  std::vector<double> weight(config.users);
+  double weight_sum = 0;
+  for (std::size_t u = 0; u < config.users; ++u) {
+    weight[u] = 1.0 / std::pow(static_cast<double>(u + 1), config.user_skew);
+    weight_sum += weight[u];
+  }
+  std::vector<std::size_t> files_per_user(config.users);
+  std::size_t assigned = 0;
+  for (std::size_t u = 0; u < config.users; ++u) {
+    files_per_user[u] = static_cast<std::size_t>(
+        static_cast<double>(config.files) * weight[u] / weight_sum);
+    assigned += files_per_user[u];
+  }
+  for (std::size_t u = 0; assigned < config.files; u = (u + 1) % config.users) {
+    ++files_per_user[u];
+    ++assigned;
+  }
+
+  // Log-normal sizes with a heavy tail, scaled to the configured total.
+  // A second scaling pass compensates for the min/max clamping so the
+  // aggregate matches the paper's 17.9 GB closely.
+  std::vector<double> raw(config.files);
+  double raw_sum = 0;
+  for (auto& value : raw) {
+    value = std::exp(rng.next_gaussian() * 1.8 + 2.0);
+    raw_sum += value;
+  }
+  double scale = static_cast<double>(config.total_bytes) / raw_sum;
+  constexpr double kMinBytes = 128.0;
+  constexpr double kMaxBytes = 512.0 * 1024 * 1024;
+  for (int pass = 0; pass < 4; ++pass) {
+    double clamped_sum = 0;
+    for (const auto value : raw) {
+      clamped_sum += std::clamp(value * scale, kMinBytes, kMaxBytes);
+    }
+    scale *= static_cast<double>(config.total_bytes) / clamped_sum;
+  }
+
+  trace.files.reserve(config.files);
+  std::size_t file_index = 0;
+  for (std::size_t u = 0; u < config.users; ++u) {
+    const std::string home = "/u" + std::to_string(u);
+    trace.directories.push_back(home);
+
+    // Per-user directory tree sized to the user's file count.
+    struct Dir {
+      std::string path;
+      unsigned depth;
+    };
+    std::vector<Dir> dirs{{home, 1}};
+    const std::size_t dir_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(files_per_user[u]) /
+                                    config.files_per_dir));
+    while (dirs.size() < dir_count) {
+      const Dir& parent = dirs[rng.next_below(dirs.size())];
+      if (parent.depth >= config.max_depth) continue;
+      Dir child{parent.path + "/" + rng.next_name(4), parent.depth + 1};
+      trace.directories.push_back(child.path);
+      dirs.push_back(std::move(child));
+    }
+
+    for (std::size_t f = 0; f < files_per_user[u]; ++f, ++file_index) {
+      const Dir& dir = dirs[rng.next_below(dirs.size())];
+      TraceFile file;
+      file.path = dir.path + "/" + rng.next_name(6);
+      file.size = static_cast<std::uint64_t>(
+          std::clamp(raw[file_index] * scale, kMinBytes, kMaxBytes));
+      trace.total_bytes += file.size;
+      trace.files.push_back(std::move(file));
+    }
+  }
+  return trace;
+}
+
+std::string file_anchor_name(const std::string& path, unsigned level) {
+  const auto components = split_path(path);
+  if (components.size() <= 1) return "/";  // file directly under the root
+  const auto dir_depth = static_cast<unsigned>(components.size() - 1);
+  const unsigned anchor = anchor_depth(level, dir_depth);
+  if (anchor == 0) return "/";
+  return components[anchor - 1];
+}
+
+}  // namespace kosha::trace

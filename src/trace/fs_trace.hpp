@@ -1,0 +1,48 @@
+#pragma once
+
+// Synthetic departmental file-system trace (paper §6.2).
+//
+// The authors drove their load-distribution and redirection simulations
+// with a trace of their department's central NFS server: 221 K files from
+// 130 users totalling 17.9 GB. We synthesise a trace with the same
+// aggregate statistics: Zipf-like file counts per user, log-normal file
+// sizes with a heavy tail, and per-user directory trees up to a depth cap.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kosha::trace {
+
+struct TraceFile {
+  std::string path;  // virtual path, e.g. "/u017/src/proj/main.c"
+  std::uint64_t size = 0;
+};
+
+struct FsTrace {
+  std::vector<std::string> directories;  // creation order, parents first
+  std::vector<TraceFile> files;          // insertion order (grouped by user)
+  std::uint64_t total_bytes = 0;
+};
+
+struct FsTraceConfig {
+  std::uint64_t seed = 1;
+  std::size_t users = 130;
+  std::size_t files = 221'000;
+  std::uint64_t total_bytes = 17'900ull << 20;  // 17.9 GB
+  /// Average files per directory (sets the directory count).
+  double files_per_dir = 14.0;
+  unsigned max_depth = 8;
+  /// Zipf skew of per-user file counts.
+  double user_skew = 0.8;
+};
+
+[[nodiscard]] FsTrace generate_fs_trace(const FsTraceConfig& config);
+
+/// The anchor directory name placement hashes for a *file* path under a
+/// given distribution level: the component at depth min(level, dir_depth),
+/// or "/" when the file sits directly under the virtual root
+/// (paper §3.1-§3.2).
+[[nodiscard]] std::string file_anchor_name(const std::string& path, unsigned level);
+
+}  // namespace kosha::trace

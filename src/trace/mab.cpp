@@ -1,0 +1,72 @@
+#include "trace/mab.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kosha::trace {
+
+std::string mab_copy_path(const std::string& path) {
+  auto parts = split_path(path);
+  if (!parts.empty()) parts[0] += "c";
+  return join_path(parts);
+}
+
+std::string mab_content(std::size_t size, std::uint64_t salt) {
+  // Deterministic filler; cheap to generate, unique-ish per file.
+  std::string out(size, '\0');
+  std::uint64_t state = salt;
+  for (std::size_t i = 0; i < size; i += 64) {
+    out[i] = static_cast<char>('a' + (splitmix64(state) % 26));
+  }
+  return out;
+}
+
+MabWorkload generate_mab(const MabConfig& config) {
+  Rng rng(config.seed);
+  MabWorkload workload;
+
+  struct Dir {
+    std::string path;
+    unsigned depth;
+  };
+  std::vector<Dir> dirs;
+  dirs.reserve(config.total_dirs);
+
+  for (std::size_t i = 0; i < config.top_dirs; ++i) {
+    dirs.push_back({"/" + config.prefix + "_d" + std::to_string(i), 1});
+  }
+  while (dirs.size() < config.total_dirs) {
+    // Attach a new subdirectory to a random existing directory that still
+    // has room below the depth cap.
+    const Dir& parent = dirs[rng.next_below(dirs.size())];
+    if (parent.depth >= config.max_depth) continue;
+    dirs.push_back(
+        {parent.path + "/s" + std::to_string(dirs.size()), parent.depth + 1});
+  }
+  workload.directories.reserve(dirs.size());
+  for (const auto& dir : dirs) workload.directories.push_back(dir.path);
+
+  // Log-normal file sizes scaled to the configured total.
+  std::vector<double> raw(config.files);
+  double sum = 0;
+  for (auto& value : raw) {
+    value = std::exp(rng.next_gaussian() * 1.1 + 4.0);  // median ~55 "units"
+    sum += value;
+  }
+  const double scale = static_cast<double>(config.total_bytes) / sum;
+
+  workload.files.reserve(config.files);
+  static constexpr const char* kExtensions[] = {".c", ".h", ".cpp", ".txt", ".mk"};
+  for (std::size_t i = 0; i < config.files; ++i) {
+    const Dir& dir = dirs[rng.next_below(dirs.size())];
+    MabFile file;
+    file.path = dir.path + "/f" + std::to_string(i) + kExtensions[i % 5];
+    file.size = static_cast<std::uint32_t>(
+        std::clamp(raw[i] * scale, 512.0, 4.0 * 1024 * 1024));
+    workload.total_bytes += file.size;
+    workload.files.push_back(std::move(file));
+  }
+  return workload;
+}
+
+}  // namespace kosha::trace

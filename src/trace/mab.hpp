@@ -1,0 +1,176 @@
+#pragma once
+
+// Modified Andrew Benchmark (paper §6.1).
+//
+// The authors ran a FreeBSD-adapted Andrew benchmark with a larger (51 MB,
+// max depth 6) file distribution. We synthesise an equivalent tree and
+// drive the same five phases — mkdir, copy, stat, grep, compile — against
+// any mount with the common path-level interface (KoshaMount or the
+// unmodified-NFS baseline). Phase times are read off the virtual clock;
+// client CPU work (scanning in grep, compilation in compile) is charged
+// identically for both systems, exactly as it would be on real hardware.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/path.hpp"
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+
+namespace kosha::trace {
+
+struct MabFile {
+  std::string path;
+  std::uint32_t size = 0;
+};
+
+struct MabWorkload {
+  std::vector<std::string> directories;  // creation order, parents first
+  std::vector<MabFile> files;
+  std::uint64_t total_bytes = 0;
+};
+
+struct MabConfig {
+  std::uint64_t seed = 1;
+  /// Prefix for the top-level directories (lets repeated runs coexist and
+  /// keeps them at distribution depth 1, like the paper's setup where the
+  /// benchmark tree sits directly under /kosha).
+  std::string prefix = "mab";
+  std::size_t top_dirs = 8;
+  std::size_t total_dirs = 160;
+  unsigned max_depth = 6;  // paper: "maximum subdirectory level of 6"
+  std::size_t files = 420;
+  std::uint64_t total_bytes = 51ull << 20;  // paper: 51 MB
+};
+
+/// Deterministically synthesise the benchmark tree.
+[[nodiscard]] MabWorkload generate_mab(const MabConfig& config);
+
+/// Client-side CPU costs charged by the driver (identical for all mounts).
+struct MabCosts {
+  SimDuration grep_per_kib = SimDuration::micros(10);
+  SimDuration compile_per_kib = SimDuration::micros(420);
+  SimDuration compile_fixed = SimDuration::millis(12);
+  /// Object files written by the compile phase, as a fraction of source.
+  double object_ratio = 0.6;
+};
+
+struct MabPhaseTimes {
+  double mkdir_s = 0;
+  double copy_s = 0;
+  double stat_s = 0;
+  double grep_s = 0;
+  double compile_s = 0;
+
+  [[nodiscard]] double total() const {
+    return mkdir_s + copy_s + stat_s + grep_s + compile_s;
+  }
+
+  MabPhaseTimes& operator+=(const MabPhaseTimes& other) {
+    mkdir_s += other.mkdir_s;
+    copy_s += other.copy_s;
+    stat_s += other.stat_s;
+    grep_s += other.grep_s;
+    compile_s += other.compile_s;
+    return *this;
+  }
+  MabPhaseTimes& operator/=(double k) {
+    mkdir_s /= k;
+    copy_s /= k;
+    stat_s /= k;
+    grep_s /= k;
+    compile_s /= k;
+    return *this;
+  }
+};
+
+/// Cheap deterministic file content of the requested size.
+[[nodiscard]] std::string mab_content(std::size_t size, std::uint64_t salt);
+
+/// Destination path of the copy phase: the source tree is mirrored into a
+/// parallel top-level tree (Andrew's copy phase re-creates the directory
+/// hierarchy, which is exactly where Kosha pays the two-hash/special-link
+/// cost the paper discusses in §6.1.4).
+[[nodiscard]] std::string mab_copy_path(const std::string& path);
+
+/// Run the five MAB phases against `mount`, timing each on `clock`.
+/// The Mount type must provide mkdir_p/write_file/read_file/stat.
+template <typename Mount>
+MabPhaseTimes run_mab(Mount& mount, const MabWorkload& workload, SimClock& clock,
+                      const MabCosts& costs = {}) {
+  MabPhaseTimes times;
+
+  {  // Phase 1: mkdir — create the source directory hierarchy
+    const SimStopwatch watch(clock);
+    for (const auto& dir : workload.directories) {
+      if (!mount.mkdir_p(dir).ok()) return times;
+    }
+    times.mkdir_s = watch.elapsed().to_seconds();
+  }
+  {  // Phase 2: copy — re-create the hierarchy and copy every file into it
+    const SimStopwatch watch(clock);
+    for (const auto& dir : workload.directories) {
+      if (!mount.mkdir_p(mab_copy_path(dir)).ok()) return times;
+    }
+    std::uint64_t salt = 0;
+    for (const auto& file : workload.files) {
+      if (!mount.write_file(mab_copy_path(file.path), mab_content(file.size, ++salt)).ok()) {
+        return times;
+      }
+    }
+    times.copy_s = watch.elapsed().to_seconds();
+  }
+  {  // Phase 3: stat (recursive status of every entry in the copy)
+    const SimStopwatch watch(clock);
+    for (const auto& dir : workload.directories) {
+      if (!mount.stat(mab_copy_path(dir)).ok()) return times;
+    }
+    for (const auto& file : workload.files) {
+      if (!mount.stat(mab_copy_path(file.path)).ok()) return times;
+    }
+    times.stat_s = watch.elapsed().to_seconds();
+  }
+  {  // Phase 4: grep (scan every byte)
+    const SimStopwatch watch(clock);
+    for (const auto& file : workload.files) {
+      const auto content = mount.read_file(mab_copy_path(file.path));
+      if (!content.ok()) return times;
+      clock.advance(SimDuration::nanos(costs.grep_per_kib.ns *
+                                       static_cast<std::int64_t>(content->size()) / 1024));
+    }
+    times.grep_s = watch.elapsed().to_seconds();
+  }
+  {  // Phase 5: compile (read sources, burn CPU, emit objects)
+    const SimStopwatch watch(clock);
+    std::uint64_t salt = 0x9e3779b9;
+    for (const auto& file : workload.files) {
+      const std::string path = mab_copy_path(file.path);
+      const auto content = mount.read_file(path);
+      if (!content.ok()) return times;
+      clock.advance(costs.compile_fixed);
+      clock.advance(SimDuration::nanos(costs.compile_per_kib.ns *
+                                       static_cast<std::int64_t>(content->size()) / 1024));
+      const auto object_size = static_cast<std::size_t>(
+          static_cast<double>(content->size()) * costs.object_ratio);
+      if (!mount.write_file(path + ".o", mab_content(object_size, ++salt)).ok()) {
+        return times;
+      }
+    }
+    times.compile_s = watch.elapsed().to_seconds();
+  }
+  return times;
+}
+
+/// Delete everything the workload created (untimed cleanup between runs).
+template <typename Mount>
+void cleanup_mab(Mount& mount, const MabWorkload& workload) {
+  for (const auto& dir : workload.directories) {
+    if (path_depth(dir) == 1) {
+      (void)mount.remove_all(dir);
+      (void)mount.remove_all(mab_copy_path(dir));
+    }
+  }
+}
+
+}  // namespace kosha::trace

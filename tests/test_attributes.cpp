@@ -1,0 +1,107 @@
+// Attribute-preservation tests (paper §4.1.6: "files in Kosha maintain
+// their permissions"): modes and ownership survive replication, failover,
+// and key-space migration.
+
+#include <gtest/gtest.h>
+
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
+
+namespace kosha {
+namespace {
+
+ClusterConfig base_config(std::uint64_t seed) {
+  ClusterConfig config;
+  config.nodes = 8;
+  config.kosha.distribution_level = 1;
+  config.kosha.replicas = 2;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Attributes, ModeAndUidSetAtCreation) {
+  KoshaCluster cluster(base_config(41));
+  auto& daemon = cluster.daemon(0);
+  const auto root = daemon.root();
+  const auto dir = daemon.mkdir(*root, "home", 0750, 1001);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(dir->attr.mode, 0750u);
+  EXPECT_EQ(dir->attr.uid, 1001u);
+  const auto file = daemon.create(dir->handle, "private", 0600, 1001);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->attr.mode, 0600u);
+  EXPECT_EQ(file->attr.uid, 1001u);
+}
+
+TEST(Attributes, SetModeVisibleFromOtherClients) {
+  KoshaCluster cluster(base_config(42));
+  auto& daemon = cluster.daemon(0);
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.write_file("/f", "x").ok());
+  const auto vh = mount.resolve("/f");
+  ASSERT_TRUE(daemon.set_mode(*vh, 0400).ok());
+
+  KoshaMount other(&cluster.daemon(3));
+  EXPECT_EQ(other.stat("/f")->mode, 0400u);
+}
+
+TEST(Attributes, ModeSurvivesFailover) {
+  KoshaCluster cluster(base_config(43));
+  auto& daemon = cluster.daemon(0);
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/secure").ok());
+  ASSERT_TRUE(mount.write_file("/secure/key", "secret").ok());
+  const auto vh = mount.resolve("/secure/key");
+  ASSERT_TRUE(daemon.set_mode(*vh, 0600).ok());
+
+  const net::HostId primary = daemon.handle_table().find(*vh)->real.server;
+  if (primary == 0) return;
+  cluster.fail_node(primary);
+
+  const auto attr = mount.stat("/secure/key");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->mode, 0600u);  // the replica carried the chmod
+  EXPECT_EQ(mount.read_file("/secure/key").value(), "secret");
+}
+
+TEST(Attributes, ModeSurvivesMigration) {
+  ClusterConfig config = base_config(44);
+  config.nodes = 3;
+  KoshaCluster cluster(config);
+  auto& daemon = cluster.daemon(0);
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/mig").ok());
+  ASSERT_TRUE(mount.write_file("/mig/f", "x").ok());
+  const auto vh = mount.resolve("/mig/f");
+  ASSERT_TRUE(daemon.set_mode(*vh, 0640).ok());
+
+  for (int i = 0; i < 8; ++i) (void)cluster.add_node();
+  KoshaMount fresh(&cluster.daemon(cluster.live_hosts().back()));
+  const auto attr = fresh.stat("/mig/f");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->mode, 0640u);
+}
+
+TEST(Attributes, SizeAndTypeReportedThroughVirtualHandles) {
+  KoshaCluster cluster(base_config(45));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/t").ok());
+  ASSERT_TRUE(mount.write_file("/t/f", std::string(12345, 'q')).ok());
+  const auto file_attr = mount.stat("/t/f");
+  EXPECT_EQ(file_attr->type, fs::FileType::kFile);
+  EXPECT_EQ(file_attr->size, 12345u);
+  const auto dir_attr = mount.stat("/t");
+  EXPECT_EQ(dir_attr->type, fs::FileType::kDirectory);
+}
+
+TEST(Attributes, MtimeAdvancesOnWrite) {
+  KoshaCluster cluster(base_config(46));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.write_file("/m", "v1").ok());
+  const auto before = mount.stat("/m")->mtime;
+  ASSERT_TRUE(mount.write_file("/m", "v2").ok());
+  EXPECT_GT(mount.stat("/m")->mtime, before);
+}
+
+}  // namespace
+}  // namespace kosha

@@ -1,0 +1,137 @@
+// Cluster-audit tests: the auditor passes on healthy clusters (including
+// after heavy churn) and catches deliberately injected corruption.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kosha/audit.hpp"
+#include "kosha/mount.hpp"
+#include "kosha/placement.hpp"
+
+namespace kosha {
+namespace {
+
+ClusterConfig healthy_config(std::uint64_t seed) {
+  ClusterConfig config;
+  config.nodes = 8;
+  config.kosha.distribution_level = 2;
+  config.kosha.replicas = 2;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Audit, CleanOnFreshCluster) {
+  KoshaCluster cluster(healthy_config(3));
+  const auto report = audit_cluster(cluster);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(Audit, CleanAfterWorkload) {
+  KoshaCluster cluster(healthy_config(4));
+  KoshaMount mount(&cluster.daemon(0));
+  for (int u = 0; u < 3; ++u) {
+    for (int d = 0; d < 3; ++d) {
+      const std::string dir = "/user" + std::to_string(u) + "/dir" + std::to_string(d);
+      ASSERT_TRUE(mount.mkdir_p(dir).ok());
+      for (int f = 0; f < 4; ++f) {
+        ASSERT_TRUE(
+            mount.write_file(dir + "/f" + std::to_string(f), "data-" + std::to_string(f))
+                .ok());
+      }
+    }
+  }
+  (void)mount.remove("/user0/dir0/f0");
+  (void)mount.rename("/user1/dir1/f1", "/user1/dir1/renamed");
+  const auto report = audit_cluster(cluster);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+class AuditChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AuditChurn, CleanAfterChurn) {
+  KoshaCluster cluster(healthy_config(GetParam()));
+  Rng rng(GetParam() * 17 + 3);
+  KoshaMount mount(&cluster.daemon(0));
+  for (int round = 0; round < 40; ++round) {
+    const unsigned action = static_cast<unsigned>(rng.next_below(10));
+    if (action < 6) {
+      const std::string dir = "/w" + std::to_string(rng.next_below(3));
+      (void)mount.mkdir_p(dir);
+      (void)mount.write_file(dir + "/f" + std::to_string(rng.next_below(5)),
+                             rng.next_name(16));
+    } else if (action < 7) {
+      const auto hosts = cluster.live_hosts();
+      if (hosts.size() > 5) cluster.fail_node(hosts[1 + rng.next_below(hosts.size() - 1)]);
+    } else if (action < 8) {
+      for (net::HostId host = 0; host < cluster.network().host_count(); ++host) {
+        if (!cluster.is_up(host)) {
+          cluster.revive_node(host);
+          break;
+        }
+      }
+    } else if (action < 9) {
+      (void)cluster.add_node();
+    } else {
+      (void)mount.remove("/w0/f" + std::to_string(rng.next_below(5)));
+    }
+  }
+  const auto report = audit_cluster(cluster);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AuditChurn, ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(Audit, DetectsMissingAnchorOnDisk) {
+  KoshaCluster cluster(healthy_config(5));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/victim").ok());
+  // Corrupt: delete the anchor container from its node behind Kosha's back.
+  for (const auto host : cluster.live_hosts()) {
+    auto& store = cluster.server(host).store();
+    const auto area = store.resolve(std::string("/") + kAnchorArea);
+    if (!area.ok()) continue;
+    if (store.lookup(*area, "victim").ok()) {
+      ASSERT_TRUE(store.remove_recursive(*area, "victim").ok());
+    }
+  }
+  const auto report = audit_cluster(cluster);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(Audit, DetectsReplicaDivergence) {
+  KoshaCluster cluster(healthy_config(6));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/div").ok());
+  ASSERT_TRUE(mount.write_file("/div/f", "authoritative").ok());
+  // Corrupt one replica copy directly.
+  const auto vh = mount.resolve("/div/f");
+  const net::HostId primary = cluster.daemon(0).handle_table().find(*vh)->real.server;
+  const auto targets = cluster.replicas(primary).targets();
+  ASSERT_FALSE(targets.empty());
+  auto& replica_store =
+      cluster.server(cluster.overlay().host_of(targets.front())).store();
+  const std::string hidden = ReplicaManager::hidden_root(cluster.node_id(primary));
+  const auto copy = replica_store.resolve(hidden + stored_path({"div", "f"}, 1, "div"));
+  ASSERT_TRUE(copy.ok());
+  ASSERT_TRUE(replica_store.write(*copy, 0, "CORRUPTEDBYTES").ok());
+
+  const auto report = audit_cluster(cluster);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(Audit, DetectsDanglingSpecialLink) {
+  KoshaCluster cluster(healthy_config(7));
+  KoshaMount mount(&cluster.daemon(0));
+  // Plant a link to a directory that was never created.
+  const net::HostId root_owner = cluster.overlay().ring().owner_tag(root_key());
+  auto& store = cluster.server(root_owner).store();
+  const auto root_dir = store.resolve(root_stored_path());
+  ASSERT_TRUE(root_dir.ok());
+  ASSERT_TRUE(store.symlink(*root_dir, "ghost", "ghost").ok());
+
+  const auto report = audit_cluster(cluster);
+  EXPECT_FALSE(report.clean());
+}
+
+}  // namespace
+}  // namespace kosha

@@ -1,0 +1,152 @@
+// Randomised churn property tests: interleave file-system operations with
+// node joins, crashes and revivals, and check that (a) data written is
+// readable as long as failures never outpace the replication factor
+// between repair rounds, and (b) the namespace stays consistent across
+// clients.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
+
+namespace kosha {
+namespace {
+
+class ChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnProperty, DataSurvivesBoundedChurn) {
+  ClusterConfig config;
+  config.nodes = 10;
+  config.kosha.distribution_level = 2;
+  config.kosha.replicas = 2;
+  config.node_capacity_bytes = 1ull << 30;
+  config.seed = GetParam();
+  KoshaCluster cluster(config);
+  Rng rng(GetParam() * 31 + 5);
+  KoshaMount mount(&cluster.daemon(0));  // host 0 is never killed
+
+  std::map<std::string, std::string> expected;  // path -> content
+
+  auto random_dir = [&] {
+    return "/u" + std::to_string(rng.next_below(4)) + "/d" + std::to_string(rng.next_below(3));
+  };
+
+  for (int round = 0; round < 60; ++round) {
+    const unsigned action = static_cast<unsigned>(rng.next_below(10));
+    if (action < 5) {
+      // Write or overwrite a file.
+      const std::string dir = random_dir();
+      ASSERT_TRUE(mount.mkdir_p(dir).ok());
+      const std::string path = dir + "/f" + std::to_string(rng.next_below(6));
+      const std::string content = "r" + std::to_string(round) + "-" + rng.next_name(12);
+      ASSERT_TRUE(mount.write_file(path, content).ok()) << path;
+      expected[path] = content;
+    } else if (action < 7) {
+      // Delete a known file.
+      if (!expected.empty()) {
+        auto it = expected.begin();
+        std::advance(it, static_cast<long>(rng.next_below(expected.size())));
+        ASSERT_TRUE(mount.remove(it->first).ok()) << it->first;
+        expected.erase(it);
+      }
+    } else if (action < 8) {
+      // Crash one random non-client node (single failure, then repair
+      // completes synchronously — within the replication factor).
+      const auto hosts = cluster.live_hosts();
+      if (hosts.size() > 4) {
+        const net::HostId victim = hosts[1 + rng.next_below(hosts.size() - 1)];
+        cluster.fail_node(victim);
+      }
+    } else if (action < 9) {
+      // Revive a crashed node, if any.
+      for (net::HostId host = 0; host < 16; ++host) {
+        if (host < cluster.network().host_count() && !cluster.is_up(host)) {
+          cluster.revive_node(host);
+          break;
+        }
+      }
+    } else {
+      (void)cluster.add_node();
+    }
+
+    // Invariant: everything written is readable with the right content.
+    for (const auto& [path, content] : expected) {
+      const auto read = mount.read_file(path);
+      ASSERT_TRUE(read.ok()) << "round " << round << " lost " << path;
+      ASSERT_EQ(read.value(), content) << "round " << round << " corrupted " << path;
+    }
+  }
+
+  // Final cross-client consistency check from a surviving host.
+  const auto hosts = cluster.live_hosts();
+  KoshaMount other(&cluster.daemon(hosts.back()));
+  for (const auto& [path, content] : expected) {
+    const auto read = other.read_file(path);
+    ASSERT_TRUE(read.ok()) << path;
+    EXPECT_EQ(read.value(), content);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+TEST(ClusterChurn, MassJoinThenMassFailure) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.kosha.distribution_level = 1;
+  config.kosha.replicas = 3;
+  config.seed = 61;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/grow").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(mount.write_file("/grow/f" + std::to_string(i), std::to_string(i)).ok());
+  }
+  // Triple the cluster.
+  for (int i = 0; i < 8; ++i) (void)cluster.add_node();
+  // Then kill three non-client nodes, one at a time (repair in between).
+  Rng rng(62);
+  for (int k = 0; k < 3; ++k) {
+    const auto hosts = cluster.live_hosts();
+    cluster.fail_node(hosts[1 + rng.next_below(hosts.size() - 1)]);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto content = mount.read_file("/grow/f" + std::to_string(i));
+    ASSERT_TRUE(content.ok()) << i;
+    EXPECT_EQ(content.value(), std::to_string(i));
+  }
+}
+
+TEST(ClusterChurn, ClientHandlesStayValidAcrossFailover) {
+  ClusterConfig config;
+  config.nodes = 8;
+  config.kosha.replicas = 2;
+  config.seed = 63;
+  KoshaCluster cluster(config);
+  auto& daemon = cluster.daemon(0);
+  KoshaMount mount(&daemon);
+  ASSERT_TRUE(mount.mkdir_p("/h").ok());
+  ASSERT_TRUE(mount.write_file("/h/f", "before").ok());
+  const auto vh = mount.resolve("/h/f");
+  ASSERT_TRUE(vh.ok());
+
+  const net::HostId primary = daemon.handle_table().find(*vh)->real.server;
+  if (primary != 0) {
+    cluster.fail_node(primary);
+    // The *same* virtual handle keeps working (paper §4.4).
+    const auto read = daemon.read(*vh, 0, 100);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read->data, "before");
+    const auto written = daemon.write(*vh, 0, "after!");
+    ASSERT_TRUE(written.ok());
+    EXPECT_EQ(mount.read_file("/h/f").value(), "after!");
+    EXPECT_GE(daemon.stats().failovers, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace kosha

@@ -1,0 +1,112 @@
+// End-to-end smoke tests of the full Kosha stack: cluster + overlay +
+// koshad + replication, through the path-level mount API.
+
+#include <gtest/gtest.h>
+
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
+
+namespace kosha {
+namespace {
+
+ClusterConfig small_cluster(std::size_t nodes, unsigned level, unsigned replicas) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.kosha.distribution_level = level;
+  config.kosha.replicas = replicas;
+  config.node_capacity_bytes = 1ull << 30;
+  config.seed = 7;
+  return config;
+}
+
+TEST(ClusterSmoke, WriteAndReadBack) {
+  KoshaCluster cluster(small_cluster(8, 2, 1));
+  KoshaMount mount(&cluster.daemon(0));
+
+  ASSERT_TRUE(mount.mkdir_p("/alice/projects/kosha").ok());
+  ASSERT_TRUE(mount.write_file("/alice/projects/kosha/readme.txt", "hello kosha").ok());
+  const auto content = mount.read_file("/alice/projects/kosha/readme.txt");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "hello kosha");
+}
+
+TEST(ClusterSmoke, VisibleFromEveryClient) {
+  KoshaCluster cluster(small_cluster(4, 1, 1));
+  KoshaMount writer(&cluster.daemon(0));
+  ASSERT_TRUE(writer.mkdir_p("/shared").ok());
+  ASSERT_TRUE(writer.write_file("/shared/note", "location transparent").ok());
+
+  for (const net::HostId host : cluster.live_hosts()) {
+    KoshaMount reader(&cluster.daemon(host));
+    const auto content = reader.read_file("/shared/note");
+    ASSERT_TRUE(content.ok()) << "host " << host;
+    EXPECT_EQ(content.value(), "location transparent");
+  }
+}
+
+TEST(ClusterSmoke, ListingAndRemove) {
+  KoshaCluster cluster(small_cluster(4, 2, 1));
+  KoshaMount mount(&cluster.daemon(1));
+  ASSERT_TRUE(mount.mkdir_p("/u/docs").ok());
+  ASSERT_TRUE(mount.write_file("/u/docs/a.txt", "a").ok());
+  ASSERT_TRUE(mount.write_file("/u/docs/b.txt", "b").ok());
+  ASSERT_TRUE(mount.mkdir_p("/u/docs/old").ok());
+
+  const auto listing = mount.list("/u/docs");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing.value().size(), 3u);
+
+  ASSERT_TRUE(mount.remove("/u/docs/a.txt").ok());
+  EXPECT_FALSE(mount.exists("/u/docs/a.txt"));
+  ASSERT_TRUE(mount.rmdir("/u/docs/old").ok());
+  EXPECT_FALSE(mount.exists("/u/docs/old"));
+  EXPECT_TRUE(mount.exists("/u/docs/b.txt"));
+}
+
+TEST(ClusterSmoke, TransparentFailover) {
+  KoshaCluster cluster(small_cluster(6, 1, 2));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/ha").ok());
+  ASSERT_TRUE(mount.write_file("/ha/data", "survives failures").ok());
+
+  // Find and kill the node that stores /ha (but never our client host 0).
+  const auto vh = mount.resolve("/ha/data");
+  ASSERT_TRUE(vh.ok());
+  const auto* entry = cluster.daemon(0).handle_table().find(*vh);
+  ASSERT_NE(entry, nullptr);
+  const net::HostId victim = entry->real.server;
+  if (victim != 0) {
+    cluster.fail_node(victim);
+    const auto content = mount.read_file("/ha/data");
+    ASSERT_TRUE(content.ok());
+    EXPECT_EQ(content.value(), "survives failures");
+  }
+}
+
+TEST(ClusterSmoke, RenameFileSameDirectory) {
+  KoshaCluster cluster(small_cluster(4, 1, 1));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/r").ok());
+  ASSERT_TRUE(mount.write_file("/r/old", "x").ok());
+  ASSERT_TRUE(mount.rename("/r/old", "/r/new").ok());
+  EXPECT_FALSE(mount.exists("/r/old"));
+  const auto content = mount.read_file("/r/new");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "x");
+}
+
+TEST(ClusterSmoke, NodeJoinMigratesOwnership) {
+  KoshaCluster cluster(small_cluster(3, 1, 1));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/grow").ok());
+  ASSERT_TRUE(mount.write_file("/grow/file", "here").ok());
+  for (int i = 0; i < 5; ++i) (void)cluster.add_node();
+
+  KoshaMount fresh(&cluster.daemon(cluster.live_hosts().back()));
+  const auto content = fresh.read_file("/grow/file");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "here");
+}
+
+}  // namespace
+}  // namespace kosha

@@ -1,0 +1,166 @@
+// Failover through every operation type: each koshad op must survive the
+// crash of the node it is about to talk to (paper §4.4 claims transparent
+// handling for all accesses, not just reads).
+
+#include <gtest/gtest.h>
+
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
+#include "kosha/placement.hpp"
+
+namespace kosha {
+namespace {
+
+struct Scenario {
+  KoshaCluster cluster;
+  KoshaMount mount;
+
+  explicit Scenario(std::uint64_t seed)
+      : cluster([seed] {
+          ClusterConfig config;
+          config.nodes = 8;
+          config.kosha.distribution_level = 1;
+          config.kosha.replicas = 2;
+          config.seed = seed;
+          return config;
+        }()),
+        mount(&cluster.daemon(0)) {}
+
+  /// Crash the node currently storing `path` (never host 0). Returns false
+  /// if it happens to live on the client host.
+  bool crash_primary_of(const std::string& path) {
+    const auto vh = mount.resolve(path);
+    if (!vh.ok()) return false;
+    const net::HostId primary =
+        cluster.daemon(0).handle_table().find(*vh)->real.server;
+    if (primary == 0) return false;
+    cluster.fail_node(primary);
+    return true;
+  }
+};
+
+TEST(FailoverPaths, GetattrAfterCrash) {
+  Scenario s(201);
+  ASSERT_TRUE(s.mount.mkdir_p("/a").ok());
+  ASSERT_TRUE(s.mount.write_file("/a/f", "x").ok());
+  if (!s.crash_primary_of("/a/f")) return;
+  const auto attr = s.mount.stat("/a/f");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 1u);
+}
+
+TEST(FailoverPaths, WriteAfterCrash) {
+  Scenario s(202);
+  ASSERT_TRUE(s.mount.mkdir_p("/w").ok());
+  ASSERT_TRUE(s.mount.write_file("/w/f", "before").ok());
+  if (!s.crash_primary_of("/w/f")) return;
+  ASSERT_TRUE(s.mount.write_file("/w/f", "after").ok());
+  EXPECT_EQ(s.mount.read_file("/w/f").value(), "after");
+}
+
+TEST(FailoverPaths, CreateInDirectoryWhoseNodeCrashed) {
+  Scenario s(203);
+  ASSERT_TRUE(s.mount.mkdir_p("/c").ok());
+  ASSERT_TRUE(s.mount.write_file("/c/first", "1").ok());
+  if (!s.crash_primary_of("/c")) return;
+  // Creating a new file must re-resolve the promoted directory.
+  ASSERT_TRUE(s.mount.write_file("/c/second", "2").ok());
+  EXPECT_EQ(s.mount.read_file("/c/first").value(), "1");
+  EXPECT_EQ(s.mount.read_file("/c/second").value(), "2");
+  EXPECT_EQ(s.mount.list("/c")->size(), 2u);
+}
+
+TEST(FailoverPaths, RemoveAfterCrash) {
+  Scenario s(204);
+  ASSERT_TRUE(s.mount.mkdir_p("/r").ok());
+  ASSERT_TRUE(s.mount.write_file("/r/f", "x").ok());
+  if (!s.crash_primary_of("/r")) return;
+  ASSERT_TRUE(s.mount.remove("/r/f").ok());
+  EXPECT_FALSE(s.mount.exists("/r/f"));
+}
+
+TEST(FailoverPaths, MkdirAfterRootOwnerCrash) {
+  Scenario s(205);
+  ASSERT_TRUE(s.mount.mkdir_p("/warm").ok());  // warm the root handle cache
+  const net::HostId root_owner = s.cluster.overlay().ring().owner_tag(root_key());
+  if (root_owner == 0) return;
+  s.cluster.fail_node(root_owner);
+  // New top-level directory requires the (promoted) root.
+  ASSERT_TRUE(s.mount.mkdir_p("/fresh").ok());
+  ASSERT_TRUE(s.mount.write_file("/fresh/f", "ok").ok());
+  EXPECT_EQ(s.mount.read_file("/fresh/f").value(), "ok");
+}
+
+TEST(FailoverPaths, ReaddirAfterCrash) {
+  Scenario s(206);
+  ASSERT_TRUE(s.mount.mkdir_p("/ls").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(s.mount.write_file("/ls/f" + std::to_string(i), "x").ok());
+  }
+  if (!s.crash_primary_of("/ls")) return;
+  const auto listing = s.mount.list("/ls");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 5u);
+}
+
+TEST(FailoverPaths, RenameAfterCrash) {
+  Scenario s(207);
+  ASSERT_TRUE(s.mount.mkdir_p("/mv").ok());
+  ASSERT_TRUE(s.mount.write_file("/mv/old", "data").ok());
+  if (!s.crash_primary_of("/mv")) return;
+  ASSERT_TRUE(s.mount.rename("/mv/old", "/mv/new").ok());
+  EXPECT_EQ(s.mount.read_file("/mv/new").value(), "data");
+  EXPECT_FALSE(s.mount.exists("/mv/old"));
+}
+
+TEST(FailoverPaths, RmdirDistributedAfterCrash) {
+  Scenario s(208);
+  ASSERT_TRUE(s.mount.mkdir_p("/gone").ok());
+  if (!s.crash_primary_of("/gone")) return;
+  ASSERT_TRUE(s.mount.rmdir("/gone").ok());
+  EXPECT_FALSE(s.mount.exists("/gone"));
+}
+
+TEST(FailoverPaths, ErrorWhenAllCopiesLost) {
+  // With K=1, killing the primary and its single replica in quick
+  // succession loses the data; the client gets a clean error, not a hang
+  // or corruption.
+  ClusterConfig config;
+  config.nodes = 8;
+  config.kosha.replicas = 1;
+  config.seed = 209;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/doomed").ok());
+  ASSERT_TRUE(mount.write_file("/doomed/f", "x").ok());
+  const auto vh = mount.resolve("/doomed/f");
+  const net::HostId primary = cluster.daemon(0).handle_table().find(*vh)->real.server;
+  if (primary == 0) return;
+  const auto targets = cluster.replicas(primary).targets();
+  ASSERT_EQ(targets.size(), 1u);
+  const net::HostId replica = cluster.overlay().host_of(targets[0]);
+  if (replica == 0) return;
+  // Kill both before any repair can complete on the second.
+  cluster.fail_node(primary);
+  // The replica has been promoted; kill it and its fresh replica too, so
+  // no copy survives anywhere.
+  const auto vh2 = mount.resolve("/doomed/f");
+  if (vh2.ok()) {
+    const net::HostId promoted = cluster.daemon(0).handle_table().find(*vh2)->real.server;
+    if (promoted == 0) return;
+    const auto new_targets = cluster.replicas(promoted).targets();
+    cluster.fail_node(promoted);
+    for (const auto t : new_targets) {
+      if (!cluster.overlay().is_live(t)) continue;
+      const auto host = cluster.overlay().host_of(t);
+      if (host != 0) cluster.fail_node(host);
+    }
+  }
+  const auto read = mount.read_file("/doomed/f");
+  if (!read.ok()) {
+    EXPECT_EQ(read.error(), nfs::NfsStat::kNoEnt);
+  }
+}
+
+}  // namespace
+}  // namespace kosha

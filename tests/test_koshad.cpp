@@ -1,0 +1,315 @@
+// koshad semantics tests: distribution, special links, redirection, the
+// NFS operation mapping of paper §4.1, and daemon statistics.
+
+#include <gtest/gtest.h>
+
+#include "common/path.hpp"
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
+#include "kosha/placement.hpp"
+
+namespace kosha {
+namespace {
+
+ClusterConfig config_for(std::size_t nodes, unsigned level, unsigned replicas = 1,
+                         std::uint64_t seed = 7) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.kosha.distribution_level = level;
+  config.kosha.replicas = replicas;
+  config.node_capacity_bytes = 1ull << 30;
+  config.seed = seed;
+  return config;
+}
+
+net::HostId host_of_path(KoshaCluster& cluster, net::HostId client, std::string_view path) {
+  KoshaMount mount(&cluster.daemon(client));
+  const auto vh = mount.resolve(path);
+  EXPECT_TRUE(vh.ok());
+  return cluster.daemon(client).handle_table().find(*vh)->real.server;
+}
+
+TEST(Koshad, DistributedDirectoryLandsOnHashedNode) {
+  KoshaCluster cluster(config_for(8, 1));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/projects").ok());
+  const net::HostId expected =
+      cluster.overlay().ring().owner_tag(key_for_name("projects"));
+  EXPECT_EQ(host_of_path(cluster, 0, "/projects"), expected);
+}
+
+TEST(Koshad, FilesShareTheirDirectoryNode) {
+  // Paper §3.1: "all the files in a directory reside on the same node".
+  KoshaCluster cluster(config_for(8, 2));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/p/sub").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(mount.write_file("/p/sub/f" + std::to_string(i), "x").ok());
+  }
+  const net::HostId dir_host = host_of_path(cluster, 0, "/p/sub");
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(host_of_path(cluster, 0, "/p/sub/f" + std::to_string(i)), dir_host);
+  }
+}
+
+TEST(Koshad, BelowDistributionLevelStaysWithParent) {
+  KoshaCluster cluster(config_for(8, 1));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/top/deep/deeper").ok());
+  const net::HostId top = host_of_path(cluster, 0, "/top");
+  EXPECT_EQ(host_of_path(cluster, 0, "/top/deep"), top);
+  EXPECT_EQ(host_of_path(cluster, 0, "/top/deep/deeper"), top);
+}
+
+TEST(Koshad, SpecialLinkPlantedInParent) {
+  KoshaCluster cluster(config_for(4, 1));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/docs").ok());
+  // The root owner's store must contain a symlink "docs" -> effective name.
+  const net::HostId root_owner = cluster.overlay().ring().owner_tag(root_key());
+  auto& store = cluster.server(root_owner).store();
+  const auto root_dir = store.resolve(root_stored_path());
+  ASSERT_TRUE(root_dir.ok());
+  const auto link = store.lookup(*root_dir, "docs");
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(store.getattr(*link)->type, fs::FileType::kSymlink);
+  EXPECT_EQ(plain_name(store.readlink(*link).value()), "docs");
+}
+
+TEST(Koshad, ReaddirPresentsLinksAsDirectories) {
+  KoshaCluster cluster(config_for(4, 1));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/dir").ok());
+  ASSERT_TRUE(mount.write_file("/file", "x").ok());
+  const auto listing = mount.list("/");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 2u);
+  for (const auto& entry : listing.value()) {
+    if (entry.name == "dir") {
+      EXPECT_EQ(entry.type, fs::FileType::kDirectory);
+    }
+    if (entry.name == "file") {
+      EXPECT_EQ(entry.type, fs::FileType::kFile);
+    }
+  }
+}
+
+TEST(Koshad, ReservedNamesRejected) {
+  KoshaCluster cluster(config_for(2, 1));
+  auto& daemon = cluster.daemon(0);
+  const auto root = daemon.root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(daemon.mkdir(*root, "with#salt").error(), nfs::NfsStat::kInval);
+  EXPECT_EQ(daemon.create(*root, ".r").error(), nfs::NfsStat::kInval);
+  EXPECT_EQ(daemon.create(*root, ".a").error(), nfs::NfsStat::kInval);
+  EXPECT_EQ(daemon.create(*root, "MIGRATION_NOT_COMPLETE").error(), nfs::NfsStat::kInval);
+  EXPECT_EQ(daemon.create(*root, "a/b").error(), nfs::NfsStat::kInval);
+  EXPECT_EQ(daemon.create(*root, "").error(), nfs::NfsStat::kInval);
+}
+
+TEST(Koshad, MkdirExistingFails) {
+  KoshaCluster cluster(config_for(4, 2));
+  auto& daemon = cluster.daemon(0);
+  const auto root = daemon.root();
+  ASSERT_TRUE(daemon.mkdir(*root, "d").ok());
+  EXPECT_EQ(daemon.mkdir(*root, "d").error(), nfs::NfsStat::kExist);
+  ASSERT_TRUE(daemon.create(*root, "f").ok());
+  EXPECT_EQ(daemon.create(*root, "f").error(), nfs::NfsStat::kExist);
+}
+
+TEST(Koshad, RemoveRejectsDirectories) {
+  KoshaCluster cluster(config_for(4, 1));
+  auto& daemon = cluster.daemon(0);
+  const auto root = daemon.root();
+  ASSERT_TRUE(daemon.mkdir(*root, "d").ok());
+  EXPECT_EQ(daemon.remove(*root, "d").error(), nfs::NfsStat::kIsDir);
+}
+
+TEST(Koshad, RmdirRequiresEmpty) {
+  KoshaCluster cluster(config_for(4, 1));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/d").ok());
+  ASSERT_TRUE(mount.write_file("/d/f", "x").ok());
+  EXPECT_EQ(mount.rmdir("/d").error(), nfs::NfsStat::kNotEmpty);
+  ASSERT_TRUE(mount.remove("/d/f").ok());
+  EXPECT_TRUE(mount.rmdir("/d").ok());
+  EXPECT_FALSE(mount.exists("/d"));
+}
+
+TEST(Koshad, RmdirDistributedCleansStorageNode) {
+  KoshaCluster cluster(config_for(4, 2, 0));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/x/y").ok());
+  const net::HostId host = host_of_path(cluster, 0, "/x/y");
+  ASSERT_TRUE(mount.rmdir("/x/y").ok());
+  // The anchor container (and its scaffolding) must be gone from the node.
+  auto& store = cluster.server(host).store();
+  bool any_container = false;
+  const auto area = store.resolve(std::string("/") + kAnchorArea);
+  if (area.ok()) {
+    const auto entries = store.readdir(*area);
+    ASSERT_TRUE(entries.ok());
+    for (const auto& entry : entries.value()) {
+      if (plain_name(entry.name) == "y") any_container = true;
+    }
+  }
+  EXPECT_FALSE(any_container);
+  // And the link is gone from the parent.
+  EXPECT_FALSE(mount.exists("/x/y"));
+  const auto listing = mount.list("/x");
+  EXPECT_TRUE(listing->empty());
+}
+
+TEST(Koshad, RenameLinkFastPathKeepsStoredName) {
+  // Paper §4.1.4: renaming a distributed directory renames only the link;
+  // the stored (hashed) name is unchanged so nothing migrates.
+  KoshaCluster cluster(config_for(4, 1));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/oldname").ok());
+  ASSERT_TRUE(mount.write_file("/oldname/f", "payload").ok());
+  const net::HostId before = host_of_path(cluster, 0, "/oldname");
+
+  ASSERT_TRUE(mount.rename("/oldname", "/newname").ok());
+  EXPECT_FALSE(mount.exists("/oldname"));
+  EXPECT_EQ(mount.read_file("/newname/f").value(), "payload");
+  // Still on the node chosen by hash("oldname"): only the link moved.
+  EXPECT_EQ(host_of_path(cluster, 0, "/newname"), before);
+  EXPECT_EQ(before, cluster.overlay().ring().owner_tag(key_for_name("oldname")));
+}
+
+TEST(Koshad, RenameFileAcrossDirectories) {
+  KoshaCluster cluster(config_for(8, 1));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/src").ok());
+  ASSERT_TRUE(mount.mkdir_p("/dst").ok());
+  ASSERT_TRUE(mount.write_file("/src/f", "moving data").ok());
+  ASSERT_TRUE(mount.rename("/src/f", "/dst/g").ok());
+  EXPECT_FALSE(mount.exists("/src/f"));
+  EXPECT_EQ(mount.read_file("/dst/g").value(), "moving data");
+}
+
+TEST(Koshad, RenameDistributedDirAcrossParentsCopiesSubtree) {
+  KoshaCluster cluster(config_for(8, 2));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/a/tree").ok());
+  ASSERT_TRUE(mount.write_file("/a/tree/f1", "one").ok());
+  ASSERT_TRUE(mount.mkdir_p("/a/tree/deep").ok());
+  ASSERT_TRUE(mount.write_file("/a/tree/deep/f2", "two").ok());
+  ASSERT_TRUE(mount.mkdir_p("/b").ok());
+
+  ASSERT_TRUE(mount.rename("/a/tree", "/b/tree").ok());
+  EXPECT_FALSE(mount.exists("/a/tree"));
+  EXPECT_EQ(mount.read_file("/b/tree/f1").value(), "one");
+  EXPECT_EQ(mount.read_file("/b/tree/deep/f2").value(), "two");
+}
+
+TEST(Koshad, RenameRejectsExistingTargetAndCycles) {
+  KoshaCluster cluster(config_for(4, 1));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/d1").ok());
+  ASSERT_TRUE(mount.mkdir_p("/d2").ok());
+  EXPECT_EQ(mount.rename("/d1", "/d2").error(), nfs::NfsStat::kExist);
+  EXPECT_EQ(mount.rename("/d1", "/d1/inside").error(), nfs::NfsStat::kInval);
+}
+
+TEST(Koshad, SetModeAndGetattr) {
+  KoshaCluster cluster(config_for(4, 1));
+  auto& daemon = cluster.daemon(0);
+  const auto root = daemon.root();
+  const auto file = daemon.create(*root, "f", 0644);
+  ASSERT_TRUE(file.ok());
+  const auto chmod = daemon.set_mode(file->handle, 0400);
+  ASSERT_TRUE(chmod.ok());
+  EXPECT_EQ(daemon.getattr(file->handle)->mode, 0400u);
+}
+
+TEST(Koshad, StatsCountRemoteAndDhtActivity) {
+  KoshaCluster cluster(config_for(8, 1));
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/stats").ok());
+  ASSERT_TRUE(mount.write_file("/stats/f", "x").ok());
+  const auto& stats = cluster.daemon(0).stats();
+  EXPECT_GT(stats.rpcs_forwarded, 0u);
+  EXPECT_GT(stats.dht_lookups, 0u);
+  EXPECT_EQ(stats.failovers, 0u);
+}
+
+TEST(Koshad, CapacityRedirectionSaltsDirectories) {
+  // Fill one node past the threshold; the next directory that hashes to it
+  // must be redirected (salted) elsewhere.
+  ClusterConfig config = config_for(4, 1, 0);
+  config.node_capacity_bytes = 1 << 20;  // 1 MiB nodes
+  config.kosha.redirect_threshold = 0.5;
+  config.kosha.max_redirects = 8;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+
+  // Create directories until nodes cross 50%; redirection must spread the
+  // load so most creations keep succeeding (occasional failures are
+  // legitimate: a salt sequence can miss the under-threshold nodes).
+  std::size_t created = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::string dir = "/dir" + std::to_string(i);
+    if (!mount.mkdir_p(dir).ok()) continue;
+    if (!mount.write_file(dir + "/blob", std::string(64 * 1024, 'x')).ok()) continue;
+    ++created;
+  }
+  EXPECT_GE(created, 20u);  // 40 * 64KiB = 2.5 MiB spread over 4 MiB total
+  EXPECT_GT(cluster.daemon(0).stats().redirects, 0u);
+}
+
+TEST(Koshad, RedirectedDirectoryTransparentlyAccessible) {
+  ClusterConfig config = config_for(4, 1, 0, 13);
+  config.node_capacity_bytes = 1 << 20;
+  config.kosha.redirect_threshold = 0.3;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  // Force utilization above threshold everywhere except via salts.
+  for (int i = 0; i < 30; ++i) {
+    const std::string dir = "/u" + std::to_string(i);
+    if (!mount.mkdir_p(dir).ok()) continue;
+    (void)mount.write_file(dir + "/pad", std::string(32 * 1024, 'p'));
+  }
+  // Every directory that was created must be fully usable.
+  for (int i = 0; i < 30; ++i) {
+    const std::string dir = "/u" + std::to_string(i);
+    if (!mount.exists(dir)) continue;
+    const auto content = mount.read_file(dir + "/pad");
+    if (content.ok()) {
+      EXPECT_EQ(content->size(), 32u * 1024);
+    }
+  }
+}
+
+TEST(Koshad, StaleVirtualHandleReturnsStale) {
+  KoshaCluster cluster(config_for(2, 1));
+  auto& daemon = cluster.daemon(0);
+  EXPECT_EQ(daemon.getattr(VirtualHandle{9999}).error(), nfs::NfsStat::kStale);
+  EXPECT_EQ(daemon.readdir(VirtualHandle{9999}).error(), nfs::NfsStat::kStale);
+  EXPECT_EQ(daemon.create(VirtualHandle{9999}, "f").error(), nfs::NfsStat::kStale);
+}
+
+class KoshadLevels : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KoshadLevels, DeepTreeRoundTripAtEveryLevel) {
+  KoshaCluster cluster(config_for(8, GetParam()));
+  KoshaMount mount(&cluster.daemon(0));
+  const std::string base = "/l1/l2/l3/l4/l5";
+  ASSERT_TRUE(mount.mkdir_p(base).ok());
+  for (int i = 0; i < 8; ++i) {
+    const std::string path = base + "/file" + std::to_string(i);
+    const std::string content = "content-" + std::to_string(i);
+    ASSERT_TRUE(mount.write_file(path, content).ok());
+    EXPECT_EQ(mount.read_file(path).value(), content);
+  }
+  const auto listing = mount.list(base);
+  EXPECT_EQ(listing->size(), 8u);
+  // And from a different client host.
+  KoshaMount other(&cluster.daemon(3));
+  EXPECT_EQ(other.read_file(base + "/file0").value(), "content-0");
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, KoshadLevels, ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace kosha

@@ -1,0 +1,161 @@
+// Pastry leaf-set unit + property tests: membership maintenance, coverage,
+// numerically-closest selection, and replica-target ordering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "pastry/leaf_set.hpp"
+
+namespace kosha::pastry {
+namespace {
+
+NodeId id_at(std::uint64_t low) { return {0, low}; }
+
+TEST(LeafSet, InsertSplitsSides) {
+  LeafSet ls(id_at(100), 2);
+  EXPECT_TRUE(ls.insert(id_at(90)));
+  EXPECT_TRUE(ls.insert(id_at(110)));
+  EXPECT_EQ(ls.side(false), std::vector<NodeId>{id_at(90)});
+  EXPECT_EQ(ls.side(true), std::vector<NodeId>{id_at(110)});
+}
+
+TEST(LeafSet, RejectsOwnerAndDuplicates) {
+  LeafSet ls(id_at(100), 2);
+  EXPECT_FALSE(ls.insert(id_at(100)));
+  EXPECT_TRUE(ls.insert(id_at(90)));
+  EXPECT_FALSE(ls.insert(id_at(90)));
+  EXPECT_EQ(ls.size(), 1u);
+}
+
+TEST(LeafSet, EvictsFarthestWhenFull) {
+  LeafSet ls(id_at(100), 2);
+  EXPECT_TRUE(ls.insert(id_at(80)));
+  EXPECT_TRUE(ls.insert(id_at(70)));
+  // 95 is closer than both: evicts 70 (farthest on the smaller side).
+  EXPECT_TRUE(ls.insert(id_at(95)));
+  EXPECT_TRUE(ls.contains(id_at(95)));
+  EXPECT_TRUE(ls.contains(id_at(80)));
+  EXPECT_FALSE(ls.contains(id_at(70)));
+  // 60 is farther than everything: rejected.
+  EXPECT_FALSE(ls.insert(id_at(60)));
+}
+
+TEST(LeafSet, RemoveMakesRoom) {
+  LeafSet ls(id_at(100), 1);
+  EXPECT_TRUE(ls.insert(id_at(90)));
+  EXPECT_FALSE(ls.insert(id_at(80)));
+  EXPECT_TRUE(ls.remove(id_at(90)));
+  EXPECT_FALSE(ls.remove(id_at(90)));
+  EXPECT_TRUE(ls.insert(id_at(80)));
+}
+
+TEST(LeafSet, UnderfullCoversEverything) {
+  LeafSet ls(id_at(100), 4);
+  (void)ls.insert(id_at(90));
+  EXPECT_TRUE(ls.underfull());
+  EXPECT_TRUE(ls.covers(id_at(999'999)));
+}
+
+TEST(LeafSet, FullSetCoversOnlyItsSpan) {
+  LeafSet ls(id_at(100), 1);
+  (void)ls.insert(id_at(90));
+  (void)ls.insert(id_at(110));
+  EXPECT_FALSE(ls.underfull());
+  EXPECT_TRUE(ls.covers(id_at(95)));
+  EXPECT_TRUE(ls.covers(id_at(110)));
+  EXPECT_FALSE(ls.covers(id_at(120)));
+  EXPECT_FALSE(ls.covers(id_at(11)));
+}
+
+TEST(LeafSet, ClosestToPicksMinimumDistance) {
+  LeafSet ls(id_at(100), 2);
+  (void)ls.insert(id_at(90));
+  (void)ls.insert(id_at(110));
+  (void)ls.insert(id_at(130));
+  EXPECT_EQ(ls.closest_to(id_at(89)), id_at(90));
+  EXPECT_EQ(ls.closest_to(id_at(101)), id_at(100));
+  EXPECT_EQ(ls.closest_to(id_at(124)), id_at(130));
+}
+
+TEST(LeafSet, AlternatingMembersInterleavesSides) {
+  LeafSet ls(id_at(100), 3);
+  (void)ls.insert(id_at(95));
+  (void)ls.insert(id_at(90));
+  (void)ls.insert(id_at(103));
+  (void)ls.insert(id_at(110));
+  const auto targets = ls.alternating_members(4);
+  ASSERT_EQ(targets.size(), 4u);
+  EXPECT_EQ(targets[0], id_at(103));  // overall closest
+  EXPECT_EQ(targets[1], id_at(95));   // closest on the other side
+  EXPECT_EQ(targets[2], id_at(110));
+  EXPECT_EQ(targets[3], id_at(90));
+}
+
+TEST(LeafSet, AlternatingMembersDrainsExhaustedSide) {
+  LeafSet ls(id_at(100), 3);
+  (void)ls.insert(id_at(103));
+  (void)ls.insert(id_at(110));
+  (void)ls.insert(id_at(120));
+  const auto targets = ls.alternating_members(3);
+  EXPECT_EQ(targets, (std::vector<NodeId>{id_at(103), id_at(110), id_at(120)}));
+}
+
+class LeafSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LeafSetProperty, KeepsTheClosestOnEachSide) {
+  Rng rng(GetParam());
+  const NodeId owner = rng.next_id();
+  constexpr unsigned kHalf = 4;
+  LeafSet ls(owner, kHalf);
+  std::vector<NodeId> all;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId id = rng.next_id();
+    all.push_back(id);
+    (void)ls.insert(id);
+  }
+  // Brute-force the expected sides.
+  std::vector<NodeId> smaller = all;
+  std::sort(smaller.begin(), smaller.end(),
+            [&](NodeId a, NodeId b) { return (owner - a) < (owner - b); });
+  std::vector<NodeId> larger = all;
+  std::sort(larger.begin(), larger.end(),
+            [&](NodeId a, NodeId b) { return (a - owner) < (b - owner); });
+  // With 200 random ids, side assignment matches pure direction (no id is
+  // near the antipode by chance with overwhelming probability).
+  for (unsigned i = 0; i < kHalf; ++i) {
+    EXPECT_TRUE(ls.contains(smaller[i])) << "missing close smaller neighbor";
+    EXPECT_TRUE(ls.contains(larger[i])) << "missing close larger neighbor";
+  }
+  EXPECT_EQ(ls.size(), 2 * kHalf);
+}
+
+TEST_P(LeafSetProperty, ClosestToMatchesBruteForce) {
+  Rng rng(GetParam());
+  const NodeId owner = rng.next_id();
+  LeafSet ls(owner, 8);
+  std::vector<NodeId> members{owner};
+  for (int i = 0; i < 16; ++i) {
+    const NodeId id = rng.next_id();
+    if (ls.insert(id)) members.push_back(id);
+  }
+  // Re-collect the actual membership (eviction may have dropped some).
+  members = ls.members();
+  members.push_back(owner);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Key key = rng.next_id();
+    const NodeId expected = *std::min_element(
+        members.begin(), members.end(), [&](NodeId a, NodeId b) {
+          const auto da = ring_distance(a, key);
+          const auto db = ring_distance(b, key);
+          return da != db ? da < db : a < b;
+        });
+    EXPECT_EQ(ls.closest_to(key), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeafSetProperty, ::testing::Values(31, 32, 33, 34, 35));
+
+}  // namespace
+}  // namespace kosha::pastry

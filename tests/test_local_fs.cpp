@@ -1,0 +1,302 @@
+// LocalFs tests: namespace operations, data operations, capacity
+// accounting, generation/staleness, and the path helpers.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fs/local_fs.hpp"
+
+namespace kosha::fs {
+namespace {
+
+TEST(LocalFs, RootExists) {
+  LocalFs store;
+  const auto attr = store.getattr(store.root());
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, FileType::kDirectory);
+  EXPECT_EQ(store.live_inode_count(), 1u);
+}
+
+TEST(LocalFs, CreateLookupRoundTrip) {
+  LocalFs store;
+  const auto file = store.create(store.root(), "hello.txt", 0640, 7);
+  ASSERT_TRUE(file.ok());
+  const auto found = store.lookup(store.root(), "hello.txt");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), file.value());
+  const auto attr = store.getattr(*file);
+  EXPECT_EQ(attr->mode, 0640u);
+  EXPECT_EQ(attr->uid, 7u);
+  EXPECT_EQ(attr->size, 0u);
+}
+
+TEST(LocalFs, CreateErrors) {
+  LocalFs store;
+  EXPECT_EQ(store.create(store.root(), "").error(), FsStatus::kInval);
+  EXPECT_EQ(store.create(store.root(), ".").error(), FsStatus::kInval);
+  EXPECT_EQ(store.create(store.root(), "..").error(), FsStatus::kInval);
+  EXPECT_EQ(store.create(store.root(), "a/b").error(), FsStatus::kInval);
+  ASSERT_TRUE(store.create(store.root(), "x").ok());
+  EXPECT_EQ(store.create(store.root(), "x").error(), FsStatus::kExist);
+  EXPECT_EQ(store.create(999, "y").error(), FsStatus::kStale);
+  const auto file = store.lookup(store.root(), "x");
+  EXPECT_EQ(store.create(*file, "y").error(), FsStatus::kNotDir);
+}
+
+TEST(LocalFs, LookupErrors) {
+  LocalFs store;
+  EXPECT_EQ(store.lookup(store.root(), "nope").error(), FsStatus::kNoEnt);
+  const auto file = store.create(store.root(), "f");
+  EXPECT_EQ(store.lookup(*file, "x").error(), FsStatus::kNotDir);
+}
+
+TEST(LocalFs, WriteReadRoundTrip) {
+  LocalFs store;
+  const auto file = store.create(store.root(), "data");
+  ASSERT_TRUE(store.write(*file, 0, "hello world").ok());
+  const auto text = store.read(*file, 0, 100);
+  EXPECT_EQ(text.value(), "hello world");
+  EXPECT_EQ(store.read(*file, 6, 5).value(), "world");
+  EXPECT_EQ(store.read(*file, 100, 5).value(), "");
+  EXPECT_EQ(store.used_bytes(), 11u);
+}
+
+TEST(LocalFs, SparseWriteZeroFills) {
+  LocalFs store;
+  const auto file = store.create(store.root(), "sparse");
+  ASSERT_TRUE(store.write(*file, 5, "x").ok());
+  const auto data = store.read(*file, 0, 10);
+  EXPECT_EQ(data->size(), 6u);
+  EXPECT_EQ((*data)[0], '\0');
+  EXPECT_EQ((*data)[5], 'x');
+}
+
+TEST(LocalFs, OverwriteDoesNotGrow) {
+  LocalFs store;
+  const auto file = store.create(store.root(), "f");
+  (void)store.write(*file, 0, "aaaa");
+  (void)store.write(*file, 1, "bb");
+  EXPECT_EQ(store.read(*file, 0, 10).value(), "abba");
+  EXPECT_EQ(store.used_bytes(), 4u);
+}
+
+TEST(LocalFs, TruncateGrowsAndShrinks) {
+  LocalFs store;
+  const auto file = store.create(store.root(), "f");
+  (void)store.write(*file, 0, "abcdef");
+  ASSERT_TRUE(store.truncate(*file, 3).ok());
+  EXPECT_EQ(store.read(*file, 0, 10).value(), "abc");
+  EXPECT_EQ(store.used_bytes(), 3u);
+  ASSERT_TRUE(store.truncate(*file, 5).ok());
+  EXPECT_EQ(store.used_bytes(), 5u);
+  EXPECT_EQ(store.getattr(*file)->size, 5u);
+  const auto dir = store.mkdir(store.root(), "d");
+  EXPECT_EQ(store.truncate(*dir, 0).error(), FsStatus::kIsDir);
+}
+
+TEST(LocalFs, CapacityEnforced) {
+  FsConfig config;
+  config.capacity_bytes = 100;
+  LocalFs store(config);
+  const auto file = store.create(store.root(), "f");
+  EXPECT_TRUE(store.write(*file, 0, std::string(100, 'x')).ok());
+  EXPECT_EQ(store.write(*file, 100, "y").error(), FsStatus::kNoSpace);
+  EXPECT_EQ(store.utilization(), 1.0);
+  EXPECT_TRUE(store.would_exceed(1));
+  EXPECT_FALSE(store.would_exceed(0));
+  // Shrinking frees space.
+  ASSERT_TRUE(store.truncate(*file, 50).ok());
+  EXPECT_TRUE(store.write(*file, 50, std::string(50, 'z')).ok());
+}
+
+TEST(LocalFs, UtilizationThreshold) {
+  FsConfig config;
+  config.capacity_bytes = 100;
+  config.utilization_threshold = 0.5;
+  LocalFs store(config);
+  const auto file = store.create(store.root(), "f");
+  EXPECT_TRUE(store.write(*file, 0, std::string(50, 'x')).ok());
+  EXPECT_EQ(store.write(*file, 50, "y").error(), FsStatus::kNoSpace);
+}
+
+TEST(LocalFs, RemoveFile) {
+  LocalFs store;
+  const auto file = store.create(store.root(), "f");
+  (void)store.write(*file, 0, "abc");
+  ASSERT_TRUE(store.remove(store.root(), "f").ok());
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_EQ(store.lookup(store.root(), "f").error(), FsStatus::kNoEnt);
+  EXPECT_EQ(store.remove(store.root(), "f").error(), FsStatus::kNoEnt);
+  const auto dir = store.mkdir(store.root(), "d");
+  (void)dir;
+  EXPECT_EQ(store.remove(store.root(), "d").error(), FsStatus::kIsDir);
+}
+
+TEST(LocalFs, RmdirOnlyEmptyDirectories) {
+  LocalFs store;
+  const auto dir = store.mkdir(store.root(), "d");
+  (void)store.create(*dir, "f");
+  EXPECT_EQ(store.rmdir(store.root(), "d").error(), FsStatus::kNotEmpty);
+  ASSERT_TRUE(store.remove(*dir, "f").ok());
+  EXPECT_TRUE(store.rmdir(store.root(), "d").ok());
+  const auto file = store.create(store.root(), "f");
+  (void)file;
+  EXPECT_EQ(store.rmdir(store.root(), "f").error(), FsStatus::kNotDir);
+}
+
+TEST(LocalFs, StaleHandleAfterRemove) {
+  LocalFs store;
+  const auto file = store.create(store.root(), "f");
+  const auto gen = store.getattr(*file)->generation;
+  ASSERT_TRUE(store.remove(store.root(), "f").ok());
+  EXPECT_EQ(store.getattr(*file).error(), FsStatus::kStale);
+  // Recreating reuses the inode slot with a bumped generation.
+  const auto again = store.create(store.root(), "f2");
+  if (again.value() == file.value()) {
+    EXPECT_GT(store.getattr(*again)->generation, gen);
+  }
+}
+
+TEST(LocalFs, RenameWithinAndAcrossDirs) {
+  LocalFs store;
+  const auto d1 = store.mkdir(store.root(), "d1");
+  const auto d2 = store.mkdir(store.root(), "d2");
+  const auto file = store.create(*d1, "f");
+  (void)store.write(*file, 0, "content");
+  ASSERT_TRUE(store.rename(*d1, "f", *d2, "g").ok());
+  EXPECT_EQ(store.lookup(*d1, "f").error(), FsStatus::kNoEnt);
+  const auto moved = store.lookup(*d2, "g");
+  EXPECT_EQ(store.read(*moved, 0, 100).value(), "content");
+}
+
+TEST(LocalFs, RenameReplacesFileTarget) {
+  LocalFs store;
+  const auto a = store.create(store.root(), "a");
+  (void)store.write(*a, 0, "aaa");
+  const auto b = store.create(store.root(), "b");
+  (void)store.write(*b, 0, "bb");
+  ASSERT_TRUE(store.rename(store.root(), "a", store.root(), "b").ok());
+  EXPECT_EQ(store.read(*store.lookup(store.root(), "b"), 0, 10).value(), "aaa");
+  EXPECT_EQ(store.used_bytes(), 3u);
+}
+
+TEST(LocalFs, RenameRefusesDirectoryTarget) {
+  LocalFs store;
+  (void)store.create(store.root(), "a");
+  (void)store.mkdir(store.root(), "d");
+  EXPECT_EQ(store.rename(store.root(), "a", store.root(), "d").error(), FsStatus::kIsDir);
+}
+
+TEST(LocalFs, RenameMovesDirectories) {
+  LocalFs store;
+  const auto d1 = store.mkdir(store.root(), "d1");
+  const auto sub = store.mkdir(*d1, "sub");
+  (void)store.create(*sub, "f");
+  const auto d2 = store.mkdir(store.root(), "d2");
+  ASSERT_TRUE(store.rename(*d1, "sub", *d2, "moved").ok());
+  EXPECT_TRUE(store.resolve("/d2/moved/f").ok());
+}
+
+TEST(LocalFs, RenameNoopOntoItself) {
+  LocalFs store;
+  (void)store.create(store.root(), "a");
+  EXPECT_TRUE(store.rename(store.root(), "a", store.root(), "a").ok());
+  EXPECT_TRUE(store.lookup(store.root(), "a").ok());
+}
+
+TEST(LocalFs, SymlinkRoundTrip) {
+  LocalFs store;
+  const auto link = store.symlink(store.root(), "l", "target#1");
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(store.readlink(*link).value(), "target#1");
+  EXPECT_EQ(store.getattr(*link)->type, FileType::kSymlink);
+  const auto file = store.create(store.root(), "f");
+  EXPECT_EQ(store.readlink(*file).error(), FsStatus::kInval);
+  // Symlinks are removed with remove(), like files.
+  EXPECT_TRUE(store.remove(store.root(), "l").ok());
+}
+
+TEST(LocalFs, ReaddirListsSorted) {
+  LocalFs store;
+  (void)store.create(store.root(), "b");
+  (void)store.mkdir(store.root(), "a");
+  (void)store.symlink(store.root(), "c", "t");
+  const auto entries = store.readdir(store.root());
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].name, "a");
+  EXPECT_EQ((*entries)[0].type, FileType::kDirectory);
+  EXPECT_EQ((*entries)[1].name, "b");
+  EXPECT_EQ((*entries)[1].type, FileType::kFile);
+  EXPECT_EQ((*entries)[2].name, "c");
+  EXPECT_EQ((*entries)[2].type, FileType::kSymlink);
+}
+
+TEST(LocalFs, ResolveAndMkdirP) {
+  LocalFs store;
+  const auto deep = store.mkdir_p("/a/b/c");
+  ASSERT_TRUE(deep.ok());
+  EXPECT_EQ(store.resolve("/a/b/c").value(), deep.value());
+  EXPECT_EQ(store.resolve("/").value(), store.root());
+  EXPECT_EQ(store.resolve("/a/x").error(), FsStatus::kNoEnt);
+  // mkdir_p over an existing chain is a no-op.
+  EXPECT_EQ(store.mkdir_p("/a/b/c").value(), deep.value());
+  // mkdir_p refuses to treat a file as a directory.
+  (void)store.create(*deep, "f");
+  EXPECT_EQ(store.mkdir_p("/a/b/c/f/g").error(), FsStatus::kNotDir);
+}
+
+TEST(LocalFs, RemoveRecursive) {
+  LocalFs store;
+  (void)store.mkdir_p("/a/b/c");
+  const auto c = store.resolve("/a/b/c");
+  (void)store.write(*store.create(*c, "f1"), 0, "xx");
+  (void)store.write(*store.create(*store.resolve("/a"), "f2"), 0, "yy");
+  ASSERT_TRUE(store.remove_recursive(store.root(), "a").ok());
+  EXPECT_EQ(store.resolve("/a").error(), FsStatus::kNoEnt);
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_EQ(store.live_inode_count(), 1u);
+}
+
+TEST(LocalFs, SubtreeAccounting) {
+  LocalFs store;
+  (void)store.mkdir_p("/a/b");
+  (void)store.write(*store.create(*store.resolve("/a"), "f1"), 0, "123");
+  (void)store.write(*store.create(*store.resolve("/a/b"), "f2"), 0, "4567");
+  (void)store.symlink(*store.resolve("/a"), "l", "t");
+  EXPECT_EQ(store.subtree_bytes(*store.resolve("/a")), 7u);
+  EXPECT_EQ(store.subtree_file_count(*store.resolve("/a")), 2u);
+  EXPECT_EQ(store.subtree_bytes(*store.resolve("/a/b/f2")), 4u);
+}
+
+TEST(LocalFs, PurgeResetsEverythingAndStalesHandles) {
+  LocalFs store;
+  (void)store.mkdir_p("/a/b");
+  const auto file = store.create(*store.resolve("/a"), "f");
+  (void)store.write(*file, 0, "data");
+  store.purge();
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_EQ(store.live_inode_count(), 1u);
+  EXPECT_EQ(store.getattr(*file).error(), FsStatus::kStale);
+  EXPECT_TRUE(store.readdir(store.root())->empty());
+  // Still usable after purge.
+  EXPECT_TRUE(store.create(store.root(), "fresh").ok());
+}
+
+TEST(LocalFs, InodeReuseStress) {
+  LocalFs store;
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::string> names;
+    for (int i = 0; i < 20; ++i) {
+      const std::string name = "f" + std::to_string(i);
+      ASSERT_TRUE(store.create(store.root(), name).ok());
+      names.push_back(name);
+    }
+    for (const auto& name : names) ASSERT_TRUE(store.remove(store.root(), name).ok());
+    EXPECT_EQ(store.live_inode_count(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace kosha::fs

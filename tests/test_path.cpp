@@ -1,0 +1,97 @@
+// Path utility unit + property tests.
+
+#include <gtest/gtest.h>
+
+#include "common/path.hpp"
+#include "common/rng.hpp"
+
+namespace kosha {
+namespace {
+
+TEST(Path, SplitBasics) {
+  EXPECT_EQ(split_path("/a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_path("/").empty());
+  EXPECT_TRUE(split_path("").empty());
+  EXPECT_EQ(split_path("//a///b/"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_path("relative/x"), (std::vector<std::string>{"relative", "x"}));
+}
+
+TEST(Path, JoinBasics) {
+  EXPECT_EQ(join_path({}), "/");
+  EXPECT_EQ(join_path({"a"}), "/a");
+  EXPECT_EQ(join_path({"a", "b"}), "/a/b");
+}
+
+TEST(Path, ChildAppends) {
+  EXPECT_EQ(path_child("/", "a"), "/a");
+  EXPECT_EQ(path_child("/a", "b"), "/a/b");
+  EXPECT_EQ(path_child("/a/", "b"), "/a/b");
+}
+
+TEST(Path, ParentWalksUp) {
+  EXPECT_EQ(path_parent("/a/b"), "/a");
+  EXPECT_EQ(path_parent("/a"), "/");
+  EXPECT_EQ(path_parent("/"), "/");
+}
+
+TEST(Path, Basename) {
+  EXPECT_EQ(path_basename("/a/b"), "b");
+  EXPECT_EQ(path_basename("/a"), "a");
+  EXPECT_EQ(path_basename("/"), "");
+}
+
+TEST(Path, NormalizeCollapsesAndResolvesDot) {
+  EXPECT_EQ(normalize_path("//a/./b//"), "/a/b");
+  EXPECT_EQ(normalize_path("/."), "/");
+  EXPECT_EQ(normalize_path(""), "/");
+}
+
+TEST(Path, NormalizeRejectsDotDot) {
+  EXPECT_EQ(normalize_path("/a/../b"), "");
+}
+
+TEST(Path, Depth) {
+  EXPECT_EQ(path_depth("/"), 0u);
+  EXPECT_EQ(path_depth("/a"), 1u);
+  EXPECT_EQ(path_depth("/a/b/c"), 3u);
+}
+
+TEST(Path, IsWithin) {
+  EXPECT_TRUE(path_is_within("/a/b/c", "/a"));
+  EXPECT_TRUE(path_is_within("/a", "/a"));
+  EXPECT_TRUE(path_is_within("/a", "/"));
+  EXPECT_FALSE(path_is_within("/ab", "/a"));
+  EXPECT_FALSE(path_is_within("/a", "/a/b"));
+}
+
+class PathProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathProperty, SplitJoinRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::string> parts;
+    const std::size_t depth = rng.next_below(6);
+    for (std::size_t i = 0; i < depth; ++i) parts.push_back(rng.next_name(1 + rng.next_below(10)));
+    const std::string joined = join_path(parts);
+    EXPECT_EQ(split_path(joined), parts);
+    EXPECT_EQ(path_depth(joined), parts.size());
+    EXPECT_EQ(normalize_path(joined), joined);
+  }
+}
+
+TEST_P(PathProperty, ParentChildInverse) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::string> parts;
+    const std::size_t depth = 1 + rng.next_below(5);
+    for (std::size_t i = 0; i < depth; ++i) parts.push_back(rng.next_name(4));
+    const std::string path = join_path(parts);
+    EXPECT_EQ(path_child(path_parent(path), path_basename(path)), path);
+    EXPECT_TRUE(path_is_within(path, path_parent(path)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathProperty, ::testing::Values(11, 12, 13));
+
+}  // namespace
+}  // namespace kosha

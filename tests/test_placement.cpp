@@ -1,0 +1,80 @@
+// Placement-logic tests: anchor depth, salting, key derivation, and
+// stored-path construction (paper §3.1-§3.3).
+
+#include <gtest/gtest.h>
+
+#include "kosha/placement.hpp"
+
+namespace kosha {
+namespace {
+
+TEST(Placement, AnchorDepthClampsToLevel) {
+  EXPECT_EQ(anchor_depth(1, 0), 0u);
+  EXPECT_EQ(anchor_depth(1, 1), 1u);
+  EXPECT_EQ(anchor_depth(1, 5), 1u);
+  EXPECT_EQ(anchor_depth(3, 2), 2u);
+  EXPECT_EQ(anchor_depth(3, 7), 3u);
+}
+
+TEST(Placement, DistributedDepths) {
+  EXPECT_FALSE(is_distributed_depth(2, 0));
+  EXPECT_TRUE(is_distributed_depth(2, 1));
+  EXPECT_TRUE(is_distributed_depth(2, 2));
+  EXPECT_FALSE(is_distributed_depth(2, 3));
+}
+
+TEST(Placement, SaltedNames) {
+  EXPECT_EQ(salted_name("src", 0), "src");
+  EXPECT_EQ(salted_name("src", 1), "src#1");
+  EXPECT_EQ(salted_name("src", 15), "src#15");
+}
+
+TEST(Placement, PlainNameStripsSalt) {
+  EXPECT_EQ(plain_name("src"), "src");
+  EXPECT_EQ(plain_name("src#3"), "src");
+  EXPECT_EQ(plain_name("sdirm#"), "sdirm");
+}
+
+TEST(Placement, KeysDifferBySalt) {
+  // Salting must move the directory to a (very likely) different node.
+  EXPECT_NE(key_for_name("src"), key_for_name("src#1"));
+  EXPECT_NE(key_for_name("src#1"), key_for_name("src#2"));
+}
+
+TEST(Placement, KeyIsDeterministicAndNameOnly) {
+  // The paper hashes only the directory *name*: two directories with the
+  // same name collide onto the same node regardless of their paths.
+  EXPECT_EQ(key_for_name("src"), key_for_name("src"));
+  EXPECT_EQ(root_key(), key_for_name("/"));
+}
+
+TEST(Placement, AnchorContainer) {
+  EXPECT_EQ(anchor_container("src"), "src");
+  EXPECT_EQ(anchor_container("src#2"), "src#2");
+  EXPECT_EQ(anchor_container("/"), "#root");
+}
+
+TEST(Placement, StoredPathPutsEffectiveNameAtAnchor) {
+  // /a/x/y with anchor depth 2 and effective name "x#1":
+  const std::vector<std::string> components{"a", "x", "y"};
+  EXPECT_EQ(stored_path(components, 2, "x#1"), "/.a/x#1/a/x#1/y");
+  EXPECT_EQ(stored_path(components, 1, "a"), "/.a/a/a/x/y");
+  EXPECT_EQ(stored_path(components, 3, "y"), "/.a/y/a/x/y");
+}
+
+TEST(Placement, StoredPathForRootAnchor) {
+  EXPECT_EQ(root_stored_path(), "/.a/#root");
+  EXPECT_EQ(stored_path({"f"}, 0, "/"), "/.a/#root/f");
+}
+
+TEST(Placement, CollidingNamesDistinctStoredPaths) {
+  // Two same-named directories share a container but keep distinct paths.
+  const auto p1 = stored_path({"p", "src"}, 2, "src");
+  const auto p2 = stored_path({"q", "src"}, 2, "src");
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(p1, "/.a/src/p/src");
+  EXPECT_EQ(p2, "/.a/src/q/src");
+}
+
+}  // namespace
+}  // namespace kosha

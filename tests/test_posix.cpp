@@ -1,0 +1,182 @@
+// POSIX file-descriptor adapter tests.
+
+#include <gtest/gtest.h>
+
+#include "kosha/cluster.hpp"
+#include "kosha/posix.hpp"
+
+namespace kosha {
+namespace {
+
+struct Fixture {
+  KoshaCluster cluster;
+  KoshaMount mount;
+  PosixAdapter posix;
+
+  Fixture()
+      : cluster([] {
+          ClusterConfig config;
+          config.nodes = 6;
+          config.kosha.distribution_level = 1;
+          config.kosha.replicas = 1;
+          config.seed = 29;
+          return config;
+        }()),
+        mount(&cluster.daemon(0)),
+        posix(&mount) {}
+};
+
+TEST(Posix, OpenCreateWriteReadClose) {
+  Fixture fx;
+  ASSERT_TRUE(fx.posix.mkdir("/dir"));
+  const Fd fd = fx.posix.open("/dir/file", kRdWr | kCreate);
+  ASSERT_TRUE(fd.valid());
+  EXPECT_EQ(fx.posix.write(fd, "hello "), 6);
+  EXPECT_EQ(fx.posix.write(fd, "world"), 5);
+  EXPECT_EQ(fx.posix.lseek(fd, 0, Whence::kSet), 0);
+  char buffer[64];
+  const auto n = fx.posix.read(fd, buffer, sizeof(buffer));
+  ASSERT_EQ(n, 11);
+  EXPECT_EQ(std::string(buffer, 11), "hello world");
+  EXPECT_EQ(fx.posix.read(fd, buffer, sizeof(buffer)), 0);  // EOF
+  EXPECT_TRUE(fx.posix.close(fd));
+  EXPECT_FALSE(fx.posix.close(fd));  // double close
+}
+
+TEST(Posix, OpenMissingWithoutCreateFails) {
+  Fixture fx;
+  const Fd fd = fx.posix.open("/nope", kRdOnly);
+  EXPECT_FALSE(fd.valid());
+  EXPECT_EQ(fx.posix.last_error(), nfs::NfsStat::kNoEnt);
+}
+
+TEST(Posix, OpenDirectoryFails) {
+  Fixture fx;
+  ASSERT_TRUE(fx.posix.mkdir("/d"));
+  EXPECT_FALSE(fx.posix.open("/d", kRdOnly).valid());
+  EXPECT_EQ(fx.posix.last_error(), nfs::NfsStat::kIsDir);
+}
+
+TEST(Posix, TruncateOnOpen) {
+  Fixture fx;
+  {
+    const Fd fd = fx.posix.open("/f", kWrOnly | kCreate);
+    ASSERT_TRUE(fd.valid());
+    EXPECT_EQ(fx.posix.write(fd, "long original content"), 21);
+    EXPECT_TRUE(fx.posix.close(fd));
+  }
+  const Fd fd = fx.posix.open("/f", kWrOnly | kTrunc);
+  ASSERT_TRUE(fd.valid());
+  const auto attr = fx.posix.fstat(fd);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 0u);
+}
+
+TEST(Posix, AppendMode) {
+  Fixture fx;
+  const Fd writer = fx.posix.open("/log", kWrOnly | kCreate);
+  EXPECT_EQ(fx.posix.write(writer, "line1\n"), 6);
+  const Fd appender = fx.posix.open("/log", kWrOnly | kAppend);
+  EXPECT_EQ(fx.posix.write(appender, "line2\n"), 6);
+  const Fd reader = fx.posix.open("/log", kRdOnly);
+  char buffer[64];
+  const auto n = fx.posix.read(reader, buffer, sizeof(buffer));
+  EXPECT_EQ(std::string(buffer, static_cast<std::size_t>(n)), "line1\nline2\n");
+}
+
+TEST(Posix, ModeEnforcement) {
+  Fixture fx;
+  const Fd read_only = fx.posix.open("/m", kRdOnly | kCreate);
+  ASSERT_TRUE(read_only.valid());
+  EXPECT_EQ(fx.posix.write(read_only, "x"), -1);
+  EXPECT_EQ(fx.posix.last_error(), nfs::NfsStat::kInval);
+  const Fd write_only = fx.posix.open("/m", kWrOnly);
+  char buffer[8];
+  EXPECT_EQ(fx.posix.read(write_only, buffer, 8), -1);
+}
+
+TEST(Posix, LseekVariants) {
+  Fixture fx;
+  const Fd fd = fx.posix.open("/s", kRdWr | kCreate);
+  EXPECT_EQ(fx.posix.write(fd, "0123456789"), 10);
+  EXPECT_EQ(fx.posix.lseek(fd, -4, Whence::kEnd), 6);
+  char buffer[8];
+  EXPECT_EQ(fx.posix.read(fd, buffer, 8), 4);
+  EXPECT_EQ(std::string(buffer, 4), "6789");
+  EXPECT_EQ(fx.posix.lseek(fd, -2, Whence::kCur), 8);
+  EXPECT_EQ(fx.posix.lseek(fd, -100, Whence::kSet), -1);
+}
+
+TEST(Posix, IndependentOffsetsPerDescriptor) {
+  Fixture fx;
+  const Fd a = fx.posix.open("/two", kRdWr | kCreate);
+  EXPECT_EQ(fx.posix.write(a, "abcdef"), 6);
+  const Fd b = fx.posix.open("/two", kRdOnly);
+  char buffer[4];
+  EXPECT_EQ(fx.posix.read(b, buffer, 3), 3);
+  EXPECT_EQ(std::string(buffer, 3), "abc");
+  // Descriptor a's offset is unaffected by b's reads.
+  EXPECT_EQ(fx.posix.lseek(a, 0, Whence::kCur), 6);
+}
+
+TEST(Posix, SparseWriteViaSeek) {
+  Fixture fx;
+  const Fd fd = fx.posix.open("/sparse", kRdWr | kCreate);
+  EXPECT_EQ(fx.posix.lseek(fd, 100, Whence::kSet), 100);
+  EXPECT_EQ(fx.posix.write(fd, "tail"), 4);
+  const auto attr = fx.posix.fstat(fd);
+  EXPECT_EQ(attr->size, 104u);
+}
+
+TEST(Posix, UnlinkRenameRmdir) {
+  Fixture fx;
+  ASSERT_TRUE(fx.posix.mkdir("/ops"));
+  const Fd fd = fx.posix.open("/ops/a", kWrOnly | kCreate);
+  (void)fx.posix.write(fd, "z");
+  (void)fx.posix.close(fd);
+  EXPECT_TRUE(fx.posix.rename("/ops/a", "/ops/b"));
+  EXPECT_FALSE(fx.posix.open("/ops/a", kRdOnly).valid());
+  EXPECT_TRUE(fx.posix.unlink("/ops/b"));
+  EXPECT_TRUE(fx.posix.rmdir("/ops"));
+  EXPECT_FALSE(fx.posix.rmdir("/ops"));
+}
+
+TEST(Posix, DescriptorSurvivesNodeFailure) {
+  Fixture fx;
+  ClusterConfig config;
+  config.nodes = 8;
+  config.kosha.replicas = 2;
+  config.seed = 33;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  PosixAdapter posix(&mount);
+  ASSERT_TRUE(posix.mkdir("/ha"));
+  const Fd fd = posix.open("/ha/f", kRdWr | kCreate);
+  EXPECT_EQ(posix.write(fd, "persistent"), 10);
+
+  // Kill the storage node under the open descriptor.
+  const auto vh = mount.resolve("/ha/f");
+  const net::HostId primary = cluster.daemon(0).handle_table().find(*vh)->real.server;
+  if (primary != 0) {
+    cluster.fail_node(primary);
+    EXPECT_EQ(posix.lseek(fd, 0, Whence::kSet), 0);
+    char buffer[16];
+    const auto n = posix.read(fd, buffer, sizeof(buffer));
+    ASSERT_EQ(n, 10);
+    EXPECT_EQ(std::string(buffer, 10), "persistent");
+  }
+}
+
+TEST(Posix, BadDescriptorOps) {
+  Fixture fx;
+  const Fd bogus{999};
+  char buffer[4];
+  EXPECT_EQ(fx.posix.read(bogus, buffer, 4), -1);
+  EXPECT_EQ(fx.posix.write(bogus, "x"), -1);
+  EXPECT_EQ(fx.posix.lseek(bogus, 0, Whence::kSet), -1);
+  EXPECT_FALSE(fx.posix.ftruncate(bogus, 0));
+  EXPECT_FALSE(fx.posix.fstat(bogus).ok());
+}
+
+}  // namespace
+}  // namespace kosha

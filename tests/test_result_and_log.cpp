@@ -1,0 +1,109 @@
+// Tests for the Result<T,E> vocabulary type, the logger plumbing, and
+// overlay message-cost accounting.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/log.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "net/sim_network.hpp"
+#include "pastry/overlay.hpp"
+
+namespace kosha {
+namespace {
+
+enum class Err { kBad, kWorse };
+
+TEST(Result, ValueSide) {
+  const Result<int, Err> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, ErrorSide) {
+  const Result<int, Err> r = Err::kWorse;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Err::kWorse);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyPayload) {
+  Result<std::string, Err> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  const std::string taken = std::move(r.value());
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string, Err> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Result, UnitEquality) {
+  EXPECT_EQ(Unit{}, Unit{});
+  const Result<Unit, Err> ok = Unit{};
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(Log, LevelGating) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold messages are dropped without side effects.
+  KOSHA_LOG_DEBUG("dropped %d", 1);
+  KOSHA_LOG_INFO("dropped %s", "too");
+  set_log_level(LogLevel::kOff);
+  KOSHA_LOG_ERROR("also dropped");
+  set_log_level(saved);
+}
+
+TEST(OverlayCosts, JoinTrafficStaysBounded) {
+  // The join protocol contacts the bootstrap, the route path, and the
+  // nodes in the new node's state — O(leaf set + log N), never O(N).
+  SimClock clock;
+  net::SimNetwork network({}, &clock);
+  pastry::PastryOverlay overlay({}, &network);
+  Rng rng(2024);
+  std::uint64_t before = 0;
+  std::uint64_t cost_at_64 = 0;
+  std::uint64_t cost_at_256 = 0;
+  for (int i = 0; i < 256; ++i) {
+    before = network.stats().messages;
+    overlay.join(rng.next_id(), network.add_host());
+    const std::uint64_t cost = network.stats().messages - before;
+    if (i == 63) cost_at_64 = cost;
+    if (i == 255) cost_at_256 = cost;
+  }
+  EXPECT_GT(cost_at_64, 0u);
+  // 4x more nodes must not cost anywhere near 4x the join messages.
+  EXPECT_LT(cost_at_256, cost_at_64 * 3);
+  EXPECT_LT(cost_at_256, 200u);  // absolute sanity: not O(N)
+}
+
+TEST(OverlayCosts, FailureRepairTrafficBounded) {
+  SimClock clock;
+  net::SimNetwork network({}, &clock);
+  pastry::PastryOverlay overlay({}, &network);
+  Rng rng(2025);
+  std::vector<pastry::NodeId> ids;
+  for (int i = 0; i < 128; ++i) {
+    const auto id = rng.next_id();
+    ids.push_back(id);
+    overlay.join(id, network.add_host());
+  }
+  const std::uint64_t before = network.stats().messages;
+  overlay.fail(ids[100]);
+  const std::uint64_t repair = network.stats().messages - before;
+  // Repair touches the failed node's leaf-set members and their members:
+  // O(l^2), independent of N.
+  EXPECT_GT(repair, 0u);
+  EXPECT_LT(repair, 1200u);
+}
+
+}  // namespace
+}  // namespace kosha

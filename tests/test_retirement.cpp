@@ -1,0 +1,103 @@
+// Graceful node departure: data survives retirement even with zero
+// replicas, and the cluster audits clean afterwards.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kosha/audit.hpp"
+#include "kosha/mount.hpp"
+
+namespace kosha {
+namespace {
+
+TEST(Retirement, DataSurvivesWithZeroReplicas) {
+  ClusterConfig config;
+  config.nodes = 6;
+  config.kosha.distribution_level = 1;
+  config.kosha.replicas = 0;  // crash-failure would lose data here
+  config.seed = 81;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  for (int i = 0; i < 6; ++i) {
+    const std::string dir = "/d" + std::to_string(i);
+    ASSERT_TRUE(mount.mkdir_p(dir).ok());
+    ASSERT_TRUE(mount.write_file(dir + "/f", "content-" + std::to_string(i)).ok());
+  }
+
+  // Retire every node except the client, one at a time.
+  for (const auto host : cluster.live_hosts()) {
+    if (host == 0) continue;
+    cluster.retire_node(host);
+  }
+  EXPECT_EQ(cluster.live_hosts().size(), 1u);
+  for (int i = 0; i < 6; ++i) {
+    const auto content = mount.read_file("/d" + std::to_string(i) + "/f");
+    ASSERT_TRUE(content.ok()) << i;
+    EXPECT_EQ(content.value(), "content-" + std::to_string(i));
+  }
+}
+
+TEST(Retirement, RetiredNodeHoldsNoPrimaries) {
+  ClusterConfig config;
+  config.nodes = 5;
+  config.kosha.replicas = 1;
+  config.seed = 82;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/x").ok());
+  ASSERT_TRUE(mount.write_file("/x/f", "v").ok());
+  const net::HostId victim = cluster.live_hosts().back();
+  cluster.retire_node(victim);
+  EXPECT_TRUE(cluster.replicas(victim).primaries().empty());
+  EXPECT_FALSE(cluster.is_up(victim));
+}
+
+TEST(Retirement, AuditCleanAfterMixedChurn) {
+  ClusterConfig config;
+  config.nodes = 8;
+  config.kosha.distribution_level = 2;
+  config.kosha.replicas = 2;
+  config.seed = 83;
+  KoshaCluster cluster(config);
+  Rng rng(84);
+  KoshaMount mount(&cluster.daemon(0));
+  for (int round = 0; round < 30; ++round) {
+    const unsigned action = static_cast<unsigned>(rng.next_below(8));
+    if (action < 5) {
+      const std::string dir = "/m" + std::to_string(rng.next_below(3));
+      (void)mount.mkdir_p(dir);
+      (void)mount.write_file(dir + "/f" + std::to_string(rng.next_below(4)),
+                             rng.next_name(10));
+    } else if (action == 5) {
+      const auto hosts = cluster.live_hosts();
+      if (hosts.size() > 4) cluster.retire_node(hosts[1 + rng.next_below(hosts.size() - 1)]);
+    } else if (action == 6) {
+      const auto hosts = cluster.live_hosts();
+      if (hosts.size() > 4) cluster.fail_node(hosts[1 + rng.next_below(hosts.size() - 1)]);
+    } else {
+      (void)cluster.add_node();
+    }
+  }
+  const auto report = audit_cluster(cluster);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+TEST(Retirement, RetireThenRejoin) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.kosha.replicas = 1;
+  config.seed = 85;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.write_file("/persist", "here").ok());
+  const net::HostId victim = cluster.live_hosts().back();
+  cluster.retire_node(victim);
+  cluster.revive_node(victim);  // comes back purged under a fresh id
+  EXPECT_TRUE(cluster.is_up(victim));
+  EXPECT_EQ(mount.read_file("/persist").value(), "here");
+  const auto report = audit_cluster(cluster);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace kosha

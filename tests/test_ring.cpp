@@ -1,0 +1,108 @@
+// Ground-truth Ring tests: ownership and neighbor queries against brute
+// force.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "pastry/ring.hpp"
+
+namespace kosha::pastry {
+namespace {
+
+bool brute_closer(Key target, NodeId a, NodeId b) {
+  const auto da = ring_distance(a, target);
+  const auto db = ring_distance(b, target);
+  return da != db ? da < db : a < b;
+}
+
+TEST(Ring, InsertRemoveContains) {
+  Ring ring;
+  EXPECT_TRUE(ring.empty());
+  ring.insert({0, 10}, 1);
+  ring.insert({0, 20}, 2);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_TRUE(ring.contains({0, 10}));
+  ring.remove({0, 10});
+  EXPECT_FALSE(ring.contains({0, 10}));
+  ring.remove({0, 10});  // idempotent
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(Ring, DuplicateInsertThrows) {
+  Ring ring;
+  ring.insert({0, 10}, 1);
+  EXPECT_THROW(ring.insert({0, 10}, 2), std::invalid_argument);
+}
+
+TEST(Ring, TagLookup) {
+  Ring ring;
+  ring.insert({0, 10}, 7);
+  EXPECT_EQ(ring.tag_of({0, 10}), 7u);
+  EXPECT_THROW((void)ring.tag_of({0, 11}), std::invalid_argument);
+}
+
+TEST(Ring, OwnerWrapsAround) {
+  Ring ring;
+  ring.insert({0, 100}, 0);
+  ring.insert(Uint128::max() - Uint128(0, 50), 1);
+  // Key 5 is closer (distance 56) to max-50 than to 100 (distance 95).
+  EXPECT_EQ(ring.owner_tag({0, 5}), 1u);
+  EXPECT_EQ(ring.owner_tag({0, 90}), 0u);
+}
+
+TEST(Ring, SingleNodeOwnsEverything) {
+  Ring ring;
+  ring.insert({3, 3}, 9);
+  Rng rng(50);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ring.owner_tag(rng.next_id()), 9u);
+}
+
+class RingProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingProperty, OwnerMatchesBruteForce) {
+  Rng rng(GetParam() * 131);
+  std::vector<NodeId> ids;
+  Ring ring;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    const NodeId id = rng.next_id();
+    ids.push_back(id);
+    ring.insert(id, static_cast<Ring::Tag>(i));
+  }
+  for (int trial = 0; trial < 300; ++trial) {
+    const Key key = rng.next_id();
+    const NodeId expected = *std::min_element(
+        ids.begin(), ids.end(), [&](NodeId a, NodeId b) { return brute_closer(key, a, b); });
+    EXPECT_EQ(ring.owner(key), expected);
+  }
+}
+
+TEST_P(RingProperty, NeighborsMatchBruteForce) {
+  Rng rng(GetParam() * 137);
+  std::vector<NodeId> ids;
+  Ring ring;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    const NodeId id = rng.next_id();
+    ids.push_back(id);
+    ring.insert(id, static_cast<Ring::Tag>(i));
+  }
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const NodeId self = ids[rng.next_below(ids.size())];
+      std::vector<NodeId> others;
+      for (const NodeId id : ids) {
+        if (id != self) others.push_back(id);
+      }
+      std::sort(others.begin(), others.end(),
+                [&](NodeId a, NodeId b) { return brute_closer(self, a, b); });
+      others.resize(std::min(k, others.size()));
+      EXPECT_EQ(ring.neighbors(self, k), others);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingProperty, ::testing::Values(1, 2, 3, 5, 16, 100));
+
+}  // namespace
+}  // namespace kosha::pastry

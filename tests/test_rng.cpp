@@ -1,0 +1,118 @@
+// Deterministic RNG behaviour: reproducibility, stream independence, and
+// rough distribution sanity.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace kosha {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolRespectsProbability) {
+  Rng rng(5);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.next_bool(0.3)) ++heads;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+  Rng rng2(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.next_bool(0.0));
+    EXPECT_TRUE(rng2.next_bool(1.0));
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(7);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  const Rng base(42);
+  Rng child_a = base.fork(0);
+  Rng child_b = base.fork(1);
+  Rng child_a2 = base.fork(0);
+  int same_ab = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = child_a.next_u64();
+    const auto b = child_b.next_u64();
+    EXPECT_EQ(a, child_a2.next_u64());
+    if (a == b) ++same_ab;
+  }
+  EXPECT_EQ(same_ab, 0);
+}
+
+TEST(Rng, NextIdUniqueInPractice) {
+  Rng rng(8);
+  std::set<std::string> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.next_id().to_hex());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Rng, NextNameCharsetAndLength) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const std::string name = rng.next_name(12);
+    EXPECT_EQ(name.size(), 12u);
+    for (const char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+    }
+  }
+}
+
+TEST(Rng, Uint64UniformAcrossNibbles) {
+  Rng rng(10);
+  int histogram[16] = {};
+  const int n = 16000;
+  for (int i = 0; i < n; ++i) ++histogram[rng.next_u64() >> 60];
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, n / 16, n / 16 * 0.25);
+  }
+}
+
+}  // namespace
+}  // namespace kosha

@@ -1,0 +1,106 @@
+// Simulated network tests: latency charging, byte accounting, liveness,
+// and timeouts.
+
+#include <gtest/gtest.h>
+
+#include "net/sim_network.hpp"
+
+namespace kosha::net {
+namespace {
+
+TEST(SimNetwork, AddHostsStartUp) {
+  SimClock clock;
+  SimNetwork network({}, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(network.host_count(), 2u);
+  EXPECT_TRUE(network.is_up(a));
+  network.set_up(a, false);
+  EXPECT_FALSE(network.is_up(a));
+}
+
+TEST(SimNetwork, RemoteMessageChargesHopLatency) {
+  SimClock clock;
+  NetworkConfig config;
+  config.hop_latency = SimDuration::micros(100);
+  config.per_byte = SimDuration::nanos(0);
+  SimNetwork network(config, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  network.charge_message(a, b);
+  EXPECT_EQ(clock.now().ns, SimDuration::micros(100).ns);
+  EXPECT_EQ(network.stats().messages, 1u);
+}
+
+TEST(SimNetwork, LocalMessageChargesLoopbackLatency) {
+  SimClock clock;
+  NetworkConfig config;
+  config.hop_latency = SimDuration::micros(100);
+  config.local_latency = SimDuration::micros(10);
+  config.per_byte = SimDuration::nanos(0);
+  SimNetwork network(config, &clock);
+  const HostId a = network.add_host();
+  network.charge_message(a, a);
+  EXPECT_EQ(clock.now().ns, SimDuration::micros(10).ns);
+}
+
+TEST(SimNetwork, PayloadBytesCharged) {
+  SimClock clock;
+  NetworkConfig config;
+  config.hop_latency = SimDuration::micros(0);
+  config.local_latency = SimDuration::micros(0);
+  config.per_byte = SimDuration::nanos(80);
+  SimNetwork network(config, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  network.charge_message(a, b, 1000);
+  EXPECT_EQ(clock.now().ns, 80'000);
+  EXPECT_EQ(network.stats().bytes, 1000u);
+}
+
+TEST(SimNetwork, RttIsTwoMessages) {
+  SimClock clock;
+  SimNetwork network({}, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  network.charge_rtt(a, b, 64);
+  EXPECT_EQ(network.stats().messages, 2u);
+  EXPECT_EQ(network.stats().bytes, 64u);  // reply payload not counted
+}
+
+TEST(SimNetwork, OverlayHopCountsOnlyRemote) {
+  SimClock clock;
+  SimNetwork network({}, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  network.charge_overlay_hop(a, a);
+  EXPECT_EQ(network.stats().overlay_hops, 0u);
+  network.charge_overlay_hop(a, b);
+  EXPECT_EQ(network.stats().overlay_hops, 1u);
+}
+
+TEST(SimNetwork, TimeoutChargesAndCounts) {
+  SimClock clock;
+  NetworkConfig config;
+  config.rpc_timeout = SimDuration::millis(500);
+  SimNetwork network(config, &clock);
+  network.charge_timeout();
+  EXPECT_EQ(clock.now().ns, SimDuration::millis(500).ns);
+  EXPECT_EQ(network.stats().timeouts, 1u);
+}
+
+TEST(SimNetwork, StatsReset) {
+  SimClock clock;
+  SimNetwork network({}, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  network.charge_message(a, b, 10);
+  network.stats().reset();
+  EXPECT_EQ(network.stats().messages, 0u);
+  EXPECT_EQ(network.stats().bytes, 0u);
+}
+
+}  // namespace
+}  // namespace kosha::net

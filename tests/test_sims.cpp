@@ -1,0 +1,218 @@
+// Figure-level simulator tests: invariants the paper's curves rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/availability_sim.hpp"
+#include "sim/insertion_sim.hpp"
+#include "sim/load_sim.hpp"
+
+namespace kosha::sim {
+namespace {
+
+trace::FsTrace small_trace() {
+  trace::FsTraceConfig config;
+  config.files = 20'000;
+  config.users = 40;
+  config.total_bytes = 2ull << 30;
+  return trace::generate_fs_trace(config);
+}
+
+// --- Figure 5: load distribution ---------------------------------------------
+
+TEST(LoadSim, MeanShareIsExactlyOneOverN) {
+  const auto trace = small_trace();
+  LoadSimConfig config;
+  config.nodes = 16;
+  config.runs = 3;
+  const auto result = simulate_load_distribution(trace, config);
+  EXPECT_NEAR(result.mean_count_pct, 100.0 / 16, 1e-9);
+  EXPECT_NEAR(result.mean_bytes_pct, 100.0 / 16, 1e-9);
+}
+
+TEST(LoadSim, DeeperLevelsBalanceBetter) {
+  const auto trace = small_trace();
+  auto std_at = [&](unsigned level) {
+    LoadSimConfig config;
+    config.level = level;
+    config.runs = 10;
+    return simulate_load_distribution(trace, config).std_count_pct;
+  };
+  const double level1 = std_at(1);
+  const double level4 = std_at(4);
+  const double level8 = std_at(8);
+  EXPECT_GT(level1, level4);
+  EXPECT_GE(level4 * 1.05, level8);  // still decreasing (or flat)
+}
+
+TEST(LoadSim, PerFileHashingIsTheLowerBound) {
+  const auto trace = small_trace();
+  LoadSimConfig per_file;
+  per_file.level = 0;
+  per_file.runs = 10;
+  const double bound = simulate_load_distribution(trace, per_file).std_count_pct;
+  LoadSimConfig level1;
+  level1.runs = 10;
+  EXPECT_LE(bound, simulate_load_distribution(trace, level1).std_count_pct);
+  // Level >= 6 is within a small factor of the bound (paper: level >= 4
+  // "comparable").
+  LoadSimConfig deep;
+  deep.level = 8;
+  deep.runs = 10;
+  EXPECT_LE(simulate_load_distribution(trace, deep).std_count_pct, bound * 1.15);
+}
+
+TEST(LoadSim, Deterministic) {
+  const auto trace = small_trace();
+  LoadSimConfig config;
+  config.runs = 4;
+  const auto a = simulate_load_distribution(trace, config);
+  const auto b = simulate_load_distribution(trace, config);
+  EXPECT_DOUBLE_EQ(a.std_count_pct, b.std_count_pct);
+  EXPECT_DOUBLE_EQ(a.std_bytes_pct, b.std_bytes_pct);
+}
+
+// --- Figure 6: redirection -----------------------------------------------------
+
+TEST(InsertionSim, MoreRedirectsNeverHurt) {
+  const auto trace = small_trace();
+  InsertionSimConfig base;
+  // Scale capacities so the 2 GiB trace (x4 copies) stresses them.
+  base.capacities.assign(16, 600ull << 20);
+  base.runs = 3;
+  double previous_ratio = 1.0;
+  double previous_util = 0.0;
+  for (const unsigned redirects : {0u, 2u, 8u}) {
+    InsertionSimConfig config = base;
+    config.redirects = redirects;
+    const auto curve = simulate_insertion(trace, config);
+    EXPECT_LE(curve.final_failure_ratio, previous_ratio * 1.001) << redirects;
+    EXPECT_GE(curve.final_utilization, previous_util - 0.001) << redirects;
+    previous_ratio = curve.final_failure_ratio;
+    previous_util = curve.final_utilization;
+  }
+}
+
+TEST(InsertionSim, AmpleCapacityNoFailures) {
+  const auto trace = small_trace();
+  InsertionSimConfig config;
+  config.capacities.assign(16, 64ull << 30);
+  config.runs = 2;
+  const auto curve = simulate_insertion(trace, config);
+  EXPECT_EQ(curve.final_failure_ratio, 0.0);
+}
+
+TEST(InsertionSim, LowUtilizationHasNoFailures) {
+  const auto trace = small_trace();
+  InsertionSimConfig config;
+  config.capacities = InsertionSimConfig::paper_capacities();
+  config.runs = 2;
+  config.redirects = 4;
+  const auto curve = simulate_insertion(trace, config);
+  // The 2 GiB trace barely dents the 56 GB cluster.
+  EXPECT_EQ(curve.final_failure_ratio, 0.0);
+  EXPECT_LT(curve.final_utilization, 0.5);
+}
+
+TEST(InsertionSim, PaperCapacityVector) {
+  const auto caps = InsertionSimConfig::paper_capacities();
+  ASSERT_EQ(caps.size(), 16u);
+  std::uint64_t total = 0;
+  for (const auto c : caps) total += c;
+  EXPECT_EQ(total, (8ull * 3 + 4ull * 4 + 4ull * 5) << 30);
+}
+
+// --- Figure 7: availability ----------------------------------------------------
+
+TEST(AvailabilitySim, PerfectUptimeIsFullAvailability) {
+  const auto fs = small_trace();
+  trace::AvailabilityTrace machines;
+  machines.machines = 64;
+  machines.hours = 48;
+  machines.up.assign(48, std::vector<bool>(64, true));
+  AvailabilitySimConfig config;
+  config.replicas = 0;
+  config.runs = 2;
+  const auto result = simulate_availability(fs, machines, config);
+  EXPECT_DOUBLE_EQ(result.average_pct, 100.0);
+  EXPECT_DOUBLE_EQ(result.min_pct, 100.0);
+}
+
+TEST(AvailabilitySim, ReplicasImproveAvailability) {
+  const auto fs = small_trace();
+  trace::AvailabilityConfig trace_config;
+  trace_config.machines = 300;
+  trace_config.hours = 200;
+  trace_config.spike_hour = 150;
+  trace_config.spike_fraction = 0.3;
+  const auto machines = trace::generate_availability_trace(trace_config);
+
+  double previous_min = 0.0;
+  for (const unsigned k : {0u, 1u, 3u}) {
+    AvailabilitySimConfig config;
+    config.replicas = k;
+    config.runs = 2;
+    const auto result = simulate_availability(fs, machines, config);
+    EXPECT_GE(result.min_pct, previous_min - 1e-9) << "k=" << k;
+    previous_min = result.min_pct;
+  }
+}
+
+TEST(AvailabilitySim, UnreplicatedDipsTrackMachineFailures) {
+  const auto fs = small_trace();
+  trace::AvailabilityConfig trace_config;
+  trace_config.machines = 400;
+  trace_config.hours = 200;
+  trace_config.spike_hour = 100;
+  trace_config.spike_fraction = 0.25;
+  const auto machines = trace::generate_availability_trace(trace_config);
+  AvailabilitySimConfig config;
+  config.replicas = 0;
+  config.runs = 2;
+  const auto result = simulate_availability(fs, machines, config);
+  const double down_fraction =
+      static_cast<double>(machines.down_count(100)) / 400.0;
+  // With no replicas, unavailable files ~ fraction of machines down.
+  EXPECT_NEAR(100.0 - result.available_pct[100], down_fraction * 100.0, 6.0);
+  EXPECT_EQ(result.min_hour, 100u);
+}
+
+TEST(AvailabilitySim, SlowerRepairNeverImprovesAvailability) {
+  const auto fs = small_trace();
+  trace::AvailabilityConfig trace_config;
+  trace_config.machines = 300;
+  trace_config.hours = 300;
+  trace_config.spike_hour = 150;
+  trace_config.spike_fraction = 0.25;
+  const auto machines = trace::generate_availability_trace(trace_config);
+  double previous = 0.0;
+  for (const std::size_t repair : {std::size_t{12}, std::size_t{4}, std::size_t{0}}) {
+    AvailabilitySimConfig config;
+    config.replicas = 2;
+    config.runs = 2;
+    config.repair_hours = repair;
+    const auto result = simulate_availability(fs, machines, config);
+    EXPECT_GE(result.average_pct, previous - 1e-9) << "repair_hours=" << repair;
+    previous = result.average_pct;
+  }
+}
+
+TEST(AvailabilitySim, RecoversAfterSpike) {
+  const auto fs = small_trace();
+  trace::AvailabilityConfig trace_config;
+  trace_config.machines = 300;
+  trace_config.hours = 200;
+  trace_config.spike_hour = 100;
+  trace_config.spike_fraction = 0.3;
+  const auto machines = trace::generate_availability_trace(trace_config);
+  AvailabilitySimConfig config;
+  config.replicas = 0;
+  config.runs = 1;
+  const auto result = simulate_availability(fs, machines, config);
+  EXPECT_LT(result.available_pct[100], 85.0);
+  EXPECT_GT(result.available_pct[150], 95.0);  // files came back with machines
+}
+
+}  // namespace
+}  // namespace kosha::sim

@@ -1,0 +1,171 @@
+// Workload/trace generator tests: determinism and aggregate statistics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/path.hpp"
+#include "trace/availability.hpp"
+#include "trace/fs_trace.hpp"
+#include "trace/mab.hpp"
+
+namespace kosha::trace {
+namespace {
+
+// --- MAB ---------------------------------------------------------------------
+
+TEST(Mab, Deterministic) {
+  MabConfig config;
+  const auto a = generate_mab(config);
+  const auto b = generate_mab(config);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (std::size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].path, b.files[i].path);
+    EXPECT_EQ(a.files[i].size, b.files[i].size);
+  }
+}
+
+TEST(Mab, MatchesConfiguredTotals) {
+  MabConfig config;
+  const auto workload = generate_mab(config);
+  EXPECT_EQ(workload.files.size(), config.files);
+  EXPECT_EQ(workload.directories.size(), config.total_dirs);
+  // Within 20% of the configured 51 MB (clamping shifts the total a bit).
+  EXPECT_NEAR(static_cast<double>(workload.total_bytes),
+              static_cast<double>(config.total_bytes),
+              0.2 * static_cast<double>(config.total_bytes));
+}
+
+TEST(Mab, RespectsDepthCapAndParentOrder) {
+  MabConfig config;
+  config.max_depth = 4;
+  const auto workload = generate_mab(config);
+  std::set<std::string> seen{"/"};
+  for (const auto& dir : workload.directories) {
+    EXPECT_LE(path_depth(dir), 4u);
+    EXPECT_TRUE(seen.count(path_parent(dir))) << dir << " created before its parent";
+    seen.insert(dir);
+  }
+  for (const auto& file : workload.files) {
+    EXPECT_TRUE(seen.count(path_parent(file.path))) << file.path;
+  }
+}
+
+TEST(Mab, PrefixIsolatesRuns) {
+  MabConfig a;
+  a.prefix = "r0";
+  MabConfig b;
+  b.prefix = "r1";
+  EXPECT_NE(generate_mab(a).directories[0], generate_mab(b).directories[0]);
+}
+
+TEST(Mab, CopyPathMapsTopLevel) {
+  EXPECT_EQ(mab_copy_path("/r0_d1/s2/f.c"), "/r0_d1c/s2/f.c");
+  EXPECT_EQ(mab_copy_path("/top"), "/topc");
+}
+
+TEST(Mab, ContentSizeAndDeterminism) {
+  EXPECT_EQ(mab_content(1000, 5).size(), 1000u);
+  EXPECT_EQ(mab_content(1000, 5), mab_content(1000, 5));
+  EXPECT_NE(mab_content(1000, 5), mab_content(1000, 6));
+  EXPECT_TRUE(mab_content(0, 1).empty());
+}
+
+// --- departmental FS trace -----------------------------------------------------
+
+TEST(FsTrace, MatchesPaperAggregates) {
+  FsTraceConfig config;  // defaults: 130 users, 221k files, 17.9 GB
+  const auto trace = generate_fs_trace(config);
+  EXPECT_EQ(trace.files.size(), 221'000u);
+  std::set<std::string> users;
+  for (const auto& file : trace.files) users.insert(split_path(file.path)[0]);
+  EXPECT_EQ(users.size(), 130u);
+  EXPECT_NEAR(static_cast<double>(trace.total_bytes),
+              static_cast<double>(config.total_bytes),
+              0.15 * static_cast<double>(config.total_bytes));
+}
+
+TEST(FsTrace, Deterministic) {
+  FsTraceConfig config;
+  config.files = 5000;
+  config.users = 20;
+  const auto a = generate_fs_trace(config);
+  const auto b = generate_fs_trace(config);
+  ASSERT_EQ(a.files.size(), b.files.size());
+  EXPECT_EQ(a.files[1234].path, b.files[1234].path);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+}
+
+TEST(FsTrace, DirectoriesParentFirstAndDepthCapped) {
+  FsTraceConfig config;
+  config.files = 20000;
+  config.users = 25;
+  config.max_depth = 6;
+  const auto trace = generate_fs_trace(config);
+  std::set<std::string> seen{"/"};
+  for (const auto& dir : trace.directories) {
+    EXPECT_LE(path_depth(dir), 6u);
+    EXPECT_TRUE(seen.count(path_parent(dir))) << dir;
+    seen.insert(dir);
+  }
+}
+
+TEST(FsTrace, SkewedAcrossUsers) {
+  FsTraceConfig config;
+  config.files = 50000;
+  config.users = 50;
+  const auto trace = generate_fs_trace(config);
+  std::map<std::string, std::size_t> per_user;
+  for (const auto& file : trace.files) ++per_user[split_path(file.path)[0]];
+  // Zipf: the busiest user has many times the files of the median user.
+  std::vector<std::size_t> counts;
+  for (const auto& [user, count] : per_user) counts.push_back(count);
+  std::sort(counts.begin(), counts.end());
+  EXPECT_GT(counts.back(), 3 * counts[counts.size() / 2]);
+}
+
+TEST(FsTrace, AnchorNameFollowsDistributionLevel) {
+  EXPECT_EQ(file_anchor_name("/u1/a/b/f", 1), "u1");
+  EXPECT_EQ(file_anchor_name("/u1/a/b/f", 2), "a");
+  EXPECT_EQ(file_anchor_name("/u1/a/b/f", 3), "b");
+  EXPECT_EQ(file_anchor_name("/u1/a/b/f", 9), "b");  // clamps at dir depth
+  EXPECT_EQ(file_anchor_name("/rootfile", 3), "/");
+}
+
+// --- availability trace --------------------------------------------------------
+
+TEST(AvailabilityTrace, ShapeAndSpike) {
+  AvailabilityConfig config;
+  config.machines = 500;
+  const auto trace = generate_availability_trace(config);
+  EXPECT_EQ(trace.up.size(), 840u);
+  EXPECT_EQ(trace.up[0].size(), 500u);
+  // Background availability is high...
+  EXPECT_GT(trace.mean_availability(), 0.95);
+  // ...but the spike hour stands out.
+  const double spike_down = static_cast<double>(trace.down_count(config.spike_hour)) / 500.0;
+  EXPECT_GT(spike_down, 0.08);
+  const double normal_down = static_cast<double>(trace.down_count(100)) / 500.0;
+  EXPECT_LT(normal_down, 0.05);
+  EXPECT_GT(spike_down, 2 * normal_down);
+}
+
+TEST(AvailabilityTrace, SpikeRecovers) {
+  AvailabilityConfig config;
+  config.machines = 500;
+  const auto trace = generate_availability_trace(config);
+  const auto after = trace.down_count(config.spike_hour + config.spike_duration_hours + 1);
+  EXPECT_LT(after, trace.down_count(config.spike_hour) / 2);
+}
+
+TEST(AvailabilityTrace, Deterministic) {
+  AvailabilityConfig config;
+  config.machines = 100;
+  const auto a = generate_availability_trace(config);
+  const auto b = generate_availability_trace(config);
+  EXPECT_EQ(a.up, b.up);
+}
+
+}  // namespace
+}  // namespace kosha::trace

@@ -1,0 +1,167 @@
+// Unit and property tests for the 128-bit ring arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/uint128.hpp"
+
+namespace kosha {
+namespace {
+
+TEST(Uint128, DefaultIsZero) {
+  const Uint128 v;
+  EXPECT_EQ(v, Uint128::zero());
+  EXPECT_EQ(v.hi, 0u);
+  EXPECT_EQ(v.lo, 0u);
+}
+
+TEST(Uint128, ComparisonOrdersHiBeforeLo) {
+  EXPECT_LT(Uint128(0, 5), Uint128(1, 0));
+  EXPECT_LT(Uint128(1, 0), Uint128(1, 1));
+  EXPECT_GT(Uint128(2, 0), Uint128(1, ~0ull));
+}
+
+TEST(Uint128, AdditionCarriesAcrossWords) {
+  const Uint128 a(0, ~0ull);
+  const Uint128 one(0, 1);
+  EXPECT_EQ(a + one, Uint128(1, 0));
+}
+
+TEST(Uint128, AdditionWrapsAtMax) {
+  EXPECT_EQ(Uint128::max() + Uint128(0, 1), Uint128::zero());
+}
+
+TEST(Uint128, SubtractionBorrowsAcrossWords) {
+  EXPECT_EQ(Uint128(1, 0) - Uint128(0, 1), Uint128(0, ~0ull));
+}
+
+TEST(Uint128, SubtractionWrapsBelowZero) {
+  EXPECT_EQ(Uint128::zero() - Uint128(0, 1), Uint128::max());
+}
+
+TEST(Uint128, DigitExtractionBase16) {
+  const Uint128 v = Uint128::from_hex("0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(v.digit(0, 4), 0x0u);
+  EXPECT_EQ(v.digit(1, 4), 0x1u);
+  EXPECT_EQ(v.digit(15, 4), 0xfu);
+  EXPECT_EQ(v.digit(16, 4), 0x0u);
+  EXPECT_EQ(v.digit(31, 4), 0xfu);
+}
+
+TEST(Uint128, SharedPrefixLength) {
+  const Uint128 a = Uint128::from_hex("abcd0000000000000000000000000000");
+  const Uint128 b = Uint128::from_hex("abce0000000000000000000000000000");
+  EXPECT_EQ(a.shared_prefix_length(b, 4), 3u);
+  EXPECT_EQ(a.shared_prefix_length(a, 4), 32u);
+  const Uint128 c = Uint128::from_hex("1bcd0000000000000000000000000000");
+  EXPECT_EQ(a.shared_prefix_length(c, 4), 0u);
+}
+
+TEST(Uint128, HexRoundTrip) {
+  const Uint128 v(0x0123456789abcdefull, 0xfedcba9876543210ull);
+  EXPECT_EQ(v.to_hex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(Uint128::from_hex(v.to_hex()), v);
+}
+
+TEST(Uint128, FromHexShortStrings) {
+  EXPECT_EQ(Uint128::from_hex("ff"), Uint128(0, 0xff));
+  EXPECT_EQ(Uint128::from_hex("0"), Uint128::zero());
+}
+
+TEST(Uint128, FromHexRejectsBadInput) {
+  EXPECT_THROW((void)Uint128::from_hex(""), std::invalid_argument);
+  EXPECT_THROW((void)Uint128::from_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW((void)Uint128::from_hex(std::string(33, 'a')), std::invalid_argument);
+}
+
+TEST(Uint128, FromBytesBigEndian) {
+  std::array<std::uint8_t, 16> bytes{};
+  bytes[0] = 0x01;
+  bytes[15] = 0xff;
+  const Uint128 v = Uint128::from_bytes(bytes);
+  EXPECT_EQ(v.hi, 0x0100000000000000ull);
+  EXPECT_EQ(v.lo, 0xffull);
+}
+
+TEST(RingDistance, SymmetricAndShortWay) {
+  const Uint128 a(0, 10);
+  const Uint128 b(0, 4);
+  EXPECT_EQ(ring_distance(a, b), Uint128(0, 6));
+  EXPECT_EQ(ring_distance(b, a), Uint128(0, 6));
+  // Near-opposite ends: the short way wraps.
+  EXPECT_EQ(ring_distance(Uint128::zero(), Uint128::max()), Uint128(0, 1));
+}
+
+TEST(RingDistance, SelfIsZero) {
+  EXPECT_EQ(ring_distance(Uint128(7, 7), Uint128(7, 7)), Uint128::zero());
+}
+
+TEST(InClockwiseRange, BasicAndWrapped) {
+  EXPECT_TRUE(in_clockwise_range(Uint128(0, 5), Uint128(0, 1), Uint128(0, 9)));
+  EXPECT_FALSE(in_clockwise_range(Uint128(0, 10), Uint128(0, 1), Uint128(0, 9)));
+  // Wrapped range [max-1, 2]: max and 0 are inside, 5 is not.
+  const Uint128 from = Uint128::max() - Uint128(0, 1);
+  EXPECT_TRUE(in_clockwise_range(Uint128::max(), from, Uint128(0, 2)));
+  EXPECT_TRUE(in_clockwise_range(Uint128::zero(), from, Uint128(0, 2)));
+  EXPECT_FALSE(in_clockwise_range(Uint128(0, 5), from, Uint128(0, 2)));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps
+// ---------------------------------------------------------------------------
+
+class Uint128Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Uint128Property, AddSubRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Uint128 a = rng.next_id();
+    const Uint128 b = rng.next_id();
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST_P(Uint128Property, AdditionCommutes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Uint128 a = rng.next_id();
+    const Uint128 b = rng.next_id();
+    EXPECT_EQ(a + b, b + a);
+  }
+}
+
+TEST_P(Uint128Property, RingDistanceNeverExceedsHalf) {
+  Rng rng(GetParam());
+  const Uint128 half(0x8000000000000000ull, 0);
+  for (int i = 0; i < 200; ++i) {
+    const Uint128 d = ring_distance(rng.next_id(), rng.next_id());
+    EXPECT_LE(d, half);
+  }
+}
+
+TEST_P(Uint128Property, HexRoundTripRandom) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const Uint128 v = rng.next_id();
+    EXPECT_EQ(Uint128::from_hex(v.to_hex()), v);
+  }
+}
+
+TEST_P(Uint128Property, DigitsReassembleValue) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const Uint128 v = rng.next_id();
+    Uint128 rebuilt;
+    for (unsigned d = 0; d < 32; ++d) {
+      rebuilt.hi = (rebuilt.hi << 4) | (rebuilt.lo >> 60);
+      rebuilt.lo = (rebuilt.lo << 4) | v.digit(d, 4);
+    }
+    EXPECT_EQ(rebuilt, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Uint128Property, ::testing::Values(1, 2, 3, 17, 1234567));
+
+}  // namespace
+}  // namespace kosha

@@ -1,0 +1,80 @@
+// Virtual-handle table tests (paper §4.1.2).
+
+#include <gtest/gtest.h>
+
+#include "kosha/virtual_handles.hpp"
+
+namespace kosha {
+namespace {
+
+nfs::FileHandle handle(net::HostId host, fs::InodeId inode) { return {host, inode, 1}; }
+
+TEST(VirtualHandles, BindAndFind) {
+  VirtualHandleTable table;
+  const VirtualHandle vh = table.bind("/a/f", "/.a/a/a/f", handle(2, 10), fs::FileType::kFile);
+  EXPECT_TRUE(vh.valid());
+  const VhEntry* entry = table.find(vh);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->path, "/a/f");
+  EXPECT_EQ(entry->stored_path, "/.a/a/a/f");
+  EXPECT_EQ(entry->real.server, 2u);
+  EXPECT_EQ(table.find_by_path("/a/f"), vh);
+}
+
+TEST(VirtualHandles, RebindingSamePathKeepsHandle) {
+  VirtualHandleTable table;
+  const VirtualHandle vh = table.bind("/a", "/s1", handle(1, 1), fs::FileType::kDirectory);
+  const VirtualHandle again = table.bind("/a", "/s2", handle(3, 9), fs::FileType::kDirectory);
+  EXPECT_EQ(vh, again);
+  EXPECT_EQ(table.find(vh)->real.server, 3u);
+  EXPECT_EQ(table.find(vh)->stored_path, "/s2");
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(VirtualHandles, InvalidLookups) {
+  VirtualHandleTable table;
+  EXPECT_EQ(table.find(VirtualHandle{77}), nullptr);
+  EXPECT_FALSE(table.find_by_path("/nope").has_value());
+  EXPECT_FALSE(table.rebind(VirtualHandle{77}, "/x", handle(1, 1)));
+}
+
+TEST(VirtualHandles, RebindSwapsRealHandleTransparently) {
+  VirtualHandleTable table;
+  const VirtualHandle vh = table.bind("/a/f", "/s", handle(1, 5), fs::FileType::kFile);
+  EXPECT_TRUE(table.rebind(vh, "/s2", handle(4, 6)));
+  EXPECT_EQ(table.find(vh)->real.server, 4u);
+  EXPECT_EQ(table.find(vh)->path, "/a/f");  // virtual identity preserved
+}
+
+TEST(VirtualHandles, DropSingle) {
+  VirtualHandleTable table;
+  const VirtualHandle vh = table.bind("/a", "/s", handle(1, 1), fs::FileType::kDirectory);
+  table.drop(vh);
+  EXPECT_EQ(table.find(vh), nullptr);
+  EXPECT_FALSE(table.find_by_path("/a").has_value());
+  table.drop(vh);  // idempotent
+}
+
+TEST(VirtualHandles, DropSubtree) {
+  VirtualHandleTable table;
+  const auto keep = table.bind("/ax", "/s0", handle(1, 1), fs::FileType::kDirectory);
+  const auto root = table.bind("/a", "/s1", handle(1, 2), fs::FileType::kDirectory);
+  const auto child = table.bind("/a/b", "/s2", handle(1, 3), fs::FileType::kDirectory);
+  const auto grand = table.bind("/a/b/c", "/s3", handle(1, 4), fs::FileType::kFile);
+  table.drop_subtree("/a");
+  EXPECT_EQ(table.find(root), nullptr);
+  EXPECT_EQ(table.find(child), nullptr);
+  EXPECT_EQ(table.find(grand), nullptr);
+  EXPECT_NE(table.find(keep), nullptr);  // "/ax" is not inside "/a"
+}
+
+TEST(VirtualHandles, HandlesAreNeverReusedAcrossPaths) {
+  VirtualHandleTable table;
+  const auto a = table.bind("/a", "/s", handle(1, 1), fs::FileType::kFile);
+  table.drop(a);
+  const auto b = table.bind("/b", "/s", handle(1, 2), fs::FileType::kFile);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace kosha

@@ -1,0 +1,13 @@
+# Figure 5 — load-distribution stddev vs distribution level.
+# Input: results/fig5.csv (from fig5_load_distribution --csv).
+set datafile separator ','
+set terminal svg size 720,480
+set output 'results/fig5.svg'
+set xlabel 'distribution level'
+set ylabel 'stddev of per-node share (%)'
+set yrange [0:*]
+set key top right
+# Rows: header, levels 1..10, then the per-file bound.
+plot 'results/fig5.csv' every ::1::10 using 0:3 with linespoints title 'file count', \
+     'results/fig5.csv' every ::1::10 using 0:5 with linespoints title 'bytes', \
+     'results/fig5.csv' every ::11::11 using (1):3 with points pt 7 title 'per-file bound'

@@ -1,0 +1,14 @@
+# Figure 7 — file availability over 840 hours for replica counts 0-4.
+# Input: results/fig7.csv (from fig7_availability --csv).
+set datafile separator ','
+set terminal svg size 900,480
+set output 'results/fig7.svg'
+set xlabel 'hour'
+set ylabel 'files available (%)'
+set yrange [85:100.5]
+set key bottom right
+plot 'results/fig7.csv' using 1:2 with lines title 'Kosha-0', \
+     '' using 1:3 with lines title 'Kosha-1', \
+     '' using 1:4 with lines title 'Kosha-2', \
+     '' using 1:5 with lines title 'Kosha-3', \
+     '' using 1:6 with lines title 'Kosha-4'

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Reproduce the paper end-to-end: build, test, run every table/figure
+# harness at paper-sized repetition counts, and collect outputs (text +
+# CSV + gnuplot-ready data) under results/.
+#
+# Usage: tools/reproduce.sh [--quick]
+#   --quick  use the CI-sized run counts (seconds instead of minutes)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS_TABLE=50
+RUNS_FIG=50
+RUNS_AVAIL=20
+if [[ "${1:-}" == "--quick" ]]; then
+  RUNS_TABLE=5
+  RUNS_FIG=10
+  RUNS_AVAIL=3
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+run() {
+  local name="$1"
+  shift
+  echo "== $name =="
+  "./build/bench/$name" "$@" | tee "results/$name.txt"
+}
+
+run table1_scalability --runs "$RUNS_TABLE" --model
+run table2_distlevel --runs "$RUNS_TABLE"
+run fig5_load_distribution --runs "$RUNS_FIG"
+run fig6_redirection --runs "$RUNS_FIG"
+run fig7_availability --runs "$RUNS_AVAIL"
+run ablation_read_replicas
+run ablation_replication
+./build/bench/micro_bench | tee results/micro_bench.txt
+
+# CSV series for the plots.
+./build/bench/fig5_load_distribution --runs "$RUNS_FIG" --csv |
+  sed -n '/^dist-level,/,$p' > results/fig5.csv
+./build/bench/fig7_availability --runs "$RUNS_AVAIL" --csv |
+  sed -n '/^hour,/,$p' > results/fig7.csv
+
+if command -v gnuplot >/dev/null 2>&1; then
+  gnuplot tools/plot_fig5.gp tools/plot_fig7.gp
+  echo "plots written to results/"
+else
+  echo "gnuplot not found; CSVs are in results/"
+fi
