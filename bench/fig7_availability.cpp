@@ -5,21 +5,99 @@
 // Flags: --runs N (default 3; paper used 100), --machines N (default 2000),
 // --files N, --seed, --repair-hours H (default 1: a fresh replica takes an
 // hour to copy), --csv (per-hour series).
+//
+// --faults switches to the fault-injection sweep: a live KoshaCluster under
+// a seeded FaultPlan, drop rates {0,1,2,5}% x replicas {0,2}, reporting
+// first-try op success plus the retry/timeout/failover counters
+// (--ops N sets the per-cell operation count, --nodes N the cluster size).
 
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
 #include "sim/availability_sim.hpp"
+
+namespace {
+
+/// One cell of the fault sweep: a fresh cluster soaked at `drop_probability`.
+int run_fault_sweep(const kosha::CliArgs& args) {
+  using namespace kosha;
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 16));
+  const auto ops = static_cast<int>(args.get_int("ops", 300));
+
+  std::printf("Fault-injection sweep: %zu nodes, %d ops/cell, seed %llu\n"
+              "success%% counts first-try completions (the retry schedule and\n"
+              "failover ladder run underneath each op).\n\n",
+              nodes, ops, static_cast<unsigned long long>(seed));
+
+  TextTable table({"replicas", "drop%", "ops", "success%", "drops", "retries", "timeouts",
+                   "failovers", "degraded"});
+  for (const unsigned k : {0u, 2u}) {
+    for (const double drop : {0.0, 0.01, 0.02, 0.05}) {
+      ClusterConfig config;
+      config.nodes = nodes;
+      config.kosha.replicas = k;
+      config.kosha.read_from_replicas = k > 0;
+      config.seed = seed;
+      KoshaCluster cluster(config);
+
+      net::FaultPlanConfig fault;
+      fault.seed = seed + 7;
+      fault.drop_probability = drop;
+      cluster.network().set_fault_plan(std::make_unique<net::FaultPlan>(fault));
+
+      KoshaMount mount(&cluster.daemon(0));
+      Rng rng(seed ^ 0xFA17ull);
+      std::vector<std::string> written;
+      int succeeded = 0;
+      for (int i = 0; i < ops; ++i) {
+        bool ok = false;
+        if (written.empty() || rng.next_below(3) == 0) {
+          const std::string dir = "/w" + std::to_string(rng.next_below(8));
+          const std::string file = dir + "/f" + std::to_string(rng.next_below(4));
+          ok = mount.mkdir_p(dir).ok() && mount.write_file(file, rng.next_name(16)).ok();
+          if (ok) written.push_back(file);
+        } else {
+          // Read or stat a file known to exist, so every failure is
+          // fault-attributable.
+          const std::string& file = written[rng.next_below(written.size())];
+          ok = rng.next_bool(0.5) ? mount.read_file(file).ok() : mount.stat(file).ok();
+        }
+        if (ok) ++succeeded;
+      }
+
+      const auto& nstats = cluster.network().stats();
+      const auto& dstats = cluster.daemon(0).stats();
+      table.add_row({"Kosha-" + std::to_string(k), TextTable::fmt(drop * 100.0, 1),
+                     std::to_string(ops),
+                     TextTable::pct(ops > 0 ? static_cast<double>(succeeded) / ops : 0.0, 2),
+                     std::to_string(nstats.drops), std::to_string(nstats.retries),
+                     std::to_string(nstats.timeouts), std::to_string(dstats.failovers),
+                     std::to_string(dstats.degraded_reads)});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace kosha;
   const CliArgs args(argc, argv);
-  if (const auto err = args.check_known("runs,seed,files,machines,repair-hours,csv");
+  if (const auto err = args.check_known(
+          "runs,seed,files,machines,repair-hours,csv,faults,ops,nodes");
       !err.empty()) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
+  if (args.get_bool("faults", false)) return run_fault_sweep(args);
   const auto runs = static_cast<std::size_t>(args.get_int("runs", 3));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/path.hpp"
+#include "common/sha1.hpp"
 #include "kosha/mount.hpp"
 #include "kosha/placement.hpp"
 
@@ -92,6 +93,48 @@ void walk_namespace(KoshaMount& mount, const std::string& path,
   }
 }
 
+/// Absorb one token followed by a NUL separator (keeps "ab"+"c" distinct
+/// from "a"+"bc").
+void absorb(Sha1& sha, std::string_view token) {
+  sha.update(token);
+  sha.update(std::string_view("\0", 1));
+}
+
+/// Depth-first walk of a store subtree in sorted entry order (readdir is
+/// backed by a std::map), absorbing every attribute that defines durable
+/// state. mtime is deliberately excluded: it is a logical counter whose
+/// value depends on operation interleaving, not on the final contents.
+void absorb_tree(Sha1& sha, const fs::LocalFs& store, const std::string& path) {
+  const auto inode = store.resolve(path);
+  if (!inode.ok()) return;
+  const auto attr = store.getattr(*inode);
+  if (!attr.ok()) return;
+  absorb(sha, path);
+  absorb(sha, std::to_string(static_cast<int>(attr->type)));
+  absorb(sha, std::to_string(attr->mode));
+  absorb(sha, std::to_string(attr->uid));
+  absorb(sha, std::to_string(attr->size));
+  switch (attr->type) {
+    case fs::FileType::kFile: {
+      const auto data = store.read(*inode, 0, static_cast<std::uint32_t>(attr->size));
+      if (data.ok()) absorb(sha, data.value());
+      return;
+    }
+    case fs::FileType::kSymlink: {
+      const auto target = store.readlink(*inode);
+      if (target.ok()) absorb(sha, target.value());
+      return;
+    }
+    case fs::FileType::kDirectory:
+      break;
+  }
+  const auto entries = store.readdir(*inode);
+  if (!entries.ok()) return;
+  for (const auto& entry : entries.value()) {
+    absorb_tree(sha, store, path_child(path, entry.name));
+  }
+}
+
 }  // namespace
 
 std::string AuditReport::to_string() const {
@@ -156,6 +199,23 @@ AuditReport audit_cluster(KoshaCluster& cluster, net::HostId client_host) {
   walk_namespace(mount, "/", report.issues, &files);
 
   return report;
+}
+
+std::string audit_digest(KoshaCluster& cluster) {
+  Sha1 sha;
+  for (const net::HostId host : cluster.live_hosts()) {
+    absorb(sha, "host:" + std::to_string(host));
+    absorb_tree(sha, cluster.server(host).store(), "/");
+  }
+  const auto digest = sha.digest();
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(digest.size() * 2);
+  for (const std::uint8_t byte : digest) {
+    out += kHex[byte >> 4];
+    out += kHex[byte & 0xF];
+  }
+  return out;
 }
 
 }  // namespace kosha

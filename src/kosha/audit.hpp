@@ -35,4 +35,10 @@ struct AuditReport {
 [[nodiscard]] AuditReport audit_cluster(KoshaCluster& cluster,
                                         net::HostId client_host = 0);
 
+/// Hex SHA-1 fingerprint of the durable state of every live store: paths,
+/// types, modes, owners, sizes, file bytes, and link targets, walked in
+/// sorted order. Two clusters with identical on-disk state produce the
+/// same digest — the determinism-guard tests compare chaos runs with it.
+[[nodiscard]] std::string audit_digest(KoshaCluster& cluster);
+
 }  // namespace kosha

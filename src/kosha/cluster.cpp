@@ -11,11 +11,15 @@ KoshaCluster::KoshaCluster(ClusterConfig config)
       rng_(config_.seed),
       network_(config_.network, &clock_),
       overlay_(config_.kosha.pastry, &network_) {
+  if (const std::string err = config_.kosha.validate(); !err.empty()) {
+    throw std::invalid_argument("KoshaConfig: " + err);
+  }
   runtime_.clock = &clock_;
   runtime_.network = &network_;
   runtime_.overlay = &overlay_;
   runtime_.servers = &servers_;
   runtime_.config = config_.kosha;
+  runtime_.config.rng_seed = config_.seed;
 
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     const std::uint64_t capacity =
@@ -81,6 +85,9 @@ void KoshaCluster::fail_node(net::HostId host) {
   if (!node.alive) return;
   node.alive = false;
   network_.set_up(host, false);
+  // Drop the server from the directory too: a dead host must fail RPCs via
+  // the clean unreachable path, never through a stale server pointer.
+  servers_.erase(host);
   runtime_.replica_managers.erase(host);
   overlay_.fail(node.id);  // triggers repair, promotion, re-replication
 }
@@ -104,6 +111,7 @@ void KoshaCluster::revive_node(net::HostId host) {
   node.id = rng_.next_id();
   node.alive = true;
   network_.set_up(host, true);
+  servers_.add(node.server.get());
   node.replicas = std::make_unique<ReplicaManager>(&runtime_, host, node.id);
   runtime_.replica_managers[host] = node.replicas.get();
   node.daemon = std::make_unique<Koshad>(&runtime_, host);

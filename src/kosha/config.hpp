@@ -3,8 +3,10 @@
 // Kosha system-wide configuration (paper §3-§4).
 
 #include <cstdint>
+#include <string>
 
 #include "common/sim_clock.hpp"
+#include "nfs/retry_policy.hpp"
 #include "pastry/types.hpp"
 
 namespace kosha {
@@ -39,7 +41,47 @@ struct KoshaConfig {
   /// system. See bench/ablation_read_replicas.
   bool read_from_replicas = false;
 
+  /// Failover ladder depth: how many re-resolve-and-retry rounds koshad
+  /// runs after a retryable RPC error (each attempt already carries the
+  /// NFS client's own retransmission schedule underneath). 1 reproduces
+  /// the paper's retry-once behaviour; >1 survives a promotion racing a
+  /// brownout.
+  unsigned failover_rounds = 2;
+
+  /// Per-daemon NFS client retry schedule (see nfs/retry_policy.hpp).
+  /// Only transient fault-plan losses are retried, so without a fault
+  /// plan this has no effect on behaviour or cost.
+  nfs::RetryPolicy retry;
+
+  /// Seed for per-daemon jitter streams; KoshaCluster overwrites it with
+  /// the cluster seed so chaos runs replay bit-for-bit.
+  std::uint64_t rng_seed = 42;
+
   pastry::PastryConfig pastry;
+
+  /// Cross-field sanity checks; returns an error description, or an empty
+  /// string when the configuration is usable. KoshaCluster refuses to
+  /// construct on a non-empty result.
+  [[nodiscard]] std::string validate() const {
+    if (distribution_level == 0) {
+      return "distribution_level must be >= 1: level 0 would hash no directory "
+             "to any node, leaving the whole namespace on the root owner";
+    }
+    if (max_redirects == 0) {
+      return "max_redirects must be >= 1: capacity redirection needs at least "
+             "one salted rehash attempt (paper S3.3)";
+    }
+    if (replicas > pastry.leaf_half()) {
+      return "replicas (" + std::to_string(replicas) +
+             ") must not exceed the leaf-set half (" +
+             std::to_string(pastry.leaf_half()) +
+             "): replica targets are drawn from one leaf-set side (paper S4.2)";
+    }
+    if (redirect_threshold <= 0.0 || redirect_threshold > 1.0) {
+      return "redirect_threshold must be in (0, 1]";
+    }
+    return {};
+  }
 };
 
 }  // namespace kosha

@@ -1,5 +1,6 @@
 #include "kosha/koshad.hpp"
 
+#include <algorithm>
 #include <type_traits>
 
 #include "common/path.hpp"
@@ -8,7 +9,10 @@
 namespace kosha {
 
 Koshad::Koshad(Runtime* runtime, net::HostId host)
-    : runtime_(runtime), host_(host), client_(runtime->network, runtime->servers, host) {}
+    : runtime_(runtime),
+      host_(host),
+      client_(runtime->network, runtime->servers, host, runtime->config.retry,
+              runtime->config.rng_seed) {}
 
 bool Koshad::valid_user_name(std::string_view name) {
   if (name.empty() || name == "." || name == ".." || name == kReplicaArea ||
@@ -174,16 +178,30 @@ auto Koshad::with_handle(VirtualHandle vh, Fn&& fn) {
   const std::string path = entry->path;  // copy: the table may rehash below
   const Resolved cached{entry->real.server, entry->real, entry->stored_path, entry->type};
 
-  Ret first = fn(cached);
-  if (first.ok() || !is_error_retryable(first.error())) return first;
+  Ret result = fn(cached);
+  if (result.ok() || !is_error_retryable(result.error())) return result;
 
-  // Transparent fault handling (paper §4.4): drop the mapping, re-resolve
-  // the full path (reaching the promoted replica), rebind, retry once.
-  ++stats_.failovers;
-  const auto fresh = resolve_path(path, /*fresh=*/true);
-  if (!fresh.ok()) return Ret(fresh.error());
-  vht_.rebind(vh, fresh->stored_path, fresh->handle);
-  return fn(*fresh);
+  // Transparent fault handling (paper §4.4), widened into a bounded
+  // ladder: each round drops the mapping, re-resolves the full path from
+  // scratch (reaching a promoted replica), rebinds, and retries the
+  // operation. One round reproduces the paper's retry-once behaviour;
+  // additional rounds survive a promotion racing a brownout, since every
+  // re-resolve routes through the overlay's *current* owner.
+  const unsigned rounds = std::max(1u, runtime_->config.failover_rounds);
+  for (unsigned round = 0; round < rounds; ++round) {
+    ++stats_.failovers;
+    const auto fresh = resolve_path(path, /*fresh=*/true);
+    if (!fresh.ok()) {
+      if (is_error_retryable(fresh.error()) && round + 1 < rounds) continue;
+      ++stats_.failed_failovers;
+      return Ret(fresh.error());
+    }
+    vht_.rebind(vh, fresh->stored_path, fresh->handle);
+    result = fn(*fresh);
+    if (result.ok() || !is_error_retryable(result.error())) return result;
+  }
+  ++stats_.failed_failovers;
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -250,8 +268,36 @@ nfs::NfsResult<nfs::ReadReply> Koshad::read(VirtualHandle file, std::uint64_t of
       if (auto reply = try_replica_read(r, offset, count)) return *std::move(reply);
     }
     note_forward(r.host);
-    return client_.read(r.handle, offset, count);
+    auto primary = client_.read(r.handle, offset, count);
+    if (!primary.ok() && is_error_retryable(primary.error()) &&
+        runtime_->config.read_from_replicas) {
+      // Degraded read (paper §4.2's future-work direction): the primary is
+      // unreachable but still owns the key (no promotion yet — e.g. a
+      // brownout shorter than failure detection), so serve from any
+      // reachable replica copy instead of failing the ladder round.
+      if (auto degraded = degraded_replica_read(r, offset, count)) return *std::move(degraded);
+    }
+    return primary;
   });
+}
+
+std::optional<nfs::NfsResult<nfs::ReadReply>> Koshad::degraded_replica_read(
+    const Resolved& resolved, std::uint64_t offset, std::uint32_t count) {
+  ReplicaManager* rm = manager_of(resolved.host);
+  if (rm == nullptr) return std::nullopt;
+  const std::string hidden = ReplicaManager::hidden_root(rm->id()) + resolved.stored_path;
+  for (const pastry::NodeId target : rm->targets()) {
+    if (!runtime_->overlay->is_live(target)) continue;
+    const net::HostId host = runtime_->overlay->host_of(target);
+    const auto looked = remote_lookup_path(host, hidden);
+    if (!looked.ok()) continue;  // replica lagging or also unreachable
+    note_forward(host);
+    auto reply = client_.read(looked->handle, offset, count);
+    if (!reply.ok()) continue;
+    ++stats_.degraded_reads;
+    return reply;
+  }
+  return std::nullopt;
 }
 
 std::optional<nfs::NfsResult<nfs::ReadReply>> Koshad::try_replica_read(

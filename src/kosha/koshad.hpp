@@ -29,15 +29,21 @@ struct VhReply {
   fs::Attr attr;
 };
 
-/// Daemon-level counters (drive the §6.1.2 overhead-model comparison).
+/// Daemon-level counters (drive the §6.1.2 overhead-model comparison and
+/// the chaos-soak determinism guard).
 struct KoshadStats {
   std::uint64_t rpcs_forwarded = 0;  // NFS RPCs sent to storage nodes
   std::uint64_t dht_lookups = 0;     // overlay routes performed
   std::uint64_t dht_hops = 0;        // total overlay hops across routes
   std::uint64_t remote_rpcs = 0;     // RPCs whose storage node != this host
-  std::uint64_t failovers = 0;       // transparent handle rebinds after errors
+  std::uint64_t failovers = 0;       // re-resolve rounds after retryable errors
+  std::uint64_t failed_failovers = 0;  // ladders exhausted without recovery
   std::uint64_t redirects = 0;       // capacity redirections performed
   std::uint64_t replica_reads = 0;   // reads served by a replica node
+  std::uint64_t degraded_reads = 0;  // reads a replica served because the
+                                     // primary was unreachable
+
+  friend bool operator==(const KoshadStats&, const KoshadStats&) = default;
 };
 
 class Koshad {
@@ -130,6 +136,12 @@ class Koshad {
   /// optimization). Returns nullopt when the primary should serve the read
   /// (its round-robin turn, no replicas, or the replica copy unreadable).
   [[nodiscard]] std::optional<nfs::NfsResult<nfs::ReadReply>> try_replica_read(
+      const Resolved& resolved, std::uint64_t offset, std::uint32_t count);
+
+  /// Degraded read: the primary copy is unreachable (retryable error) but
+  /// still owns the key; serve the read from any reachable replica copy.
+  /// Returns nullopt when no replica could serve it.
+  [[nodiscard]] std::optional<nfs::NfsResult<nfs::ReadReply>> degraded_replica_read(
       const Resolved& resolved, std::uint64_t offset, std::uint32_t count);
 
   [[nodiscard]] ReplicaManager* manager_of(net::HostId host) const {

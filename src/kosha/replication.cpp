@@ -283,7 +283,22 @@ bool ReplicaManager::push_anchor_to(pastry::NodeId target, const std::string& an
   return complete;
 }
 
+void ReplicaManager::stall_through_brownout(net::HostId peer) {
+  net::FaultPlan* plan = runtime_->network->fault_plan();
+  if (plan == nullptr || runtime_->clock->paused()) return;
+  for (;;) {
+    const SimDuration now = runtime_->clock->now();
+    SimDuration end = plan->brownout_end(peer, now);
+    if (const SimDuration self = plan->brownout_end(host_, now); self > end) end = self;
+    if (end <= now) return;
+    runtime_->clock->advance(end - now + SimDuration::nanos(1));
+  }
+}
+
 void ReplicaManager::push_all_to(pastry::NodeId target) {
+  if (runtime_->overlay->is_live(target)) {
+    stall_through_brownout(runtime_->overlay->host_of(target));
+  }
   ClockPauser pause(*runtime_->clock);
   for (const auto& [anchor, name] : primaries_) {
     (void)name;
@@ -471,6 +486,9 @@ void ReplicaManager::promote(pastry::NodeId dead_primary,
       fs::LocalFs* peer = store_of(host);
       if (peer == nullptr) continue;
       if (peer->resolve(path_child(root, kMigrationFlag)).ok()) continue;  // also incomplete
+      // The donor may itself be browned out mid-repair; wait the window
+      // out rather than repairing from an unreachable peer.
+      stall_through_brownout(host);
       ClockPauser pause(*runtime_->clock);
       for (const auto& [anchor, name] : anchors) {
         (void)name;

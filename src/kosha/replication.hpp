@@ -99,6 +99,14 @@ class ReplicaManager {
   void for_each_replica(const std::string& stored_path, std::size_t payload,
                         const std::function<void(fs::LocalFs&, const std::string&)>& op);
 
+  /// If a fault plan has `peer` (or this host) in a brownout right now,
+  /// advance the virtual clock past the window (chained windows included)
+  /// before starting a repair copy: membership-driven re-replication waits
+  /// for a stalled neighbor instead of replicating into the outage. No-op
+  /// without a fault plan, and while the clock is paused (store-direct
+  /// async mirroring is already immune to message loss).
+  void stall_through_brownout(net::HostId peer);
+
   /// Copy one anchor subtree to a target's hidden area (flag-guarded).
   /// Returns false if interrupted by fault injection.
   bool push_anchor_to(pastry::NodeId target, const std::string& stored_anchor_path);

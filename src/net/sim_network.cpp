@@ -27,6 +27,27 @@ void SimNetwork::charge_rtt(HostId src, HostId dst, std::size_t payload_bytes) {
   charge_message(dst, src, 0);
 }
 
+bool SimNetwork::try_message(HostId src, HostId dst, std::size_t payload_bytes) {
+  if (fault_plan_ != nullptr) {
+    switch (fault_plan_->judge(src, dst, clock_->now())) {
+      case FaultPlan::Delivery::kDeliver:
+        break;
+      case FaultPlan::Delivery::kDrop:
+      case FaultPlan::Delivery::kBrownout:
+        ++stats_.drops;
+        return false;
+      case FaultPlan::Delivery::kPartitioned:
+        ++stats_.partitioned;
+        return false;
+    }
+    charge_message(src, dst, payload_bytes);
+    if (src != dst) clock_->advance(fault_plan_->draw_spike());
+    return true;
+  }
+  charge_message(src, dst, payload_bytes);
+  return true;
+}
+
 void SimNetwork::charge_overlay_hop(HostId src, HostId dst) {
   if (src != dst) ++stats_.overlay_hops;
   charge_message(src, dst, 0);

@@ -8,16 +8,23 @@
 // per-byte transmission cost. Host liveness is tracked here; an RPC to a
 // dead host costs a timeout. All costs accrue on a shared SimClock, and
 // message/hop counters feed the analytic-model comparison in §6.1.2.
+//
+// An optional FaultPlan (net/fault_plan.hpp) enriches the binary up/down
+// model with message drops, host brownouts, partitions, and latency
+// spikes; senders that can observe loss route through try_message().
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/sim_clock.hpp"
+#include "net/fault_plan.hpp"
 
 namespace kosha::net {
 
 /// Dense host index; hosts are never removed, only marked down.
-using HostId = std::uint32_t;
+/// (The alias is introduced in net/fault_plan.hpp; re-stated here for
+/// readers.)
 inline constexpr HostId kInvalidHost = static_cast<HostId>(-1);
 
 /// Latency/cost model for the simulated LAN.
@@ -39,8 +46,16 @@ struct NetStats {
   std::uint64_t bytes = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t overlay_hops = 0;
+  /// Messages lost to the fault plan (random drops and brownouts).
+  std::uint64_t drops = 0;
+  /// RPC retransmissions performed by clients after a loss.
+  std::uint64_t retries = 0;
+  /// Messages blocked by an active partition window.
+  std::uint64_t partitioned = 0;
 
   void reset() { *this = NetStats{}; }
+
+  friend bool operator==(const NetStats&, const NetStats&) = default;
 };
 
 /// Flat simulated network: liveness registry + virtual-time cost charging.
@@ -58,6 +73,22 @@ class SimNetwork {
   /// Charge one one-way message of `payload_bytes` from src to dst.
   /// Local delivery (src == dst) is free.
   void charge_message(HostId src, HostId dst, std::size_t payload_bytes = 0);
+
+  /// Attempt delivery of one message under the installed fault plan.
+  /// Returns true and charges latency (plus any spike) on delivery;
+  /// returns false without charging when the message is lost (dropped,
+  /// browned out, or partitioned) — the caller decides what loss costs
+  /// (an RPC client charges its timeout). Without a plan this is
+  /// charge_message().
+  bool try_message(HostId src, HostId dst, std::size_t payload_bytes = 0);
+
+  /// Install (or clear, with nullptr) the fault plan.
+  void set_fault_plan(std::unique_ptr<FaultPlan> plan) { fault_plan_ = std::move(plan); }
+  [[nodiscard]] FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
+  /// Record one client retransmission (kept here so every chaos counter
+  /// lives in NetStats).
+  void count_retry() { ++stats_.retries; }
 
   /// Charge a request/response round trip.
   void charge_rtt(HostId src, HostId dst, std::size_t payload_bytes = 0);
@@ -78,6 +109,7 @@ class SimNetwork {
   SimClock* clock_;
   std::vector<bool> up_;
   NetStats stats_;
+  std::unique_ptr<FaultPlan> fault_plan_;
 };
 
 }  // namespace kosha::net

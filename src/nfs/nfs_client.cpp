@@ -1,5 +1,6 @@
 #include "nfs/nfs_client.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "nfs/wire.hpp"
@@ -7,177 +8,202 @@
 namespace kosha::nfs {
 
 NfsClient::NfsClient(net::SimNetwork* network, const ServerDirectory* directory,
-                     net::HostId self)
-    : network_(network), directory_(directory), self_(self) {
+                     net::HostId self, RetryPolicy retry, std::uint64_t jitter_seed)
+    : network_(network),
+      directory_(directory),
+      self_(self),
+      retry_(retry),
+      jitter_rng_(jitter_seed ^ (0x9E3779B97F4A7C15ull * (self + 1))) {
   assert(network_ != nullptr && directory_ != nullptr);
 }
 
-NfsServer* NfsClient::begin_rpc(net::HostId server, std::size_t request_bytes) {
+NfsClient::SendOutcome NfsClient::send_request(net::HostId server, std::size_t request_bytes,
+                                               NfsServer** out) {
   NfsServer* s = directory_->find(server);
-  if (s == nullptr || !network_->is_up(server)) {
-    network_->charge_timeout();
-    return nullptr;
-  }
-  network_->charge_message(self_, server, request_bytes);
-  return s;
+  if (s == nullptr || !network_->is_up(server)) return SendOutcome::kHardDown;
+  if (!network_->try_message(self_, server, request_bytes)) return SendOutcome::kLost;
+  *out = s;
+  return SendOutcome::kSent;
 }
 
-void NfsClient::end_rpc(net::HostId server, std::size_t reply_bytes) {
-  network_->charge_message(server, self_, reply_bytes);
+bool NfsClient::deliver_reply(net::HostId server, std::size_t reply_bytes) {
+  return network_->try_message(server, self_, reply_bytes);
+}
+
+void NfsClient::backoff(unsigned attempt) {
+  SimDuration wait = retry_.backoff_for(attempt);
+  if (retry_.jitter > 0.0) {
+    wait += SimDuration::nanos(static_cast<std::int64_t>(
+        static_cast<double>(wait.ns) * retry_.jitter * jitter_rng_.next_double()));
+  }
+  network_->clock().advance(wait);
+}
+
+template <typename ReplyT, typename Invoke, typename ReplyBytes>
+NfsResult<ReplyT> NfsClient::transact(net::HostId server, std::size_t request_bytes,
+                                      Invoke&& invoke, ReplyBytes&& reply_bytes) {
+  const unsigned attempts = std::max(1u, retry_.max_attempts);
+  for (unsigned attempt = 0;; ++attempt) {
+    NfsServer* s = nullptr;
+    switch (send_request(server, request_bytes, &s)) {
+      case SendOutcome::kHardDown:
+        // Permanent death is detected in one timeout and never retried:
+        // failover (not retransmission) is the right reaction.
+        network_->charge_timeout();
+        return NfsStat::kUnreachable;
+      case SendOutcome::kLost:
+        network_->charge_timeout();
+        break;
+      case SendOutcome::kSent: {
+        NfsResult<ReplyT> reply = invoke(*s);
+        if (deliver_reply(server, reply_bytes(reply))) return reply;
+        // Reply lost: the op may have executed — the retransmission below
+        // reuses the xid so the server's DRC returns this very reply.
+        network_->charge_timeout();
+        break;
+      }
+    }
+    if (attempt + 1 >= attempts) return NfsStat::kUnreachable;
+    network_->count_retry();
+    backoff(attempt);
+  }
 }
 
 NfsResult<FileHandle> NfsClient::mount(net::HostId server) {
-  NfsServer* s = begin_rpc(server, encode_mount_call(next_xid()).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  const FileHandle root = s->root_handle();
-  end_rpc(server, kReplyBytes);
-  return root;
+  return transact<FileHandle>(
+      server, encode_mount_call(next_xid()).size(),
+      [](NfsServer& s) -> NfsResult<FileHandle> { return s.root_handle(); },
+      [](const NfsResult<FileHandle>&) { return kReplyBytes; });
 }
 
 NfsResult<HandleReply> NfsClient::lookup(FileHandle dir, std::string_view name) {
-  NfsServer* s = begin_rpc(
-      dir.server, encode_diropargs_call(next_xid(), NfsProc::kLookup, dir, name).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->lookup(dir, name);
-  end_rpc(dir.server, kReplyBytes);
-  return r;
+  return transact<HandleReply>(
+      dir.server, encode_diropargs_call(next_xid(), NfsProc::kLookup, dir, name).size(),
+      [&](NfsServer& s) { return s.lookup(dir, name); },
+      [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
 NfsResult<fs::Attr> NfsClient::getattr(FileHandle obj) {
-  NfsServer* s = begin_rpc(obj.server,
-                           encode_handle_call(next_xid(), NfsProc::kGetattr, obj).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->getattr(obj);
-  end_rpc(obj.server, kReplyBytes);
-  return r;
+  return transact<fs::Attr>(
+      obj.server, encode_handle_call(next_xid(), NfsProc::kGetattr, obj).size(),
+      [&](NfsServer& s) { return s.getattr(obj); },
+      [](const NfsResult<fs::Attr>&) { return kReplyBytes; });
 }
 
 NfsResult<fs::Attr> NfsClient::set_mode(FileHandle obj, std::uint32_t mode) {
-  NfsServer* s = begin_rpc(
-      obj.server, encode_setattr_call(next_xid(), obj, true, mode, false, 0).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->set_mode(obj, mode);
-  end_rpc(obj.server, kReplyBytes);
-  return r;
+  return transact<fs::Attr>(
+      obj.server, encode_setattr_call(next_xid(), obj, true, mode, false, 0).size(),
+      [&](NfsServer& s) { return s.set_mode(obj, mode); },
+      [](const NfsResult<fs::Attr>&) { return kReplyBytes; });
 }
 
 NfsResult<fs::Attr> NfsClient::truncate(FileHandle obj, std::uint64_t size) {
-  NfsServer* s = begin_rpc(
-      obj.server, encode_setattr_call(next_xid(), obj, false, 0, true, size).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->truncate(obj, size);
-  end_rpc(obj.server, kReplyBytes);
-  return r;
+  return transact<fs::Attr>(
+      obj.server, encode_setattr_call(next_xid(), obj, false, 0, true, size).size(),
+      [&](NfsServer& s) { return s.truncate(obj, size); },
+      [](const NfsResult<fs::Attr>&) { return kReplyBytes; });
 }
 
 NfsResult<ReadReply> NfsClient::read(FileHandle file, std::uint64_t offset,
                                      std::uint32_t count) {
-  NfsServer* s = begin_rpc(file.server,
-                           encode_read_call(next_xid(), file, offset, count).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->read(file, offset, count);
-  end_rpc(file.server, kReplyBytes + (r.ok() ? r.value().data.size() : 0));
-  return r;
+  return transact<ReadReply>(
+      file.server, encode_read_call(next_xid(), file, offset, count).size(),
+      [&](NfsServer& s) { return s.read(file, offset, count); },
+      [](const NfsResult<ReadReply>& r) {
+        return kReplyBytes + (r.ok() ? r.value().data.size() : 0);
+      });
 }
 
 NfsResult<std::uint32_t> NfsClient::write(FileHandle file, std::uint64_t offset,
                                           std::string_view data) {
-  NfsServer* s = begin_rpc(file.server,
-                           encode_write_call(next_xid(), file, offset, data).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->write(file, offset, data);
-  end_rpc(file.server, kReplyBytes);
-  return r;
+  // WRITE is idempotent at a fixed offset, so no DRC context is needed:
+  // re-execution stores the same bytes.
+  return transact<std::uint32_t>(
+      file.server, encode_write_call(next_xid(), file, offset, data).size(),
+      [&](NfsServer& s) { return s.write(file, offset, data); },
+      [](const NfsResult<std::uint32_t>&) { return kReplyBytes; });
 }
 
 NfsResult<HandleReply> NfsClient::create(FileHandle dir, std::string_view name,
                                          std::uint32_t mode, std::uint32_t uid) {
-  NfsServer* s = begin_rpc(
-      dir.server,
-      encode_create_call(next_xid(), NfsProc::kCreate, dir, name, mode, uid).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->create(dir, name, mode, uid);
-  end_rpc(dir.server, kReplyBytes);
-  return r;
+  const std::uint32_t xid = next_xid();
+  return transact<HandleReply>(
+      dir.server, encode_create_call(xid, NfsProc::kCreate, dir, name, mode, uid).size(),
+      [&](NfsServer& s) { return s.create(dir, name, mode, uid, RpcContext{self_, xid}); },
+      [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
 NfsResult<HandleReply> NfsClient::mkdir(FileHandle dir, std::string_view name,
                                         std::uint32_t mode, std::uint32_t uid) {
-  NfsServer* s = begin_rpc(
-      dir.server,
-      encode_create_call(next_xid(), NfsProc::kMkdir, dir, name, mode, uid).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->mkdir(dir, name, mode, uid);
-  end_rpc(dir.server, kReplyBytes);
-  return r;
+  const std::uint32_t xid = next_xid();
+  return transact<HandleReply>(
+      dir.server, encode_create_call(xid, NfsProc::kMkdir, dir, name, mode, uid).size(),
+      [&](NfsServer& s) { return s.mkdir(dir, name, mode, uid, RpcContext{self_, xid}); },
+      [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
 NfsResult<HandleReply> NfsClient::symlink(FileHandle dir, std::string_view name,
                                           std::string_view target) {
-  NfsServer* s = begin_rpc(dir.server,
-                           encode_symlink_call(next_xid(), dir, name, target).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->symlink(dir, name, target);
-  end_rpc(dir.server, kReplyBytes);
-  return r;
+  const std::uint32_t xid = next_xid();
+  return transact<HandleReply>(
+      dir.server, encode_symlink_call(xid, dir, name, target).size(),
+      [&](NfsServer& s) { return s.symlink(dir, name, target, RpcContext{self_, xid}); },
+      [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
 NfsResult<std::string> NfsClient::readlink(FileHandle link) {
-  NfsServer* s = begin_rpc(
-      link.server, encode_handle_call(next_xid(), NfsProc::kReadlink, link).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->readlink(link);
-  end_rpc(link.server, kReplyBytes + (r.ok() ? r.value().size() : 0));
-  return r;
+  return transact<std::string>(
+      link.server, encode_handle_call(next_xid(), NfsProc::kReadlink, link).size(),
+      [&](NfsServer& s) { return s.readlink(link); },
+      [](const NfsResult<std::string>& r) {
+        return kReplyBytes + (r.ok() ? r.value().size() : 0);
+      });
 }
 
 NfsResult<Unit> NfsClient::remove(FileHandle dir, std::string_view name) {
-  NfsServer* s = begin_rpc(
-      dir.server, encode_diropargs_call(next_xid(), NfsProc::kRemove, dir, name).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->remove(dir, name);
-  end_rpc(dir.server, kReplyBytes);
-  return r;
+  const std::uint32_t xid = next_xid();
+  return transact<Unit>(
+      dir.server, encode_diropargs_call(xid, NfsProc::kRemove, dir, name).size(),
+      [&](NfsServer& s) { return s.remove(dir, name, RpcContext{self_, xid}); },
+      [](const NfsResult<Unit>&) { return kReplyBytes; });
 }
 
 NfsResult<Unit> NfsClient::rmdir(FileHandle dir, std::string_view name) {
-  NfsServer* s = begin_rpc(
-      dir.server, encode_diropargs_call(next_xid(), NfsProc::kRmdir, dir, name).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->rmdir(dir, name);
-  end_rpc(dir.server, kReplyBytes);
-  return r;
+  const std::uint32_t xid = next_xid();
+  return transact<Unit>(
+      dir.server, encode_diropargs_call(xid, NfsProc::kRmdir, dir, name).size(),
+      [&](NfsServer& s) { return s.rmdir(dir, name, RpcContext{self_, xid}); },
+      [](const NfsResult<Unit>&) { return kReplyBytes; });
 }
 
 NfsResult<Unit> NfsClient::rename(FileHandle from_dir, std::string_view from_name,
                                   FileHandle to_dir, std::string_view to_name) {
   if (from_dir.server != to_dir.server) return NfsStat::kInval;
-  NfsServer* s = begin_rpc(
+  const std::uint32_t xid = next_xid();
+  return transact<Unit>(
       from_dir.server,
-      encode_rename_call(next_xid(), from_dir, from_name, to_dir, to_name).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->rename(from_dir, from_name, to_dir, to_name);
-  end_rpc(from_dir.server, kReplyBytes);
-  return r;
+      encode_rename_call(xid, from_dir, from_name, to_dir, to_name).size(),
+      [&](NfsServer& s) {
+        return s.rename(from_dir, from_name, to_dir, to_name, RpcContext{self_, xid});
+      },
+      [](const NfsResult<Unit>&) { return kReplyBytes; });
 }
 
 NfsResult<ReaddirReply> NfsClient::readdir(FileHandle dir) {
-  NfsServer* s = begin_rpc(dir.server,
-                           encode_handle_call(next_xid(), NfsProc::kReaddir, dir).size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->readdir(dir);
-  end_rpc(dir.server, kReplyBytes + (r.ok() ? r.value().entries.size() * 40 : 0));
-  return r;
+  return transact<ReaddirReply>(
+      dir.server, encode_handle_call(next_xid(), NfsProc::kReaddir, dir).size(),
+      [&](NfsServer& s) { return s.readdir(dir); },
+      [](const NfsResult<ReaddirReply>& r) {
+        return kReplyBytes + (r.ok() ? r.value().entries.size() * 40 : 0);
+      });
 }
 
 NfsResult<FsstatReply> NfsClient::fsstat(net::HostId server) {
-  NfsServer* s = begin_rpc(
-      server, encode_handle_call(next_xid(), NfsProc::kFsstat, FileHandle{server, 1, 1})
-                  .size());
-  if (s == nullptr) return NfsStat::kUnreachable;
-  auto r = s->fsstat();
-  end_rpc(server, kReplyBytes);
-  return r;
+  return transact<FsstatReply>(
+      server,
+      encode_handle_call(next_xid(), NfsProc::kFsstat, FileHandle{server, 1, 1}).size(),
+      [&](NfsServer& s) { return s.fsstat(); },
+      [](const NfsResult<FsstatReply>&) { return kReplyBytes; });
 }
 
 }  // namespace kosha::nfs

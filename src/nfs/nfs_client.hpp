@@ -3,14 +3,24 @@
 // NFS client: issues RPCs to servers across the simulated network.
 //
 // Destination selection uses the server id embedded in the (opaque) handle.
-// Every call charges request and reply messages on the network; calls to a
-// down host cost a timeout and fail with kUnreachable — this is the error
-// Kosha's transparent fault handling reacts to (paper §4.4).
+// Every call charges request and reply messages on the network. Two
+// failure regimes are distinguished:
+//   * hard-down — the host is marked dead (or its server was erased from
+//     the directory, e.g. retirement): one timeout, kUnreachable, no
+//     retries. This is the error Kosha's transparent fault handling reacts
+//     to (paper §4.4).
+//   * transient — the fault plan lost a message (drop/brownout/partition):
+//     the client times out, backs off on the virtual clock, and
+//     retransmits under the *same* xid up to RetryPolicy::max_attempts.
+//     Non-idempotent retransmissions are made safe by the server's
+//     duplicate-request cache (see nfs_server.hpp).
 
 #include <string_view>
 #include <unordered_map>
 
+#include "common/rng.hpp"
 #include "nfs/nfs_server.hpp"
+#include "nfs/retry_policy.hpp"
 
 namespace kosha::nfs {
 
@@ -30,9 +40,12 @@ class ServerDirectory {
 
 class NfsClient {
  public:
-  NfsClient(net::SimNetwork* network, const ServerDirectory* directory, net::HostId self);
+  NfsClient(net::SimNetwork* network, const ServerDirectory* directory, net::HostId self,
+            RetryPolicy retry = {}, std::uint64_t jitter_seed = 0);
 
   [[nodiscard]] net::HostId self() const { return self_; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
 
   /// Fetch the root handle of a server's export (MOUNT protocol stand-in).
   [[nodiscard]] NfsResult<FileHandle> mount(net::HostId server);
@@ -63,9 +76,25 @@ class NfsClient {
   [[nodiscard]] NfsResult<FsstatReply> fsstat(net::HostId server);
 
  private:
-  /// Reachability check + request charge; returns the server or null.
-  NfsServer* begin_rpc(net::HostId server, std::size_t request_bytes);
-  void end_rpc(net::HostId server, std::size_t reply_bytes);
+  /// What happened to one request transmission.
+  enum class SendOutcome {
+    kSent,      // delivered; *out points at the server
+    kLost,      // lost in transit (fault plan): worth retrying
+    kHardDown,  // server dead or absent: fail fast, no retries
+  };
+
+  SendOutcome send_request(net::HostId server, std::size_t request_bytes, NfsServer** out);
+  [[nodiscard]] bool deliver_reply(net::HostId server, std::size_t reply_bytes);
+  /// Charge the exponential backoff (with jitter) before retry `attempt`.
+  void backoff(unsigned attempt);
+
+  /// Run one RPC through the full retry state machine. `invoke` performs
+  /// the server-side procedure; `reply_bytes` sizes the reply message for
+  /// the returned value.
+  template <typename ReplyT, typename Invoke, typename ReplyBytes>
+  NfsResult<ReplyT> transact(net::HostId server, std::size_t request_bytes, Invoke&& invoke,
+                             ReplyBytes&& reply_bytes);
+
   std::uint32_t next_xid() { return ++xid_; }
 
   /// Replies are charged with a fixed header estimate plus payload; only
@@ -76,6 +105,8 @@ class NfsClient {
   const ServerDirectory* directory_;
   net::HostId self_;
   std::uint32_t xid_ = 0;
+  RetryPolicy retry_;
+  Rng jitter_rng_;
 };
 
 }  // namespace kosha::nfs

@@ -68,6 +68,27 @@ void NfsServer::charge_data(std::size_t bytes) {
   }
 }
 
+const NfsServer::DrcEntry* NfsServer::drc_find(RpcContext ctx) {
+  if (!ctx.valid()) return nullptr;
+  const auto it = drc_.find(drc_key(ctx));
+  if (it == drc_.end()) return nullptr;
+  ++drc_stats_.hits;
+  return &it->second;
+}
+
+void NfsServer::drc_store(RpcContext ctx, DrcEntry entry) {
+  if (!ctx.valid()) return;
+  const std::uint64_t key = drc_key(ctx);
+  if (drc_.emplace(key, std::move(entry)).second) {
+    drc_order_.push_back(key);
+    ++drc_stats_.stores;
+    while (drc_order_.size() > kDrcCapacity) {
+      drc_.erase(drc_order_.front());
+      drc_order_.pop_front();
+    }
+  }
+}
+
 NfsResult<fs::InodeId> NfsServer::resolve(FileHandle handle) const {
   if (!handle.valid() || handle.server != host_) return NfsStat::kStale;
   const auto attr = store_.getattr(handle.inode);
@@ -144,33 +165,62 @@ NfsResult<std::uint32_t> NfsServer::write(FileHandle file, std::uint64_t offset,
 }
 
 NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
-                                         std::uint32_t mode, std::uint32_t uid) {
+                                         std::uint32_t mode, std::uint32_t uid,
+                                         RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx)) {
+    charge(costs_.read_meta);
+    return hit->handle_reply;
+  }
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
   if (!d.ok()) return d.error();
   const auto inode = store_.create(d.value(), name, mode, uid);
-  if (!inode.ok()) return from_fs(inode.error());
-  return HandleReply{handle_for(inode.value()), *store_.getattr(inode.value())};
+  if (!inode.ok()) {
+    drc_store(ctx, {from_fs(inode.error()), NfsStat::kInval, true});
+    return from_fs(inode.error());
+  }
+  const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
+  drc_store(ctx, {reply, NfsStat::kInval, true});
+  return reply;
 }
 
 NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
-                                        std::uint32_t mode, std::uint32_t uid) {
+                                        std::uint32_t mode, std::uint32_t uid,
+                                        RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx)) {
+    charge(costs_.read_meta);
+    return hit->handle_reply;
+  }
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
   if (!d.ok()) return d.error();
   const auto inode = store_.mkdir(d.value(), name, mode, uid);
-  if (!inode.ok()) return from_fs(inode.error());
-  return HandleReply{handle_for(inode.value()), *store_.getattr(inode.value())};
+  if (!inode.ok()) {
+    drc_store(ctx, {from_fs(inode.error()), NfsStat::kInval, true});
+    return from_fs(inode.error());
+  }
+  const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
+  drc_store(ctx, {reply, NfsStat::kInval, true});
+  return reply;
 }
 
 NfsResult<HandleReply> NfsServer::symlink(FileHandle dir, std::string_view name,
-                                          std::string_view target) {
+                                          std::string_view target, RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx)) {
+    charge(costs_.read_meta);
+    return hit->handle_reply;
+  }
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
   if (!d.ok()) return d.error();
   const auto inode = store_.symlink(d.value(), name, target);
-  if (!inode.ok()) return from_fs(inode.error());
-  return HandleReply{handle_for(inode.value()), *store_.getattr(inode.value())};
+  if (!inode.ok()) {
+    drc_store(ctx, {from_fs(inode.error()), NfsStat::kInval, true});
+    return from_fs(inode.error());
+  }
+  const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
+  drc_store(ctx, {reply, NfsStat::kInval, true});
+  return reply;
 }
 
 NfsResult<std::string> NfsServer::readlink(FileHandle link) {
@@ -182,32 +232,52 @@ NfsResult<std::string> NfsServer::readlink(FileHandle link) {
   return target.value();
 }
 
-NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name) {
+NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name, RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx)) {
+    charge(costs_.read_meta);
+    return hit->unit_reply;
+  }
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
   if (!d.ok()) return d.error();
-  if (const auto r = store_.remove(d.value(), name); !r.ok()) return from_fs(r.error());
-  return Unit{};
+  NfsResult<Unit> reply = Unit{};
+  if (const auto r = store_.remove(d.value(), name); !r.ok()) reply = from_fs(r.error());
+  drc_store(ctx, {NfsStat::kInval, reply, false});
+  return reply;
 }
 
-NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name) {
+NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name, RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx)) {
+    charge(costs_.read_meta);
+    return hit->unit_reply;
+  }
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
   if (!d.ok()) return d.error();
-  if (const auto r = store_.rmdir(d.value(), name); !r.ok()) return from_fs(r.error());
-  return Unit{};
+  NfsResult<Unit> reply = Unit{};
+  if (const auto r = store_.rmdir(d.value(), name); !r.ok()) reply = from_fs(r.error());
+  drc_store(ctx, {NfsStat::kInval, reply, false});
+  return reply;
 }
 
 NfsResult<Unit> NfsServer::rename(FileHandle from_dir, std::string_view from_name,
-                                  FileHandle to_dir, std::string_view to_name) {
+                                  FileHandle to_dir, std::string_view to_name,
+                                  RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx)) {
+    charge(costs_.read_meta);
+    return hit->unit_reply;
+  }
   charge(costs_.metadata_op);
   const auto fd = resolve(from_dir);
   if (!fd.ok()) return fd.error();
   const auto td = resolve(to_dir);
   if (!td.ok()) return td.error();
-  const auto r = store_.rename(fd.value(), from_name, td.value(), to_name);
-  if (!r.ok()) return from_fs(r.error());
-  return Unit{};
+  NfsResult<Unit> reply = Unit{};
+  if (const auto r = store_.rename(fd.value(), from_name, td.value(), to_name); !r.ok()) {
+    reply = from_fs(r.error());
+  }
+  drc_store(ctx, {NfsStat::kInval, reply, false});
+  return reply;
 }
 
 NfsResult<ReaddirReply> NfsServer::readdir(FileHandle dir) {

@@ -8,7 +8,10 @@
 // disk) are charged on the shared virtual clock through a cost model so the
 // Table 1/2 experiments measure stable, host-independent numbers.
 
+#include <cstddef>
+#include <deque>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/sim_clock.hpp"
 #include "nfs/nfs_types.hpp"
@@ -27,6 +30,12 @@ struct NfsCostModel {
   SimDuration read_meta = SimDuration::micros(80);
   /// Data transfer cost per KiB moved from/to the store.
   SimDuration data_per_kib = SimDuration::micros(25);
+};
+
+/// Duplicate-request cache accounting (tests assert on these).
+struct DrcStats {
+  std::uint64_t hits = 0;    // retransmissions answered from the cache
+  std::uint64_t stores = 0;  // replies recorded
 };
 
 class NfsServer {
@@ -49,23 +58,50 @@ class NfsServer {
                                           std::uint32_t count);
   [[nodiscard]] NfsResult<std::uint32_t> write(FileHandle file, std::uint64_t offset,
                                                std::string_view data);
+  // Non-idempotent procedures take the caller's RpcContext: a valid
+  // context engages the duplicate-request cache, so a retransmission of an
+  // already-executed request returns the original reply instead of
+  // re-executing (and spuriously failing with kExist/kNoEnt).
   [[nodiscard]] NfsResult<HandleReply> create(FileHandle dir, std::string_view name,
-                                              std::uint32_t mode, std::uint32_t uid);
+                                              std::uint32_t mode, std::uint32_t uid,
+                                              RpcContext ctx = {});
   [[nodiscard]] NfsResult<HandleReply> mkdir(FileHandle dir, std::string_view name,
-                                             std::uint32_t mode, std::uint32_t uid);
+                                             std::uint32_t mode, std::uint32_t uid,
+                                             RpcContext ctx = {});
   [[nodiscard]] NfsResult<HandleReply> symlink(FileHandle dir, std::string_view name,
-                                               std::string_view target);
+                                               std::string_view target, RpcContext ctx = {});
   [[nodiscard]] NfsResult<std::string> readlink(FileHandle link);
-  [[nodiscard]] NfsResult<Unit> remove(FileHandle dir, std::string_view name);
-  [[nodiscard]] NfsResult<Unit> rmdir(FileHandle dir, std::string_view name);
+  [[nodiscard]] NfsResult<Unit> remove(FileHandle dir, std::string_view name,
+                                       RpcContext ctx = {});
+  [[nodiscard]] NfsResult<Unit> rmdir(FileHandle dir, std::string_view name,
+                                      RpcContext ctx = {});
   [[nodiscard]] NfsResult<Unit> rename(FileHandle from_dir, std::string_view from_name,
-                                       FileHandle to_dir, std::string_view to_name);
+                                       FileHandle to_dir, std::string_view to_name,
+                                       RpcContext ctx = {});
   [[nodiscard]] NfsResult<ReaddirReply> readdir(FileHandle dir);
   [[nodiscard]] NfsResult<FsstatReply> fsstat();
 
   [[nodiscard]] std::uint64_t rpc_count() const { return rpc_count_; }
+  [[nodiscard]] const DrcStats& drc_stats() const { return drc_stats_; }
 
  private:
+  /// One remembered reply; exactly one of the two results is meaningful
+  /// depending on the cached procedure's reply shape.
+  struct DrcEntry {
+    NfsResult<HandleReply> handle_reply{NfsStat::kInval};
+    NfsResult<Unit> unit_reply{NfsStat::kInval};
+    bool is_handle = false;
+  };
+
+  /// Replies remembered per (client, xid); FIFO-bounded like a real
+  /// server's fixed-size DRC.
+  static constexpr std::size_t kDrcCapacity = 512;
+
+  [[nodiscard]] static std::uint64_t drc_key(RpcContext ctx) {
+    return (static_cast<std::uint64_t>(ctx.client) << 32) | ctx.xid;
+  }
+  [[nodiscard]] const DrcEntry* drc_find(RpcContext ctx);
+  void drc_store(RpcContext ctx, DrcEntry entry);
   [[nodiscard]] NfsResult<fs::InodeId> resolve(FileHandle handle) const;
   [[nodiscard]] FileHandle handle_for(fs::InodeId inode) const;
   void charge(SimDuration cost);
@@ -76,6 +112,9 @@ class NfsServer {
   NfsCostModel costs_;
   SimClock* clock_;
   std::uint64_t rpc_count_ = 0;
+  std::unordered_map<std::uint64_t, DrcEntry> drc_;
+  std::deque<std::uint64_t> drc_order_;
+  DrcStats drc_stats_;
 };
 
 }  // namespace kosha::nfs

@@ -48,6 +48,17 @@ enum class NfsStat {
 template <typename T>
 using NfsResult = Result<T, NfsStat>;
 
+/// Identity of one client RPC: who sent it and under which transaction id.
+/// Retransmissions carry the same (client, xid) pair; the server's
+/// duplicate-request cache keys on it to recognize retried non-idempotent
+/// requests whose first execution already succeeded.
+struct RpcContext {
+  net::HostId client = net::kInvalidHost;
+  std::uint32_t xid = 0;
+
+  [[nodiscard]] bool valid() const { return client != net::kInvalidHost; }
+};
+
 /// LOOKUP / CREATE / MKDIR / SYMLINK reply.
 struct HandleReply {
   FileHandle handle;

@@ -1,0 +1,38 @@
+#pragma once
+
+// Client-side RPC retry policy.
+//
+// Transient message loss (fault-plan drops, brownouts, partitions) is
+// retried with exponential backoff charged on the virtual clock; a host
+// that is *permanently* down (SimNetwork liveness flag) or absent from the
+// server directory fails in one timeout without retries, so the binary
+// up/down experiments keep their seed cost model. Retransmissions reuse
+// the original xid — the server's duplicate-request cache relies on that
+// to make retried non-idempotent ops safe (NFSv3 practice).
+
+#include "common/sim_clock.hpp"
+
+namespace kosha::nfs {
+
+struct RetryPolicy {
+  /// Total attempts per RPC (first try included). 1 = never retry.
+  unsigned max_attempts = 4;
+  /// Backoff before the first retransmission; doubles per attempt.
+  SimDuration initial_backoff = SimDuration::millis(10);
+  double multiplier = 2.0;
+  /// Backoff ceiling.
+  SimDuration max_backoff = SimDuration::millis(320);
+  /// Uniform jitter added per backoff, as a fraction of the backoff
+  /// (decorrelates clients that lost the same message).
+  double jitter = 0.25;
+
+  [[nodiscard]] SimDuration backoff_for(unsigned attempt) const {
+    SimDuration d = initial_backoff;
+    for (unsigned i = 0; i < attempt && d < max_backoff; ++i) {
+      d = SimDuration::nanos(static_cast<std::int64_t>(static_cast<double>(d.ns) * multiplier));
+    }
+    return d < max_backoff ? d : max_backoff;
+  }
+};
+
+}  // namespace kosha::nfs

@@ -1,0 +1,70 @@
+// KoshaConfig::validate(): each cross-field constraint is rejected with a
+// diagnostic, and KoshaCluster refuses to construct on an invalid config.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "kosha/cluster.hpp"
+
+namespace kosha {
+namespace {
+
+TEST(ConfigValidate, DefaultConfigIsValid) {
+  KoshaConfig config;
+  EXPECT_TRUE(config.validate().empty()) << config.validate();
+}
+
+TEST(ConfigValidate, RejectsZeroDistributionLevel) {
+  KoshaConfig config;
+  config.distribution_level = 0;
+  const std::string err = config.validate();
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("distribution_level"), std::string::npos) << err;
+}
+
+TEST(ConfigValidate, RejectsZeroMaxRedirects) {
+  KoshaConfig config;
+  config.max_redirects = 0;
+  const std::string err = config.validate();
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("max_redirects"), std::string::npos) << err;
+}
+
+TEST(ConfigValidate, RejectsMoreReplicasThanLeafSetHalf) {
+  KoshaConfig config;
+  config.replicas = config.pastry.leaf_half() + 1;
+  const std::string err = config.validate();
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("replicas"), std::string::npos) << err;
+  // Exactly the leaf-set half is the boundary and must be accepted.
+  config.replicas = config.pastry.leaf_half();
+  EXPECT_TRUE(config.validate().empty()) << config.validate();
+}
+
+TEST(ConfigValidate, RejectsOutOfRangeRedirectThreshold) {
+  KoshaConfig config;
+  config.redirect_threshold = 0.0;
+  EXPECT_FALSE(config.validate().empty());
+  config.redirect_threshold = 1.5;
+  EXPECT_FALSE(config.validate().empty());
+  config.redirect_threshold = 1.0;
+  EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(ConfigValidate, ClusterConstructionThrowsOnInvalidConfig) {
+  ClusterConfig config;
+  config.nodes = 2;
+  config.kosha.distribution_level = 0;
+  EXPECT_THROW({ KoshaCluster cluster(config); }, std::invalid_argument);
+}
+
+TEST(ConfigValidate, ClusterConstructionThrowsOnExcessReplicas) {
+  ClusterConfig config;
+  config.nodes = 2;
+  config.kosha.replicas = config.kosha.pastry.leaf_half() + 1;
+  EXPECT_THROW({ KoshaCluster cluster(config); }, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kosha

@@ -1,0 +1,158 @@
+// NFS duplicate-request cache: a retransmission whose original request
+// executed but whose reply was lost must return the cached reply instead
+// of re-executing — retried non-idempotent ops leave exactly one effect
+// and never report spurious kExist/kNoEnt.
+
+#include <gtest/gtest.h>
+
+#include "nfs/nfs_client.hpp"
+
+namespace kosha::nfs {
+namespace {
+
+struct Fixture {
+  SimClock clock;
+  net::SimNetwork network{{}, &clock};
+  net::HostId client_host = network.add_host();
+  net::HostId server_host = network.add_host();
+  NfsServer server{server_host, {}, {}, &clock};
+  ServerDirectory directory;
+  NfsClient client{&network, &directory, client_host};
+
+  Fixture() {
+    directory.add(&server);
+    // Pure windowed/forced plan: no random faults, so every loss below is
+    // scheduled explicitly with force_drop_message.
+    network.set_fault_plan(std::make_unique<net::FaultPlan>(net::FaultPlanConfig{}));
+  }
+
+  /// Drop the reply of the next RPC (message 1 = request, 2 = reply).
+  void drop_next_reply() { network.fault_plan()->force_drop_message(2); }
+  /// Drop the request of the next RPC: the op must not execute at all
+  /// before the retransmission.
+  void drop_next_request() { network.fault_plan()->force_drop_message(1); }
+
+  [[nodiscard]] FileHandle root() { return server.root_handle(); }
+};
+
+TEST(DuplicateRequestCache, CreateRetryReturnsCachedReply) {
+  Fixture fx;
+  fx.drop_next_reply();
+  const auto created = fx.client.create(fx.root(), "f", 0600, 7);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created->attr.mode, 0600u);
+  EXPECT_EQ(fx.server.drc_stats().hits, 1u);
+  EXPECT_EQ(fx.network.stats().retries, 1u);
+  EXPECT_EQ(fx.network.stats().drops, 1u);
+  // Exactly one file exists; the handle is live, not a re-created twin.
+  const auto listing = fx.server.readdir(fx.root());
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->entries.size(), 1u);
+  EXPECT_EQ(listing->entries[0].name, "f");
+  EXPECT_TRUE(fx.server.getattr(created->handle).ok());
+}
+
+TEST(DuplicateRequestCache, MkdirRetryDoesNotReportExist) {
+  Fixture fx;
+  fx.drop_next_reply();
+  const auto made = fx.client.mkdir(fx.root(), "d");
+  ASSERT_TRUE(made.ok()) << to_string(made.error());
+  EXPECT_EQ(fx.server.drc_stats().hits, 1u);
+  const auto listing = fx.server.readdir(fx.root());
+  ASSERT_EQ(listing->entries.size(), 1u);
+  EXPECT_EQ(listing->entries[0].type, fs::FileType::kDirectory);
+}
+
+TEST(DuplicateRequestCache, SymlinkRetryReturnsCachedReply) {
+  Fixture fx;
+  fx.drop_next_reply();
+  const auto linked = fx.client.symlink(fx.root(), "l", "target");
+  ASSERT_TRUE(linked.ok());
+  EXPECT_EQ(fx.server.drc_stats().hits, 1u);
+  const auto target = fx.server.readlink(linked->handle);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(target.value(), "target");
+}
+
+TEST(DuplicateRequestCache, RemoveRetryDoesNotReportNoEnt) {
+  Fixture fx;
+  ASSERT_TRUE(fx.client.create(fx.root(), "f").ok());
+  fx.drop_next_reply();
+  // Without the DRC the retransmission would re-execute REMOVE against an
+  // already-deleted name and surface kNoEnt to a client whose op worked.
+  EXPECT_TRUE(fx.client.remove(fx.root(), "f").ok());
+  EXPECT_EQ(fx.server.drc_stats().hits, 1u);
+  EXPECT_TRUE(fx.server.readdir(fx.root())->entries.empty());
+}
+
+TEST(DuplicateRequestCache, RmdirRetryDoesNotReportNoEnt) {
+  Fixture fx;
+  ASSERT_TRUE(fx.client.mkdir(fx.root(), "d").ok());
+  fx.drop_next_reply();
+  EXPECT_TRUE(fx.client.rmdir(fx.root(), "d").ok());
+  EXPECT_EQ(fx.server.drc_stats().hits, 1u);
+  EXPECT_TRUE(fx.server.readdir(fx.root())->entries.empty());
+}
+
+TEST(DuplicateRequestCache, RenameRetryDoesNotReportNoEnt) {
+  Fixture fx;
+  ASSERT_TRUE(fx.client.create(fx.root(), "a").ok());
+  fx.drop_next_reply();
+  EXPECT_TRUE(fx.client.rename(fx.root(), "a", fx.root(), "b").ok());
+  EXPECT_EQ(fx.server.drc_stats().hits, 1u);
+  const auto listing = fx.server.readdir(fx.root());
+  ASSERT_EQ(listing->entries.size(), 1u);
+  EXPECT_EQ(listing->entries[0].name, "b");
+}
+
+TEST(DuplicateRequestCache, ErrorRepliesAreCachedToo) {
+  Fixture fx;
+  ASSERT_TRUE(fx.client.create(fx.root(), "f").ok());
+  fx.drop_next_reply();
+  // The first execution fails with kExist; the retransmission must return
+  // that same cached error, not re-run and double-count anything.
+  EXPECT_EQ(fx.client.create(fx.root(), "f").error(), NfsStat::kExist);
+  EXPECT_EQ(fx.server.drc_stats().hits, 1u);
+  EXPECT_EQ(fx.server.readdir(fx.root())->entries.size(), 1u);
+}
+
+TEST(DuplicateRequestCache, LostRequestExecutesOnceOnRetry) {
+  Fixture fx;
+  fx.drop_next_request();
+  const auto created = fx.client.create(fx.root(), "f");
+  ASSERT_TRUE(created.ok());
+  // The original request never reached the server, so the retry was a
+  // first execution: no DRC hit, exactly one file.
+  EXPECT_EQ(fx.server.drc_stats().hits, 0u);
+  EXPECT_EQ(fx.server.drc_stats().stores, 1u);
+  EXPECT_EQ(fx.network.stats().retries, 1u);
+  EXPECT_EQ(fx.server.readdir(fx.root())->entries.size(), 1u);
+}
+
+TEST(DuplicateRequestCache, RetriesExhaustToUnreachable) {
+  Fixture fx;
+  const unsigned attempts = fx.client.retry_policy().max_attempts;
+  // Every transmission is a request (a dropped request produces no reply),
+  // so dropping messages 1..attempts loses all of them.
+  for (unsigned i = 0; i < attempts; ++i) {
+    fx.network.fault_plan()->force_drop_message(i + 1);
+  }
+  EXPECT_EQ(fx.client.create(fx.root(), "f").error(), NfsStat::kUnreachable);
+  EXPECT_EQ(fx.network.stats().retries, attempts - 1);
+  EXPECT_TRUE(fx.server.readdir(fx.root())->entries.empty());
+}
+
+TEST(DuplicateRequestCache, HardDownIsNotRetried) {
+  Fixture fx;
+  const auto root = fx.root();
+  fx.network.set_up(fx.server_host, false);
+  const auto before = fx.network.stats().timeouts;
+  EXPECT_EQ(fx.client.create(root, "f").error(), NfsStat::kUnreachable);
+  // Permanent death costs exactly one timeout and zero retransmissions —
+  // identical to the behaviour without any fault plan installed.
+  EXPECT_EQ(fx.network.stats().timeouts, before + 1);
+  EXPECT_EQ(fx.network.stats().retries, 0u);
+}
+
+}  // namespace
+}  // namespace kosha::nfs

@@ -99,5 +99,38 @@ TEST(Retirement, RetireThenRejoin) {
   EXPECT_TRUE(report.clean()) << report.to_string();
 }
 
+TEST(Retirement, RpcToRetiredServerFailsCleanly) {
+  // Regression: a retired/failed node is erased from the server directory,
+  // and an RPC addressed to it must fail through the clean unreachable
+  // path — one timeout, kUnreachable — never via a stale server pointer.
+  ClusterConfig config;
+  config.nodes = 4;
+  config.kosha.replicas = 1;
+  config.seed = 86;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.write_file("/f", "v").ok());
+
+  const net::HostId victim = cluster.live_hosts().back();
+  cluster.retire_node(victim);
+  EXPECT_EQ(cluster.runtime().servers->find(victim), nullptr);
+
+  nfs::NfsClient client(&cluster.network(), cluster.runtime().servers, 0);
+  const auto before = cluster.network().stats().timeouts;
+  EXPECT_EQ(client.mount(victim).error(), nfs::NfsStat::kUnreachable);
+  EXPECT_EQ(cluster.network().stats().timeouts, before + 1);
+  EXPECT_EQ(cluster.network().stats().retries, 0u);
+
+  // Same clean failure when the directory entry is gone but the host is
+  // still marked up (the mid-retirement window).
+  const net::HostId victim2 = cluster.live_hosts().back();
+  cluster.runtime().servers->erase(victim2);
+  EXPECT_EQ(client.mount(victim2).error(), nfs::NfsStat::kUnreachable);
+  EXPECT_EQ(cluster.network().stats().timeouts, before + 2);
+  cluster.runtime().servers->add(&cluster.server(victim2));  // restore
+  const auto report = audit_cluster(cluster);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
 }  // namespace
 }  // namespace kosha

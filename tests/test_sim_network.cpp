@@ -91,6 +91,110 @@ TEST(SimNetwork, TimeoutChargesAndCounts) {
   EXPECT_EQ(network.stats().timeouts, 1u);
 }
 
+TEST(FaultPlan, NoPlanDeliversEverything) {
+  SimClock clock;
+  SimNetwork network({}, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  EXPECT_TRUE(network.try_message(a, b));
+  EXPECT_EQ(network.stats().messages, 1u);
+  EXPECT_EQ(network.stats().drops, 0u);
+}
+
+TEST(FaultPlan, DropProbabilityOneLosesEveryRemoteMessage) {
+  SimClock clock;
+  SimNetwork network({}, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  FaultPlanConfig fault;
+  fault.drop_probability = 1.0;
+  network.set_fault_plan(std::make_unique<FaultPlan>(fault));
+  EXPECT_FALSE(network.try_message(a, b));
+  EXPECT_EQ(network.stats().drops, 1u);
+  EXPECT_EQ(network.stats().messages, 0u);
+  EXPECT_EQ(clock.now().ns, 0);  // the caller charges loss, not the wire
+  // Loopback traffic never traverses the wire and is never judged.
+  EXPECT_TRUE(network.try_message(a, a));
+}
+
+TEST(FaultPlan, BrownoutWindowIsBounded) {
+  SimClock clock;
+  SimNetwork network({}, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  auto plan = std::make_unique<FaultPlan>(FaultPlanConfig{});
+  plan->add_brownout(b, SimDuration::millis(10), SimDuration::millis(20));
+  network.set_fault_plan(std::move(plan));
+
+  EXPECT_TRUE(network.try_message(a, b));  // before the window
+  clock.advance(SimDuration::millis(15) - clock.now());
+  EXPECT_FALSE(network.try_message(a, b));  // to the host
+  EXPECT_FALSE(network.try_message(b, a));  // and from it
+  EXPECT_EQ(network.stats().drops, 2u);
+  EXPECT_EQ(network.fault_plan()->brownout_end(b, clock.now()).ns,
+            SimDuration::millis(20).ns);
+  clock.advance(SimDuration::millis(10));
+  EXPECT_TRUE(network.try_message(a, b));  // after the window
+}
+
+TEST(FaultPlan, PartitionBlocksCrossGroupTrafficOnly) {
+  SimClock clock;
+  SimNetwork network({}, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  const HostId c = network.add_host();
+  auto plan = std::make_unique<FaultPlan>(FaultPlanConfig{});
+  plan->add_partition({a}, {b}, SimDuration::nanos(0), SimDuration::seconds(1));
+  network.set_fault_plan(std::move(plan));
+
+  EXPECT_FALSE(network.try_message(a, b));
+  EXPECT_FALSE(network.try_message(b, a));
+  EXPECT_EQ(network.stats().partitioned, 2u);
+  EXPECT_TRUE(network.try_message(a, c));  // same side / unlisted host
+  clock.advance(SimDuration::seconds(2));
+  EXPECT_TRUE(network.try_message(a, b));  // window expired
+}
+
+TEST(FaultPlan, ForcedDropHitsTheScheduledMessage) {
+  SimClock clock;
+  SimNetwork network({}, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  network.set_fault_plan(std::make_unique<FaultPlan>(FaultPlanConfig{}));
+  network.fault_plan()->force_drop_message(2);
+  EXPECT_TRUE(network.try_message(a, b));
+  EXPECT_FALSE(network.try_message(a, b));
+  EXPECT_TRUE(network.try_message(a, b));
+}
+
+TEST(FaultPlan, LatencySpikeCharged) {
+  SimClock clock;
+  NetworkConfig config;
+  config.hop_latency = SimDuration::micros(100);
+  config.per_byte = SimDuration::nanos(0);
+  SimNetwork network(config, &clock);
+  const HostId a = network.add_host();
+  const HostId b = network.add_host();
+  FaultPlanConfig fault;
+  fault.latency_spike_probability = 1.0;
+  fault.latency_spike = SimDuration::millis(3);
+  network.set_fault_plan(std::make_unique<FaultPlan>(fault));
+  EXPECT_TRUE(network.try_message(a, b));
+  EXPECT_EQ(clock.now().ns, (SimDuration::micros(100) + SimDuration::millis(3)).ns);
+}
+
+TEST(FaultPlan, SameSeedSameVerdicts) {
+  FaultPlanConfig fault;
+  fault.seed = 7;
+  fault.drop_probability = 0.3;
+  FaultPlan p1(fault);
+  FaultPlan p2(fault);
+  for (int i = 0; i < 200; ++i) {
+    const auto now = SimDuration::millis(i);
+    EXPECT_EQ(static_cast<int>(p1.judge(0, 1, now)), static_cast<int>(p2.judge(0, 1, now)));
+  }
+}
+
 TEST(SimNetwork, StatsReset) {
   SimClock clock;
   SimNetwork network({}, &clock);
