@@ -73,7 +73,8 @@ net::HostId KoshaCluster::add_node(std::uint64_t capacity_bytes) {
   servers_.add(node->server.get());
   node->replicas = std::make_unique<ReplicaManager>(&runtime_, host, node->id);
   runtime_.replica_managers[host] = node->replicas.get();
-  node->daemon = std::make_unique<Koshad>(&runtime_, host);
+  node->boot = next_boot_++;
+  node->daemon = std::make_unique<Koshad>(&runtime_, host, node->boot);
   if (nodes_.size() <= host) nodes_.resize(host + 1);
   nodes_[host] = std::move(node);
   join_overlay(*nodes_[host]);
@@ -106,15 +107,22 @@ void KoshaCluster::revive_node(net::HostId host) {
   Node& node = node_ref(host);
   if (node.alive) return;
   // "All Kosha data on a revived node is purged" and it rejoins under a
-  // fresh identifier (paper §4.3.2).
+  // fresh identifier (paper §4.3.2). The crash also lost the server's
+  // volatile state: its duplicate-request cache must not survive into the
+  // next life, or it could answer for requests the reborn store never saw.
   node.server->store().purge();
+  node.server->clear_drc();
   node.id = rng_.next_id();
   node.alive = true;
   network_.set_up(host, true);
   servers_.add(node.server.get());
   node.replicas = std::make_unique<ReplicaManager>(&runtime_, host, node.id);
   runtime_.replica_managers[host] = node.replicas.get();
-  node.daemon = std::make_unique<Koshad>(&runtime_, host);
+  // A fresh boot verifier: the reborn daemon's NfsClient restarts xids at
+  // 0, and other servers' DRCs still hold (host, low-xid) entries from the
+  // previous incarnation. The new verifier makes those entries inert.
+  node.boot = next_boot_++;
+  node.daemon = std::make_unique<Koshad>(&runtime_, host, node.boot);
   join_overlay(node);
 }
 

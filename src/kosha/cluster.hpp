@@ -76,6 +76,11 @@ class KoshaCluster {
   struct Node {
     net::HostId host = net::kInvalidHost;
     pastry::NodeId id;
+    /// Boot verifier of the current daemon incarnation (see
+    /// nfs::RpcContext::boot). A revival allocates a fresh value so the
+    /// reborn client's restarted xids cannot match servers' DRC entries
+    /// from the previous life.
+    std::uint64_t boot = 0;
     std::unique_ptr<nfs::NfsServer> server;
     std::unique_ptr<ReplicaManager> replicas;
     std::unique_ptr<Koshad> daemon;
@@ -94,6 +99,9 @@ class KoshaCluster {
   nfs::ServerDirectory servers_;
   Runtime runtime_;
   std::vector<std::unique_ptr<Node>> nodes_;  // indexed by host id
+  /// Monotonic boot-verifier source: deterministic (no wall clock) so a
+  /// seeded run replays identically across crash/revive cycles.
+  std::uint64_t next_boot_ = 1;
 };
 
 }  // namespace kosha

@@ -8,11 +8,11 @@
 
 namespace kosha {
 
-Koshad::Koshad(Runtime* runtime, net::HostId host)
+Koshad::Koshad(Runtime* runtime, net::HostId host, std::uint64_t boot)
     : runtime_(runtime),
       host_(host),
       client_(runtime->network, runtime->servers, host, runtime->config.retry,
-              runtime->config.rng_seed) {}
+              runtime->config.rng_seed, boot) {}
 
 bool Koshad::valid_user_name(std::string_view name) {
   if (name.empty() || name == "." || name == ".." || name == kReplicaArea ||
@@ -146,6 +146,25 @@ nfs::NfsResult<nfs::HandleReply> Koshad::remote_mkdir_p(net::HostId host,
     current = next.value();
   }
   return current;
+}
+
+void Koshad::prune_scaffolding(net::HostId host, std::string cursor, ReplicaManager* rm) {
+  // Prune now-empty scaffolding bottom-up, container included, but stop at
+  // a directory still used by a colliding same-name anchor (paper §4.1.5).
+  // Best-effort: any error simply leaves the remaining scaffolding behind.
+  while (path_depth(cursor) >= 2) {  // never remove /.a itself
+    const auto cursor_handle = remote_lookup_path(host, cursor);
+    if (!cursor_handle.ok()) break;
+    note_forward(host);
+    const auto cursor_listing = client_.readdir(cursor_handle->handle);
+    if (!cursor_listing.ok() || !cursor_listing->entries.empty()) break;
+    const auto up = remote_lookup_path(host, path_parent(cursor));
+    if (!up.ok()) break;
+    note_forward(host);
+    if (!client_.rmdir(up->handle, path_basename(cursor)).ok()) break;
+    if (rm != nullptr) rm->mirror_rmdir(cursor);
+    cursor = path_parent(cursor);
+  }
 }
 
 nfs::NfsResult<std::pair<pastry::NodeId, std::string>> Koshad::place_directory(
@@ -359,15 +378,35 @@ nfs::NfsResult<VhReply> Koshad::create(VirtualHandle dir, std::string_view name,
   if (entry == nullptr) return nfs::NfsStat::kStale;
   const std::string path = path_child(entry->path, name);
   const std::string name_copy(name);
-  return with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<VhReply> {
+  // Set when our CREATE timed out after transmission: it may have executed
+  // with the reply lost, so a later ladder round must adopt the existing
+  // file instead of surfacing a spurious kExist (ladder rounds run
+  // back-to-back — nothing else can have created the name in between).
+  bool maybe_created = false;
+  auto result = with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<VhReply> {
     note_forward(parent.host);
-    const auto created = client_.create(parent.handle, name_copy, mode, uid);
+    auto created = client_.create(parent.handle, name_copy, mode, uid);
+    if (!created.ok() && created.error() == nfs::NfsStat::kTimedOut) maybe_created = true;
+    if (!created.ok() && created.error() == nfs::NfsStat::kExist && maybe_created) {
+      note_forward(parent.host);
+      const auto adopted = client_.lookup(parent.handle, name_copy);
+      if (!adopted.ok()) return adopted.error();
+      if (adopted->attr.type != fs::FileType::kFile) return nfs::NfsStat::kExist;
+      created = adopted;
+    }
     if (!created.ok()) return created.error();
     const std::string stored = path_child(parent.stored_path, name_copy);
     if (ReplicaManager* rm = manager_of(parent.host)) rm->mirror_create(stored, mode, uid);
     const VirtualHandle vh = vht_.bind(path, stored, created->handle, fs::FileType::kFile);
     return VhReply{vh, created->attr};
   });
+  // A retryable give-up after our CREATE timed out must keep saying "may
+  // have executed": downgrading to kUnreachable would license a blind
+  // re-issue that then misreads our own success as kExist.
+  if (!result.ok() && maybe_created && is_error_retryable(result.error())) {
+    return nfs::NfsStat::kTimedOut;
+  }
+  return result;
 }
 
 nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
@@ -380,17 +419,35 @@ nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
   const std::string name_copy(name);
   const auto depth = static_cast<unsigned>(path_depth(path));
 
-  return with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<VhReply> {
+  // Set when our (non-distributed) MKDIR timed out after transmission: a
+  // later ladder round finding the directory must adopt it, not report a
+  // spurious kExist. The distributed branch needs no flag — every step of
+  // it is lookup-first and re-runnable.
+  bool maybe_made = false;
+  auto result = with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<VhReply> {
     note_forward(parent.host);
     const auto existing = client_.lookup(parent.handle, name_copy);
-    if (existing.ok()) return nfs::NfsStat::kExist;
+    if (existing.ok()) {
+      if (!maybe_made || existing->attr.type != fs::FileType::kDirectory) {
+        return nfs::NfsStat::kExist;
+      }
+      // Our earlier timed-out MKDIR did execute: finish its bookkeeping.
+      const std::string stored = path_child(parent.stored_path, name_copy);
+      if (ReplicaManager* rm = manager_of(parent.host)) rm->mirror_mkdir_p(stored);
+      const VirtualHandle vh =
+          vht_.bind(path, stored, existing->handle, fs::FileType::kDirectory);
+      return VhReply{vh, existing->attr};
+    }
     if (existing.error() != nfs::NfsStat::kNoEnt) return existing.error();
 
     if (!is_distributed_depth(runtime_->config.distribution_level, depth)) {
       // Below the distribution level: stored with the parent (paper §3.2).
       note_forward(parent.host);
       const auto made = client_.mkdir(parent.handle, name_copy, mode, uid);
-      if (!made.ok()) return made.error();
+      if (!made.ok()) {
+        if (made.error() == nfs::NfsStat::kTimedOut) maybe_made = true;
+        return made.error();
+      }
       const std::string stored = path_child(parent.stored_path, name_copy);
       if (ReplicaManager* rm = manager_of(parent.host)) rm->mirror_mkdir_p(stored);
       const VirtualHandle vh = vht_.bind(path, stored, made->handle, fs::FileType::kDirectory);
@@ -421,6 +478,13 @@ nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
     const VirtualHandle vh = vht_.bind(path, stored, made->handle, fs::FileType::kDirectory);
     return VhReply{vh, made->attr};
   });
+  // Preserve the "may have executed" signal across a failed ladder (see
+  // create()): the caller must not blindly re-issue and then misread our
+  // own success as kExist.
+  if (!result.ok() && maybe_made && is_error_retryable(result.error())) {
+    return nfs::NfsStat::kTimedOut;
+  }
+  return result;
 }
 
 nfs::NfsResult<Unit> Koshad::remove(VirtualHandle dir, std::string_view name) {
@@ -429,20 +493,47 @@ nfs::NfsResult<Unit> Koshad::remove(VirtualHandle dir, std::string_view name) {
   if (entry == nullptr) return nfs::NfsStat::kStale;
   const std::string path = path_child(entry->path, name);
   const std::string name_copy(name);
-  return with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<Unit> {
+  // Set when our REMOVE timed out after transmission: a later ladder round
+  // finding the name gone must treat that as our own success, not report a
+  // spurious kNoEnt.
+  bool maybe_removed = false;
+  auto result = with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<Unit> {
     note_forward(parent.host);
     const auto looked = client_.lookup(parent.handle, name_copy);
-    if (!looked.ok()) return looked.error();
+    if (!looked.ok()) {
+      if (looked.error() == nfs::NfsStat::kNoEnt) {
+        // Run the removal bookkeeping either way. With the flag this is
+        // our own timed-out REMOVE succeeding; without it the primary —
+        // the authority — says the name is gone, so any lingering replica
+        // copy (e.g. left by an earlier caller that gave up mid-ambiguity)
+        // is reconciled away. A no-op when everything already agrees.
+        if (ReplicaManager* rm = manager_of(parent.host)) {
+          rm->mirror_remove_recursive(path_child(parent.stored_path, name_copy));
+        }
+        vht_.drop_subtree(path);
+        if (maybe_removed) return Unit{};
+      }
+      return looked.error();
+    }
     if (looked->attr.type != fs::FileType::kFile) return nfs::NfsStat::kIsDir;
     note_forward(parent.host);
     const auto removed = client_.remove(parent.handle, name_copy);
-    if (!removed.ok()) return removed.error();
+    if (!removed.ok()) {
+      if (removed.error() == nfs::NfsStat::kTimedOut) maybe_removed = true;
+      return removed.error();
+    }
     if (ReplicaManager* rm = manager_of(parent.host)) {
       rm->mirror_remove(path_child(parent.stored_path, name_copy));
     }
     vht_.drop_subtree(path);
     return Unit{};
   });
+  // Preserve the "may have executed" signal across a failed ladder (see
+  // create()).
+  if (!result.ok() && maybe_removed && is_error_retryable(result.error())) {
+    return nfs::NfsStat::kTimedOut;
+  }
+  return result;
 }
 
 nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
@@ -453,10 +544,31 @@ nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
   const std::string name_copy(name);
   const auto depth = static_cast<unsigned>(path_depth(path));
 
-  return with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<Unit> {
+  // Set when our RMDIR (of the plain directory, or of a distributed
+  // directory's stored container) timed out after transmission: a later
+  // ladder round finding it gone must treat that as our own success, not
+  // report a spurious kNoEnt.
+  bool maybe_removed = false;
+  auto result = with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<Unit> {
     note_forward(parent.host);
     const auto looked = client_.lookup(parent.handle, name_copy);
-    if (!looked.ok()) return looked.error();
+    if (!looked.ok()) {
+      if (looked.error() == nfs::NfsStat::kNoEnt) {
+        // Bookkeeping either way: our own timed-out RMDIR succeeding, or
+        // the authoritative primary saying the name is gone — reconcile
+        // lingering replica state (no-op when already consistent).
+        if (ReplicaManager* rm = manager_of(parent.host)) {
+          if (maybe_removed) {
+            rm->mirror_rmdir(path_child(parent.stored_path, name_copy));
+          } else {
+            rm->mirror_remove_recursive(path_child(parent.stored_path, name_copy));
+          }
+        }
+        vht_.drop_subtree(path);
+        if (maybe_removed) return Unit{};
+      }
+      return looked.error();
+    }
     if (looked->attr.type == fs::FileType::kFile) return nfs::NfsStat::kNotDir;
 
     // Distributed directories appear in their parent as special links.
@@ -465,7 +577,10 @@ nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
     if (!distributed) {
       note_forward(parent.host);
       const auto removed = client_.rmdir(parent.handle, name_copy);
-      if (!removed.ok()) return removed.error();
+      if (!removed.ok()) {
+        if (removed.error() == nfs::NfsStat::kTimedOut) maybe_removed = true;
+        return removed.error();
+      }
       if (ReplicaManager* rm = manager_of(parent.host)) {
         rm->mirror_rmdir(path_child(parent.stored_path, name_copy));
       }
@@ -473,45 +588,54 @@ nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
       return Unit{};
     }
 
-    // Distributed directory (paper §4.1.5): verify emptiness at the storage
-    // node, remove the stored directory, prune the now-unused empty
-    // scaffolding, and finally drop the special link in the parent.
-    const auto child = resolve_entry(parent, path, name_copy, true);
-    if (!child.ok()) return child.error();
-    note_forward(child->host);
-    const auto listing = client_.readdir(child->handle);
-    if (!listing.ok()) return listing.error();
-    if (!listing->entries.empty()) return nfs::NfsStat::kNotEmpty;
+    // Distributed directory (paper §4.1.5): resolve the link target by
+    // hand — so a ladder round can still do the bookkeeping when a
+    // timed-out removal already deleted the stored directory — verify
+    // emptiness at the storage node, remove the stored directory, prune
+    // the now-unused empty scaffolding, and finally drop the special link
+    // in the parent.
+    note_forward(parent.host);
+    const auto target = client_.readlink(looked->handle);
+    if (!target.ok()) return target.error();
+    const auto owner = route(key_for_name(target.value()));
+    const net::HostId storage = host_of(owner.owner);
+    const auto components = split_path(path);
+    const std::string stored =
+        stored_path(components, static_cast<unsigned>(components.size()), target.value());
+    ReplicaManager* srm = manager_of(storage);
 
-    const std::string stored_parent = path_parent(child->stored_path);
-    const auto stored_dir = remote_lookup_path(child->host, stored_parent);
-    if (stored_dir.ok()) {
-      note_forward(child->host);
-      const auto removed =
-          client_.rmdir(stored_dir->handle, path_basename(child->stored_path));
-      if (!removed.ok()) return removed.error();
-      ReplicaManager* rm = manager_of(child->host);
-      if (rm != nullptr) {
-        rm->mirror_rmdir(child->stored_path);
-        rm->unregister_primary(child->stored_path);
+    const auto child = remote_lookup_path(storage, stored);
+    if (child.ok()) {
+      note_forward(storage);
+      const auto listing = client_.readdir(child->handle);
+      if (!listing.ok()) return listing.error();
+      if (!listing->entries.empty()) return nfs::NfsStat::kNotEmpty;
+
+      const std::string stored_parent = path_parent(stored);
+      const auto stored_dir = remote_lookup_path(storage, stored_parent);
+      if (stored_dir.ok()) {
+        note_forward(storage);
+        const auto removed = client_.rmdir(stored_dir->handle, path_basename(stored));
+        if (!removed.ok()) {
+          if (removed.error() == nfs::NfsStat::kTimedOut) maybe_removed = true;
+          return removed.error();
+        }
+        if (srm != nullptr) {
+          srm->mirror_rmdir(stored);
+          srm->unregister_primary(stored);
+        }
+        prune_scaffolding(storage, stored_parent, srm);
       }
-      // Prune the now-empty scaffolding bottom-up, container included, but
-      // stop at a directory still used by a colliding same-name anchor
-      // (paper §4.1.5).
-      std::string cursor = stored_parent;
-      while (path_depth(cursor) >= 2) {  // never remove /.a itself
-        const auto cursor_handle = remote_lookup_path(child->host, cursor);
-        if (!cursor_handle.ok()) break;
-        note_forward(child->host);
-        const auto cursor_listing = client_.readdir(cursor_handle->handle);
-        if (!cursor_listing.ok() || !cursor_listing->entries.empty()) break;
-        const auto up = remote_lookup_path(child->host, path_parent(cursor));
-        if (!up.ok()) break;
-        note_forward(child->host);
-        if (!client_.rmdir(up->handle, path_basename(cursor)).ok()) break;
-        if (rm != nullptr) rm->mirror_rmdir(cursor);
-        cursor = path_parent(cursor);
+    } else if (child.error() == nfs::NfsStat::kNoEnt && maybe_removed) {
+      // Our earlier timed-out RMDIR already removed the stored directory:
+      // finish its bookkeeping and continue to the link cleanup.
+      if (srm != nullptr) {
+        srm->mirror_rmdir(stored);
+        srm->unregister_primary(stored);
       }
+      prune_scaffolding(storage, path_parent(stored), srm);
+    } else {
+      return child.error();
     }
 
     // Remove the special link (absent in the directly-visible case, where
@@ -528,6 +652,12 @@ nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
     vht_.drop_subtree(path);
     return Unit{};
   });
+  // Preserve the "may have executed" signal across a failed ladder (see
+  // create()).
+  if (!result.ok() && maybe_removed && is_error_retryable(result.error())) {
+    return nfs::NfsStat::kTimedOut;
+  }
+  return result;
 }
 
 nfs::NfsResult<nfs::ReaddirReply> Koshad::readdir(VirtualHandle dir) {
@@ -565,17 +695,54 @@ nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view fro
   const std::string from_copy(from_name);
   const std::string to_copy(to_name);
 
-  return with_handle(from_dir, [&](const Resolved& from_parent) -> nfs::NfsResult<Unit> {
+  // maybe_renamed: our direct RENAME RPC timed out after transmission — a
+  // later ladder round finding the source gone and the destination present
+  // must adopt that as our success (with the mirror bookkeeping the lost
+  // reply would have triggered), not surface kNoEnt. copy_started: the
+  // copy+delete path began materialising the destination — later rounds
+  // must not mistake that partial copy for a pre-existing destination.
+  bool maybe_renamed = false;
+  bool copy_started = false;
+  auto result = with_handle(from_dir, [&](const Resolved& from_parent) -> nfs::NfsResult<Unit> {
     const auto to_parent = resolve_path(to_parent_path, false);
     if (!to_parent.ok()) return to_parent.error();
 
     note_forward(from_parent.host);
     const auto looked = client_.lookup(from_parent.handle, from_copy);
-    if (!looked.ok()) return looked.error();
+    if (!looked.ok()) {
+      if (looked.error() == nfs::NfsStat::kNoEnt) {
+        if (maybe_renamed || copy_started) {
+          // The move may already be complete: confirm the entry now lives
+          // at the destination, then finish the bookkeeping.
+          note_forward(to_parent->host);
+          const auto moved = client_.lookup(to_parent->handle, to_copy);
+          if (moved.ok()) {
+            if (maybe_renamed) {
+              // Direct rename: the constituent mirror update never ran.
+              // (Copy+delete mirrors through its per-op bookkeeping.)
+              if (ReplicaManager* rm = manager_of(from_parent.host)) {
+                rm->mirror_rename(path_child(from_parent.stored_path, from_copy),
+                                  path_child(to_parent->stored_path, to_copy));
+              }
+            }
+            vht_.drop_subtree(from_path);
+            return Unit{};
+          }
+        }
+        // Not adopted: the authoritative primary says the source is gone,
+        // so reconcile any lingering replica copy of it (no-op when
+        // already consistent) before surfacing kNoEnt.
+        if (ReplicaManager* rm = manager_of(from_parent.host)) {
+          rm->mirror_remove_recursive(path_child(from_parent.stored_path, from_copy));
+        }
+        vht_.drop_subtree(from_path);
+      }
+      return looked.error();
+    }
     note_forward(to_parent->host);
     const auto existing = client_.lookup(to_parent->handle, to_copy);
-    if (existing.ok()) return nfs::NfsStat::kExist;
-    if (existing.error() != nfs::NfsStat::kNoEnt) return existing.error();
+    if (existing.ok() && !copy_started) return nfs::NfsStat::kExist;
+    if (!existing.ok() && existing.error() != nfs::NfsStat::kNoEnt) return existing.error();
 
     const bool is_link = looked->attr.type == fs::FileType::kSymlink;
 
@@ -586,7 +753,10 @@ nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view fro
       note_forward(from_parent.host);
       const auto renamed =
           client_.rename(from_parent.handle, from_copy, from_parent.handle, to_copy);
-      if (!renamed.ok()) return renamed.error();
+      if (!renamed.ok()) {
+        if (renamed.error() == nfs::NfsStat::kTimedOut) maybe_renamed = true;
+        return renamed.error();
+      }
       if (ReplicaManager* rm = manager_of(from_parent.host)) {
         rm->mirror_rename(path_child(from_parent.stored_path, from_copy),
                           path_child(from_parent.stored_path, to_copy));
@@ -598,6 +768,7 @@ nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view fro
     if (is_link) {
       // Moving a distributed directory across directories: copy to the new
       // location, then delete the old (paper §4.1.4).
+      copy_started = true;
       if (const auto copied = copy_tree(from_dir, from_copy, to_dir, to_copy); !copied.ok()) {
         return copied.error();
       }
@@ -609,7 +780,10 @@ nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view fro
       note_forward(from_parent.host);
       const auto renamed =
           client_.rename(from_parent.handle, from_copy, to_parent->handle, to_copy);
-      if (!renamed.ok()) return renamed.error();
+      if (!renamed.ok()) {
+        if (renamed.error() == nfs::NfsStat::kTimedOut) maybe_renamed = true;
+        return renamed.error();
+      }
       if (ReplicaManager* rm = manager_of(from_parent.host)) {
         rm->mirror_rename(path_child(from_parent.stored_path, from_copy),
                           path_child(to_parent->stored_path, to_copy));
@@ -619,12 +793,20 @@ nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view fro
     }
 
     // Cross-node move: copy + delete.
+    copy_started = true;
     if (const auto copied = copy_tree(from_dir, from_copy, to_dir, to_copy); !copied.ok()) {
       return copied.error();
     }
     if (looked->attr.type == fs::FileType::kFile) return remove(from_dir, from_copy);
     return remove_tree(from_dir, from_copy);
   });
+  // Preserve the "may (partially) have executed" signal across a failed
+  // ladder (see create()): a direct rename may have applied with its reply
+  // lost, and an interrupted copy+delete has certainly materialised state.
+  if (!result.ok() && (maybe_renamed || copy_started) && is_error_retryable(result.error())) {
+    return nfs::NfsStat::kTimedOut;
+  }
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -636,8 +818,21 @@ nfs::NfsResult<Unit> Koshad::copy_tree(VirtualHandle src_dir, std::string_view s
   const auto src = lookup(src_dir, src_name);
   if (!src.ok()) return src.error();
 
+  // A copy interrupted by a retryable failure is restarted from the top by
+  // the enclosing rename ladder, so it can run into its own partial work.
+  // The destination name was verified absent before the first attempt and
+  // nothing else runs between rounds, so kExist here always means "ours":
+  // adopt the existing object (truncating files) instead of failing.
   if (src->attr.type == fs::FileType::kFile) {
-    const auto dst = create(dst_dir, dst_name, src->attr.mode, src->attr.uid);
+    auto dst = create(dst_dir, dst_name, src->attr.mode, src->attr.uid);
+    if (!dst.ok() && dst.error() == nfs::NfsStat::kExist) {
+      const auto prior = lookup(dst_dir, dst_name);
+      if (!prior.ok()) return prior.error();
+      if (prior->attr.type != fs::FileType::kFile) return nfs::NfsStat::kExist;
+      const auto trunc = truncate(prior->handle, 0);
+      if (!trunc.ok()) return trunc.error();
+      dst = VhReply{prior->handle, trunc.value()};
+    }
     if (!dst.ok()) return dst.error();
     constexpr std::uint32_t kChunk = 64 * 1024;
     std::uint64_t offset = 0;
@@ -654,7 +849,13 @@ nfs::NfsResult<Unit> Koshad::copy_tree(VirtualHandle src_dir, std::string_view s
     return Unit{};
   }
 
-  const auto dst = mkdir(dst_dir, dst_name, src->attr.mode, src->attr.uid);
+  auto dst = mkdir(dst_dir, dst_name, src->attr.mode, src->attr.uid);
+  if (!dst.ok() && dst.error() == nfs::NfsStat::kExist) {
+    const auto prior = lookup(dst_dir, dst_name);
+    if (!prior.ok()) return prior.error();
+    if (prior->attr.type != fs::FileType::kDirectory) return nfs::NfsStat::kExist;
+    dst = prior.value();
+  }
   if (!dst.ok()) return dst.error();
   const auto listing = readdir(src->handle);
   if (!listing.ok()) return listing.error();

@@ -48,7 +48,11 @@ struct KoshadStats {
 
 class Koshad {
  public:
-  Koshad(Runtime* runtime, net::HostId host);
+  /// `boot` identifies this daemon incarnation (see RpcContext::boot): a
+  /// host revived after a crash must get a value it never used before, or
+  /// its restarted xid counter could match servers' duplicate-request
+  /// cache entries from its previous life.
+  Koshad(Runtime* runtime, net::HostId host, std::uint64_t boot = 0);
 
   [[nodiscard]] net::HostId host() const { return host_; }
 
@@ -97,9 +101,14 @@ class Koshad {
   };
 
   /// Run `fn(resolved)` against the cached handle; on a retryable error
-  /// (unreachable/stale) re-resolve the path from scratch, rebind the
-  /// virtual handle, and retry once — the paper's transparent fault
-  /// handling (§4.4).
+  /// (unreachable/timed-out/stale) re-resolve the path from scratch,
+  /// rebind the virtual handle, and retry — the paper's transparent fault
+  /// handling (§4.4) widened into a bounded ladder. `fn` may be invoked
+  /// several times: closures wrapping a non-idempotent RPC must remember a
+  /// kTimedOut from that RPC (it may have executed with its reply lost)
+  /// and adopt the already-applied result on a later invocation instead of
+  /// surfacing a spurious kExist/kNoEnt. Rounds run back-to-back on this
+  /// thread, so nothing else can touch the target path between them.
   template <typename Fn>
   auto with_handle(VirtualHandle vh, Fn&& fn);
 
@@ -125,6 +134,11 @@ class Koshad {
                                                                 const std::string& stored_path,
                                                                 std::uint32_t leaf_mode = 0755,
                                                                 std::uint32_t leaf_uid = 0);
+
+  /// Remove now-empty scaffolding directories bottom-up starting at
+  /// `cursor`, stopping at a non-empty directory or /.a itself (paper
+  /// §4.1.5). `rm` (may be null) mirrors each removal to the replicas.
+  void prune_scaffolding(net::HostId host, std::string cursor, ReplicaManager* rm);
 
   /// Pick the storage node for a new distributed directory, applying
   /// capacity redirection (paper §3.3). Returns the chosen node and the
@@ -154,7 +168,8 @@ class Koshad {
   void charge_interposition();
 
   [[nodiscard]] static bool is_error_retryable(nfs::NfsStat status) {
-    return status == nfs::NfsStat::kUnreachable || status == nfs::NfsStat::kStale;
+    return status == nfs::NfsStat::kUnreachable || status == nfs::NfsStat::kTimedOut ||
+           status == nfs::NfsStat::kStale;
   }
   [[nodiscard]] static bool valid_user_name(std::string_view name);
 

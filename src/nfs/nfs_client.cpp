@@ -8,10 +8,12 @@
 namespace kosha::nfs {
 
 NfsClient::NfsClient(net::SimNetwork* network, const ServerDirectory* directory,
-                     net::HostId self, RetryPolicy retry, std::uint64_t jitter_seed)
+                     net::HostId self, RetryPolicy retry, std::uint64_t jitter_seed,
+                     std::uint64_t boot)
     : network_(network),
       directory_(directory),
       self_(self),
+      boot_(boot),
       retry_(retry),
       jitter_rng_(jitter_seed ^ (0x9E3779B97F4A7C15ull * (self + 1))) {
   assert(network_ != nullptr && directory_ != nullptr);
@@ -43,6 +45,10 @@ template <typename ReplyT, typename Invoke, typename ReplyBytes>
 NfsResult<ReplyT> NfsClient::transact(net::HostId server, std::size_t request_bytes,
                                       Invoke&& invoke, ReplyBytes&& reply_bytes) {
   const unsigned attempts = std::max(1u, retry_.max_attempts);
+  // Whether any request was delivered (and thus the procedure executed at
+  // least once). Decides the give-up status: kTimedOut when the op may
+  // have taken effect, kUnreachable when it certainly did not.
+  bool executed = false;
   for (unsigned attempt = 0;; ++attempt) {
     NfsServer* s = nullptr;
     switch (send_request(server, request_bytes, &s)) {
@@ -50,11 +56,12 @@ NfsResult<ReplyT> NfsClient::transact(net::HostId server, std::size_t request_by
         // Permanent death is detected in one timeout and never retried:
         // failover (not retransmission) is the right reaction.
         network_->charge_timeout();
-        return NfsStat::kUnreachable;
+        return executed ? NfsStat::kTimedOut : NfsStat::kUnreachable;
       case SendOutcome::kLost:
         network_->charge_timeout();
         break;
       case SendOutcome::kSent: {
+        executed = true;
         NfsResult<ReplyT> reply = invoke(*s);
         if (deliver_reply(server, reply_bytes(reply))) return reply;
         // Reply lost: the op may have executed — the retransmission below
@@ -63,7 +70,9 @@ NfsResult<ReplyT> NfsClient::transact(net::HostId server, std::size_t request_by
         break;
       }
     }
-    if (attempt + 1 >= attempts) return NfsStat::kUnreachable;
+    if (attempt + 1 >= attempts) {
+      return executed ? NfsStat::kTimedOut : NfsStat::kUnreachable;
+    }
     network_->count_retry();
     backoff(attempt);
   }
@@ -129,7 +138,7 @@ NfsResult<HandleReply> NfsClient::create(FileHandle dir, std::string_view name,
   const std::uint32_t xid = next_xid();
   return transact<HandleReply>(
       dir.server, encode_create_call(xid, NfsProc::kCreate, dir, name, mode, uid).size(),
-      [&](NfsServer& s) { return s.create(dir, name, mode, uid, RpcContext{self_, xid}); },
+      [&](NfsServer& s) { return s.create(dir, name, mode, uid, RpcContext{self_, xid, boot_}); },
       [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
@@ -138,7 +147,7 @@ NfsResult<HandleReply> NfsClient::mkdir(FileHandle dir, std::string_view name,
   const std::uint32_t xid = next_xid();
   return transact<HandleReply>(
       dir.server, encode_create_call(xid, NfsProc::kMkdir, dir, name, mode, uid).size(),
-      [&](NfsServer& s) { return s.mkdir(dir, name, mode, uid, RpcContext{self_, xid}); },
+      [&](NfsServer& s) { return s.mkdir(dir, name, mode, uid, RpcContext{self_, xid, boot_}); },
       [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
@@ -147,7 +156,7 @@ NfsResult<HandleReply> NfsClient::symlink(FileHandle dir, std::string_view name,
   const std::uint32_t xid = next_xid();
   return transact<HandleReply>(
       dir.server, encode_symlink_call(xid, dir, name, target).size(),
-      [&](NfsServer& s) { return s.symlink(dir, name, target, RpcContext{self_, xid}); },
+      [&](NfsServer& s) { return s.symlink(dir, name, target, RpcContext{self_, xid, boot_}); },
       [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
@@ -164,7 +173,7 @@ NfsResult<Unit> NfsClient::remove(FileHandle dir, std::string_view name) {
   const std::uint32_t xid = next_xid();
   return transact<Unit>(
       dir.server, encode_diropargs_call(xid, NfsProc::kRemove, dir, name).size(),
-      [&](NfsServer& s) { return s.remove(dir, name, RpcContext{self_, xid}); },
+      [&](NfsServer& s) { return s.remove(dir, name, RpcContext{self_, xid, boot_}); },
       [](const NfsResult<Unit>&) { return kReplyBytes; });
 }
 
@@ -172,7 +181,7 @@ NfsResult<Unit> NfsClient::rmdir(FileHandle dir, std::string_view name) {
   const std::uint32_t xid = next_xid();
   return transact<Unit>(
       dir.server, encode_diropargs_call(xid, NfsProc::kRmdir, dir, name).size(),
-      [&](NfsServer& s) { return s.rmdir(dir, name, RpcContext{self_, xid}); },
+      [&](NfsServer& s) { return s.rmdir(dir, name, RpcContext{self_, xid, boot_}); },
       [](const NfsResult<Unit>&) { return kReplyBytes; });
 }
 
@@ -184,7 +193,7 @@ NfsResult<Unit> NfsClient::rename(FileHandle from_dir, std::string_view from_nam
       from_dir.server,
       encode_rename_call(xid, from_dir, from_name, to_dir, to_name).size(),
       [&](NfsServer& s) {
-        return s.rename(from_dir, from_name, to_dir, to_name, RpcContext{self_, xid});
+        return s.rename(from_dir, from_name, to_dir, to_name, RpcContext{self_, xid, boot_});
       },
       [](const NfsResult<Unit>&) { return kReplyBytes; });
 }

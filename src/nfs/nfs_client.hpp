@@ -14,6 +14,12 @@
 //     retransmits under the *same* xid up to RetryPolicy::max_attempts.
 //     Non-idempotent retransmissions are made safe by the server's
 //     duplicate-request cache (see nfs_server.hpp).
+//
+// When attempts run out the final status depends on what was delivered:
+// kUnreachable if no request ever reached the server (the op certainly did
+// not execute — safe to re-issue), kTimedOut if at least one did (the op
+// may have executed with its reply lost — re-issuing a non-idempotent op
+// requires adopting an already-applied result; see koshad's ladder).
 
 #include <string_view>
 #include <unordered_map>
@@ -40,10 +46,15 @@ class ServerDirectory {
 
 class NfsClient {
  public:
+  /// `boot` is this client incarnation's verifier (see RpcContext::boot):
+  /// give every restart of a host's client a value never used by that host
+  /// before, so its restarted xid counter cannot match duplicate-request
+  /// cache entries left over from the previous incarnation.
   NfsClient(net::SimNetwork* network, const ServerDirectory* directory, net::HostId self,
-            RetryPolicy retry = {}, std::uint64_t jitter_seed = 0);
+            RetryPolicy retry = {}, std::uint64_t jitter_seed = 0, std::uint64_t boot = 0);
 
   [[nodiscard]] net::HostId self() const { return self_; }
+  [[nodiscard]] std::uint64_t boot() const { return boot_; }
   [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
   void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
 
@@ -105,6 +116,7 @@ class NfsClient {
   const ServerDirectory* directory_;
   net::HostId self_;
   std::uint32_t xid_ = 0;
+  std::uint64_t boot_ = 0;
   RetryPolicy retry_;
   Rng jitter_rng_;
 };

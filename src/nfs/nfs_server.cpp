@@ -24,6 +24,8 @@ const char* to_string(NfsStat status) {
       return "NFS3ERR_STALE";
     case NfsStat::kUnreachable:
       return "NFS3ERR_UNREACHABLE";
+    case NfsStat::kTimedOut:
+      return "NFS3ERR_TIMEDOUT";
   }
   return "?";
 }
@@ -68,25 +70,41 @@ void NfsServer::charge_data(std::size_t bytes) {
   }
 }
 
-const NfsServer::DrcEntry* NfsServer::drc_find(RpcContext ctx) {
+const NfsServer::DrcEntry* NfsServer::drc_find(RpcContext ctx, bool want_handle) {
   if (!ctx.valid()) return nullptr;
   const auto it = drc_.find(drc_key(ctx));
   if (it == drc_.end()) return nullptr;
+  if (it->second.boot != ctx.boot || it->second.is_handle != want_handle) {
+    // Stale entry from a previous client incarnation, or a (client, xid)
+    // collision across procedure shapes: this is not a retransmission of
+    // the cached request — re-execute instead of answering with a reply
+    // that belongs to someone else.
+    return nullptr;
+  }
   ++drc_stats_.hits;
   return &it->second;
 }
 
 void NfsServer::drc_store(RpcContext ctx, DrcEntry entry) {
   if (!ctx.valid()) return;
+  entry.boot = ctx.boot;
   const std::uint64_t key = drc_key(ctx);
-  if (drc_.emplace(key, std::move(entry)).second) {
+  // insert_or_assign: a re-executed request whose key matched a stale entry
+  // (incarnation or shape mismatch in drc_find) must replace that entry, or
+  // its own retransmissions would re-execute on every arrival.
+  if (drc_.insert_or_assign(key, std::move(entry)).second) {
     drc_order_.push_back(key);
-    ++drc_stats_.stores;
     while (drc_order_.size() > kDrcCapacity) {
       drc_.erase(drc_order_.front());
       drc_order_.pop_front();
     }
   }
+  ++drc_stats_.stores;
+}
+
+void NfsServer::clear_drc() {
+  drc_.clear();
+  drc_order_.clear();
 }
 
 NfsResult<fs::InodeId> NfsServer::resolve(FileHandle handle) const {
@@ -167,7 +185,7 @@ NfsResult<std::uint32_t> NfsServer::write(FileHandle file, std::uint64_t offset,
 NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
                                          std::uint32_t mode, std::uint32_t uid,
                                          RpcContext ctx) {
-  if (const DrcEntry* hit = drc_find(ctx)) {
+  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/true)) {
     charge(costs_.read_meta);
     return hit->handle_reply;
   }
@@ -187,7 +205,7 @@ NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
 NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
                                         std::uint32_t mode, std::uint32_t uid,
                                         RpcContext ctx) {
-  if (const DrcEntry* hit = drc_find(ctx)) {
+  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/true)) {
     charge(costs_.read_meta);
     return hit->handle_reply;
   }
@@ -206,7 +224,7 @@ NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
 
 NfsResult<HandleReply> NfsServer::symlink(FileHandle dir, std::string_view name,
                                           std::string_view target, RpcContext ctx) {
-  if (const DrcEntry* hit = drc_find(ctx)) {
+  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/true)) {
     charge(costs_.read_meta);
     return hit->handle_reply;
   }
@@ -233,7 +251,7 @@ NfsResult<std::string> NfsServer::readlink(FileHandle link) {
 }
 
 NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name, RpcContext ctx) {
-  if (const DrcEntry* hit = drc_find(ctx)) {
+  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/false)) {
     charge(costs_.read_meta);
     return hit->unit_reply;
   }
@@ -247,7 +265,7 @@ NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name, RpcCont
 }
 
 NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name, RpcContext ctx) {
-  if (const DrcEntry* hit = drc_find(ctx)) {
+  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/false)) {
     charge(costs_.read_meta);
     return hit->unit_reply;
   }
@@ -263,7 +281,7 @@ NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name, RpcConte
 NfsResult<Unit> NfsServer::rename(FileHandle from_dir, std::string_view from_name,
                                   FileHandle to_dir, std::string_view to_name,
                                   RpcContext ctx) {
-  if (const DrcEntry* hit = drc_find(ctx)) {
+  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/false)) {
     charge(costs_.read_meta);
     return hit->unit_reply;
   }

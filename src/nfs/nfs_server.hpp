@@ -84,23 +84,31 @@ class NfsServer {
   [[nodiscard]] std::uint64_t rpc_count() const { return rpc_count_; }
   [[nodiscard]] const DrcStats& drc_stats() const { return drc_stats_; }
 
+  /// Forget all cached replies. The DRC is volatile server state: a crash
+  /// loses it, so revival must not resurrect replies from the previous
+  /// incarnation (their handles point into the purged store).
+  void clear_drc();
+
  private:
   /// One remembered reply; exactly one of the two results is meaningful
-  /// depending on the cached procedure's reply shape.
+  /// depending on the cached procedure's reply shape (`is_handle`), and the
+  /// entry only answers requests from the same client incarnation (`boot`).
   struct DrcEntry {
     NfsResult<HandleReply> handle_reply{NfsStat::kInval};
     NfsResult<Unit> unit_reply{NfsStat::kInval};
     bool is_handle = false;
+    std::uint64_t boot = 0;
   };
 
   /// Replies remembered per (client, xid); FIFO-bounded like a real
-  /// server's fixed-size DRC.
+  /// server's fixed-size DRC. Boot verifier and reply shape are checked on
+  /// lookup, so a key match alone never yields a foreign reply.
   static constexpr std::size_t kDrcCapacity = 512;
 
   [[nodiscard]] static std::uint64_t drc_key(RpcContext ctx) {
     return (static_cast<std::uint64_t>(ctx.client) << 32) | ctx.xid;
   }
-  [[nodiscard]] const DrcEntry* drc_find(RpcContext ctx);
+  [[nodiscard]] const DrcEntry* drc_find(RpcContext ctx, bool want_handle);
   void drc_store(RpcContext ctx, DrcEntry entry);
   [[nodiscard]] NfsResult<fs::InodeId> resolve(FileHandle handle) const;
   [[nodiscard]] FileHandle handle_for(fs::InodeId inode) const;

@@ -37,7 +37,13 @@ enum class NfsStat {
   kNoSpace,
   kInval,
   kStale,
-  kUnreachable,  // RPC timeout: server host is down
+  kUnreachable,  // RPC timeout before any request was delivered: the op
+                 // certainly never executed (host down, server withdrawn,
+                 // or every transmission lost in transit)
+  kTimedOut,     // RPC abandoned after at least one delivered request: the
+                 // op *may have executed* with its reply lost. Callers that
+                 // re-issue a non-idempotent op after this status must be
+                 // prepared to adopt an already-applied result.
 };
 
 [[nodiscard]] const char* to_string(NfsStat status);
@@ -49,12 +55,17 @@ template <typename T>
 using NfsResult = Result<T, NfsStat>;
 
 /// Identity of one client RPC: who sent it and under which transaction id.
-/// Retransmissions carry the same (client, xid) pair; the server's
+/// Retransmissions carry the same (client, xid, boot) triple; the server's
 /// duplicate-request cache keys on it to recognize retried non-idempotent
 /// requests whose first execution already succeeded.
 struct RpcContext {
   net::HostId client = net::kInvalidHost;
   std::uint32_t xid = 0;
+  /// Boot verifier (Sun-RPC style): distinguishes client incarnations. A
+  /// revived client restarts its xid counter at 0, so without this a reused
+  /// low xid could silently match a cached reply from the host's previous
+  /// life still sitting in a server's duplicate-request cache.
+  std::uint64_t boot = 0;
 
   [[nodiscard]] bool valid() const { return client != net::kInvalidHost; }
 };

@@ -142,6 +142,60 @@ TEST(DuplicateRequestCache, RetriesExhaustToUnreachable) {
   EXPECT_TRUE(fx.server.readdir(fx.root())->entries.empty());
 }
 
+TEST(DuplicateRequestCache, RepliesLostExhaustToTimedOut) {
+  Fixture fx;
+  const unsigned attempts = fx.client.retry_policy().max_attempts;
+  // Every request is delivered but every reply is lost: messages alternate
+  // request (odd) / reply (even), so drop the even ones.
+  for (unsigned i = 0; i < attempts; ++i) {
+    fx.network.fault_plan()->force_drop_message(2 * (i + 1));
+  }
+  // The op executed (possibly via DRC replay) but the client never learned
+  // so: the give-up status must be kTimedOut — "may have taken effect" —
+  // not kUnreachable, which would license a blind re-issue.
+  EXPECT_EQ(fx.client.create(fx.root(), "f").error(), NfsStat::kTimedOut);
+  EXPECT_EQ(fx.network.stats().retries, attempts - 1);
+  // Only the first transmission executed; the retransmissions hit the DRC.
+  EXPECT_EQ(fx.server.drc_stats().hits, attempts - 1);
+  EXPECT_EQ(fx.server.readdir(fx.root())->entries.size(), 1u);
+}
+
+TEST(DuplicateRequestCache, BootVerifierIsolatesClientIncarnations) {
+  Fixture fx;
+  // First incarnation of the client host creates "f" under xid 1.
+  NfsClient first{&fx.network, &fx.directory, fx.client_host, {}, 0, /*boot=*/1};
+  ASSERT_TRUE(first.create(fx.root(), "f").ok());
+  // The host "reboots": the new incarnation restarts its xid counter, so
+  // its first non-idempotent RPC reuses xid 1. Without the boot verifier
+  // the server's DRC would return the stale cached "f" reply and "g" would
+  // silently never be created.
+  NfsClient reborn{&fx.network, &fx.directory, fx.client_host, {}, 0, /*boot=*/2};
+  const auto created = reborn.create(fx.root(), "g", 0640, 9);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created->attr.mode, 0640u);
+  EXPECT_EQ(fx.server.drc_stats().hits, 0u);
+  const auto listing = fx.server.readdir(fx.root());
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->entries.size(), 2u);
+}
+
+TEST(DuplicateRequestCache, ShapeMismatchIsAMissNotAForgedReply) {
+  Fixture fx;
+  const RpcContext ctx{fx.client_host, /*xid=*/99, /*boot=*/7};
+  // A handle-shaped entry sits in the cache under (client, xid) ...
+  ASSERT_TRUE(fx.server.create(fx.root(), "x", 0644, 0, ctx).ok());
+  // ... and a unit-shaped procedure arrives under the same key. Before the
+  // shape check this returned the default-constructed unit slot (kInval)
+  // without executing; it must instead miss, execute, and re-cache.
+  EXPECT_TRUE(fx.server.remove(fx.root(), "x", ctx).ok());
+  EXPECT_EQ(fx.server.drc_stats().hits, 0u);
+  EXPECT_TRUE(fx.server.readdir(fx.root())->entries.empty());
+  // The entry was overwritten with the REMOVE result: its retransmission
+  // replays success instead of re-executing into kNoEnt.
+  EXPECT_TRUE(fx.server.remove(fx.root(), "x", ctx).ok());
+  EXPECT_EQ(fx.server.drc_stats().hits, 1u);
+}
+
 TEST(DuplicateRequestCache, HardDownIsNotRetried) {
   Fixture fx;
   const auto root = fx.root();
