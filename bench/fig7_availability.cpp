@@ -10,6 +10,9 @@
 // a seeded FaultPlan, drop rates {0,1,2,5}% x replicas {0,2}, reporting
 // first-try op success plus the retry/timeout/failover counters
 // (--ops N sets the per-cell operation count, --nodes N the cluster size).
+// A second table breaks the retry/timeout totals down per NFS procedure so
+// loss-sensitive operations (multi-RPC writes vs. single-RPC stats) are
+// visible separately.
 
 #include <cstdio>
 #include <memory>
@@ -20,6 +23,7 @@
 #include "common/table.hpp"
 #include "kosha/cluster.hpp"
 #include "kosha/mount.hpp"
+#include "nfs/wire.hpp"
 #include "sim/availability_sim.hpp"
 
 namespace {
@@ -38,6 +42,9 @@ int run_fault_sweep(const kosha::CliArgs& args) {
 
   TextTable table({"replicas", "drop%", "ops", "success%", "drops", "retries", "timeouts",
                    "failovers", "degraded"});
+  TextTable proc_table({"replicas", "drop%", "proc", "messages", "bytes", "retries",
+                        "timeouts"});
+  bool any_proc_rows = false;
   for (const unsigned k : {0u, 2u}) {
     for (const double drop : {0.0, 0.01, 0.02, 0.05}) {
       ClusterConfig config;
@@ -80,9 +87,26 @@ int run_fault_sweep(const kosha::CliArgs& args) {
                      std::to_string(nstats.drops), std::to_string(nstats.retries),
                      std::to_string(nstats.timeouts), std::to_string(dstats.failovers),
                      std::to_string(dstats.degraded_reads)});
+
+      // Per-procedure breakdown, restricted to procedures that actually had
+      // to retry or time out in this cell — the fault-attributable traffic.
+      for (const nfs::NfsProc proc : nfs::kAllProcs) {
+        const net::ProcNetStats& slot = nstats.per_proc[nfs::proc_slot(proc)];
+        if (slot.retries == 0 && slot.timeouts == 0) continue;
+        any_proc_rows = true;
+        proc_table.add_row({"Kosha-" + std::to_string(k), TextTable::fmt(drop * 100.0, 1),
+                            nfs::proc_name(proc), std::to_string(slot.messages),
+                            std::to_string(slot.bytes), std::to_string(slot.retries),
+                            std::to_string(slot.timeouts)});
+      }
     }
   }
   std::fputs(table.to_string().c_str(), stdout);
+  if (any_proc_rows) {
+    std::printf("\nPer-procedure retry/timeout breakdown (procedures with none are "
+                "omitted):\n");
+    std::fputs(proc_table.to_string().c_str(), stdout);
+  }
   return 0;
 }
 

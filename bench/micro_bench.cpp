@@ -2,8 +2,18 @@
 // ring arithmetic, Pastry routing (hop counts scale O(log N)), local-FS
 // metadata ops, and koshad placement resolution. Not a paper table —
 // supporting data for the overhead discussion in §6.1.2.
+//
+// --metrics-out=PATH additionally runs a short fixed-seed instrumented
+// workload after the benchmarks and writes its metrics snapshot (the
+// export_metrics_json format kosha_stat reads) to PATH; CI archives it as
+// results/BENCH_micro.json.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "common/rng.hpp"
 #include "common/sha1.hpp"
@@ -77,6 +87,10 @@ void BM_KoshaWriteSmallFile(benchmark::State& state) {
   ClusterConfig config;
   config.nodes = 8;
   config.kosha.distribution_level = 2;
+  // range(0) == 1 runs the identical workload with metrics + tracing live,
+  // so the two rows bracket the observability overhead per client op.
+  config.observability.metrics = state.range(0) != 0;
+  config.observability.tracing = state.range(0) != 0;
   KoshaCluster cluster(config);
   KoshaMount mount(&cluster.daemon(0));
   if (!mount.mkdir_p("/bench/dir").ok()) return;
@@ -86,8 +100,62 @@ void BM_KoshaWriteSmallFile(benchmark::State& state) {
         mount.write_file("/bench/dir/f" + std::to_string(i++), "payload"));
   }
 }
-BENCHMARK(BM_KoshaWriteSmallFile);
+BENCHMARK(BM_KoshaWriteSmallFile)->Arg(0)->Arg(1)
+    ->ArgName("observed");
+
+/// The snapshot behind results/BENCH_micro.json: a fixed-seed instrumented
+/// workload (mixed writes/reads/stats on an 8-node cluster) whose export is
+/// byte-stable across runs, so CI can diff it between commits.
+int write_metrics_snapshot(const std::string& path) {
+  ClusterConfig config;
+  config.nodes = 8;
+  config.seed = 42;
+  config.kosha.replicas = 2;
+  config.observability.metrics = true;
+  config.observability.tracing = true;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  Rng rng(42);
+  for (int i = 0; i < 64; ++i) {
+    const std::string dir = "/bench/d" + std::to_string(rng.next_below(4));
+    const std::string file = dir + "/f" + std::to_string(i);
+    if (!mount.mkdir_p(dir).ok() || !mount.write_file(file, rng.next_name(32)).ok()) {
+      std::fprintf(stderr, "micro_bench: snapshot workload write failed\n");
+      return 1;
+    }
+    (void)mount.read_file(file);
+    (void)mount.stat(file);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "micro_bench: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << cluster.export_metrics_json();
+  std::printf("metrics snapshot written to %s\n", path.c_str());
+  return 0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --metrics-out before google-benchmark sees (and rejects) it.
+  std::string metrics_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--metrics-out=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      metrics_out = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_out.empty()) return write_metrics_snapshot(metrics_out);
+  return 0;
+}

@@ -1,0 +1,82 @@
+#pragma once
+
+// Minimal JSON document model + parser.
+//
+// Exists so the observability exporters (metrics snapshots, trace logs) and
+// the kosha_stat inspection tool can speak one format without an external
+// dependency. Serialization lives with the producers (deterministic,
+// sorted-key output); this header covers parsing and escaping.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace kosha {
+
+/// A parsed JSON value. Objects keep insertion order (vector of pairs) so a
+/// parse -> inspect round trip preserves what the producer wrote.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] static JsonValue make_null() { return JsonValue{}; }
+  [[nodiscard]] static JsonValue make_bool(bool b);
+  [[nodiscard]] static JsonValue make_number(double n);
+  [[nodiscard]] static JsonValue make_string(std::string s);
+  [[nodiscard]] static JsonValue make_array();
+  [[nodiscard]] static JsonValue make_object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Convenience: find(key) as number/string with a fallback.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key, std::string fallback) const;
+
+  void push_back(JsonValue v) { items_.push_back(std::move(v)); }
+  void set(std::string key, JsonValue v) { members_.emplace_back(std::move(key), std::move(v)); }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse a complete JSON document. Trailing non-whitespace is an error.
+[[nodiscard]] Result<JsonValue, std::string> parse_json(std::string_view text);
+
+/// Escape `s` for embedding inside a JSON string literal (no quotes added).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Format a double the way the exporters do: integral values print with no
+/// decimal point ("42"), others with up to 6 significant digits. Keeping one
+/// formatter ensures byte-identical dumps across same-seed runs.
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace kosha

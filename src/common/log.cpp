@@ -1,14 +1,35 @@
 #include "common/log.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace kosha {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-const char* level_name(LogLevel level) {
+// Protects the sink pointer and serializes sink invocations. Construct-on-
+// first-use so logging from static initializers/destructors stays safe.
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;
+  return sink;
+}
+
+void default_sink(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%s] %.*s\n", log_level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -23,20 +44,33 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
 
 void log_message(LogLevel level, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
   char buf[1024];
   va_list args;
   va_start(args, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  const int len = std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), buf);
+  if (len < 0) return;
+  const std::string_view message(buf, std::min<std::size_t>(static_cast<std::size_t>(len),
+                                                            sizeof(buf) - 1));
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  const LogSink& sink = sink_slot();
+  if (sink) {
+    sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
 }
 
 }  // namespace kosha

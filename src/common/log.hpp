@@ -1,20 +1,36 @@
 #pragma once
 
-// Minimal leveled logger.
+// Minimal leveled logger with a pluggable sink.
 //
 // Off by default; experiments enable kInfo for progress lines, tests enable
-// kDebug when diagnosing a failure. Not thread-safe beyond the atomicity of
-// a single fprintf — fine for the coarse progress messages used here.
+// kDebug when diagnosing a failure. Thread-safe: the level check is a
+// relaxed atomic load (the fast path when a message is filtered out) and
+// sink invocation is serialized under a mutex, so concurrent messages never
+// interleave. Tests can install a capturing sink via set_log_sink instead
+// of scraping stderr.
 
 #include <cstdarg>
+#include <functional>
+#include <string_view>
 
 namespace kosha {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
 /// Global threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
+
+/// Receives every message that clears the level threshold. Called with the
+/// formatted text (no trailing newline) while the logger's mutex is held,
+/// so sinks need no locking of their own but must not log re-entrantly.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replace the sink. An empty function restores the default sink, which
+/// writes "[LEVEL] message\n" to stderr.
+void set_log_sink(LogSink sink);
 
 /// printf-style logging at `level`.
 void log_message(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));

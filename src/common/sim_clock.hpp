@@ -28,6 +28,7 @@ struct SimDuration {
 
   [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns) * 1e-9; }
   [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns) * 1e-6; }
+  [[nodiscard]] constexpr double to_micros() const { return static_cast<double>(ns) * 1e-3; }
 
   friend constexpr SimDuration operator+(SimDuration a, SimDuration b) { return {a.ns + b.ns}; }
   friend constexpr SimDuration operator-(SimDuration a, SimDuration b) { return {a.ns - b.ns}; }

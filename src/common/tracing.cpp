@@ -1,0 +1,185 @@
+#include "common/tracing.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/json.hpp"
+
+namespace kosha {
+
+TraceContext Tracer::begin_span(std::string_view name, std::uint32_t host) {
+  return begin_span_under(current(), name, host);
+}
+
+TraceContext Tracer::begin_span_under(TraceContext parent, std::string_view name,
+                                      std::uint32_t host) {
+  Open open;
+  open.ctx.span_id = next_id_++;
+  open.ctx.trace_id = parent.valid() ? parent.trace_id : next_id_++;
+  open.record.trace_id = open.ctx.trace_id;
+  open.record.span_id = open.ctx.span_id;
+  open.record.parent_id = parent.valid() ? parent.span_id : 0;
+  open.record.name = name;
+  open.record.host = host;
+  open.record.start_ns = clock_->now().ns;
+  open.record.status = "ok";
+  stack_.push_back(std::move(open));
+  return stack_.back().ctx;
+}
+
+void Tracer::tag(std::string_view key, std::string_view value) {
+  if (stack_.empty()) return;
+  stack_.back().record.tags.emplace_back(std::string(key), std::string(value));
+}
+
+void Tracer::set_status(std::string_view status) {
+  if (stack_.empty()) return;
+  stack_.back().record.status = status;
+}
+
+void Tracer::end_span() {
+  if (stack_.empty()) return;
+  SpanRecord record = std::move(stack_.back().record);
+  stack_.pop_back();
+  record.end_ns = clock_->now().ns;
+  spans_.push_back(std::move(record));
+}
+
+void Tracer::clear() {
+  stack_.clear();
+  spans_.clear();
+  next_id_ = 1;
+}
+
+std::string Tracer::to_jsonl() const {
+  std::string out;
+  for (const SpanRecord& s : spans_) {
+    out += "{\"trace\": ";
+    out += json_number(static_cast<double>(s.trace_id));
+    out += ", \"span\": " + json_number(static_cast<double>(s.span_id));
+    out += ", \"parent\": " + json_number(static_cast<double>(s.parent_id));
+    out += ", \"name\": \"" + json_escape(s.name) + "\"";
+    out += ", \"host\": " + json_number(static_cast<double>(s.host));
+    out += ", \"start_ns\": " + json_number(static_cast<double>(s.start_ns));
+    out += ", \"end_ns\": " + json_number(static_cast<double>(s.end_ns));
+    out += ", \"status\": \"" + json_escape(s.status) + "\"";
+    if (!s.tags.empty()) {
+      out += ", \"tags\": {";
+      bool first = true;
+      for (const auto& [k, v] : s.tags) {
+        if (!first) out += ", ";
+        first = false;
+        out += "\"";
+        out += json_escape(k);
+        out += "\": \"";
+        out += json_escape(v);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+namespace {
+
+void render_span(std::string& out, const SpanRecord& span,
+                 const std::map<std::uint64_t, std::vector<const SpanRecord*>>& children,
+                 const std::string& prefix, bool last) {
+  out += prefix;
+  if (!prefix.empty() || last) out += last ? "`-- " : "|-- ";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%s [host %u] %.1fus", span.name.c_str(), span.host,
+                static_cast<double>(span.end_ns - span.start_ns) * 1e-3);
+  out += line;
+  if (span.status != "ok") {
+    out += " !";
+    out += span.status;
+  }
+  for (const auto& [k, v] : span.tags) {
+    out += " ";
+    out += k;
+    out += "=";
+    out += v;
+  }
+  out += "\n";
+  const auto it = children.find(span.span_id);
+  if (it == children.end()) return;
+  std::string child_prefix = prefix;
+  if (!prefix.empty() || last) child_prefix += last ? "    " : "|   ";
+  for (std::size_t i = 0; i < it->second.size(); ++i) {
+    render_span(out, *it->second[i], children, child_prefix, i + 1 == it->second.size());
+  }
+}
+
+}  // namespace
+
+std::string render_span_forest(const std::vector<SpanRecord>& spans) {
+  // Sort children by start time then span id; spans arrive in end order.
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord& s : spans) {
+    if (s.parent_id == 0) {
+      roots.push_back(&s);
+    } else {
+      children[s.parent_id].push_back(&s);
+    }
+  }
+  const auto by_start = [](const SpanRecord* a, const SpanRecord* b) {
+    return a->start_ns != b->start_ns ? a->start_ns < b->start_ns : a->span_id < b->span_id;
+  };
+  for (auto& [id, kids] : children) {
+    (void)id;
+    std::sort(kids.begin(), kids.end(), by_start);
+  }
+  std::sort(roots.begin(), roots.end(), by_start);
+
+  std::string out;
+  for (const SpanRecord* root : roots) {
+    char head[64];
+    std::snprintf(head, sizeof(head), "trace %llu\n",
+                  static_cast<unsigned long long>(root->trace_id));
+    out += head;
+    render_span(out, *root, children, "", true);
+  }
+  return out;
+}
+
+Result<std::vector<SpanRecord>, std::string> parse_trace_jsonl(std::string_view text) {
+  std::vector<SpanRecord> spans;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    auto parsed = parse_json(line);
+    if (!parsed.ok()) {
+      return "line " + std::to_string(line_no) + ": " + parsed.error();
+    }
+    const JsonValue& v = parsed.value();
+    SpanRecord s;
+    s.trace_id = static_cast<std::uint64_t>(v.number_or("trace", 0));
+    s.span_id = static_cast<std::uint64_t>(v.number_or("span", 0));
+    s.parent_id = static_cast<std::uint64_t>(v.number_or("parent", 0));
+    s.name = v.string_or("name", "");
+    s.host = static_cast<std::uint32_t>(v.number_or("host", 0));
+    s.start_ns = static_cast<std::int64_t>(v.number_or("start_ns", 0));
+    s.end_ns = static_cast<std::int64_t>(v.number_or("end_ns", 0));
+    s.status = v.string_or("status", "ok");
+    if (const JsonValue* tags = v.find("tags"); tags != nullptr && tags->is_object()) {
+      for (const auto& [k, tv] : tags->members()) {
+        s.tags.emplace_back(k, tv.is_string() ? tv.as_string() : json_number(tv.as_number()));
+      }
+    }
+    spans.push_back(std::move(s));
+  }
+  return spans;
+}
+
+}  // namespace kosha

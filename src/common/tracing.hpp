@@ -1,0 +1,149 @@
+#pragma once
+
+// Deterministic distributed tracing over virtual time.
+//
+// A trace is minted per client operation at the mount/POSIX layer and its
+// context rides inside RpcContext across client -> network -> server ->
+// koshad forwarding, so one CREATE yields a span tree covering every hop it
+// touched. Timestamps come from the SimClock and span/trace IDs from a
+// monotonic counter, so same-seed runs emit byte-identical trace streams.
+//
+// The simulation is single-threaded per cluster, which lets the tracer keep
+// an explicit context stack: begin_span() parents under the innermost open
+// span, begin_span_under() parents under an explicit remote context (the
+// trace carried by an RPC). Spans close LIFO via the RAII SpanScope.
+//
+// Zero overhead when off: hot paths hold a nullable `Tracer*`; SpanScope is
+// inert (no allocation, no clock reads) when the tracer is null or disabled.
+// Recording never advances the SimClock and never consumes RNG.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/sim_clock.hpp"
+
+namespace kosha {
+
+/// Trace identity carried across RPC boundaries. span_id 0 means "no trace".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool valid() const { return span_id != 0; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// One finished span. Tags are an ordered list so emission order (and hence
+/// the serialized stream) is deterministic.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  std::uint32_t host = 0;  // HostId of the node the span ran on
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::string status;  // "ok" or an NfsStat name
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+/// Collects spans for one simulated cluster. Not a global: each cluster owns
+/// its tracer so concurrent clusters (tests) don't interleave streams.
+class Tracer {
+ public:
+  void set_clock(const SimClock* clock) { clock_ = clock; }
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_ && clock_ != nullptr; }
+
+  /// Innermost open span's context; invalid when no span is open.
+  [[nodiscard]] TraceContext current() const {
+    return stack_.empty() ? TraceContext{} : stack_.back().ctx;
+  }
+
+  /// Open a span. Parents under the innermost open span; a root span mints a
+  /// fresh trace id. Returns the new span's context.
+  TraceContext begin_span(std::string_view name, std::uint32_t host);
+
+  /// Open a span under an explicit parent (the context an RPC carried).
+  /// Falls back to begin_span() parenting when `parent` is invalid.
+  TraceContext begin_span_under(TraceContext parent, std::string_view name, std::uint32_t host);
+
+  /// Attach a tag / set the final status of the innermost open span.
+  void tag(std::string_view key, std::string_view value);
+  void set_status(std::string_view status);
+
+  /// Close the innermost open span, stamping its end time.
+  void end_span();
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t open_depth() const { return stack_.size(); }
+  void clear();
+
+  /// One JSON object per line, in span-end order.
+  [[nodiscard]] std::string to_jsonl() const;
+
+ private:
+  struct Open {
+    TraceContext ctx;
+    SpanRecord record;
+  };
+
+  const SimClock* clock_ = nullptr;
+  bool enabled_ = false;
+  std::uint64_t next_id_ = 1;
+  std::vector<Open> stack_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span. Inert when `tracer` is null or disabled, so instrumentation
+/// sites read:
+///
+///   SpanScope span(tracer, "koshad.create", host);
+///   ...
+///   span.status(ok ? "ok" : to_string(err));
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, std::string_view name, std::uint32_t host)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
+    if (tracer_ != nullptr) tracer_->begin_span(name, host);
+  }
+
+  /// Parent explicitly under `parent` (server side of an RPC).
+  SpanScope(Tracer* tracer, TraceContext parent, std::string_view name, std::uint32_t host)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
+    if (tracer_ != nullptr) tracer_->begin_span_under(parent, name, host);
+  }
+
+  ~SpanScope() {
+    if (tracer_ != nullptr) tracer_->end_span();
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+  void tag(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr) tracer_->tag(key, value);
+  }
+
+  void status(std::string_view s) {
+    if (tracer_ != nullptr) tracer_->set_status(s);
+  }
+
+ private:
+  Tracer* tracer_;
+};
+
+/// Render finished spans as per-trace ASCII trees (kosha_stat --tree).
+[[nodiscard]] std::string render_span_forest(const std::vector<SpanRecord>& spans);
+
+/// Parse a stream produced by Tracer::to_jsonl().
+[[nodiscard]] Result<std::vector<SpanRecord>, std::string> parse_trace_jsonl(
+    std::string_view text);
+
+}  // namespace kosha

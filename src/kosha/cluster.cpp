@@ -1,8 +1,10 @@
 #include "kosha/cluster.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "kosha/placement.hpp"
+#include "nfs/wire.hpp"
 
 namespace kosha {
 
@@ -20,6 +22,16 @@ KoshaCluster::KoshaCluster(ClusterConfig config)
   runtime_.servers = &servers_;
   runtime_.config = config_.kosha;
   runtime_.config.rng_seed = config_.seed;
+
+  // Observability wiring happens before any node exists, so every
+  // component can resolve its instruments at construction. Disabled sinks
+  // stay null: the hot paths then cost one branch per seam and nothing
+  // else, keeping instrumented-but-off runs byte-identical.
+  tracer_.set_clock(&clock_);
+  tracer_.set_enabled(config_.observability.tracing);
+  runtime_.metrics = config_.observability.metrics ? &metrics_ : nullptr;
+  runtime_.tracer = config_.observability.tracing ? &tracer_ : nullptr;
+  network_.set_observability(runtime_.metrics, runtime_.tracer);
 
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     const std::uint64_t capacity =
@@ -70,6 +82,7 @@ net::HostId KoshaCluster::add_node(std::uint64_t capacity_bytes) {
   fs::FsConfig fs_config;
   fs_config.capacity_bytes = capacity_bytes;
   node->server = std::make_unique<nfs::NfsServer>(host, fs_config, config_.costs, &clock_);
+  node->server->set_observability(runtime_.metrics, runtime_.tracer);
   servers_.add(node->server.get());
   node->replicas = std::make_unique<ReplicaManager>(&runtime_, host, node->id);
   runtime_.replica_managers[host] = node->replicas.get();
@@ -141,5 +154,68 @@ nfs::NfsServer& KoshaCluster::server(net::HostId host) { return *node_ref(host).
 ReplicaManager& KoshaCluster::replicas(net::HostId host) { return *node_ref(host).replicas; }
 
 pastry::NodeId KoshaCluster::node_id(net::HostId host) const { return node_ref(host).id; }
+
+void KoshaCluster::refresh_derived_metrics() {
+  // Statistics that already live in dedicated structs (NetStats,
+  // KoshadStats, the servers' counters) are mirrored into gauges at export
+  // time. This keeps the hot paths untouched — the numbers exist whether or
+  // not per-event metrics were enabled — while giving kosha_stat one
+  // uniform snapshot to read.
+  const net::NetStats& net = network_.stats();
+  metrics_.gauge("net.messages")->set(static_cast<double>(net.messages));
+  metrics_.gauge("net.bytes")->set(static_cast<double>(net.bytes));
+  metrics_.gauge("net.timeouts")->set(static_cast<double>(net.timeouts));
+  metrics_.gauge("net.overlay_hops")->set(static_cast<double>(net.overlay_hops));
+  metrics_.gauge("net.drops")->set(static_cast<double>(net.drops));
+  metrics_.gauge("net.retries")->set(static_cast<double>(net.retries));
+  metrics_.gauge("net.partitioned")->set(static_cast<double>(net.partitioned));
+
+  for (const nfs::NfsProc proc : nfs::kAllProcs) {
+    const net::ProcNetStats& slot = net.per_proc[nfs::proc_slot(proc)];
+    if (slot.messages == 0 && slot.retries == 0 && slot.timeouts == 0) continue;
+    const std::string prefix = std::string("net.proc.") + nfs::proc_name(proc);
+    metrics_.gauge(prefix + ".messages")->set(static_cast<double>(slot.messages));
+    metrics_.gauge(prefix + ".bytes")->set(static_cast<double>(slot.bytes));
+    metrics_.gauge(prefix + ".retries")->set(static_cast<double>(slot.retries));
+    metrics_.gauge(prefix + ".timeouts")->set(static_cast<double>(slot.timeouts));
+  }
+
+  for (const auto& node : nodes_) {
+    if (node == nullptr || !node->alive) continue;
+    const std::string prefix = "node." + std::to_string(node->host);
+    const fs::LocalFs& store = node->server->store();
+    metrics_.gauge(prefix + ".store.used_bytes")->set(static_cast<double>(store.used_bytes()));
+    metrics_.gauge(prefix + ".store.capacity_bytes")
+        ->set(static_cast<double>(store.capacity_bytes()));
+    metrics_.gauge(prefix + ".server.rpcs")->set(static_cast<double>(node->server->rpc_count()));
+    metrics_.gauge(prefix + ".server.drc_hits")
+        ->set(static_cast<double>(node->server->drc_stats().hits));
+    metrics_.gauge(prefix + ".server.drc_stores")
+        ->set(static_cast<double>(node->server->drc_stats().stores));
+    const KoshadStats& ks = node->daemon->stats();
+    metrics_.gauge(prefix + ".koshad.rpcs_forwarded")
+        ->set(static_cast<double>(ks.rpcs_forwarded));
+    metrics_.gauge(prefix + ".koshad.dht_lookups")->set(static_cast<double>(ks.dht_lookups));
+    metrics_.gauge(prefix + ".koshad.dht_hops")->set(static_cast<double>(ks.dht_hops));
+    metrics_.gauge(prefix + ".koshad.remote_rpcs")->set(static_cast<double>(ks.remote_rpcs));
+    metrics_.gauge(prefix + ".koshad.failovers")->set(static_cast<double>(ks.failovers));
+    metrics_.gauge(prefix + ".koshad.failed_failovers")
+        ->set(static_cast<double>(ks.failed_failovers));
+    metrics_.gauge(prefix + ".koshad.redirects")->set(static_cast<double>(ks.redirects));
+    metrics_.gauge(prefix + ".koshad.replica_reads")->set(static_cast<double>(ks.replica_reads));
+    metrics_.gauge(prefix + ".koshad.degraded_reads")
+        ->set(static_cast<double>(ks.degraded_reads));
+  }
+}
+
+std::string KoshaCluster::export_metrics_json() {
+  refresh_derived_metrics();
+  return metrics_.to_json();
+}
+
+std::string KoshaCluster::export_metrics_csv() {
+  refresh_derived_metrics();
+  return metrics_.to_csv();
+}
 
 }  // namespace kosha

@@ -11,15 +11,26 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/tracing.hpp"
 #include "kosha/koshad.hpp"
 #include "kosha/replication.hpp"
 #include "kosha/runtime.hpp"
 #include "nfs/nfs_server.hpp"
 
 namespace kosha {
+
+/// Observability switches. Both default off: the Table 1/2 numbers must be
+/// byte-identical with the instrumentation compiled in but disabled, so
+/// every seam holds a nullable pointer that these flags populate.
+struct ObservabilityConfig {
+  bool metrics = false;
+  bool tracing = false;
+};
 
 struct ClusterConfig {
   /// Nodes created by the constructor (more can be added later).
@@ -31,6 +42,7 @@ struct ClusterConfig {
   KoshaConfig kosha;
   net::NetworkConfig network;
   nfs::NfsCostModel costs;
+  ObservabilityConfig observability;
 };
 
 class KoshaCluster {
@@ -72,6 +84,20 @@ class KoshaCluster {
   [[nodiscard]] Runtime& runtime() { return runtime_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
 
+  /// The cluster's instruments and trace collector. Both exist regardless
+  /// of the observability flags; the flags only decide whether hot paths
+  /// feed them (derived gauges are filled at export either way).
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+  /// Snapshot the registry (refreshing gauges derived from NetStats,
+  /// server and daemon counters, and per-node storage occupancy) as the
+  /// deterministic JSON / CSV formats kosha_stat consumes.
+  [[nodiscard]] std::string export_metrics_json();
+  [[nodiscard]] std::string export_metrics_csv();
+  /// Finished spans as JSONL (empty when tracing was off).
+  [[nodiscard]] std::string export_trace_jsonl() const { return tracer_.to_jsonl(); }
+
  private:
   struct Node {
     net::HostId host = net::kInvalidHost;
@@ -90,10 +116,14 @@ class KoshaCluster {
   Node& node_ref(net::HostId host);
   const Node& node_ref(net::HostId host) const;
   void join_overlay(Node& node);
+  /// Recompute the gauges derived from externally-held statistics.
+  void refresh_derived_metrics();
 
   ClusterConfig config_;
   SimClock clock_;
   Rng rng_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
   net::SimNetwork network_;
   pastry::PastryOverlay overlay_;
   nfs::ServerDirectory servers_;

@@ -3,16 +3,43 @@
 #include <algorithm>
 #include <type_traits>
 
+#include "common/metrics.hpp"
 #include "common/path.hpp"
+#include "common/tracing.hpp"
 #include "kosha/placement.hpp"
 
 namespace kosha {
+
+namespace {
+
+/// Stamp the operation span with the failing status and pass the result on.
+template <typename ResultT>
+ResultT finish_span(SpanScope& span, ResultT result) {
+  if (!result.ok()) span.status(nfs::to_string(result.error()));
+  return result;
+}
+
+/// Fail an operation: stamp the span, return the status (converts to any
+/// NfsResult<T>).
+nfs::NfsStat fail(SpanScope& span, nfs::NfsStat status) {
+  span.status(nfs::to_string(status));
+  return status;
+}
+
+}  // namespace
 
 Koshad::Koshad(Runtime* runtime, net::HostId host, std::uint64_t boot)
     : runtime_(runtime),
       host_(host),
       client_(runtime->network, runtime->servers, host, runtime->config.retry,
-              runtime->config.rng_seed, boot) {}
+              runtime->config.rng_seed, boot) {
+  if (runtime_->metrics != nullptr) {
+    route_hops_hist_ =
+        runtime_->metrics->histogram("koshad.overlay.route_hops", {0, 1, 2, 3, 4, 6, 8, 12, 16});
+    failover_depth_hist_ =
+        runtime_->metrics->histogram("koshad.failover.depth", {0, 1, 2, 3, 4, 6, 8});
+  }
+}
 
 bool Koshad::valid_user_name(std::string_view name) {
   if (name.empty() || name == "." || name == ".." || name == kReplicaArea ||
@@ -38,6 +65,7 @@ pastry::RouteResult Koshad::route(pastry::Key key) {
   const auto result = runtime_->overlay->route(host_, key);
   ++stats_.dht_lookups;
   stats_.dht_hops += result.hops;
+  if (route_hops_hist_ != nullptr) route_hops_hist_->record(static_cast<double>(result.hops));
   return result;
 }
 
@@ -198,7 +226,10 @@ auto Koshad::with_handle(VirtualHandle vh, Fn&& fn) {
   const Resolved cached{entry->real.server, entry->real, entry->stored_path, entry->type};
 
   Ret result = fn(cached);
-  if (result.ok() || !is_error_retryable(result.error())) return result;
+  if (result.ok() || !is_error_retryable(result.error())) {
+    if (failover_depth_hist_ != nullptr) failover_depth_hist_->record(0.0);
+    return result;
+  }
 
   // Transparent fault handling (paper §4.4), widened into a bounded
   // ladder: each round drops the mapping, re-resolves the full path from
@@ -207,19 +238,34 @@ auto Koshad::with_handle(VirtualHandle vh, Fn&& fn) {
   // additional rounds survive a promotion racing a brownout, since every
   // re-resolve routes through the overlay's *current* owner.
   const unsigned rounds = std::max(1u, runtime_->config.failover_rounds);
+  unsigned depth = 0;
   for (unsigned round = 0; round < rounds; ++round) {
     ++stats_.failovers;
+    depth = round + 1;
+    SpanScope span(tracer(), "koshad.failover", host_);
+    if (span.active()) span.tag("round", std::to_string(depth));
     const auto fresh = resolve_path(path, /*fresh=*/true);
     if (!fresh.ok()) {
-      if (is_error_retryable(fresh.error()) && round + 1 < rounds) continue;
+      if (is_error_retryable(fresh.error()) && round + 1 < rounds) {
+        span.status(nfs::to_string(fresh.error()));
+        continue;
+      }
       ++stats_.failed_failovers;
+      span.status(nfs::to_string(fresh.error()));
+      if (failover_depth_hist_ != nullptr) failover_depth_hist_->record(static_cast<double>(depth));
       return Ret(fresh.error());
     }
     vht_.rebind(vh, fresh->stored_path, fresh->handle);
     result = fn(*fresh);
-    if (result.ok() || !is_error_retryable(result.error())) return result;
+    if (result.ok() || !is_error_retryable(result.error())) {
+      if (!result.ok()) span.status(nfs::to_string(result.error()));
+      if (failover_depth_hist_ != nullptr) failover_depth_hist_->record(static_cast<double>(depth));
+      return result;
+    }
+    span.status(nfs::to_string(result.error()));
   }
   ++stats_.failed_failovers;
+  if (failover_depth_hist_ != nullptr) failover_depth_hist_->record(static_cast<double>(depth));
   return result;
 }
 
@@ -228,61 +274,73 @@ auto Koshad::with_handle(VirtualHandle vh, Fn&& fn) {
 // ---------------------------------------------------------------------------
 
 nfs::NfsResult<VirtualHandle> Koshad::root() {
+  SpanScope span(tracer(), "koshad.root", host_);
   charge_interposition();
   const auto resolved = resolve_path("/", false);
-  if (!resolved.ok()) return resolved.error();
+  if (!resolved.ok()) return fail(span, resolved.error());
   return *vht_.find_by_path("/");
 }
 
 nfs::NfsResult<VhReply> Koshad::lookup(VirtualHandle dir, std::string_view name) {
+  SpanScope span(tracer(), "koshad.lookup", host_);
   charge_interposition();
   const VhEntry* entry = vht_.find(dir);
-  if (entry == nullptr) return nfs::NfsStat::kStale;
+  if (entry == nullptr) return fail(span, nfs::NfsStat::kStale);
   const std::string path = path_child(entry->path, name);
   const std::string name_copy(name);
-  return with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<VhReply> {
-    const auto resolved = resolve_entry(parent, path, name_copy, false);
-    if (!resolved.ok()) return resolved.error();
-    return VhReply{*vht_.find_by_path(path), resolved->attr};
-  });
+  return finish_span(
+      span, with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<VhReply> {
+        const auto resolved = resolve_entry(parent, path, name_copy, false);
+        if (!resolved.ok()) return resolved.error();
+        return VhReply{*vht_.find_by_path(path), resolved->attr};
+      }));
 }
 
 nfs::NfsResult<fs::Attr> Koshad::getattr(VirtualHandle obj) {
+  SpanScope span(tracer(), "koshad.getattr", host_);
   charge_interposition();
-  return with_handle(obj, [&](const Resolved& r) {
-    note_forward(r.host);
-    return client_.getattr(r.handle);
-  });
+  return finish_span(span, with_handle(obj, [&](const Resolved& r) {
+                       note_forward(r.host);
+                       return client_.getattr(r.handle);
+                     }));
 }
 
 nfs::NfsResult<fs::Attr> Koshad::set_mode(VirtualHandle obj, std::uint32_t mode) {
+  SpanScope span(tracer(), "koshad.set_mode", host_);
   charge_interposition();
-  return with_handle(obj, [&](const Resolved& r) {
-    note_forward(r.host);
-    auto result = client_.set_mode(r.handle, mode);
-    if (result.ok()) {
-      if (ReplicaManager* rm = manager_of(r.host)) rm->mirror_set_mode(r.stored_path, mode);
-    }
-    return result;
-  });
+  return finish_span(span, with_handle(obj, [&](const Resolved& r) {
+                       note_forward(r.host);
+                       auto result = client_.set_mode(r.handle, mode);
+                       if (result.ok()) {
+                         if (ReplicaManager* rm = manager_of(r.host)) {
+                           rm->mirror_set_mode(r.stored_path, mode);
+                         }
+                       }
+                       return result;
+                     }));
 }
 
 nfs::NfsResult<fs::Attr> Koshad::truncate(VirtualHandle obj, std::uint64_t size) {
+  SpanScope span(tracer(), "koshad.truncate", host_);
   charge_interposition();
-  return with_handle(obj, [&](const Resolved& r) {
-    note_forward(r.host);
-    auto result = client_.truncate(r.handle, size);
-    if (result.ok()) {
-      if (ReplicaManager* rm = manager_of(r.host)) rm->mirror_truncate(r.stored_path, size);
-    }
-    return result;
-  });
+  return finish_span(span, with_handle(obj, [&](const Resolved& r) {
+                       note_forward(r.host);
+                       auto result = client_.truncate(r.handle, size);
+                       if (result.ok()) {
+                         if (ReplicaManager* rm = manager_of(r.host)) {
+                           rm->mirror_truncate(r.stored_path, size);
+                         }
+                       }
+                       return result;
+                     }));
 }
 
 nfs::NfsResult<nfs::ReadReply> Koshad::read(VirtualHandle file, std::uint64_t offset,
                                             std::uint32_t count) {
+  SpanScope span(tracer(), "koshad.read", host_);
   charge_interposition();
-  return with_handle(file, [&](const Resolved& r) -> nfs::NfsResult<nfs::ReadReply> {
+  return finish_span(span, with_handle(file, [&](const Resolved& r)
+                                                 -> nfs::NfsResult<nfs::ReadReply> {
     if (runtime_->config.read_from_replicas) {
       if (auto reply = try_replica_read(r, offset, count)) return *std::move(reply);
     }
@@ -297,7 +355,7 @@ nfs::NfsResult<nfs::ReadReply> Koshad::read(VirtualHandle file, std::uint64_t of
       if (auto degraded = degraded_replica_read(r, offset, count)) return *std::move(degraded);
     }
     return primary;
-  });
+  }));
 }
 
 std::optional<nfs::NfsResult<nfs::ReadReply>> Koshad::degraded_replica_read(
@@ -357,25 +415,28 @@ std::optional<nfs::NfsResult<nfs::ReadReply>> Koshad::try_replica_read(
 
 nfs::NfsResult<std::uint32_t> Koshad::write(VirtualHandle file, std::uint64_t offset,
                                             std::string_view data) {
+  SpanScope span(tracer(), "koshad.write", host_);
   charge_interposition();
-  return with_handle(file, [&](const Resolved& r) {
-    note_forward(r.host);
-    auto result = client_.write(r.handle, offset, data);
-    if (result.ok()) {
-      if (ReplicaManager* rm = manager_of(r.host)) {
-        rm->mirror_write(r.stored_path, offset, data);
-      }
-    }
-    return result;
-  });
+  return finish_span(span, with_handle(file, [&](const Resolved& r) {
+                       note_forward(r.host);
+                       auto result = client_.write(r.handle, offset, data);
+                       if (result.ok()) {
+                         if (ReplicaManager* rm = manager_of(r.host)) {
+                           rm->mirror_write(r.stored_path, offset, data);
+                         }
+                       }
+                       return result;
+                     }));
 }
 
 nfs::NfsResult<VhReply> Koshad::create(VirtualHandle dir, std::string_view name,
                                        std::uint32_t mode, std::uint32_t uid) {
+  SpanScope span(tracer(), "koshad.create", host_);
+  if (span.active()) span.tag("name", name);
   charge_interposition();
-  if (!valid_user_name(name)) return nfs::NfsStat::kInval;
+  if (!valid_user_name(name)) return fail(span, nfs::NfsStat::kInval);
   const VhEntry* entry = vht_.find(dir);
-  if (entry == nullptr) return nfs::NfsStat::kStale;
+  if (entry == nullptr) return fail(span, nfs::NfsStat::kStale);
   const std::string path = path_child(entry->path, name);
   const std::string name_copy(name);
   // Set when our CREATE timed out after transmission: it may have executed
@@ -404,17 +465,19 @@ nfs::NfsResult<VhReply> Koshad::create(VirtualHandle dir, std::string_view name,
   // have executed": downgrading to kUnreachable would license a blind
   // re-issue that then misreads our own success as kExist.
   if (!result.ok() && maybe_created && is_error_retryable(result.error())) {
-    return nfs::NfsStat::kTimedOut;
+    return fail(span, nfs::NfsStat::kTimedOut);
   }
-  return result;
+  return finish_span(span, result);
 }
 
 nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
                                       std::uint32_t mode, std::uint32_t uid) {
+  SpanScope span(tracer(), "koshad.mkdir", host_);
+  if (span.active()) span.tag("name", name);
   charge_interposition();
-  if (!valid_user_name(name)) return nfs::NfsStat::kInval;
+  if (!valid_user_name(name)) return fail(span, nfs::NfsStat::kInval);
   const VhEntry* entry = vht_.find(dir);
-  if (entry == nullptr) return nfs::NfsStat::kStale;
+  if (entry == nullptr) return fail(span, nfs::NfsStat::kStale);
   const std::string path = path_child(entry->path, name);
   const std::string name_copy(name);
   const auto depth = static_cast<unsigned>(path_depth(path));
@@ -482,15 +545,17 @@ nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
   // create()): the caller must not blindly re-issue and then misread our
   // own success as kExist.
   if (!result.ok() && maybe_made && is_error_retryable(result.error())) {
-    return nfs::NfsStat::kTimedOut;
+    return fail(span, nfs::NfsStat::kTimedOut);
   }
-  return result;
+  return finish_span(span, result);
 }
 
 nfs::NfsResult<Unit> Koshad::remove(VirtualHandle dir, std::string_view name) {
+  SpanScope span(tracer(), "koshad.remove", host_);
+  if (span.active()) span.tag("name", name);
   charge_interposition();
   const VhEntry* entry = vht_.find(dir);
-  if (entry == nullptr) return nfs::NfsStat::kStale;
+  if (entry == nullptr) return fail(span, nfs::NfsStat::kStale);
   const std::string path = path_child(entry->path, name);
   const std::string name_copy(name);
   // Set when our REMOVE timed out after transmission: a later ladder round
@@ -531,15 +596,17 @@ nfs::NfsResult<Unit> Koshad::remove(VirtualHandle dir, std::string_view name) {
   // Preserve the "may have executed" signal across a failed ladder (see
   // create()).
   if (!result.ok() && maybe_removed && is_error_retryable(result.error())) {
-    return nfs::NfsStat::kTimedOut;
+    return fail(span, nfs::NfsStat::kTimedOut);
   }
-  return result;
+  return finish_span(span, result);
 }
 
 nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
+  SpanScope span(tracer(), "koshad.rmdir", host_);
+  if (span.active()) span.tag("name", name);
   charge_interposition();
   const VhEntry* entry = vht_.find(dir);
-  if (entry == nullptr) return nfs::NfsStat::kStale;
+  if (entry == nullptr) return fail(span, nfs::NfsStat::kStale);
   const std::string path = path_child(entry->path, name);
   const std::string name_copy(name);
   const auto depth = static_cast<unsigned>(path_depth(path));
@@ -655,40 +722,45 @@ nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
   // Preserve the "may have executed" signal across a failed ladder (see
   // create()).
   if (!result.ok() && maybe_removed && is_error_retryable(result.error())) {
-    return nfs::NfsStat::kTimedOut;
+    return fail(span, nfs::NfsStat::kTimedOut);
   }
-  return result;
+  return finish_span(span, result);
 }
 
 nfs::NfsResult<nfs::ReaddirReply> Koshad::readdir(VirtualHandle dir) {
+  SpanScope span(tracer(), "koshad.readdir", host_);
   charge_interposition();
-  return with_handle(dir, [&](const Resolved& r) -> nfs::NfsResult<nfs::ReaddirReply> {
-    note_forward(r.host);
-    auto listing = client_.readdir(r.handle);
-    if (!listing.ok()) return listing;
-    nfs::ReaddirReply filtered;
-    for (auto& e : listing->entries) {
-      // Hide the replica area, migration flags, and raw salted directories;
-      // present special links as the directories they stand for.
-      if (e.name == kReplicaArea || e.name == kMigrationFlag) continue;
-      if (e.name.find(kSaltSeparator) != std::string::npos) continue;
-      if (e.type == fs::FileType::kSymlink) e.type = fs::FileType::kDirectory;
-      filtered.entries.push_back(std::move(e));
-    }
-    return filtered;
-  });
+  return finish_span(
+      span, with_handle(dir, [&](const Resolved& r) -> nfs::NfsResult<nfs::ReaddirReply> {
+        note_forward(r.host);
+        auto listing = client_.readdir(r.handle);
+        if (!listing.ok()) return listing;
+        nfs::ReaddirReply filtered;
+        for (auto& e : listing->entries) {
+          // Hide the replica area, migration flags, and raw salted
+          // directories; present special links as the directories they
+          // stand for.
+          if (e.name == kReplicaArea || e.name == kMigrationFlag) continue;
+          if (e.name.find(kSaltSeparator) != std::string::npos) continue;
+          if (e.type == fs::FileType::kSymlink) e.type = fs::FileType::kDirectory;
+          filtered.entries.push_back(std::move(e));
+        }
+        return filtered;
+      }));
 }
 
 nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view from_name,
                                     VirtualHandle to_dir, std::string_view to_name) {
+  SpanScope span(tracer(), "koshad.rename", host_);
+  if (span.active()) span.tag("name", from_name);
   charge_interposition();
-  if (!valid_user_name(to_name)) return nfs::NfsStat::kInval;
+  if (!valid_user_name(to_name)) return fail(span, nfs::NfsStat::kInval);
   const VhEntry* from_entry = vht_.find(from_dir);
   const VhEntry* to_entry = vht_.find(to_dir);
-  if (from_entry == nullptr || to_entry == nullptr) return nfs::NfsStat::kStale;
+  if (from_entry == nullptr || to_entry == nullptr) return fail(span, nfs::NfsStat::kStale);
   const std::string from_path = path_child(from_entry->path, from_name);
   const std::string to_path = path_child(to_entry->path, to_name);
-  if (path_is_within(to_path, from_path)) return nfs::NfsStat::kInval;
+  if (path_is_within(to_path, from_path)) return fail(span, nfs::NfsStat::kInval);
   if (from_path == to_path) return Unit{};
   const std::string to_parent_path = to_entry->path;
   const bool same_parent = from_entry->path == to_entry->path;
@@ -804,9 +876,9 @@ nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view fro
   // ladder (see create()): a direct rename may have applied with its reply
   // lost, and an interrupted copy+delete has certainly materialised state.
   if (!result.ok() && (maybe_renamed || copy_started) && is_error_retryable(result.error())) {
-    return nfs::NfsStat::kTimedOut;
+    return fail(span, nfs::NfsStat::kTimedOut);
   }
-  return result;
+  return finish_span(span, result);
 }
 
 // ---------------------------------------------------------------------------

@@ -23,6 +23,8 @@
 
 namespace kosha {
 
+class Histogram;
+
 /// Reply carrying a virtual handle plus attributes (LOOKUP/CREATE/MKDIR).
 struct VhReply {
   VirtualHandle handle;
@@ -89,6 +91,7 @@ class Koshad {
 
   [[nodiscard]] const KoshadStats& stats() const { return stats_; }
   [[nodiscard]] const VirtualHandleTable& handle_table() const { return vht_; }
+  [[nodiscard]] Runtime& runtime() const { return *runtime_; }
 
  private:
   /// A virtual path resolved to its storage node.
@@ -173,6 +176,9 @@ class Koshad {
   }
   [[nodiscard]] static bool valid_user_name(std::string_view name);
 
+  /// Cluster tracer (null when tracing is off).
+  [[nodiscard]] Tracer* tracer() const { return runtime_->tracer; }
+
   Runtime* runtime_;
   net::HostId host_;
   nfs::NfsClient client_;
@@ -181,6 +187,9 @@ class Koshad {
   /// Round-robin cursor and handle cache for replica reads.
   std::uint64_t replica_read_cursor_ = 0;
   std::unordered_map<std::string, nfs::FileHandle> replica_handle_cache_;
+  /// Resolved once at construction (null when metrics are off).
+  Histogram* route_hops_hist_ = nullptr;
+  Histogram* failover_depth_hist_ = nullptr;
 };
 
 }  // namespace kosha

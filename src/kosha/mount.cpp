@@ -1,8 +1,42 @@
 #include "kosha/mount.hpp"
 
+#include "common/metrics.hpp"
 #include "common/path.hpp"
+#include "common/tracing.hpp"
 
 namespace kosha {
+
+namespace {
+
+/// Per-operation instrumentation at the POSIX/mount seam — where a client
+/// operation begins, so this is where traces are minted. Opens a root span
+/// named `op` (e.g. "mount.write_file") tagged with the path, and records
+/// the operation's virtual-clock latency into `<op>.latency_us`. Inert
+/// (no allocation, no clock reads) when observability is off.
+struct MountOp {
+  MountOp(Runtime& rt, const char* op, std::string_view path, net::HostId host)
+      : clock(rt.clock),
+        hist(rt.metrics == nullptr ? nullptr
+                                   : rt.metrics->histogram(std::string(op) + ".latency_us")),
+        span(rt.tracer, op, host),
+        start(hist == nullptr ? SimDuration{} : clock->now()) {
+    if (span.active()) span.tag("path", path);
+  }
+
+  template <typename R>
+  R finish(R result) {
+    if (hist != nullptr) hist->record((clock->now() - start).to_micros());
+    if (!result.ok()) span.status(nfs::to_string(result.error()));
+    return result;
+  }
+
+  SimClock* clock;
+  Histogram* hist;
+  SpanScope span;
+  SimDuration start;
+};
+
+}  // namespace
 
 void KoshaMount::invalidate(std::string_view path) {
   const std::string normalized = normalize_path(path);
@@ -20,18 +54,19 @@ nfs::NfsResult<VirtualHandle> KoshaMount::resolve(std::string_view path) {
   if (const auto it = handle_cache_.find(normalized); it != handle_cache_.end()) {
     return it->second;
   }
+  MountOp op(daemon_->runtime(), "mount.resolve", path, daemon_->host());
   auto current = daemon_->root();
-  if (!current.ok()) return current;
+  if (!current.ok()) return op.finish(current);
   std::string prefix;
   for (const auto& component : split_path(normalized)) {
     prefix += '/';
     prefix += component;
     const auto next = daemon_->lookup(*current, component);
-    if (!next.ok()) return next.error();
+    if (!next.ok()) return op.finish(nfs::NfsResult<VirtualHandle>(next.error()));
     handle_cache_[prefix] = next->handle;
     current = next->handle;
   }
-  return current;
+  return op.finish(current);
 }
 
 nfs::NfsResult<std::pair<VirtualHandle, std::string>> KoshaMount::parent_of(
@@ -44,6 +79,11 @@ nfs::NfsResult<std::pair<VirtualHandle, std::string>> KoshaMount::parent_of(
 }
 
 nfs::NfsResult<VirtualHandle> KoshaMount::mkdir_p(std::string_view path) {
+  MountOp op(daemon_->runtime(), "mount.mkdir_p", path, daemon_->host());
+  return op.finish(mkdir_p_impl(path));
+}
+
+nfs::NfsResult<VirtualHandle> KoshaMount::mkdir_p_impl(std::string_view path) {
   auto current = daemon_->root();
   if (!current.ok()) return current;
   std::string prefix;
@@ -71,6 +111,12 @@ nfs::NfsResult<VirtualHandle> KoshaMount::mkdir_p(std::string_view path) {
 }
 
 nfs::NfsResult<Unit> KoshaMount::write_file(std::string_view path, std::string_view content) {
+  MountOp op(daemon_->runtime(), "mount.write_file", path, daemon_->host());
+  return op.finish(write_file_impl(path, content));
+}
+
+nfs::NfsResult<Unit> KoshaMount::write_file_impl(std::string_view path,
+                                                 std::string_view content) {
   const auto parent = parent_of(path);
   if (!parent.ok()) return parent.error();
   const auto& [dir, name] = parent.value();
@@ -92,6 +138,11 @@ nfs::NfsResult<Unit> KoshaMount::write_file(std::string_view path, std::string_v
 }
 
 nfs::NfsResult<std::string> KoshaMount::read_file(std::string_view path) {
+  MountOp op(daemon_->runtime(), "mount.read_file", path, daemon_->host());
+  return op.finish(read_file_impl(path));
+}
+
+nfs::NfsResult<std::string> KoshaMount::read_file_impl(std::string_view path) {
   const auto file = resolve(path);
   if (!file.ok()) return file.error();
   std::string out;
@@ -106,6 +157,11 @@ nfs::NfsResult<std::string> KoshaMount::read_file(std::string_view path) {
 }
 
 nfs::NfsResult<fs::Attr> KoshaMount::stat(std::string_view path) {
+  MountOp op(daemon_->runtime(), "mount.stat", path, daemon_->host());
+  return op.finish(stat_impl(path));
+}
+
+nfs::NfsResult<fs::Attr> KoshaMount::stat_impl(std::string_view path) {
   const auto handle = resolve(path);
   if (!handle.ok()) return handle.error();
   auto attr = daemon_->getattr(*handle);
@@ -123,43 +179,48 @@ nfs::NfsResult<fs::Attr> KoshaMount::stat(std::string_view path) {
 bool KoshaMount::exists(std::string_view path) { return stat(path).ok(); }
 
 nfs::NfsResult<std::vector<fs::DirEntry>> KoshaMount::list(std::string_view path) {
+  MountOp op(daemon_->runtime(), "mount.list", path, daemon_->host());
   const auto handle = resolve(path);
-  if (!handle.ok()) return handle.error();
+  if (!handle.ok()) return op.finish(nfs::NfsResult<std::vector<fs::DirEntry>>(handle.error()));
   const auto listing = daemon_->readdir(*handle);
-  if (!listing.ok()) return listing.error();
-  return listing->entries;
+  if (!listing.ok()) return op.finish(nfs::NfsResult<std::vector<fs::DirEntry>>(listing.error()));
+  return op.finish(nfs::NfsResult<std::vector<fs::DirEntry>>(listing->entries));
 }
 
 nfs::NfsResult<Unit> KoshaMount::remove(std::string_view path) {
+  MountOp op(daemon_->runtime(), "mount.remove", path, daemon_->host());
   const auto parent = parent_of(path);
-  if (!parent.ok()) return parent.error();
+  if (!parent.ok()) return op.finish(nfs::NfsResult<Unit>(parent.error()));
   invalidate(path);
-  return daemon_->remove(parent->first, parent->second);
+  return op.finish(daemon_->remove(parent->first, parent->second));
 }
 
 nfs::NfsResult<Unit> KoshaMount::rmdir(std::string_view path) {
+  MountOp op(daemon_->runtime(), "mount.rmdir", path, daemon_->host());
   const auto parent = parent_of(path);
-  if (!parent.ok()) return parent.error();
+  if (!parent.ok()) return op.finish(nfs::NfsResult<Unit>(parent.error()));
   invalidate(path);
-  return daemon_->rmdir(parent->first, parent->second);
+  return op.finish(daemon_->rmdir(parent->first, parent->second));
 }
 
 nfs::NfsResult<Unit> KoshaMount::remove_all(std::string_view path) {
+  MountOp op(daemon_->runtime(), "mount.remove_all", path, daemon_->host());
   const auto parent = parent_of(path);
-  if (!parent.ok()) return parent.error();
+  if (!parent.ok()) return op.finish(nfs::NfsResult<Unit>(parent.error()));
   invalidate(path);
-  return daemon_->remove_tree(parent->first, parent->second);
+  return op.finish(daemon_->remove_tree(parent->first, parent->second));
 }
 
 nfs::NfsResult<Unit> KoshaMount::rename(std::string_view from, std::string_view to) {
+  MountOp op(daemon_->runtime(), "mount.rename", from, daemon_->host());
   const auto from_parent = parent_of(from);
-  if (!from_parent.ok()) return from_parent.error();
+  if (!from_parent.ok()) return op.finish(nfs::NfsResult<Unit>(from_parent.error()));
   const auto to_parent = parent_of(to);
-  if (!to_parent.ok()) return to_parent.error();
+  if (!to_parent.ok()) return op.finish(nfs::NfsResult<Unit>(to_parent.error()));
   invalidate(from);
   invalidate(to);
-  return daemon_->rename(from_parent->first, from_parent->second, to_parent->first,
-                         to_parent->second);
+  return op.finish(daemon_->rename(from_parent->first, from_parent->second, to_parent->first,
+                                   to_parent->second));
 }
 
 }  // namespace kosha

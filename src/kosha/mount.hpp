@@ -53,6 +53,14 @@ class KoshaMount {
       std::string_view path);
   void invalidate(std::string_view path);
 
+  // Uninstrumented bodies; the public wrappers add the per-operation span
+  // and latency histogram (see MountOp in mount.cpp).
+  [[nodiscard]] nfs::NfsResult<VirtualHandle> mkdir_p_impl(std::string_view path);
+  [[nodiscard]] nfs::NfsResult<Unit> write_file_impl(std::string_view path,
+                                                     std::string_view content);
+  [[nodiscard]] nfs::NfsResult<std::string> read_file_impl(std::string_view path);
+  [[nodiscard]] nfs::NfsResult<fs::Attr> stat_impl(std::string_view path);
+
   Koshad* daemon_;
   std::unordered_map<std::string, VirtualHandle> handle_cache_;
 };

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/path.hpp"
+#include "common/tracing.hpp"
 
 namespace kosha {
 
@@ -14,6 +15,8 @@ PosixAdapter::OpenFile* PosixAdapter::lookup_fd(Fd fd) {
 
 Fd PosixAdapter::open(std::string_view path, unsigned flags, std::uint32_t mode) {
   Koshad& daemon = mount_->daemon();
+  SpanScope span(daemon.runtime().tracer, "posix.open", daemon.host());
+  if (span.active()) span.tag("path", path);
   auto resolved = mount_->resolve(path);
   if (!resolved.ok()) {
     if (resolved.error() != nfs::NfsStat::kNoEnt || (flags & kCreate) == 0) {
@@ -57,6 +60,8 @@ Fd PosixAdapter::open(std::string_view path, unsigned flags, std::uint32_t mode)
 }
 
 std::int64_t PosixAdapter::read(Fd fd, char* buffer, std::size_t count) {
+  Koshad& daemon = mount_->daemon();
+  SpanScope span(daemon.runtime().tracer, "posix.read", daemon.host());
   OpenFile* file = lookup_fd(fd);
   if (file == nullptr) {
     last_error_ = nfs::NfsStat::kStale;
@@ -78,6 +83,8 @@ std::int64_t PosixAdapter::read(Fd fd, char* buffer, std::size_t count) {
 }
 
 std::int64_t PosixAdapter::write(Fd fd, std::string_view data) {
+  Koshad& daemon = mount_->daemon();
+  SpanScope span(daemon.runtime().tracer, "posix.write", daemon.host());
   OpenFile* file = lookup_fd(fd);
   if (file == nullptr) {
     last_error_ = nfs::NfsStat::kStale;

@@ -4,7 +4,9 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/path.hpp"
+#include "common/tracing.hpp"
 #include "kosha/placement.hpp"
 
 namespace kosha {
@@ -79,6 +81,14 @@ bool copy_subtree(Runtime& runtime, net::HostId src_host, fs::LocalFs& src,
 ReplicaManager::ReplicaManager(Runtime* runtime, net::HostId host, pastry::NodeId id)
     : runtime_(runtime), host_(host), id_(id) {
   assert(runtime_ != nullptr);
+  if (MetricsRegistry* m = runtime_->metrics) {
+    mirror_ops_ = m->counter("replica.mirror.ops");
+    pushes_ = m->counter("replica.push.anchors");
+    promotions_ = m->counter("replica.promotions");
+    repairs_ = m->counter("replica.repairs");
+    migrations_ = m->counter("replica.migrations");
+    handoffs_ = m->counter("replica.handoffs");
+  }
 }
 
 std::string ReplicaManager::hidden_root(pastry::NodeId primary) {
@@ -150,6 +160,11 @@ void ReplicaManager::for_each_replica(
   if (anchor_of(stored_path).empty()) return;
   ClockPauser pause(*runtime_->clock);
   for (const net::HostId host : live_target_hosts()) {
+    // One span per replica target: a mutating client op traces as the
+    // primary forward plus this fan-out of mirror spans.
+    SpanScope span(runtime_->tracer, "replica.mirror", host_);
+    if (span.active()) span.tag("target", std::to_string(host));
+    if (mirror_ops_ != nullptr) mirror_ops_->inc();
     runtime_->network->charge_message(host_, host, payload);
     if (fs::LocalFs* store = store_of(host)) {
       op(*store, hidden_root(id_) + stored_path);
@@ -240,6 +255,9 @@ void ReplicaManager::mirror_rename(const std::string& from_path, const std::stri
   if (anchor_of(from_path).empty()) return;
   ClockPauser pause(*runtime_->clock);
   for (const net::HostId host : live_target_hosts()) {
+    SpanScope span(runtime_->tracer, "replica.mirror", host_);
+    if (span.active()) span.tag("target", std::to_string(host));
+    if (mirror_ops_ != nullptr) mirror_ops_->inc();
     runtime_->network->charge_message(host_, host, 96);
     fs::LocalFs* store = store_of(host);
     if (store == nullptr) continue;
@@ -260,6 +278,9 @@ bool ReplicaManager::push_anchor_to(pastry::NodeId target, const std::string& an
   const net::HostId host = runtime_->overlay->host_of(target);
   fs::LocalFs* store = store_of(host);
   if (store == nullptr) return true;
+  SpanScope span(runtime_->tracer, "replica.push_anchor", host_);
+  if (span.active()) span.tag("target", std::to_string(host));
+  if (pushes_ != nullptr) pushes_->inc();
   const std::string root = hidden_root(id_);
 
   // MIGRATION_NOT_COMPLETE guards the copy (paper §4.4).
@@ -277,6 +298,7 @@ bool ReplicaManager::push_anchor_to(pastry::NodeId target, const std::string& an
       rm->accept_replica(id_, anchor_path, primaries_.at(anchor_path));
     }
   } else {
+    span.status("interrupted");
     KOSHA_LOG_WARN("migration to node %s interrupted; flag left in place",
                    target.to_hex().c_str());
   }
@@ -432,6 +454,9 @@ void ReplicaManager::hand_off_replica(pastry::NodeId dead_primary, pastry::NodeI
   if (store.resolve(path_child(root, kMigrationFlag)).ok()) return;
   if (!store.resolve(root + anchor).ok()) return;
 
+  SpanScope span(runtime_->tracer, "replica.handoff", host_);
+  if (span.active()) span.tag("target", std::to_string(owner_host));
+  if (handoffs_ != nullptr) handoffs_->inc();
   ClockPauser pause(*runtime_->clock);
   if (!copy_subtree(*runtime_, host_, store, root + anchor, owner_host, *owner_store,
                     anchor)) {
@@ -474,6 +499,8 @@ void ReplicaManager::evacuate() {
 
 void ReplicaManager::promote(pastry::NodeId dead_primary,
                              const std::map<std::string, std::string>& anchors) {
+  SpanScope span(runtime_->tracer, "replica.promote", host_);
+  if (promotions_ != nullptr) promotions_->inc();
   fs::LocalFs& store = local_store();
   const std::string root = hidden_root(dead_primary);
 
@@ -486,6 +513,7 @@ void ReplicaManager::promote(pastry::NodeId dead_primary,
       fs::LocalFs* peer = store_of(host);
       if (peer == nullptr) continue;
       if (peer->resolve(path_child(root, kMigrationFlag)).ok()) continue;  // also incomplete
+      if (repairs_ != nullptr) repairs_->inc();
       // The donor may itself be browned out mid-repair; wait the window
       // out rather than repairing from an unreachable peer.
       stall_through_brownout(host);
@@ -540,6 +568,9 @@ void ReplicaManager::migrate_anchor_to(pastry::NodeId new_owner,
   ReplicaManager* owner_rm = runtime_->replica_manager(owner_host);
   if (owner_store == nullptr || owner_rm == nullptr) return;
 
+  SpanScope span(runtime_->tracer, "replica.migrate", host_);
+  if (span.active()) span.tag("target", std::to_string(owner_host));
+  if (migrations_ != nullptr) migrations_->inc();
   ClockPauser pause(*runtime_->clock);
   fs::LocalFs& store = local_store();
   if (!copy_subtree(*runtime_, host_, store, stored_anchor_path, owner_host, *owner_store,

@@ -24,6 +24,8 @@
 
 namespace kosha {
 
+class Counter;
+
 /// Name of the in-band flag guarding content migration (paper §4.4).
 inline constexpr const char* kMigrationFlag = "MIGRATION_NOT_COMPLETE";
 /// Reserved top-level directory holding replica copies on each node.
@@ -134,6 +136,15 @@ class ReplicaManager {
   Runtime* runtime_;
   net::HostId host_;
   pastry::NodeId id_;
+
+  /// Replication-event counters, resolved once at construction (all null
+  /// when metrics are off).
+  Counter* mirror_ops_ = nullptr;     // per-target mirrored mutations
+  Counter* pushes_ = nullptr;         // anchor subtrees pushed to a target
+  Counter* promotions_ = nullptr;     // replicas promoted to primary
+  Counter* repairs_ = nullptr;        // incomplete copies repaired from a peer
+  Counter* migrations_ = nullptr;     // anchors migrated to a new owner
+  Counter* handoffs_ = nullptr;       // dead primaries' anchors handed off
 
   /// stored anchor path -> effective (possibly salted) directory name.
   std::map<std::string, std::string> primaries_;

@@ -13,7 +13,9 @@
 
 namespace kosha {
 
+class MetricsRegistry;
 class ReplicaManager;
+class Tracer;
 
 /// One per cluster; owned by KoshaCluster, borrowed by every node-level
 /// component. Bundles the simulated infrastructure plus the cluster-wide
@@ -24,6 +26,12 @@ struct Runtime {
   pastry::PastryOverlay* overlay = nullptr;
   nfs::ServerDirectory* servers = nullptr;
   KoshaConfig config;
+
+  /// Cluster-wide observability sinks (nullptr = off, the default). Set by
+  /// KoshaCluster before any node-level component is constructed, so
+  /// components may resolve their instruments once at construction.
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 
   /// Per-host replica managers, filled in by the cluster as nodes start.
   std::unordered_map<net::HostId, ReplicaManager*> replica_managers;

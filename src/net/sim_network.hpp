@@ -13,12 +13,18 @@
 // model with message drops, host brownouts, partitions, and latency
 // spikes; senders that can observe loss route through try_message().
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "common/sim_clock.hpp"
 #include "net/fault_plan.hpp"
+
+namespace kosha {
+class MetricsRegistry;
+class Tracer;
+}  // namespace kosha
 
 namespace kosha::net {
 
@@ -40,6 +46,21 @@ struct NetworkConfig {
   SimDuration rpc_timeout = SimDuration::millis(500);
 };
 
+/// Per-NFS-procedure slice of the traffic accounting. Slots are indexed by
+/// nfs::proc_slot(); the network layer treats them as opaque indices so it
+/// stays independent of the NFS vocabulary.
+struct ProcNetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+
+  friend bool operator==(const ProcNetStats&, const ProcNetStats&) = default;
+};
+
+/// Number of per-procedure slots (NFSv3 procs 0..18 plus MOUNT).
+inline constexpr std::size_t kNetProcSlots = 20;
+
 /// Message and failure accounting.
 struct NetStats {
   std::uint64_t messages = 0;
@@ -52,6 +73,9 @@ struct NetStats {
   std::uint64_t retries = 0;
   /// Messages blocked by an active partition window.
   std::uint64_t partitioned = 0;
+  /// Per-procedure breakdown of client RPC traffic (a slice of the
+  /// aggregates above; overlay/replication traffic has no procedure).
+  std::array<ProcNetStats, kNetProcSlots> per_proc{};
 
   void reset() { *this = NetStats{}; }
 
@@ -86,9 +110,25 @@ class SimNetwork {
   void set_fault_plan(std::unique_ptr<FaultPlan> plan) { fault_plan_ = std::move(plan); }
   [[nodiscard]] FaultPlan* fault_plan() const { return fault_plan_.get(); }
 
-  /// Record one client retransmission (kept here so every chaos counter
-  /// lives in NetStats).
-  void count_retry() { ++stats_.retries; }
+  /// Record one client retransmission of procedure `proc_slot` (kept here
+  /// so every chaos counter lives in NetStats).
+  void count_retry(std::size_t proc_slot) {
+    ++stats_.retries;
+    if (proc_slot < kNetProcSlots) ++stats_.per_proc[proc_slot].retries;
+  }
+
+  /// Attribute one already-charged message to procedure `proc_slot`.
+  void note_proc_message(std::size_t proc_slot, std::size_t payload_bytes) {
+    if (proc_slot < kNetProcSlots) {
+      ++stats_.per_proc[proc_slot].messages;
+      stats_.per_proc[proc_slot].bytes += payload_bytes;
+    }
+  }
+
+  /// Attribute one already-charged timeout to procedure `proc_slot`.
+  void note_proc_timeout(std::size_t proc_slot) {
+    if (proc_slot < kNetProcSlots) ++stats_.per_proc[proc_slot].timeouts;
+  }
 
   /// Charge a request/response round trip.
   void charge_rtt(HostId src, HostId dst, std::size_t payload_bytes = 0);
@@ -98,6 +138,16 @@ class SimNetwork {
 
   /// Charge the cost of discovering that a host is dead.
   void charge_timeout();
+
+  /// Install the cluster's observability sinks (nullptr = off). The network
+  /// is the one object every layer already holds, so it doubles as the
+  /// distribution point for the metrics registry and tracer.
+  void set_observability(MetricsRegistry* metrics, Tracer* tracer) {
+    metrics_ = metrics;
+    tracer_ = tracer;
+  }
+  [[nodiscard]] MetricsRegistry* metrics() const { return metrics_; }
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
 
   [[nodiscard]] SimClock& clock() { return *clock_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
@@ -110,6 +160,8 @@ class SimNetwork {
   std::vector<bool> up_;
   NetStats stats_;
   std::unique_ptr<FaultPlan> fault_plan_;
+  MetricsRegistry* metrics_ = nullptr;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace kosha::net

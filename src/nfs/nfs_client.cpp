@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "common/metrics.hpp"
+#include "common/tracing.hpp"
 #include "nfs/wire.hpp"
 
 namespace kosha::nfs {
@@ -41,9 +44,50 @@ void NfsClient::backoff(unsigned attempt) {
   network_->clock().advance(wait);
 }
 
+NfsClient::ProcMetrics& NfsClient::proc_metrics(NfsProc proc) {
+  ProcMetrics& pm = proc_metrics_[proc_slot(proc)];
+  if (!pm.resolved) {
+    MetricsRegistry* metrics = network_->metrics();
+    const std::string base = std::string("nfs.client.") + proc_name(proc);
+    pm.latency = metrics->histogram(base + ".latency_us");
+    pm.ok = metrics->counter(base + ".ok");
+    pm.error = metrics->counter(base + ".error");
+    pm.resolved = true;
+  }
+  return pm;
+}
+
+RpcContext NfsClient::rpc_ctx(std::uint32_t xid) const {
+  RpcContext ctx{self_, xid, boot_};
+  if (const Tracer* tracer = network_->tracer(); tracer != nullptr && tracer->enabled()) {
+    ctx.trace = tracer->current();
+  }
+  return ctx;
+}
+
 template <typename ReplyT, typename Invoke, typename ReplyBytes>
-NfsResult<ReplyT> NfsClient::transact(net::HostId server, std::size_t request_bytes,
-                                      Invoke&& invoke, ReplyBytes&& reply_bytes) {
+NfsResult<ReplyT> NfsClient::transact(NfsProc proc, net::HostId server,
+                                      std::size_t request_bytes, Invoke&& invoke,
+                                      ReplyBytes&& reply_bytes) {
+  SpanScope span(network_->tracer(), rpc_span_name(proc), self_);
+  if (span.active()) span.tag("server", std::to_string(server));
+  const SimDuration start = network_->clock().now();
+  NfsResult<ReplyT> reply = transact_impl<ReplyT>(
+      proc_slot(proc), server, request_bytes, std::forward<Invoke>(invoke),
+      std::forward<ReplyBytes>(reply_bytes));
+  if (network_->metrics() != nullptr) {
+    ProcMetrics& pm = proc_metrics(proc);
+    pm.latency->record((network_->clock().now() - start).to_micros());
+    (reply.ok() ? pm.ok : pm.error)->inc();
+  }
+  if (!reply.ok()) span.status(to_string(reply.error()));
+  return reply;
+}
+
+template <typename ReplyT, typename Invoke, typename ReplyBytes>
+NfsResult<ReplyT> NfsClient::transact_impl(std::size_t proc_slot, net::HostId server,
+                                           std::size_t request_bytes, Invoke&& invoke,
+                                           ReplyBytes&& reply_bytes) {
   const unsigned attempts = std::max(1u, retry_.max_attempts);
   // Whether any request was delivered (and thus the procedure executed at
   // least once). Decides the give-up status: kTimedOut when the op may
@@ -56,59 +100,71 @@ NfsResult<ReplyT> NfsClient::transact(net::HostId server, std::size_t request_by
         // Permanent death is detected in one timeout and never retried:
         // failover (not retransmission) is the right reaction.
         network_->charge_timeout();
+        network_->note_proc_timeout(proc_slot);
         return executed ? NfsStat::kTimedOut : NfsStat::kUnreachable;
       case SendOutcome::kLost:
         network_->charge_timeout();
+        network_->note_proc_timeout(proc_slot);
         break;
       case SendOutcome::kSent: {
         executed = true;
+        network_->note_proc_message(proc_slot, request_bytes);
         NfsResult<ReplyT> reply = invoke(*s);
-        if (deliver_reply(server, reply_bytes(reply))) return reply;
+        const std::size_t rb = reply_bytes(reply);
+        if (deliver_reply(server, rb)) {
+          network_->note_proc_message(proc_slot, rb);
+          return reply;
+        }
         // Reply lost: the op may have executed — the retransmission below
         // reuses the xid so the server's DRC returns this very reply.
         network_->charge_timeout();
+        network_->note_proc_timeout(proc_slot);
         break;
       }
     }
     if (attempt + 1 >= attempts) {
       return executed ? NfsStat::kTimedOut : NfsStat::kUnreachable;
     }
-    network_->count_retry();
+    network_->count_retry(proc_slot);
     backoff(attempt);
   }
 }
 
 NfsResult<FileHandle> NfsClient::mount(net::HostId server) {
   return transact<FileHandle>(
-      server, encode_mount_call(next_xid()).size(),
+      NfsProc::kMount, server, encode_mount_call(next_xid()).size(),
       [](NfsServer& s) -> NfsResult<FileHandle> { return s.root_handle(); },
       [](const NfsResult<FileHandle>&) { return kReplyBytes; });
 }
 
 NfsResult<HandleReply> NfsClient::lookup(FileHandle dir, std::string_view name) {
   return transact<HandleReply>(
-      dir.server, encode_diropargs_call(next_xid(), NfsProc::kLookup, dir, name).size(),
+      NfsProc::kLookup, dir.server,
+      encode_diropargs_call(next_xid(), NfsProc::kLookup, dir, name).size(),
       [&](NfsServer& s) { return s.lookup(dir, name); },
       [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
 NfsResult<fs::Attr> NfsClient::getattr(FileHandle obj) {
   return transact<fs::Attr>(
-      obj.server, encode_handle_call(next_xid(), NfsProc::kGetattr, obj).size(),
+      NfsProc::kGetattr, obj.server,
+      encode_handle_call(next_xid(), NfsProc::kGetattr, obj).size(),
       [&](NfsServer& s) { return s.getattr(obj); },
       [](const NfsResult<fs::Attr>&) { return kReplyBytes; });
 }
 
 NfsResult<fs::Attr> NfsClient::set_mode(FileHandle obj, std::uint32_t mode) {
   return transact<fs::Attr>(
-      obj.server, encode_setattr_call(next_xid(), obj, true, mode, false, 0).size(),
+      NfsProc::kSetattr, obj.server,
+      encode_setattr_call(next_xid(), obj, true, mode, false, 0).size(),
       [&](NfsServer& s) { return s.set_mode(obj, mode); },
       [](const NfsResult<fs::Attr>&) { return kReplyBytes; });
 }
 
 NfsResult<fs::Attr> NfsClient::truncate(FileHandle obj, std::uint64_t size) {
   return transact<fs::Attr>(
-      obj.server, encode_setattr_call(next_xid(), obj, false, 0, true, size).size(),
+      NfsProc::kSetattr, obj.server,
+      encode_setattr_call(next_xid(), obj, false, 0, true, size).size(),
       [&](NfsServer& s) { return s.truncate(obj, size); },
       [](const NfsResult<fs::Attr>&) { return kReplyBytes; });
 }
@@ -116,7 +172,8 @@ NfsResult<fs::Attr> NfsClient::truncate(FileHandle obj, std::uint64_t size) {
 NfsResult<ReadReply> NfsClient::read(FileHandle file, std::uint64_t offset,
                                      std::uint32_t count) {
   return transact<ReadReply>(
-      file.server, encode_read_call(next_xid(), file, offset, count).size(),
+      NfsProc::kRead, file.server,
+      encode_read_call(next_xid(), file, offset, count).size(),
       [&](NfsServer& s) { return s.read(file, offset, count); },
       [](const NfsResult<ReadReply>& r) {
         return kReplyBytes + (r.ok() ? r.value().data.size() : 0);
@@ -128,7 +185,8 @@ NfsResult<std::uint32_t> NfsClient::write(FileHandle file, std::uint64_t offset,
   // WRITE is idempotent at a fixed offset, so no DRC context is needed:
   // re-execution stores the same bytes.
   return transact<std::uint32_t>(
-      file.server, encode_write_call(next_xid(), file, offset, data).size(),
+      NfsProc::kWrite, file.server,
+      encode_write_call(next_xid(), file, offset, data).size(),
       [&](NfsServer& s) { return s.write(file, offset, data); },
       [](const NfsResult<std::uint32_t>&) { return kReplyBytes; });
 }
@@ -137,8 +195,9 @@ NfsResult<HandleReply> NfsClient::create(FileHandle dir, std::string_view name,
                                          std::uint32_t mode, std::uint32_t uid) {
   const std::uint32_t xid = next_xid();
   return transact<HandleReply>(
-      dir.server, encode_create_call(xid, NfsProc::kCreate, dir, name, mode, uid).size(),
-      [&](NfsServer& s) { return s.create(dir, name, mode, uid, RpcContext{self_, xid, boot_}); },
+      NfsProc::kCreate, dir.server,
+      encode_create_call(xid, NfsProc::kCreate, dir, name, mode, uid).size(),
+      [&](NfsServer& s) { return s.create(dir, name, mode, uid, rpc_ctx(xid)); },
       [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
@@ -146,8 +205,9 @@ NfsResult<HandleReply> NfsClient::mkdir(FileHandle dir, std::string_view name,
                                         std::uint32_t mode, std::uint32_t uid) {
   const std::uint32_t xid = next_xid();
   return transact<HandleReply>(
-      dir.server, encode_create_call(xid, NfsProc::kMkdir, dir, name, mode, uid).size(),
-      [&](NfsServer& s) { return s.mkdir(dir, name, mode, uid, RpcContext{self_, xid, boot_}); },
+      NfsProc::kMkdir, dir.server,
+      encode_create_call(xid, NfsProc::kMkdir, dir, name, mode, uid).size(),
+      [&](NfsServer& s) { return s.mkdir(dir, name, mode, uid, rpc_ctx(xid)); },
       [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
@@ -155,14 +215,16 @@ NfsResult<HandleReply> NfsClient::symlink(FileHandle dir, std::string_view name,
                                           std::string_view target) {
   const std::uint32_t xid = next_xid();
   return transact<HandleReply>(
-      dir.server, encode_symlink_call(xid, dir, name, target).size(),
-      [&](NfsServer& s) { return s.symlink(dir, name, target, RpcContext{self_, xid, boot_}); },
+      NfsProc::kSymlink, dir.server,
+      encode_symlink_call(xid, dir, name, target).size(),
+      [&](NfsServer& s) { return s.symlink(dir, name, target, rpc_ctx(xid)); },
       [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
 NfsResult<std::string> NfsClient::readlink(FileHandle link) {
   return transact<std::string>(
-      link.server, encode_handle_call(next_xid(), NfsProc::kReadlink, link).size(),
+      NfsProc::kReadlink, link.server,
+      encode_handle_call(next_xid(), NfsProc::kReadlink, link).size(),
       [&](NfsServer& s) { return s.readlink(link); },
       [](const NfsResult<std::string>& r) {
         return kReplyBytes + (r.ok() ? r.value().size() : 0);
@@ -172,16 +234,18 @@ NfsResult<std::string> NfsClient::readlink(FileHandle link) {
 NfsResult<Unit> NfsClient::remove(FileHandle dir, std::string_view name) {
   const std::uint32_t xid = next_xid();
   return transact<Unit>(
-      dir.server, encode_diropargs_call(xid, NfsProc::kRemove, dir, name).size(),
-      [&](NfsServer& s) { return s.remove(dir, name, RpcContext{self_, xid, boot_}); },
+      NfsProc::kRemove, dir.server,
+      encode_diropargs_call(xid, NfsProc::kRemove, dir, name).size(),
+      [&](NfsServer& s) { return s.remove(dir, name, rpc_ctx(xid)); },
       [](const NfsResult<Unit>&) { return kReplyBytes; });
 }
 
 NfsResult<Unit> NfsClient::rmdir(FileHandle dir, std::string_view name) {
   const std::uint32_t xid = next_xid();
   return transact<Unit>(
-      dir.server, encode_diropargs_call(xid, NfsProc::kRmdir, dir, name).size(),
-      [&](NfsServer& s) { return s.rmdir(dir, name, RpcContext{self_, xid, boot_}); },
+      NfsProc::kRmdir, dir.server,
+      encode_diropargs_call(xid, NfsProc::kRmdir, dir, name).size(),
+      [&](NfsServer& s) { return s.rmdir(dir, name, rpc_ctx(xid)); },
       [](const NfsResult<Unit>&) { return kReplyBytes; });
 }
 
@@ -190,17 +254,18 @@ NfsResult<Unit> NfsClient::rename(FileHandle from_dir, std::string_view from_nam
   if (from_dir.server != to_dir.server) return NfsStat::kInval;
   const std::uint32_t xid = next_xid();
   return transact<Unit>(
-      from_dir.server,
+      NfsProc::kRename, from_dir.server,
       encode_rename_call(xid, from_dir, from_name, to_dir, to_name).size(),
       [&](NfsServer& s) {
-        return s.rename(from_dir, from_name, to_dir, to_name, RpcContext{self_, xid, boot_});
+        return s.rename(from_dir, from_name, to_dir, to_name, rpc_ctx(xid));
       },
       [](const NfsResult<Unit>&) { return kReplyBytes; });
 }
 
 NfsResult<ReaddirReply> NfsClient::readdir(FileHandle dir) {
   return transact<ReaddirReply>(
-      dir.server, encode_handle_call(next_xid(), NfsProc::kReaddir, dir).size(),
+      NfsProc::kReaddir, dir.server,
+      encode_handle_call(next_xid(), NfsProc::kReaddir, dir).size(),
       [&](NfsServer& s) { return s.readdir(dir); },
       [](const NfsResult<ReaddirReply>& r) {
         return kReplyBytes + (r.ok() ? r.value().entries.size() * 40 : 0);
@@ -209,7 +274,7 @@ NfsResult<ReaddirReply> NfsClient::readdir(FileHandle dir) {
 
 NfsResult<FsstatReply> NfsClient::fsstat(net::HostId server) {
   return transact<FsstatReply>(
-      server,
+      NfsProc::kFsstat, server,
       encode_handle_call(next_xid(), NfsProc::kFsstat, FileHandle{server, 1, 1}).size(),
       [&](NfsServer& s) { return s.fsstat(); },
       [](const NfsResult<FsstatReply>&) { return kReplyBytes; });

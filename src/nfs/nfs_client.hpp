@@ -21,12 +21,19 @@
 // may have executed with its reply lost — re-issuing a non-idempotent op
 // requires adopting an already-applied result; see koshad's ladder).
 
+#include <array>
 #include <string_view>
 #include <unordered_map>
 
 #include "common/rng.hpp"
 #include "nfs/nfs_server.hpp"
 #include "nfs/retry_policy.hpp"
+#include "nfs/wire.hpp"
+
+namespace kosha {
+class Counter;
+class Histogram;
+}  // namespace kosha
 
 namespace kosha::nfs {
 
@@ -101,10 +108,29 @@ class NfsClient {
 
   /// Run one RPC through the full retry state machine. `invoke` performs
   /// the server-side procedure; `reply_bytes` sizes the reply message for
-  /// the returned value.
+  /// the returned value. Wraps transact_impl with a per-procedure span and
+  /// latency/outcome metrics when observability is on.
   template <typename ReplyT, typename Invoke, typename ReplyBytes>
-  NfsResult<ReplyT> transact(net::HostId server, std::size_t request_bytes, Invoke&& invoke,
-                             ReplyBytes&& reply_bytes);
+  NfsResult<ReplyT> transact(NfsProc proc, net::HostId server, std::size_t request_bytes,
+                             Invoke&& invoke, ReplyBytes&& reply_bytes);
+
+  template <typename ReplyT, typename Invoke, typename ReplyBytes>
+  NfsResult<ReplyT> transact_impl(std::size_t proc_slot, net::HostId server,
+                                  std::size_t request_bytes, Invoke&& invoke,
+                                  ReplyBytes&& reply_bytes);
+
+  /// Lazily-resolved instruments for one procedure (null when metrics off).
+  struct ProcMetrics {
+    bool resolved = false;
+    Histogram* latency = nullptr;
+    Counter* ok = nullptr;
+    Counter* error = nullptr;
+  };
+  [[nodiscard]] ProcMetrics& proc_metrics(NfsProc proc);
+
+  /// RPC identity for a non-idempotent call, carrying the current trace
+  /// context (invalid when tracing is off).
+  [[nodiscard]] RpcContext rpc_ctx(std::uint32_t xid) const;
 
   std::uint32_t next_xid() { return ++xid_; }
 
@@ -119,6 +145,7 @@ class NfsClient {
   std::uint64_t boot_ = 0;
   RetryPolicy retry_;
   Rng jitter_rng_;
+  std::array<ProcMetrics, net::kNetProcSlots> proc_metrics_{};
 };
 
 }  // namespace kosha::nfs

@@ -1,6 +1,17 @@
 #include "nfs/nfs_server.hpp"
 
+#include "common/metrics.hpp"
+#include "common/tracing.hpp"
+
 namespace kosha::nfs {
+
+namespace {
+/// Stamp an error status on a server-side span and pass the status through.
+NfsStat fail(SpanScope& span, NfsStat status) {
+  span.status(to_string(status));
+  return status;
+}
+}  // namespace
 
 const char* to_string(NfsStat status) {
   switch (status) {
@@ -73,15 +84,20 @@ void NfsServer::charge_data(std::size_t bytes) {
 const NfsServer::DrcEntry* NfsServer::drc_find(RpcContext ctx, bool want_handle) {
   if (!ctx.valid()) return nullptr;
   const auto it = drc_.find(drc_key(ctx));
-  if (it == drc_.end()) return nullptr;
+  if (it == drc_.end()) {
+    if (drc_miss_ != nullptr) drc_miss_->inc();
+    return nullptr;
+  }
   if (it->second.boot != ctx.boot || it->second.is_handle != want_handle) {
     // Stale entry from a previous client incarnation, or a (client, xid)
     // collision across procedure shapes: this is not a retransmission of
     // the cached request — re-execute instead of answering with a reply
     // that belongs to someone else.
+    if (drc_miss_ != nullptr) drc_miss_->inc();
     return nullptr;
   }
   ++drc_stats_.hits;
+  if (drc_hit_ != nullptr) drc_hit_->inc();
   return &it->second;
 }
 
@@ -100,6 +116,18 @@ void NfsServer::drc_store(RpcContext ctx, DrcEntry entry) {
     }
   }
   ++drc_stats_.stores;
+  if (drc_store_ != nullptr) drc_store_->inc();
+}
+
+void NfsServer::set_observability(MetricsRegistry* metrics, Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics != nullptr) {
+    drc_hit_ = metrics->counter("nfs.server.drc.hit");
+    drc_miss_ = metrics->counter("nfs.server.drc.miss");
+    drc_store_ = metrics->counter("nfs.server.drc.store");
+  } else {
+    drc_hit_ = drc_miss_ = drc_store_ = nullptr;
+  }
 }
 
 void NfsServer::clear_drc() {
@@ -123,48 +151,57 @@ FileHandle NfsServer::handle_for(fs::InodeId inode) const {
 FileHandle NfsServer::root_handle() const { return handle_for(store_.root()); }
 
 NfsResult<HandleReply> NfsServer::lookup(FileHandle dir, std::string_view name) {
+  SpanScope span(tracer_, "server.lookup", host_);
   charge(costs_.read_meta);
   const auto d = resolve(dir);
-  if (!d.ok()) return d.error();
+  if (!d.ok()) return fail(span, d.error());
   const auto inode = store_.lookup(d.value(), name);
-  if (!inode.ok()) return from_fs(inode.error());
+  if (!inode.ok()) return fail(span, from_fs(inode.error()));
   const auto attr = store_.getattr(inode.value());
-  if (!attr.ok()) return from_fs(attr.error());
+  if (!attr.ok()) return fail(span, from_fs(attr.error()));
   return HandleReply{handle_for(inode.value()), attr.value()};
 }
 
 NfsResult<fs::Attr> NfsServer::getattr(FileHandle obj) {
+  SpanScope span(tracer_, "server.getattr", host_);
   charge(costs_.read_meta);
   const auto inode = resolve(obj);
-  if (!inode.ok()) return inode.error();
+  if (!inode.ok()) return fail(span, inode.error());
   const auto attr = store_.getattr(inode.value());
-  if (!attr.ok()) return from_fs(attr.error());
+  if (!attr.ok()) return fail(span, from_fs(attr.error()));
   return attr.value();
 }
 
 NfsResult<fs::Attr> NfsServer::set_mode(FileHandle obj, std::uint32_t mode) {
+  SpanScope span(tracer_, "server.set_mode", host_);
   charge(costs_.metadata_op);
   const auto inode = resolve(obj);
-  if (!inode.ok()) return inode.error();
-  if (const auto r = store_.set_mode(inode.value(), mode); !r.ok()) return from_fs(r.error());
+  if (!inode.ok()) return fail(span, inode.error());
+  if (const auto r = store_.set_mode(inode.value(), mode); !r.ok()) {
+    return fail(span, from_fs(r.error()));
+  }
   return *store_.getattr(inode.value());
 }
 
 NfsResult<fs::Attr> NfsServer::truncate(FileHandle obj, std::uint64_t size) {
+  SpanScope span(tracer_, "server.truncate", host_);
   charge(costs_.metadata_op);
   const auto inode = resolve(obj);
-  if (!inode.ok()) return inode.error();
-  if (const auto r = store_.truncate(inode.value(), size); !r.ok()) return from_fs(r.error());
+  if (!inode.ok()) return fail(span, inode.error());
+  if (const auto r = store_.truncate(inode.value(), size); !r.ok()) {
+    return fail(span, from_fs(r.error()));
+  }
   return *store_.getattr(inode.value());
 }
 
 NfsResult<ReadReply> NfsServer::read(FileHandle file, std::uint64_t offset,
                                      std::uint32_t count) {
+  SpanScope span(tracer_, "server.read", host_);
   charge(costs_.read_meta);
   const auto inode = resolve(file);
-  if (!inode.ok()) return inode.error();
+  if (!inode.ok()) return fail(span, inode.error());
   auto data = store_.read(inode.value(), offset, count);
-  if (!data.ok()) return from_fs(data.error());
+  if (!data.ok()) return fail(span, from_fs(data.error()));
   charge_data(data.value().size());
   const auto attr = *store_.getattr(inode.value());
   const bool eof = offset + data.value().size() >= attr.size;
@@ -173,11 +210,12 @@ NfsResult<ReadReply> NfsServer::read(FileHandle file, std::uint64_t offset,
 
 NfsResult<std::uint32_t> NfsServer::write(FileHandle file, std::uint64_t offset,
                                           std::string_view data) {
+  SpanScope span(tracer_, "server.write", host_);
   charge(costs_.read_meta);
   const auto inode = resolve(file);
-  if (!inode.ok()) return inode.error();
+  if (!inode.ok()) return fail(span, inode.error());
   const auto written = store_.write(inode.value(), offset, data);
-  if (!written.ok()) return from_fs(written.error());
+  if (!written.ok()) return fail(span, from_fs(written.error()));
   charge_data(data.size());
   return written.value();
 }
@@ -185,17 +223,21 @@ NfsResult<std::uint32_t> NfsServer::write(FileHandle file, std::uint64_t offset,
 NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
                                          std::uint32_t mode, std::uint32_t uid,
                                          RpcContext ctx) {
+  // Parent under the trace context the RPC carried: on a retransmission the
+  // execution still joins the originating client operation's trace.
+  SpanScope span(tracer_, ctx.trace, "server.create", host_);
   if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/true)) {
+    span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->handle_reply;
   }
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
-  if (!d.ok()) return d.error();
+  if (!d.ok()) return fail(span, d.error());
   const auto inode = store_.create(d.value(), name, mode, uid);
   if (!inode.ok()) {
     drc_store(ctx, {from_fs(inode.error()), NfsStat::kInval, true});
-    return from_fs(inode.error());
+    return fail(span, from_fs(inode.error()));
   }
   const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
   drc_store(ctx, {reply, NfsStat::kInval, true});
@@ -205,17 +247,19 @@ NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
 NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
                                         std::uint32_t mode, std::uint32_t uid,
                                         RpcContext ctx) {
+  SpanScope span(tracer_, ctx.trace, "server.mkdir", host_);
   if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/true)) {
+    span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->handle_reply;
   }
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
-  if (!d.ok()) return d.error();
+  if (!d.ok()) return fail(span, d.error());
   const auto inode = store_.mkdir(d.value(), name, mode, uid);
   if (!inode.ok()) {
     drc_store(ctx, {from_fs(inode.error()), NfsStat::kInval, true});
-    return from_fs(inode.error());
+    return fail(span, from_fs(inode.error()));
   }
   const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
   drc_store(ctx, {reply, NfsStat::kInval, true});
@@ -224,17 +268,19 @@ NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
 
 NfsResult<HandleReply> NfsServer::symlink(FileHandle dir, std::string_view name,
                                           std::string_view target, RpcContext ctx) {
+  SpanScope span(tracer_, ctx.trace, "server.symlink", host_);
   if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/true)) {
+    span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->handle_reply;
   }
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
-  if (!d.ok()) return d.error();
+  if (!d.ok()) return fail(span, d.error());
   const auto inode = store_.symlink(d.value(), name, target);
   if (!inode.ok()) {
     drc_store(ctx, {from_fs(inode.error()), NfsStat::kInval, true});
-    return from_fs(inode.error());
+    return fail(span, from_fs(inode.error()));
   }
   const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
   drc_store(ctx, {reply, NfsStat::kInval, true});
@@ -242,38 +288,47 @@ NfsResult<HandleReply> NfsServer::symlink(FileHandle dir, std::string_view name,
 }
 
 NfsResult<std::string> NfsServer::readlink(FileHandle link) {
+  SpanScope span(tracer_, "server.readlink", host_);
   charge(costs_.read_meta);
   const auto inode = resolve(link);
-  if (!inode.ok()) return inode.error();
+  if (!inode.ok()) return fail(span, inode.error());
   auto target = store_.readlink(inode.value());
-  if (!target.ok()) return from_fs(target.error());
+  if (!target.ok()) return fail(span, from_fs(target.error()));
   return target.value();
 }
 
 NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name, RpcContext ctx) {
+  SpanScope span(tracer_, ctx.trace, "server.remove", host_);
   if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/false)) {
+    span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->unit_reply;
   }
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
-  if (!d.ok()) return d.error();
+  if (!d.ok()) return fail(span, d.error());
   NfsResult<Unit> reply = Unit{};
-  if (const auto r = store_.remove(d.value(), name); !r.ok()) reply = from_fs(r.error());
+  if (const auto r = store_.remove(d.value(), name); !r.ok()) {
+    reply = fail(span, from_fs(r.error()));
+  }
   drc_store(ctx, {NfsStat::kInval, reply, false});
   return reply;
 }
 
 NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name, RpcContext ctx) {
+  SpanScope span(tracer_, ctx.trace, "server.rmdir", host_);
   if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/false)) {
+    span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->unit_reply;
   }
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
-  if (!d.ok()) return d.error();
+  if (!d.ok()) return fail(span, d.error());
   NfsResult<Unit> reply = Unit{};
-  if (const auto r = store_.rmdir(d.value(), name); !r.ok()) reply = from_fs(r.error());
+  if (const auto r = store_.rmdir(d.value(), name); !r.ok()) {
+    reply = fail(span, from_fs(r.error()));
+  }
   drc_store(ctx, {NfsStat::kInval, reply, false});
   return reply;
 }
@@ -281,33 +336,37 @@ NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name, RpcConte
 NfsResult<Unit> NfsServer::rename(FileHandle from_dir, std::string_view from_name,
                                   FileHandle to_dir, std::string_view to_name,
                                   RpcContext ctx) {
+  SpanScope span(tracer_, ctx.trace, "server.rename", host_);
   if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/false)) {
+    span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->unit_reply;
   }
   charge(costs_.metadata_op);
   const auto fd = resolve(from_dir);
-  if (!fd.ok()) return fd.error();
+  if (!fd.ok()) return fail(span, fd.error());
   const auto td = resolve(to_dir);
-  if (!td.ok()) return td.error();
+  if (!td.ok()) return fail(span, td.error());
   NfsResult<Unit> reply = Unit{};
   if (const auto r = store_.rename(fd.value(), from_name, td.value(), to_name); !r.ok()) {
-    reply = from_fs(r.error());
+    reply = fail(span, from_fs(r.error()));
   }
   drc_store(ctx, {NfsStat::kInval, reply, false});
   return reply;
 }
 
 NfsResult<ReaddirReply> NfsServer::readdir(FileHandle dir) {
+  SpanScope span(tracer_, "server.readdir", host_);
   charge(costs_.read_meta);
   const auto d = resolve(dir);
-  if (!d.ok()) return d.error();
+  if (!d.ok()) return fail(span, d.error());
   auto entries = store_.readdir(d.value());
-  if (!entries.ok()) return from_fs(entries.error());
+  if (!entries.ok()) return fail(span, from_fs(entries.error()));
   return ReaddirReply{std::move(entries.value())};
 }
 
 NfsResult<FsstatReply> NfsServer::fsstat() {
+  SpanScope span(tracer_, "server.fsstat", host_);
   charge(costs_.read_meta);
   return FsstatReply{store_.capacity_bytes(), store_.used_bytes(), store_.utilization()};
 }

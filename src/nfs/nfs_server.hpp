@@ -16,6 +16,12 @@
 #include "common/sim_clock.hpp"
 #include "nfs/nfs_types.hpp"
 
+namespace kosha {
+class Counter;
+class MetricsRegistry;
+class Tracer;
+}  // namespace kosha
+
 namespace kosha::nfs {
 
 /// Virtual-time cost of server-side RPC processing. Values approximate a
@@ -84,6 +90,11 @@ class NfsServer {
   [[nodiscard]] std::uint64_t rpc_count() const { return rpc_count_; }
   [[nodiscard]] const DrcStats& drc_stats() const { return drc_stats_; }
 
+  /// Attach the cluster's observability sinks (nullptr = off). Procedures
+  /// then run under server-side spans — parented by the trace context the
+  /// RPC carried — and the DRC feeds hit/miss/store counters.
+  void set_observability(MetricsRegistry* metrics, Tracer* tracer);
+
   /// Forget all cached replies. The DRC is volatile server state: a crash
   /// loses it, so revival must not resurrect replies from the previous
   /// incarnation (their handles point into the purged store).
@@ -123,6 +134,10 @@ class NfsServer {
   std::unordered_map<std::uint64_t, DrcEntry> drc_;
   std::deque<std::uint64_t> drc_order_;
   DrcStats drc_stats_;
+  Tracer* tracer_ = nullptr;
+  Counter* drc_hit_ = nullptr;
+  Counter* drc_miss_ = nullptr;
+  Counter* drc_store_ = nullptr;
 };
 
 }  // namespace kosha::nfs

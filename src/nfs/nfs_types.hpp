@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/tracing.hpp"
 #include "fs/local_fs.hpp"
 #include "net/sim_network.hpp"
 
@@ -66,6 +67,12 @@ struct RpcContext {
   /// low xid could silently match a cached reply from the host's previous
   /// life still sitting in a server's duplicate-request cache.
   std::uint64_t boot = 0;
+  /// Trace identity of the client operation this RPC serves (invalid when
+  /// tracing is off). Carried so server-side spans parent under the RPC
+  /// that caused them — this is the propagation step of distributed
+  /// tracing. Not part of the DRC key: a retransmission may carry a
+  /// different span id but is still the same request.
+  TraceContext trace{};
 
   [[nodiscard]] bool valid() const { return client != net::kInvalidHost; }
 };

@@ -239,4 +239,80 @@ Result<RenameArgs, XdrError> decode_rename_args(XdrReader& reader) {
   return RenameArgs{*from_dir, std::move(*from_name), *to_dir, std::move(*to_name)};
 }
 
+const char* proc_name(NfsProc proc) {
+  switch (proc) {
+    case NfsProc::kNull:
+      return "NULL";
+    case NfsProc::kGetattr:
+      return "GETATTR";
+    case NfsProc::kSetattr:
+      return "SETATTR";
+    case NfsProc::kLookup:
+      return "LOOKUP";
+    case NfsProc::kReadlink:
+      return "READLINK";
+    case NfsProc::kRead:
+      return "READ";
+    case NfsProc::kWrite:
+      return "WRITE";
+    case NfsProc::kCreate:
+      return "CREATE";
+    case NfsProc::kMkdir:
+      return "MKDIR";
+    case NfsProc::kSymlink:
+      return "SYMLINK";
+    case NfsProc::kRemove:
+      return "REMOVE";
+    case NfsProc::kRmdir:
+      return "RMDIR";
+    case NfsProc::kRename:
+      return "RENAME";
+    case NfsProc::kReaddir:
+      return "READDIR";
+    case NfsProc::kFsstat:
+      return "FSSTAT";
+    case NfsProc::kMount:
+      return "MOUNT";
+  }
+  return "?";
+}
+
+const char* rpc_span_name(NfsProc proc) {
+  switch (proc) {
+    case NfsProc::kNull:
+      return "nfs.NULL";
+    case NfsProc::kGetattr:
+      return "nfs.GETATTR";
+    case NfsProc::kSetattr:
+      return "nfs.SETATTR";
+    case NfsProc::kLookup:
+      return "nfs.LOOKUP";
+    case NfsProc::kReadlink:
+      return "nfs.READLINK";
+    case NfsProc::kRead:
+      return "nfs.READ";
+    case NfsProc::kWrite:
+      return "nfs.WRITE";
+    case NfsProc::kCreate:
+      return "nfs.CREATE";
+    case NfsProc::kMkdir:
+      return "nfs.MKDIR";
+    case NfsProc::kSymlink:
+      return "nfs.SYMLINK";
+    case NfsProc::kRemove:
+      return "nfs.REMOVE";
+    case NfsProc::kRmdir:
+      return "nfs.RMDIR";
+    case NfsProc::kRename:
+      return "nfs.RENAME";
+    case NfsProc::kReaddir:
+      return "nfs.READDIR";
+    case NfsProc::kFsstat:
+      return "nfs.FSSTAT";
+    case NfsProc::kMount:
+      return "nfs.MOUNT";
+  }
+  return "nfs.?";
+}
+
 }  // namespace kosha::nfs

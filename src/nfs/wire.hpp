@@ -35,6 +35,28 @@ enum class NfsProc : std::uint32_t {
   kMount = 100,  // stand-in for the separate MOUNT protocol
 };
 
+/// Every procedure the client can issue, in slot order (for iterating the
+/// per-procedure NetStats breakdown).
+inline constexpr NfsProc kAllProcs[] = {
+    NfsProc::kNull,   NfsProc::kGetattr, NfsProc::kSetattr, NfsProc::kLookup,
+    NfsProc::kReadlink, NfsProc::kRead,  NfsProc::kWrite,   NfsProc::kCreate,
+    NfsProc::kMkdir,  NfsProc::kSymlink, NfsProc::kRemove,  NfsProc::kRmdir,
+    NfsProc::kRename, NfsProc::kReaddir, NfsProc::kFsstat,  NfsProc::kMount,
+};
+
+/// Wire name of a procedure ("LOOKUP", "CREATE", ...).
+[[nodiscard]] const char* proc_name(NfsProc proc);
+
+/// Index of `proc` in the per-procedure NetStats arrays: the NFSv3 number
+/// for regular procedures, slot 19 for the MOUNT stand-in.
+[[nodiscard]] constexpr std::size_t proc_slot(NfsProc proc) {
+  return proc == NfsProc::kMount ? 19 : static_cast<std::size_t>(proc);
+}
+
+/// Client-side RPC span name ("nfs.LOOKUP", ...). Stable storage: returns
+/// pointers to string literals.
+[[nodiscard]] const char* rpc_span_name(NfsProc proc);
+
 void encode_handle(XdrWriter& writer, const FileHandle& handle);
 [[nodiscard]] Result<FileHandle, XdrError> decode_handle(XdrReader& reader);
 

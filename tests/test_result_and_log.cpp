@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/result.hpp"
@@ -60,6 +63,60 @@ TEST(Log, LevelGating) {
   set_log_level(LogLevel::kOff);
   KOSHA_LOG_ERROR("also dropped");
   set_log_level(saved);
+}
+
+TEST(Log, SinkCapturesFormattedMessages) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&](LogLevel level, std::string_view message) {
+    captured.emplace_back(level, std::string(message));
+  });
+  KOSHA_LOG_DEBUG("below threshold %d", 0);
+  KOSHA_LOG_INFO("op %s took %dus", "create", 42);
+  KOSHA_LOG_WARN("retry %d", 3);
+  set_log_sink({});  // restore default before asserting
+  set_log_level(saved);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].second, "op create took 42us");
+  EXPECT_EQ(captured[1].first, LogLevel::kWarn);
+  EXPECT_EQ(captured[1].second, "retry 3");
+}
+
+TEST(Log, ConcurrentMessagesDoNotInterleave) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::string> captured;
+  // The sink runs under the logger's mutex, so no locking needed here.
+  set_log_sink([&](LogLevel, std::string_view message) {
+    captured.emplace_back(message);
+  });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        KOSHA_LOG_INFO("thread=%d seq=%d", t, i);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  set_log_sink({});
+  set_log_level(saved);
+  ASSERT_EQ(captured.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  // Every message must be intact (never spliced with another thread's).
+  int per_thread_seen[kThreads] = {};
+  for (const std::string& m : captured) {
+    int t = -1;
+    int seq = -1;
+    ASSERT_EQ(std::sscanf(m.c_str(), "thread=%d seq=%d", &t, &seq), 2) << m;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    ++per_thread_seen[t];
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread_seen[t], kPerThread);
 }
 
 TEST(OverlayCosts, JoinTrafficStaysBounded) {

@@ -37,7 +37,8 @@ run fig6_redirection --runs "$RUNS_FIG"
 run fig7_availability --runs "$RUNS_AVAIL"
 run ablation_read_replicas
 run ablation_replication
-./build/bench/micro_bench | tee results/micro_bench.txt
+./build/bench/micro_bench --metrics-out=results/BENCH_micro.json |
+  tee results/micro_bench.txt
 
 # CSV series for the plots.
 ./build/bench/fig5_load_distribution --runs "$RUNS_FIG" --csv |
