@@ -1,0 +1,105 @@
+#pragma once
+
+// Deterministic discrete-event scheduler over virtual time.
+//
+// The execution core of the event-driven simulation model (DESIGN §6):
+// callbacks are scheduled at absolute virtual times and dispatched in
+// (time, sequence) order, advancing the shared SimClock to each event's
+// timestamp. Determinism rules:
+//   * no wall-clock input anywhere — time exists only as SimDuration;
+//   * ties at the same timestamp dispatch in scheduling order (a monotonic
+//     sequence number assigned at schedule time), so the dispatch order is
+//     a pure function of the schedule calls;
+//   * randomness (e.g. jittered timers) comes exclusively from the loop's
+//     seeded Rng stream, so same-seed runs replay byte-identically.
+//
+// Cancellation is lazy: cancel() marks the entry and the heap skips it on
+// pop, keeping schedule/cancel O(log n) without heap surgery.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+
+namespace kosha {
+
+class EventLoop {
+ public:
+  using EventId = std::uint64_t;
+  /// Never returned by schedule_*; safe "no event" sentinel for callers
+  /// that keep a pending-timer handle.
+  static constexpr EventId kInvalidEvent = 0;
+
+  explicit EventLoop(SimClock* clock, std::uint64_t seed = 0);
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Schedule `fn` at absolute virtual time `when`. Times in the past are
+  /// clamped to now: the event runs next, it cannot rewind the clock.
+  EventId schedule_at(SimDuration when, std::function<void()> fn);
+  /// Schedule `fn` at now + `delay` (timers, retry backoff).
+  EventId schedule_after(SimDuration delay, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false when the event already ran,
+  /// was cancelled before, or never existed.
+  bool cancel(EventId id);
+
+  /// Dispatch the earliest pending event, advancing the clock to its
+  /// timestamp. Returns false when the queue is empty.
+  bool step();
+
+  /// Dispatch until the queue drains. Returns the number of events run.
+  std::size_t run_until_idle();
+
+  /// Dispatch until `done()` holds (checked before every event) or the
+  /// queue drains. Returns the number of events run. This is how the
+  /// synchronous RPC wrappers block on their own completion.
+  std::size_t run_until(const std::function<bool()>& done);
+
+  [[nodiscard]] SimDuration now() const { return clock_->now(); }
+  [[nodiscard]] SimClock& clock() { return *clock_; }
+  /// Pending (scheduled, not yet run or cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  /// The loop's deterministic randomness stream; the only sanctioned
+  /// source of scheduling jitter.
+  [[nodiscard]] Rng& rng() { return rng_; }
+  /// A uniform draw in [0, max] from the loop's stream, for jittered
+  /// timers. Deterministic under the loop's seed.
+  [[nodiscard]] SimDuration jitter(SimDuration max);
+
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cancelled = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    SimDuration when;
+    EventId id = kInvalidEvent;  // monotonic: doubles as the tie-break
+    std::function<void()> fn;
+  };
+  /// Min-heap order: earliest time first, then lowest (earliest-assigned)
+  /// id — the monotonic tie-break that keeps same-time dispatch FIFO.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when.ns != b.when.ns) return a.when.ns > b.when.ns;
+      return a.id > b.id;
+    }
+  };
+
+  SimClock* clock_;
+  Rng rng_;
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace kosha

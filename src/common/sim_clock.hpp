@@ -7,6 +7,7 @@
 // are deterministic and host-independent. Durations are kept in integer
 // nanoseconds to avoid floating-point drift across accumulation orders.
 
+#include <compare>
 #include <cstdint>
 
 namespace kosha {
@@ -52,6 +53,22 @@ class SimClock {
 
   void advance(SimDuration d) {
     if (pause_depth_ == 0) now_ += d;
+  }
+
+  /// Jump forward to absolute time `t`; no-op when paused or `t <= now`.
+  /// Used by the event loop when dispatching an event scheduled at `t`.
+  void advance_to(SimDuration t) {
+    if (pause_depth_ == 0 && t > now_) now_ = t;
+  }
+
+  /// Set the clock to exactly `t`, possibly rewinding (no-op when paused).
+  /// Reserved for simulation drivers that evaluate alternative timelines
+  /// branching from one instant — overlapped replica fan-out charges each
+  /// mirror from the same start and keeps only the slowest finish, and the
+  /// multi-client workload driver hops between per-client timelines. Never
+  /// call this from component code: components only ever move time forward.
+  void set_now(SimDuration t) {
+    if (pause_depth_ == 0) now_ = t;
   }
 
   void reset() { now_ = {}; }

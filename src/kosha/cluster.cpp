@@ -10,11 +10,19 @@ namespace kosha {
 
 KoshaCluster::KoshaCluster(ClusterConfig config)
     : config_(std::move(config)),
+      loop_(&clock_, config_.seed),
       rng_(config_.seed),
       network_(config_.network, &clock_),
       overlay_(config_.kosha.pastry, &network_) {
   if (const std::string err = config_.kosha.validate(); !err.empty()) {
     throw std::invalid_argument("KoshaConfig: " + err);
+  }
+  // Execution model: attaching the event loop flips NfsClient's
+  // synchronous API onto the completion-based core (nfs_client.hpp); not
+  // attaching it preserves the legacy serial call-and-advance model.
+  if (config_.event_driven) {
+    network_.set_event_loop(&loop_);
+    runtime_.loop = &loop_;
   }
   runtime_.clock = &clock_;
   runtime_.network = &network_;
@@ -169,6 +177,8 @@ void KoshaCluster::refresh_derived_metrics() {
   metrics_.gauge("net.drops")->set(static_cast<double>(net.drops));
   metrics_.gauge("net.retries")->set(static_cast<double>(net.retries));
   metrics_.gauge("net.partitioned")->set(static_cast<double>(net.partitioned));
+  metrics_.gauge("net.queue_delay_ns")->set(static_cast<double>(net.queue_delay_ns));
+  metrics_.gauge("net.inflight_peak")->set(static_cast<double>(net.inflight_peak));
 
   for (const nfs::NfsProc proc : nfs::kAllProcs) {
     const net::ProcNetStats& slot = net.per_proc[nfs::proc_slot(proc)];
@@ -205,6 +215,7 @@ void KoshaCluster::refresh_derived_metrics() {
     metrics_.gauge(prefix + ".koshad.replica_reads")->set(static_cast<double>(ks.replica_reads));
     metrics_.gauge(prefix + ".koshad.degraded_reads")
         ->set(static_cast<double>(ks.degraded_reads));
+    metrics_.gauge(prefix + ".koshad.mirror_rpcs")->set(static_cast<double>(ks.mirror_rpcs));
   }
 }
 

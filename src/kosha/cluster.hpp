@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/event_loop.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/tracing.hpp"
@@ -39,6 +40,13 @@ struct ClusterConfig {
   std::uint64_t node_capacity_bytes = 35ull << 30;
   std::vector<std::uint64_t> capacities;
   std::uint64_t seed = 42;
+  /// Execution model: true (default) drives every RPC through the
+  /// discrete-event scheduler — concurrent in-flight RPCs, real per-node
+  /// service queues, overlapped failover probes. false keeps the legacy
+  /// serial call-and-advance model (one RPC at a time, no queueing); kept
+  /// for A/B comparison in bench/concurrency_bench. For single-in-flight
+  /// schedules the two models produce identical numbers.
+  bool event_driven = true;
   KoshaConfig kosha;
   net::NetworkConfig network;
   nfs::NfsCostModel costs;
@@ -79,6 +87,9 @@ class KoshaCluster {
   [[nodiscard]] pastry::NodeId node_id(net::HostId host) const;
 
   [[nodiscard]] SimClock& clock() { return clock_; }
+  /// The cluster's discrete-event scheduler (attached to the network only
+  /// when config().event_driven).
+  [[nodiscard]] EventLoop& loop() { return loop_; }
   [[nodiscard]] net::SimNetwork& network() { return network_; }
   [[nodiscard]] pastry::PastryOverlay& overlay() { return overlay_; }
   [[nodiscard]] Runtime& runtime() { return runtime_; }
@@ -121,6 +132,7 @@ class KoshaCluster {
 
   ClusterConfig config_;
   SimClock clock_;
+  EventLoop loop_;
   Rng rng_;
   MetricsRegistry metrics_;
   Tracer tracer_;

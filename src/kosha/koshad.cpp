@@ -1,7 +1,13 @@
+// koshad — the Kosha loopback daemon: request handlers (paper §4, §5).
+//
+// This file holds the virtual NFS interface: every handler charges the
+// interposition cost, runs its operation through the failover ladder
+// (koshad_failover.cpp) against paths resolved by the resolution layer
+// (koshad_resolve.cpp), and mirrors mutations to the primary's replicas.
+
 #include "kosha/koshad.hpp"
 
 #include <algorithm>
-#include <type_traits>
 
 #include "common/metrics.hpp"
 #include "common/path.hpp"
@@ -61,214 +67,6 @@ void Koshad::charge_interposition() {
   runtime_->clock->advance(runtime_->config.interposition_cost);
 }
 
-pastry::RouteResult Koshad::route(pastry::Key key) {
-  const auto result = runtime_->overlay->route(host_, key);
-  ++stats_.dht_lookups;
-  stats_.dht_hops += result.hops;
-  if (route_hops_hist_ != nullptr) route_hops_hist_->record(static_cast<double>(result.hops));
-  return result;
-}
-
-net::HostId Koshad::host_of(pastry::NodeId node) const {
-  return runtime_->overlay->host_of(node);
-}
-
-// ---------------------------------------------------------------------------
-// Path resolution
-// ---------------------------------------------------------------------------
-
-nfs::NfsResult<Koshad::Resolved> Koshad::resolve_path(const std::string& path, bool fresh) {
-  if (!fresh) {
-    if (const auto vh = vht_.find_by_path(path)) {
-      const VhEntry* entry = vht_.find(*vh);
-      return Resolved{entry->real.server, entry->real, entry->stored_path, entry->type};
-    }
-  }
-  if (path == "/") {
-    const auto owner = route(root_key());
-    const net::HostId host = host_of(owner.owner);
-    const std::string stored = root_stored_path();
-    const auto handle = remote_lookup_path(host, stored);
-    if (!handle.ok()) return handle.error();
-    vht_.bind("/", stored, handle->handle, fs::FileType::kDirectory);
-    return Resolved{host, handle->handle, stored, fs::FileType::kDirectory};
-  }
-  const auto parent = resolve_path(path_parent(path), fresh);
-  if (!parent.ok()) return parent.error();
-  return resolve_entry(*parent, path, path_basename(path), fresh);
-}
-
-nfs::NfsResult<Koshad::Resolved> Koshad::resolve_entry(const Resolved& parent,
-                                                       const std::string& path,
-                                                       std::string_view name, bool fresh) {
-  (void)fresh;
-  note_forward(parent.host);
-  const auto looked = client_.lookup(parent.handle, name);
-  if (!looked.ok()) return looked.error();
-
-  if (looked->attr.type == fs::FileType::kSymlink) {
-    // Special link: the directory is distributed; its target is the
-    // effective (possibly salted) name to hash (paper §3.3).
-    note_forward(parent.host);
-    const auto target = client_.readlink(looked->handle);
-    if (!target.ok()) return target.error();
-    const std::string& effective = target.value();
-
-    const auto owner = route(key_for_name(effective));
-    const net::HostId host = host_of(owner.owner);
-    const auto components = split_path(path);
-    const std::string stored =
-        stored_path(components, static_cast<unsigned>(components.size()), effective);
-    const auto handle = remote_lookup_path(host, stored);
-    if (!handle.ok()) return handle.error();
-    vht_.bind(path, stored, handle->handle, handle->attr.type);
-    return Resolved{host, handle->handle, stored, handle->attr.type, handle->attr};
-  }
-
-  const std::string stored = path_child(parent.stored_path, name);
-  vht_.bind(path, stored, looked->handle, looked->attr.type);
-  return Resolved{parent.host, looked->handle, stored, looked->attr.type, looked->attr};
-}
-
-nfs::NfsResult<nfs::HandleReply> Koshad::remote_lookup_path(net::HostId host,
-                                                            const std::string& stored_path) {
-  // "Kosha looks up the entire path on R, as if it is an NFS client of R"
-  // (paper §4.1.3).
-  note_forward(host);
-  const auto root = client_.mount(host);
-  if (!root.ok()) return root.error();
-  nfs::HandleReply current{*root, {}};
-  current.attr.type = fs::FileType::kDirectory;
-  for (const auto& component : split_path(stored_path)) {
-    note_forward(host);
-    const auto next = client_.lookup(current.handle, component);
-    if (!next.ok()) return next.error();
-    current = next.value();
-  }
-  return current;
-}
-
-nfs::NfsResult<nfs::HandleReply> Koshad::remote_mkdir_p(net::HostId host,
-                                                        const std::string& stored_path,
-                                                        std::uint32_t leaf_mode,
-                                                        std::uint32_t leaf_uid) {
-  note_forward(host);
-  const auto root = client_.mount(host);
-  if (!root.ok()) return root.error();
-  nfs::HandleReply current{*root, {}};
-  current.attr.type = fs::FileType::kDirectory;
-  const auto components = split_path(stored_path);
-  for (std::size_t i = 0; i < components.size(); ++i) {
-    const bool leaf = i + 1 == components.size();
-    note_forward(host);
-    auto next = client_.lookup(current.handle, components[i]);
-    if (!next.ok()) {
-      if (next.error() != nfs::NfsStat::kNoEnt) return next.error();
-      note_forward(host);
-      // Scaffolding directories get defaults; the caller's attributes
-      // apply to the directory being created.
-      next = leaf ? client_.mkdir(current.handle, components[i], leaf_mode, leaf_uid)
-                  : client_.mkdir(current.handle, components[i]);
-      if (!next.ok()) return next.error();
-    }
-    current = next.value();
-  }
-  return current;
-}
-
-void Koshad::prune_scaffolding(net::HostId host, std::string cursor, ReplicaManager* rm) {
-  // Prune now-empty scaffolding bottom-up, container included, but stop at
-  // a directory still used by a colliding same-name anchor (paper §4.1.5).
-  // Best-effort: any error simply leaves the remaining scaffolding behind.
-  while (path_depth(cursor) >= 2) {  // never remove /.a itself
-    const auto cursor_handle = remote_lookup_path(host, cursor);
-    if (!cursor_handle.ok()) break;
-    note_forward(host);
-    const auto cursor_listing = client_.readdir(cursor_handle->handle);
-    if (!cursor_listing.ok() || !cursor_listing->entries.empty()) break;
-    const auto up = remote_lookup_path(host, path_parent(cursor));
-    if (!up.ok()) break;
-    note_forward(host);
-    if (!client_.rmdir(up->handle, path_basename(cursor)).ok()) break;
-    if (rm != nullptr) rm->mirror_rmdir(cursor);
-    cursor = path_parent(cursor);
-  }
-}
-
-nfs::NfsResult<std::pair<pastry::NodeId, std::string>> Koshad::place_directory(
-    std::string_view name) {
-  // Iterative salted redirection (paper §3.3): rehash with a salt until a
-  // node below the utilization threshold is found or retries run out.
-  for (unsigned salt = 0; salt <= runtime_->config.max_redirects; ++salt) {
-    const std::string effective = salted_name(name, salt);
-    const auto owner = route(key_for_name(effective));
-    const net::HostId host = host_of(owner.owner);
-    note_forward(host);
-    const auto stat = client_.fsstat(host);
-    if (stat.ok() && stat->utilization < runtime_->config.redirect_threshold) {
-      return std::make_pair(owner.owner, effective);
-    }
-    ++stats_.redirects;
-  }
-  return nfs::NfsStat::kNoSpace;
-}
-
-// ---------------------------------------------------------------------------
-// Failover wrapper
-// ---------------------------------------------------------------------------
-
-template <typename Fn>
-auto Koshad::with_handle(VirtualHandle vh, Fn&& fn) {
-  using Ret = std::invoke_result_t<Fn, const Resolved&>;
-  const VhEntry* entry = vht_.find(vh);
-  if (entry == nullptr) return Ret(nfs::NfsStat::kStale);
-  const std::string path = entry->path;  // copy: the table may rehash below
-  const Resolved cached{entry->real.server, entry->real, entry->stored_path, entry->type};
-
-  Ret result = fn(cached);
-  if (result.ok() || !is_error_retryable(result.error())) {
-    if (failover_depth_hist_ != nullptr) failover_depth_hist_->record(0.0);
-    return result;
-  }
-
-  // Transparent fault handling (paper §4.4), widened into a bounded
-  // ladder: each round drops the mapping, re-resolves the full path from
-  // scratch (reaching a promoted replica), rebinds, and retries the
-  // operation. One round reproduces the paper's retry-once behaviour;
-  // additional rounds survive a promotion racing a brownout, since every
-  // re-resolve routes through the overlay's *current* owner.
-  const unsigned rounds = std::max(1u, runtime_->config.failover_rounds);
-  unsigned depth = 0;
-  for (unsigned round = 0; round < rounds; ++round) {
-    ++stats_.failovers;
-    depth = round + 1;
-    SpanScope span(tracer(), "koshad.failover", host_);
-    if (span.active()) span.tag("round", std::to_string(depth));
-    const auto fresh = resolve_path(path, /*fresh=*/true);
-    if (!fresh.ok()) {
-      if (is_error_retryable(fresh.error()) && round + 1 < rounds) {
-        span.status(nfs::to_string(fresh.error()));
-        continue;
-      }
-      ++stats_.failed_failovers;
-      span.status(nfs::to_string(fresh.error()));
-      if (failover_depth_hist_ != nullptr) failover_depth_hist_->record(static_cast<double>(depth));
-      return Ret(fresh.error());
-    }
-    vht_.rebind(vh, fresh->stored_path, fresh->handle);
-    result = fn(*fresh);
-    if (result.ok() || !is_error_retryable(result.error())) {
-      if (!result.ok()) span.status(nfs::to_string(result.error()));
-      if (failover_depth_hist_ != nullptr) failover_depth_hist_->record(static_cast<double>(depth));
-      return result;
-    }
-    span.status(nfs::to_string(result.error()));
-  }
-  ++stats_.failed_failovers;
-  if (failover_depth_hist_ != nullptr) failover_depth_hist_->record(static_cast<double>(depth));
-  return result;
-}
-
 // ---------------------------------------------------------------------------
 // The virtual NFS interface
 // ---------------------------------------------------------------------------
@@ -313,7 +111,7 @@ nfs::NfsResult<fs::Attr> Koshad::set_mode(VirtualHandle obj, std::uint32_t mode)
                        auto result = client_.set_mode(r.handle, mode);
                        if (result.ok()) {
                          if (ReplicaManager* rm = manager_of(r.host)) {
-                           rm->mirror_set_mode(r.stored_path, mode);
+                           stats_.mirror_rpcs += rm->mirror_set_mode(r.stored_path, mode);
                          }
                        }
                        return result;
@@ -328,7 +126,7 @@ nfs::NfsResult<fs::Attr> Koshad::truncate(VirtualHandle obj, std::uint64_t size)
                        auto result = client_.truncate(r.handle, size);
                        if (result.ok()) {
                          if (ReplicaManager* rm = manager_of(r.host)) {
-                           rm->mirror_truncate(r.stored_path, size);
+                           stats_.mirror_rpcs += rm->mirror_truncate(r.stored_path, size);
                          }
                        }
                        return result;
@@ -358,61 +156,6 @@ nfs::NfsResult<nfs::ReadReply> Koshad::read(VirtualHandle file, std::uint64_t of
   }));
 }
 
-std::optional<nfs::NfsResult<nfs::ReadReply>> Koshad::degraded_replica_read(
-    const Resolved& resolved, std::uint64_t offset, std::uint32_t count) {
-  ReplicaManager* rm = manager_of(resolved.host);
-  if (rm == nullptr) return std::nullopt;
-  const std::string hidden = ReplicaManager::hidden_root(rm->id()) + resolved.stored_path;
-  for (const pastry::NodeId target : rm->targets()) {
-    if (!runtime_->overlay->is_live(target)) continue;
-    const net::HostId host = runtime_->overlay->host_of(target);
-    const auto looked = remote_lookup_path(host, hidden);
-    if (!looked.ok()) continue;  // replica lagging or also unreachable
-    note_forward(host);
-    auto reply = client_.read(looked->handle, offset, count);
-    if (!reply.ok()) continue;
-    ++stats_.degraded_reads;
-    return reply;
-  }
-  return std::nullopt;
-}
-
-std::optional<nfs::NfsResult<nfs::ReadReply>> Koshad::try_replica_read(
-    const Resolved& resolved, std::uint64_t offset, std::uint32_t count) {
-  ReplicaManager* rm = manager_of(resolved.host);
-  if (rm == nullptr || rm->targets().empty()) return std::nullopt;
-  const auto& targets = rm->targets();
-  // Round-robin over {replica_0, ..., replica_{K-1}, primary}.
-  const std::size_t pick = replica_read_cursor_++ % (targets.size() + 1);
-  if (pick == targets.size()) return std::nullopt;  // the primary's turn
-  const pastry::NodeId target = targets[pick];
-  if (!runtime_->overlay->is_live(target)) return std::nullopt;
-  const net::HostId host = runtime_->overlay->host_of(target);
-
-  const std::string hidden =
-      ReplicaManager::hidden_root(rm->id()) + resolved.stored_path;
-  const std::string cache_key = std::to_string(host) + ":" + hidden;
-  nfs::FileHandle handle;
-  if (const auto it = replica_handle_cache_.find(cache_key);
-      it != replica_handle_cache_.end()) {
-    handle = it->second;
-  } else {
-    const auto looked = remote_lookup_path(host, hidden);
-    if (!looked.ok()) return std::nullopt;  // replica lagging: use the primary
-    handle = looked->handle;
-    replica_handle_cache_[cache_key] = handle;
-  }
-
-  note_forward(host);
-  auto reply = client_.read(handle, offset, count);
-  if (!reply.ok()) {
-    replica_handle_cache_.erase(cache_key);
-    return std::nullopt;  // fall back to the primary copy
-  }
-  ++stats_.replica_reads;
-  return reply;
-}
-
 nfs::NfsResult<std::uint32_t> Koshad::write(VirtualHandle file, std::uint64_t offset,
                                             std::string_view data) {
   SpanScope span(tracer(), "koshad.write", host_);
@@ -422,7 +165,7 @@ nfs::NfsResult<std::uint32_t> Koshad::write(VirtualHandle file, std::uint64_t of
                        auto result = client_.write(r.handle, offset, data);
                        if (result.ok()) {
                          if (ReplicaManager* rm = manager_of(r.host)) {
-                           rm->mirror_write(r.stored_path, offset, data);
+                           stats_.mirror_rpcs += rm->mirror_write(r.stored_path, offset, data);
                          }
                        }
                        return result;
@@ -457,7 +200,9 @@ nfs::NfsResult<VhReply> Koshad::create(VirtualHandle dir, std::string_view name,
     }
     if (!created.ok()) return created.error();
     const std::string stored = path_child(parent.stored_path, name_copy);
-    if (ReplicaManager* rm = manager_of(parent.host)) rm->mirror_create(stored, mode, uid);
+    if (ReplicaManager* rm = manager_of(parent.host)) {
+      stats_.mirror_rpcs += rm->mirror_create(stored, mode, uid);
+    }
     const VirtualHandle vh = vht_.bind(path, stored, created->handle, fs::FileType::kFile);
     return VhReply{vh, created->attr};
   });
@@ -496,7 +241,9 @@ nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
       }
       // Our earlier timed-out MKDIR did execute: finish its bookkeeping.
       const std::string stored = path_child(parent.stored_path, name_copy);
-      if (ReplicaManager* rm = manager_of(parent.host)) rm->mirror_mkdir_p(stored);
+      if (ReplicaManager* rm = manager_of(parent.host)) {
+        stats_.mirror_rpcs += rm->mirror_mkdir_p(stored);
+      }
       const VirtualHandle vh =
           vht_.bind(path, stored, existing->handle, fs::FileType::kDirectory);
       return VhReply{vh, existing->attr};
@@ -512,7 +259,9 @@ nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
         return made.error();
       }
       const std::string stored = path_child(parent.stored_path, name_copy);
-      if (ReplicaManager* rm = manager_of(parent.host)) rm->mirror_mkdir_p(stored);
+      if (ReplicaManager* rm = manager_of(parent.host)) {
+        stats_.mirror_rpcs += rm->mirror_mkdir_p(stored);
+      }
       const VirtualHandle vh = vht_.bind(path, stored, made->handle, fs::FileType::kDirectory);
       return VhReply{vh, made->attr};
     }
@@ -535,7 +284,8 @@ nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
     const auto link = client_.symlink(parent.handle, name_copy, effective);
     if (link.ok()) {
       if (ReplicaManager* rm = manager_of(parent.host)) {
-        rm->mirror_symlink(path_child(parent.stored_path, name_copy), effective);
+        stats_.mirror_rpcs +=
+            rm->mirror_symlink(path_child(parent.stored_path, name_copy), effective);
       }
     }
     const VirtualHandle vh = vht_.bind(path, stored, made->handle, fs::FileType::kDirectory);
@@ -573,7 +323,8 @@ nfs::NfsResult<Unit> Koshad::remove(VirtualHandle dir, std::string_view name) {
         // copy (e.g. left by an earlier caller that gave up mid-ambiguity)
         // is reconciled away. A no-op when everything already agrees.
         if (ReplicaManager* rm = manager_of(parent.host)) {
-          rm->mirror_remove_recursive(path_child(parent.stored_path, name_copy));
+          stats_.mirror_rpcs +=
+              rm->mirror_remove_recursive(path_child(parent.stored_path, name_copy));
         }
         vht_.drop_subtree(path);
         if (maybe_removed) return Unit{};
@@ -588,7 +339,7 @@ nfs::NfsResult<Unit> Koshad::remove(VirtualHandle dir, std::string_view name) {
       return removed.error();
     }
     if (ReplicaManager* rm = manager_of(parent.host)) {
-      rm->mirror_remove(path_child(parent.stored_path, name_copy));
+      stats_.mirror_rpcs += rm->mirror_remove(path_child(parent.stored_path, name_copy));
     }
     vht_.drop_subtree(path);
     return Unit{};
@@ -626,9 +377,11 @@ nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
         // lingering replica state (no-op when already consistent).
         if (ReplicaManager* rm = manager_of(parent.host)) {
           if (maybe_removed) {
-            rm->mirror_rmdir(path_child(parent.stored_path, name_copy));
+            stats_.mirror_rpcs +=
+                rm->mirror_rmdir(path_child(parent.stored_path, name_copy));
           } else {
-            rm->mirror_remove_recursive(path_child(parent.stored_path, name_copy));
+            stats_.mirror_rpcs +=
+                rm->mirror_remove_recursive(path_child(parent.stored_path, name_copy));
           }
         }
         vht_.drop_subtree(path);
@@ -649,7 +402,7 @@ nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
         return removed.error();
       }
       if (ReplicaManager* rm = manager_of(parent.host)) {
-        rm->mirror_rmdir(path_child(parent.stored_path, name_copy));
+        stats_.mirror_rpcs += rm->mirror_rmdir(path_child(parent.stored_path, name_copy));
       }
       vht_.drop_subtree(path);
       return Unit{};
@@ -688,7 +441,7 @@ nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
           return removed.error();
         }
         if (srm != nullptr) {
-          srm->mirror_rmdir(stored);
+          stats_.mirror_rpcs += srm->mirror_rmdir(stored);
           srm->unregister_primary(stored);
         }
         prune_scaffolding(storage, stored_parent, srm);
@@ -697,7 +450,7 @@ nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
       // Our earlier timed-out RMDIR already removed the stored directory:
       // finish its bookkeeping and continue to the link cleanup.
       if (srm != nullptr) {
-        srm->mirror_rmdir(stored);
+        stats_.mirror_rpcs += srm->mirror_rmdir(stored);
         srm->unregister_primary(stored);
       }
       prune_scaffolding(storage, path_parent(stored), srm);
@@ -713,7 +466,7 @@ nfs::NfsResult<Unit> Koshad::rmdir(VirtualHandle dir, std::string_view name) {
       note_forward(parent.host);
       (void)client_.remove(parent.handle, name_copy);
       if (ReplicaManager* rm = manager_of(parent.host)) {
-        rm->mirror_remove(path_child(parent.stored_path, name_copy));
+        stats_.mirror_rpcs += rm->mirror_remove(path_child(parent.stored_path, name_copy));
       }
     }
     vht_.drop_subtree(path);
@@ -793,8 +546,9 @@ nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view fro
               // Direct rename: the constituent mirror update never ran.
               // (Copy+delete mirrors through its per-op bookkeeping.)
               if (ReplicaManager* rm = manager_of(from_parent.host)) {
-                rm->mirror_rename(path_child(from_parent.stored_path, from_copy),
-                                  path_child(to_parent->stored_path, to_copy));
+                stats_.mirror_rpcs +=
+                    rm->mirror_rename(path_child(from_parent.stored_path, from_copy),
+                                      path_child(to_parent->stored_path, to_copy));
               }
             }
             vht_.drop_subtree(from_path);
@@ -805,7 +559,8 @@ nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view fro
         // so reconcile any lingering replica copy of it (no-op when
         // already consistent) before surfacing kNoEnt.
         if (ReplicaManager* rm = manager_of(from_parent.host)) {
-          rm->mirror_remove_recursive(path_child(from_parent.stored_path, from_copy));
+          stats_.mirror_rpcs +=
+              rm->mirror_remove_recursive(path_child(from_parent.stored_path, from_copy));
         }
         vht_.drop_subtree(from_path);
       }
@@ -830,8 +585,9 @@ nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view fro
         return renamed.error();
       }
       if (ReplicaManager* rm = manager_of(from_parent.host)) {
-        rm->mirror_rename(path_child(from_parent.stored_path, from_copy),
-                          path_child(from_parent.stored_path, to_copy));
+        stats_.mirror_rpcs +=
+            rm->mirror_rename(path_child(from_parent.stored_path, from_copy),
+                              path_child(from_parent.stored_path, to_copy));
       }
       vht_.drop_subtree(from_path);
       return Unit{};
@@ -857,8 +613,9 @@ nfs::NfsResult<Unit> Koshad::rename(VirtualHandle from_dir, std::string_view fro
         return renamed.error();
       }
       if (ReplicaManager* rm = manager_of(from_parent.host)) {
-        rm->mirror_rename(path_child(from_parent.stored_path, from_copy),
-                          path_child(to_parent->stored_path, to_copy));
+        stats_.mirror_rpcs +=
+            rm->mirror_rename(path_child(from_parent.stored_path, from_copy),
+                              path_child(to_parent->stored_path, to_copy));
       }
       vht_.drop_subtree(from_path);
       return Unit{};

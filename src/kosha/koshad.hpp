@@ -11,10 +11,13 @@
 // re-resolving the stored path on a promoted replica.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 
 #include "kosha/replication.hpp"
 #include "kosha/runtime.hpp"
@@ -44,6 +47,8 @@ struct KoshadStats {
   std::uint64_t replica_reads = 0;   // reads served by a replica node
   std::uint64_t degraded_reads = 0;  // reads a replica served because the
                                      // primary was unreachable
+  std::uint64_t mirror_rpcs = 0;     // replica mirror messages this daemon's
+                                     // mutations fanned out
 
   friend bool operator==(const KoshadStats&, const KoshadStats&) = default;
 };
@@ -112,8 +117,18 @@ class Koshad {
   /// and adopt the already-applied result on a later invocation instead of
   /// surfacing a spurious kExist/kNoEnt. Rounds run back-to-back on this
   /// thread, so nothing else can touch the target path between them.
+  ///
+  /// Thin type-erasure shim (defined at the bottom of this header) over
+  /// failover_ladder, which owns the retry policy.
   template <typename Fn>
   auto with_handle(VirtualHandle vh, Fn&& fn);
+
+  /// The type-erased core of with_handle (koshad_failover.cpp): drives
+  /// `attempt` through the bounded re-resolve ladder and returns the final
+  /// status. `attempt` reports kOk or the operation's error status; any
+  /// non-status payload stays on the with_handle side.
+  [[nodiscard]] nfs::NfsStat failover_ladder(
+      VirtualHandle vh, const std::function<nfs::NfsStat(const Resolved&)>& attempt);
 
   /// Resolve a virtual path; `fresh` bypasses (and repopulates) the cache —
   /// used on the failover path after an RPC error.
@@ -191,5 +206,19 @@ class Koshad {
   Histogram* route_hops_hist_ = nullptr;
   Histogram* failover_depth_hist_ = nullptr;
 };
+
+template <typename Fn>
+auto Koshad::with_handle(VirtualHandle vh, Fn&& fn) {
+  using Ret = std::invoke_result_t<Fn, const Resolved&>;
+  // Failed attempts carry only a status, so the ladder can run type-erased;
+  // `last` keeps the one payload that matters — the successful attempt's.
+  std::optional<Ret> last;
+  const nfs::NfsStat status = failover_ladder(vh, [&](const Resolved& r) {
+    last.emplace(fn(r));
+    return last->ok() ? nfs::NfsStat::kOk : last->error();
+  });
+  if (status == nfs::NfsStat::kOk) return *std::move(last);
+  return Ret(status);
+}
 
 }  // namespace kosha

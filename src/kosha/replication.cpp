@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "common/log.hpp"
 #include "common/metrics.hpp"
@@ -151,122 +152,161 @@ void ReplicaManager::unregister_primary(const std::string& stored_anchor_path) {
 // Mutation mirroring
 // ---------------------------------------------------------------------------
 // Every mirror op applies the primary-side mutation at the same stored path
-// inside the hidden area of each live replica target. Mirroring is
-// asynchronous: the clock is paused but the messages are counted.
+// inside the hidden area of each live replica target. What the fan-out
+// costs the foreground op is KoshaConfig::mirror_mode's call: kBackground
+// pauses the clock (messages counted, no foreground delay — the paper's
+// "asynchronous" model), kSequential lets each wire charge in turn (the
+// op pays the sum), kOverlapped rewinds to the batch start before each
+// wire and ends at the slowest one (the op pays the max). Both the sum
+// and the max are accumulated in MirrorStats regardless of mode.
 
-void ReplicaManager::for_each_replica(
-    const std::string& stored_path, std::size_t payload,
-    const std::function<void(fs::LocalFs&, const std::string&)>& op) {
-  if (anchor_of(stored_path).empty()) return;
-  ClockPauser pause(*runtime_->clock);
-  for (const net::HostId host : live_target_hosts()) {
+std::size_t ReplicaManager::fan_out(std::size_t payload,
+                                    const std::function<void(net::HostId)>& apply) {
+  const std::vector<net::HostId> targets = live_target_hosts();
+  if (targets.empty()) return 0;
+  SimClock& clock = *runtime_->clock;
+  const KoshaConfig::MirrorMode mode = runtime_->config.mirror_mode;
+  // An already-paused clock (membership-driven repair/push) keeps the
+  // fan-out free no matter the mode: set_now/advance are no-ops there.
+  std::optional<ClockPauser> pause;
+  if (mode == KoshaConfig::MirrorMode::kBackground) pause.emplace(clock);
+  const SimDuration start = clock.now();
+  SimDuration sum{};
+  SimDuration slowest{};
+  for (const net::HostId host : targets) {
+    if (mode == KoshaConfig::MirrorMode::kOverlapped) clock.set_now(start);
+    const SimDuration before = clock.now();
     // One span per replica target: a mutating client op traces as the
     // primary forward plus this fan-out of mirror spans.
     SpanScope span(runtime_->tracer, "replica.mirror", host_);
     if (span.active()) span.tag("target", std::to_string(host));
     if (mirror_ops_ != nullptr) mirror_ops_->inc();
     runtime_->network->charge_message(host_, host, payload);
+    apply(host);
+    const SimDuration took = clock.now() - before;
+    sum = sum + took;
+    if (took > slowest) slowest = took;
+  }
+  if (mode == KoshaConfig::MirrorMode::kOverlapped) clock.set_now(start + slowest);
+  mirror_stats_.rpcs += targets.size();
+  mirror_stats_.batches += 1;
+  mirror_stats_.sequential = mirror_stats_.sequential + sum;
+  mirror_stats_.overlapped = mirror_stats_.overlapped + slowest;
+  return targets.size();
+}
+
+std::size_t ReplicaManager::for_each_replica(
+    const std::string& stored_path, std::size_t payload,
+    const std::function<void(fs::LocalFs&, const std::string&)>& op) {
+  if (anchor_of(stored_path).empty()) return 0;
+  return fan_out(payload, [&](net::HostId host) {
     if (fs::LocalFs* store = store_of(host)) {
       op(*store, hidden_root(id_) + stored_path);
     }
-  }
-}
-
-void ReplicaManager::mirror_mkdir_p(const std::string& stored_path) {
-  for_each_replica(stored_path, 96, [](fs::LocalFs& store, const std::string& path) {
-    (void)store.mkdir_p(path);
   });
 }
 
-void ReplicaManager::mirror_create(const std::string& stored_path, std::uint32_t mode,
-                                   std::uint32_t uid) {
-  for_each_replica(stored_path, 96,
-                   [mode, uid](fs::LocalFs& store, const std::string& path) {
-                     const auto [parent, name] = dir_and_name(path);
-                     if (const auto dir = store.mkdir_p(parent); dir.ok()) {
-                       (void)store.create(*dir, name, mode, uid);
-                     }
-                   });
+std::size_t ReplicaManager::mirror_mkdir_p(const std::string& stored_path) {
+  return for_each_replica(stored_path, 96,
+                          [](fs::LocalFs& store, const std::string& path) {
+                            (void)store.mkdir_p(path);
+                          });
 }
 
-void ReplicaManager::mirror_write(const std::string& stored_path, std::uint64_t offset,
-                                  std::string_view data) {
-  for_each_replica(stored_path, data.size(),
-                   [offset, data](fs::LocalFs& store, const std::string& path) {
-                     if (const auto inode = store.resolve(path); inode.ok()) {
-                       (void)store.write(*inode, offset, data);
-                     }
-                   });
+std::size_t ReplicaManager::mirror_create(const std::string& stored_path, std::uint32_t mode,
+                                          std::uint32_t uid) {
+  return for_each_replica(stored_path, 96,
+                          [mode, uid](fs::LocalFs& store, const std::string& path) {
+                            const auto [parent, name] = dir_and_name(path);
+                            if (const auto dir = store.mkdir_p(parent); dir.ok()) {
+                              (void)store.create(*dir, name, mode, uid);
+                            }
+                          });
 }
 
-void ReplicaManager::mirror_truncate(const std::string& stored_path, std::uint64_t size) {
-  for_each_replica(stored_path, 96, [size](fs::LocalFs& store, const std::string& path) {
-    if (const auto inode = store.resolve(path); inode.ok()) {
-      (void)store.truncate(*inode, size);
-    }
-  });
+std::size_t ReplicaManager::mirror_write(const std::string& stored_path, std::uint64_t offset,
+                                         std::string_view data) {
+  return for_each_replica(stored_path, data.size(),
+                          [offset, data](fs::LocalFs& store, const std::string& path) {
+                            if (const auto inode = store.resolve(path); inode.ok()) {
+                              (void)store.write(*inode, offset, data);
+                            }
+                          });
 }
 
-void ReplicaManager::mirror_set_mode(const std::string& stored_path, std::uint32_t mode) {
-  for_each_replica(stored_path, 96, [mode](fs::LocalFs& store, const std::string& path) {
-    if (const auto inode = store.resolve(path); inode.ok()) {
-      (void)store.set_mode(*inode, mode);
-    }
-  });
+std::size_t ReplicaManager::mirror_truncate(const std::string& stored_path,
+                                            std::uint64_t size) {
+  return for_each_replica(stored_path, 96,
+                          [size](fs::LocalFs& store, const std::string& path) {
+                            if (const auto inode = store.resolve(path); inode.ok()) {
+                              (void)store.truncate(*inode, size);
+                            }
+                          });
 }
 
-void ReplicaManager::mirror_symlink(const std::string& stored_path, const std::string& target) {
-  for_each_replica(stored_path, 96, [&target](fs::LocalFs& store, const std::string& path) {
-    const auto [parent, name] = dir_and_name(path);
-    if (const auto dir = store.mkdir_p(parent); dir.ok()) {
-      (void)store.symlink(*dir, name, target);
-    }
-  });
+std::size_t ReplicaManager::mirror_set_mode(const std::string& stored_path,
+                                            std::uint32_t mode) {
+  return for_each_replica(stored_path, 96,
+                          [mode](fs::LocalFs& store, const std::string& path) {
+                            if (const auto inode = store.resolve(path); inode.ok()) {
+                              (void)store.set_mode(*inode, mode);
+                            }
+                          });
 }
 
-void ReplicaManager::mirror_remove(const std::string& stored_path) {
-  for_each_replica(stored_path, 96, [](fs::LocalFs& store, const std::string& path) {
-    const auto [parent, name] = dir_and_name(path);
-    if (const auto dir = store.resolve(parent); dir.ok()) {
-      (void)store.remove(*dir, name);
-    }
-  });
+std::size_t ReplicaManager::mirror_symlink(const std::string& stored_path,
+                                           const std::string& target) {
+  return for_each_replica(stored_path, 96,
+                          [&target](fs::LocalFs& store, const std::string& path) {
+                            const auto [parent, name] = dir_and_name(path);
+                            if (const auto dir = store.mkdir_p(parent); dir.ok()) {
+                              (void)store.symlink(*dir, name, target);
+                            }
+                          });
 }
 
-void ReplicaManager::mirror_rmdir(const std::string& stored_path) {
-  for_each_replica(stored_path, 96, [](fs::LocalFs& store, const std::string& path) {
-    const auto [parent, name] = dir_and_name(path);
-    if (const auto dir = store.resolve(parent); dir.ok()) {
-      (void)store.rmdir(*dir, name);
-    }
-  });
+std::size_t ReplicaManager::mirror_remove(const std::string& stored_path) {
+  return for_each_replica(stored_path, 96,
+                          [](fs::LocalFs& store, const std::string& path) {
+                            const auto [parent, name] = dir_and_name(path);
+                            if (const auto dir = store.resolve(parent); dir.ok()) {
+                              (void)store.remove(*dir, name);
+                            }
+                          });
 }
 
-void ReplicaManager::mirror_remove_recursive(const std::string& stored_path) {
-  for_each_replica(stored_path, 96, [](fs::LocalFs& store, const std::string& path) {
-    const auto [parent, name] = dir_and_name(path);
-    if (const auto dir = store.resolve(parent); dir.ok()) {
-      (void)store.remove_recursive(*dir, name);
-    }
-  });
+std::size_t ReplicaManager::mirror_rmdir(const std::string& stored_path) {
+  return for_each_replica(stored_path, 96,
+                          [](fs::LocalFs& store, const std::string& path) {
+                            const auto [parent, name] = dir_and_name(path);
+                            if (const auto dir = store.resolve(parent); dir.ok()) {
+                              (void)store.rmdir(*dir, name);
+                            }
+                          });
 }
 
-void ReplicaManager::mirror_rename(const std::string& from_path, const std::string& to_path) {
-  if (anchor_of(from_path).empty()) return;
-  ClockPauser pause(*runtime_->clock);
-  for (const net::HostId host : live_target_hosts()) {
-    SpanScope span(runtime_->tracer, "replica.mirror", host_);
-    if (span.active()) span.tag("target", std::to_string(host));
-    if (mirror_ops_ != nullptr) mirror_ops_->inc();
-    runtime_->network->charge_message(host_, host, 96);
+std::size_t ReplicaManager::mirror_remove_recursive(const std::string& stored_path) {
+  return for_each_replica(stored_path, 96,
+                          [](fs::LocalFs& store, const std::string& path) {
+                            const auto [parent, name] = dir_and_name(path);
+                            if (const auto dir = store.resolve(parent); dir.ok()) {
+                              (void)store.remove_recursive(*dir, name);
+                            }
+                          });
+}
+
+std::size_t ReplicaManager::mirror_rename(const std::string& from_path,
+                                          const std::string& to_path) {
+  if (anchor_of(from_path).empty()) return 0;
+  return fan_out(96, [&](net::HostId host) {
     fs::LocalFs* store = store_of(host);
-    if (store == nullptr) continue;
+    if (store == nullptr) return;
     const auto [from_parent, from_name] = dir_and_name(hidden_root(id_) + from_path);
     const auto [to_parent, to_name] = dir_and_name(hidden_root(id_) + to_path);
     const auto fd = store->resolve(from_parent);
     const auto td = store->mkdir_p(to_parent);
     if (fd.ok() && td.ok()) (void)store->rename(*fd, from_name, *td, to_name);
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------

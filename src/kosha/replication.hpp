@@ -6,8 +6,12 @@
 // on its K closest leaf-set neighbors. Replicas live in a hidden area of
 // the replica node's store (/.r/<primary-id>/...), inaccessible through
 // koshad, and count against the node's capacity. The primary:
-//   * mirrors every mutation to its replicas (asynchronously — the clock
-//     is paused, the traffic is still counted),
+//   * mirrors every mutation to its replicas. How the fan-out charges the
+//     foreground op depends on KoshaConfig::mirror_mode: off the critical
+//     path entirely (kBackground, the paper's model — traffic counted, no
+//     delay), one wire at a time (kSequential — the op pays the sum), or
+//     all K wires at once (kOverlapped — the op pays only the slowest
+//     target),
 //   * re-establishes replicas when its leaf set changes,
 //   * migrates anchors whose key space moved to a newly joined node,
 //   * and is replaced on failure by the neighbor that now owns its keys,
@@ -31,6 +35,20 @@ inline constexpr const char* kMigrationFlag = "MIGRATION_NOT_COMPLETE";
 /// Reserved top-level directory holding replica copies on each node.
 inline constexpr const char* kReplicaArea = ".r";
 
+/// Per-primary mirroring costs, kept in both charging models so any mode's
+/// run can report what the other two would have cost (bench/concurrency
+/// compares them without re-running).
+struct MirrorStats {
+  std::uint64_t rpcs = 0;     // individual mirror messages sent
+  std::uint64_t batches = 0;  // mutations that fanned out (>=1 live target)
+  /// Total wire time one-at-a-time execution would charge (sum over
+  /// targets) vs. all-at-once execution (max per batch, accumulated).
+  SimDuration sequential{};
+  SimDuration overlapped{};
+
+  friend bool operator==(const MirrorStats&, const MirrorStats&) = default;
+};
+
 class ReplicaManager {
  public:
   ReplicaManager(Runtime* runtime, net::HostId host, pastry::NodeId id);
@@ -51,17 +69,23 @@ class ReplicaManager {
   [[nodiscard]] const std::vector<pastry::NodeId>& targets() const { return targets_; }
 
   // --- mutation mirroring (called by koshad after the primary op) -------
-  void mirror_mkdir_p(const std::string& stored_path);
-  void mirror_create(const std::string& stored_path, std::uint32_t mode, std::uint32_t uid);
-  void mirror_write(const std::string& stored_path, std::uint64_t offset,
-                    std::string_view data);
-  void mirror_truncate(const std::string& stored_path, std::uint64_t size);
-  void mirror_set_mode(const std::string& stored_path, std::uint32_t mode);
-  void mirror_symlink(const std::string& stored_path, const std::string& target);
-  void mirror_remove(const std::string& stored_path);
-  void mirror_rmdir(const std::string& stored_path);
-  void mirror_remove_recursive(const std::string& stored_path);
-  void mirror_rename(const std::string& from_path, const std::string& to_path);
+  // Each returns the number of mirror messages actually sent (0 when the
+  // path is outside any registered anchor or no target is live), so the
+  // caller can account the fan-out it triggered.
+  std::size_t mirror_mkdir_p(const std::string& stored_path);
+  std::size_t mirror_create(const std::string& stored_path, std::uint32_t mode,
+                            std::uint32_t uid);
+  std::size_t mirror_write(const std::string& stored_path, std::uint64_t offset,
+                           std::string_view data);
+  std::size_t mirror_truncate(const std::string& stored_path, std::uint64_t size);
+  std::size_t mirror_set_mode(const std::string& stored_path, std::uint32_t mode);
+  std::size_t mirror_symlink(const std::string& stored_path, const std::string& target);
+  std::size_t mirror_remove(const std::string& stored_path);
+  std::size_t mirror_rmdir(const std::string& stored_path);
+  std::size_t mirror_remove_recursive(const std::string& stored_path);
+  std::size_t mirror_rename(const std::string& from_path, const std::string& to_path);
+
+  [[nodiscard]] const MirrorStats& mirror_stats() const { return mirror_stats_; }
 
   // --- membership events (wired to the overlay leaf-set callback) -------
   /// React to a leaf-set change: refresh replica targets, migrate anchors
@@ -97,9 +121,14 @@ class ReplicaManager {
   [[nodiscard]] std::string anchor_of(const std::string& stored_path) const;
   /// Live replica target hosts for mirroring.
   [[nodiscard]] std::vector<net::HostId> live_target_hosts() const;
-  /// Apply `op` at the replicated stored path on every live target.
-  void for_each_replica(const std::string& stored_path, std::size_t payload,
-                        const std::function<void(fs::LocalFs&, const std::string&)>& op);
+  /// Charge + apply one mirror message per live target, under the
+  /// configured MirrorMode's timing model. `apply` receives the target
+  /// host; returns the number of messages sent.
+  std::size_t fan_out(std::size_t payload, const std::function<void(net::HostId)>& apply);
+  /// fan_out specialised to "apply `op` at the replicated stored path on
+  /// every live target" (every mirror op except rename).
+  std::size_t for_each_replica(const std::string& stored_path, std::size_t payload,
+                               const std::function<void(fs::LocalFs&, const std::string&)>& op);
 
   /// If a fault plan has `peer` (or this host) in a brownout right now,
   /// advance the virtual clock past the window (chained windows included)
@@ -145,6 +174,8 @@ class ReplicaManager {
   Counter* repairs_ = nullptr;        // incomplete copies repaired from a peer
   Counter* migrations_ = nullptr;     // anchors migrated to a new owner
   Counter* handoffs_ = nullptr;       // dead primaries' anchors handed off
+
+  MirrorStats mirror_stats_;
 
   /// stored anchor path -> effective (possibly salted) directory name.
   std::map<std::string, std::string> primaries_;

@@ -1,6 +1,10 @@
 #include "net/sim_network.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "common/metrics.hpp"
 
 namespace kosha::net {
 
@@ -56,6 +60,72 @@ void SimNetwork::charge_overlay_hop(HostId src, HostId dst) {
 void SimNetwork::charge_timeout() {
   ++stats_.timeouts;
   clock_->advance(config_.rpc_timeout);
+}
+
+SimNetwork::WirePlan SimNetwork::plan_message(HostId src, HostId dst,
+                                              std::size_t payload_bytes, SimDuration at) {
+  // Mirrors try_message byte-for-byte on the counters and the Rng stream
+  // (judge, then one spike draw per delivered non-local message) so a
+  // single-in-flight event-driven schedule replays the serial model's
+  // numbers exactly.
+  SimDuration spike{};
+  if (fault_plan_ != nullptr) {
+    switch (fault_plan_->judge(src, dst, at)) {
+      case FaultPlan::Delivery::kDeliver:
+        break;
+      case FaultPlan::Delivery::kDrop:
+      case FaultPlan::Delivery::kBrownout:
+        ++stats_.drops;
+        return {};
+      case FaultPlan::Delivery::kPartitioned:
+        ++stats_.partitioned;
+        return {};
+    }
+    if (src != dst) spike = fault_plan_->draw_spike();
+  }
+  ++stats_.messages;
+  stats_.bytes += payload_bytes;
+  const SimDuration latency = (src == dst) ? config_.local_latency : config_.hop_latency;
+  const SimDuration wire =
+      latency + SimDuration::nanos(config_.per_byte.ns * static_cast<std::int64_t>(payload_bytes));
+  return {true, at + wire + spike};
+}
+
+SimNetwork::HostObs& SimNetwork::host_obs(HostId host) {
+  if (host_obs_.size() <= host) host_obs_.resize(host + 1);
+  HostObs& obs = host_obs_[host];
+  if (obs.queue_delay == nullptr && metrics_ != nullptr) {
+    const std::string prefix = "node." + std::to_string(host);
+    obs.queue_delay = metrics_->histogram(prefix + ".net.queue_delay_us");
+    obs.inflight = metrics_->gauge(prefix + ".server.inflight");
+  }
+  return obs;
+}
+
+SimDuration SimNetwork::begin_service(HostId host, SimDuration arrival) {
+  if (busy_until_.size() <= host) busy_until_.resize(host + 1, SimDuration{});
+  const SimDuration begin = std::max(arrival, busy_until_[host]);
+  const SimDuration delay = begin - arrival;
+  stats_.queue_delay_ns += static_cast<std::uint64_t>(delay.ns);
+  if (metrics_ != nullptr) {
+    if (Histogram* h = host_obs(host).queue_delay) h->record(delay.to_micros());
+  }
+  return begin;
+}
+
+void SimNetwork::end_service(HostId host, SimDuration until) {
+  if (busy_until_.size() <= host) busy_until_.resize(host + 1, SimDuration{});
+  busy_until_[host] = std::max(busy_until_[host], until);
+}
+
+void SimNetwork::note_inflight(HostId host, int delta) {
+  if (inflight_.size() <= host) inflight_.resize(host + 1, 0);
+  inflight_[host] += delta;
+  stats_.inflight_peak =
+      std::max(stats_.inflight_peak, static_cast<std::uint64_t>(std::max(0, inflight_[host])));
+  if (metrics_ != nullptr) {
+    if (Gauge* g = host_obs(host).inflight) g->set(static_cast<double>(inflight_[host]));
+  }
 }
 
 }  // namespace kosha::net

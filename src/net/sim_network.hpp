@@ -22,6 +22,9 @@
 #include "net/fault_plan.hpp"
 
 namespace kosha {
+class EventLoop;
+class Gauge;
+class Histogram;
 class MetricsRegistry;
 class Tracer;
 }  // namespace kosha
@@ -73,6 +76,13 @@ struct NetStats {
   std::uint64_t retries = 0;
   /// Messages blocked by an active partition window.
   std::uint64_t partitioned = 0;
+  /// Total virtual time requests spent queued behind earlier requests at
+  /// their destination's service queue (event-driven execution only — the
+  /// serial model admits every request instantly).
+  std::uint64_t queue_delay_ns = 0;
+  /// Highest number of simultaneously in-flight (arrived, not yet
+  /// completed) RPCs observed at any single host.
+  std::uint64_t inflight_peak = 0;
   /// Per-procedure breakdown of client RPC traffic (a slice of the
   /// aggregates above; overlay/replication traffic has no procedure).
   std::array<ProcNetStats, kNetProcSlots> per_proc{};
@@ -109,6 +119,47 @@ class SimNetwork {
   /// Install (or clear, with nullptr) the fault plan.
   void set_fault_plan(std::unique_ptr<FaultPlan> plan) { fault_plan_ = std::move(plan); }
   [[nodiscard]] FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
+  // --- event-driven delivery (completion-based RPC path) ------------------
+
+  /// Attach the discrete-event scheduler. Non-null switches NfsClient's
+  /// synchronous API onto the completion-based core; null (the default)
+  /// keeps the legacy serial call-and-advance model.
+  void set_event_loop(EventLoop* loop) { loop_ = loop; }
+  [[nodiscard]] EventLoop* loop() const { return loop_; }
+
+  /// Verdict of plan_message: whether the wire delivers, and when.
+  struct WirePlan {
+    bool delivered = false;
+    SimDuration arrival{};
+  };
+
+  /// Plan one one-way message sent at `at` without touching the clock:
+  /// judge it under the fault plan (same Rng draw order as try_message —
+  /// one drop draw per judged message, one spike draw per delivered
+  /// non-local message) and compute the arrival time from latency plus
+  /// per-byte cost plus any spike. Counters update exactly as
+  /// try_message's would; the caller turns `arrival` into a delivery
+  /// event instead of advancing the clock.
+  [[nodiscard]] WirePlan plan_message(HostId src, HostId dst, std::size_t payload_bytes,
+                                      SimDuration at);
+
+  /// Admit a request arriving at `arrival` to `host`'s FIFO service
+  /// queue: returns when service can begin (the previous request's
+  /// departure, if later) and records the queueing delay in the per-node
+  /// `net.queue_delay` histogram.
+  [[nodiscard]] SimDuration begin_service(HostId host, SimDuration arrival);
+  /// Mark `host`'s server busy until `until` (the departure time of the
+  /// request admitted by begin_service).
+  void end_service(HostId host, SimDuration until);
+  /// Adjust `host`'s in-flight RPC count (arrived, not yet completed),
+  /// feeding the per-node `server.inflight` gauge and the peak counter.
+  void note_inflight(HostId host, int delta);
+
+  /// Count a timeout whose duration elapses as a scheduled event rather
+  /// than an immediate clock advance (the event-driven twin of
+  /// charge_timeout).
+  void note_timeout() { ++stats_.timeouts; }
 
   /// Record one client retransmission of procedure `proc_slot` (kept here
   /// so every chaos counter lives in NetStats).
@@ -155,6 +206,14 @@ class SimNetwork {
   [[nodiscard]] const NetStats& stats() const { return stats_; }
 
  private:
+  /// Lazily-resolved per-host instruments (null until first use or when
+  /// metrics are off).
+  struct HostObs {
+    Histogram* queue_delay = nullptr;
+    Gauge* inflight = nullptr;
+  };
+  [[nodiscard]] HostObs& host_obs(HostId host);
+
   NetworkConfig config_;
   SimClock* clock_;
   std::vector<bool> up_;
@@ -162,6 +221,12 @@ class SimNetwork {
   std::unique_ptr<FaultPlan> fault_plan_;
   MetricsRegistry* metrics_ = nullptr;
   Tracer* tracer_ = nullptr;
+  EventLoop* loop_ = nullptr;
+  /// Per-host single-server FIFO queues: when each host's service slot
+  /// frees up. Only the event-driven path reads or writes these.
+  std::vector<SimDuration> busy_until_;
+  std::vector<int> inflight_;
+  std::vector<HostObs> host_obs_;
 };
 
 }  // namespace kosha::net

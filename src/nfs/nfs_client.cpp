@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <string>
 
 #include "common/metrics.hpp"
@@ -35,14 +36,16 @@ bool NfsClient::deliver_reply(net::HostId server, std::size_t reply_bytes) {
   return network_->try_message(server, self_, reply_bytes);
 }
 
-void NfsClient::backoff(unsigned attempt) {
+SimDuration NfsClient::backoff_duration(unsigned attempt) {
   SimDuration wait = retry_.backoff_for(attempt);
   if (retry_.jitter > 0.0) {
     wait += SimDuration::nanos(static_cast<std::int64_t>(
         static_cast<double>(wait.ns) * retry_.jitter * jitter_rng_.next_double()));
   }
-  network_->clock().advance(wait);
+  return wait;
 }
+
+void NfsClient::backoff(unsigned attempt) { network_->clock().advance(backoff_duration(attempt)); }
 
 NfsClient::ProcMetrics& NfsClient::proc_metrics(NfsProc proc) {
   ProcMetrics& pm = proc_metrics_[proc_slot(proc)];
@@ -88,6 +91,23 @@ template <typename ReplyT, typename Invoke, typename ReplyBytes>
 NfsResult<ReplyT> NfsClient::transact_impl(std::size_t proc_slot, net::HostId server,
                                            std::size_t request_bytes, Invoke&& invoke,
                                            ReplyBytes&& reply_bytes) {
+  // Event-driven execution: run the RPC through the completion-based core
+  // and drive the loop until our completion fires — the thin synchronous
+  // wrapper of the async split. A paused clock falls back to the serial
+  // path, where charges are already no-ops (background work must not
+  // occupy real service-queue time).
+  if (EventLoop* loop = network_->loop();
+      loop != nullptr && !network_->clock().paused()) {
+    std::optional<NfsResult<ReplyT>> final_reply;
+    call_async<ReplyT>(proc_slot, server, request_bytes, std::forward<Invoke>(invoke),
+                       std::forward<ReplyBytes>(reply_bytes),
+                       [&final_reply](NfsResult<ReplyT> r) { final_reply = std::move(r); });
+    loop->run_until([&final_reply] { return final_reply.has_value(); });
+    assert(final_reply.has_value());
+    if (!final_reply.has_value()) return NfsStat::kTimedOut;
+    return *std::move(final_reply);
+  }
+
   const unsigned attempts = std::max(1u, retry_.max_attempts);
   // Whether any request was delivered (and thus the procedure executed at
   // least once). Decides the give-up status: kTimedOut when the op may

@@ -21,10 +21,14 @@
 // may have executed with its reply lost — re-issuing a non-idempotent op
 // requires adopting an already-applied result; see koshad's ladder).
 
+#include <algorithm>
 #include <array>
+#include <functional>
+#include <memory>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/event_loop.hpp"
 #include "common/rng.hpp"
 #include "nfs/nfs_server.hpp"
 #include "nfs/retry_policy.hpp"
@@ -65,6 +69,21 @@ class NfsClient {
   [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
   void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
 
+  /// The completion-based RPC core of the event-driven execution model.
+  /// Sends the request now; every later step — wire arrival, admission to
+  /// the destination's service queue, execution, the reply's wire trip,
+  /// timeout detection, and retry backoff — is a scheduled event on the
+  /// network's event loop, so other work interleaves with this RPC in
+  /// virtual time. `done` fires from the loop with the final result (the
+  /// reply, or kTimedOut/kUnreachable once retries are exhausted — same
+  /// semantics as the synchronous path, which is now a thin wrapper that
+  /// drives the loop until its own completion fires). Requires
+  /// `network()->loop() != nullptr`.
+  template <typename ReplyT, typename Invoke, typename ReplyBytes>
+  void call_async(std::size_t proc_slot, net::HostId server, std::size_t request_bytes,
+                  Invoke invoke, ReplyBytes reply_bytes,
+                  std::function<void(NfsResult<ReplyT>)> done);
+
   /// Fetch the root handle of a server's export (MOUNT protocol stand-in).
   [[nodiscard]] NfsResult<FileHandle> mount(net::HostId server);
 
@@ -103,6 +122,10 @@ class NfsClient {
 
   SendOutcome send_request(net::HostId server, std::size_t request_bytes, NfsServer** out);
   [[nodiscard]] bool deliver_reply(net::HostId server, std::size_t reply_bytes);
+  /// Exponential backoff (with jitter) before retry `attempt`; consumes
+  /// one jitter draw. The serial path charges it on the clock, the async
+  /// path turns it into a timer event.
+  [[nodiscard]] SimDuration backoff_duration(unsigned attempt);
   /// Charge the exponential backoff (with jitter) before retry `attempt`.
   void backoff(unsigned attempt);
 
@@ -147,5 +170,142 @@ class NfsClient {
   Rng jitter_rng_;
   std::array<ProcMetrics, net::kNetProcSlots> proc_metrics_{};
 };
+
+// ---------------------------------------------------------------------------
+// call_async — the event-driven RPC state machine
+// ---------------------------------------------------------------------------
+// One heap-allocated Call per RPC, kept alive by the events it schedules.
+// The timeline replays the serial retry loop exactly when nothing else is
+// in flight: the fault plan judges each message at the same virtual
+// instants, the jitter stream is drawn in the same order, and every
+// NetStats counter moves identically — that equivalence is what lets the
+// synchronous wrapper switch execution models without changing a number.
+
+template <typename ReplyT, typename Invoke, typename ReplyBytes>
+void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
+                           std::size_t request_bytes, Invoke invoke,
+                           ReplyBytes reply_bytes,
+                           std::function<void(NfsResult<ReplyT>)> done) {
+  struct Call : std::enable_shared_from_this<Call> {
+    NfsClient* c = nullptr;
+    EventLoop* loop = nullptr;
+    std::size_t slot = 0;
+    net::HostId server = net::kInvalidHost;
+    std::size_t request_bytes = 0;
+    Invoke invoke;
+    ReplyBytes reply_bytes;
+    std::function<void(NfsResult<ReplyT>)> done;
+    unsigned attempt = 0;
+    /// Whether any request was delivered (see transact_impl): decides
+    /// kTimedOut vs kUnreachable when attempts run out.
+    bool executed = false;
+
+    Call(Invoke&& inv, ReplyBytes&& rb) : invoke(std::move(inv)), reply_bytes(std::move(rb)) {}
+
+    void give_up() { done(executed ? NfsStat::kTimedOut : NfsStat::kUnreachable); }
+
+    /// Count a timeout now; let its duration elapse as an event, then
+    /// continue with `next`.
+    void timeout_then(void (Call::*next)()) {
+      c->network_->note_timeout();
+      c->network_->note_proc_timeout(slot);
+      auto self = this->shared_from_this();
+      loop->schedule_after(c->network_->config().rpc_timeout,
+                           [self, next] { ((*self).*next)(); });
+    }
+
+    void retry_or_fail() {
+      if (attempt + 1 >= std::max(1u, c->retry_.max_attempts)) {
+        give_up();
+        return;
+      }
+      c->network_->count_retry(slot);
+      const SimDuration wait = c->backoff_duration(attempt);
+      ++attempt;
+      auto self = this->shared_from_this();
+      loop->schedule_after(wait, [self] { self->start(); });
+    }
+
+    /// One transmission attempt (retransmissions re-enter here under the
+    /// same xid — the invoke closure carries it).
+    void start() {
+      NfsServer* s = c->directory_->find(server);
+      if (s == nullptr || !c->network_->is_up(server)) {
+        // Permanent death: one timeout, no retries (see transact_impl).
+        c->network_->note_timeout();
+        c->network_->note_proc_timeout(slot);
+        auto self = this->shared_from_this();
+        loop->schedule_after(c->network_->config().rpc_timeout, [self] { self->give_up(); });
+        return;
+      }
+      const auto plan = c->network_->plan_message(c->self_, server, request_bytes, loop->now());
+      if (!plan.delivered) {
+        timeout_then(&Call::retry_or_fail);
+        return;
+      }
+      c->network_->note_proc_message(slot, request_bytes);
+      auto self = this->shared_from_this();
+      loop->schedule_at(plan.arrival, [self] { self->arrive(); });
+    }
+
+    /// The request reached the server: queue behind whatever it is
+    /// already serving (this wait is the measured `net.queue_delay`).
+    void arrive() {
+      const SimDuration begin = c->network_->begin_service(server, loop->now());
+      c->network_->note_inflight(server, +1);
+      auto self = this->shared_from_this();
+      loop->schedule_at(begin, [self] { self->execute(); });
+    }
+
+    void execute() {
+      NfsServer* s = c->directory_->find(server);
+      if (s == nullptr || !c->network_->is_up(server)) {
+        // Died while the request sat in its queue: indistinguishable from
+        // a lost reply for the client.
+        c->network_->note_inflight(server, -1);
+        executed = true;
+        timeout_then(&Call::retry_or_fail);
+        return;
+      }
+      executed = true;
+      // The procedure's service-time charges advance the clock from the
+      // service-begin instant, so server-side spans keep real virtual
+      // start/end times; the elapsed cost becomes this host's queue
+      // occupancy.
+      NfsResult<ReplyT> reply = invoke(*s);
+      const SimDuration end = loop->now();
+      c->network_->end_service(server, end);
+      auto self = this->shared_from_this();
+      auto boxed = std::make_shared<NfsResult<ReplyT>>(std::move(reply));
+      loop->schedule_at(end, [self, boxed] { self->depart(std::move(*boxed)); });
+    }
+
+    /// Service finished: send the reply back over the wire.
+    void depart(NfsResult<ReplyT> reply) {
+      c->network_->note_inflight(server, -1);
+      const std::size_t rb = reply_bytes(reply);
+      const auto plan = c->network_->plan_message(server, c->self_, rb, loop->now());
+      if (!plan.delivered) {
+        // Reply lost: the op may have executed — the retransmission
+        // reuses the xid so the server's DRC returns this very reply.
+        timeout_then(&Call::retry_or_fail);
+        return;
+      }
+      c->network_->note_proc_message(slot, rb);
+      auto self = this->shared_from_this();
+      auto boxed = std::make_shared<NfsResult<ReplyT>>(std::move(reply));
+      loop->schedule_at(plan.arrival, [self, boxed] { self->done(std::move(*boxed)); });
+    }
+  };
+
+  auto call = std::make_shared<Call>(std::move(invoke), std::move(reply_bytes));
+  call->c = this;
+  call->loop = network_->loop();
+  call->slot = proc_slot;
+  call->server = server;
+  call->request_bytes = request_bytes;
+  call->done = std::move(done);
+  call->start();
+}
 
 }  // namespace kosha::nfs

@@ -1,0 +1,106 @@
+#include "sim/concurrency_driver.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
+
+namespace kosha::sim {
+
+namespace {
+
+/// Deterministic per-file content: depends only on (client, file, size).
+std::string file_content(std::size_t client, std::size_t file, std::size_t bytes) {
+  const std::string stamp =
+      "c" + std::to_string(client) + "f" + std::to_string(file) + ":";
+  std::string out;
+  out.reserve(bytes);
+  while (out.size() < bytes) {
+    out.append(stamp, 0, std::min(stamp.size(), bytes - out.size()));
+  }
+  return out;
+}
+
+struct Client {
+  std::unique_ptr<KoshaMount> mount;
+  std::string root;       // "/u<c>"
+  SimDuration local{};    // this client's virtual finish time so far
+  std::size_t next_op = 0;
+  std::size_t total_ops = 0;
+};
+
+}  // namespace
+
+WorkloadResult run_multi_client_workload(KoshaCluster& cluster,
+                                         const WorkloadConfig& config) {
+  WorkloadResult result;
+  const std::vector<net::HostId> hosts = cluster.live_hosts();
+  if (config.clients == 0 || hosts.empty()) return result;
+
+  SimClock& clock = cluster.clock();
+  const SimDuration t0 = clock.now();
+  const std::size_t ops_per_client =
+      1 + config.files_per_client + config.files_per_client * config.reads_per_file;
+
+  std::vector<Client> clients(config.clients);
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    clients[c].mount =
+        std::make_unique<KoshaMount>(&cluster.daemon(hosts[c % hosts.size()]));
+    clients[c].root = "/u" + std::to_string(c);
+    clients[c].local = t0;
+    clients[c].total_ops = ops_per_client;
+  }
+
+  // Conservative discrete-event interleaving: always advance the client
+  // with the lowest local time (lowest index on ties), so storage-node
+  // service queues see arrivals in timestamp order and the schedule is a
+  // pure function of the cluster seed.
+  SimDuration finish = t0;
+  for (;;) {
+    std::size_t pick = clients.size();
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      if (clients[c].next_op >= clients[c].total_ops) continue;
+      if (pick == clients.size() || clients[c].local < clients[pick].local) pick = c;
+    }
+    if (pick == clients.size()) break;  // every client is done
+
+    Client& cl = clients[pick];
+    if (config.overlap) clock.set_now(cl.local);
+    const SimDuration before = clock.now();
+
+    const std::size_t op = cl.next_op++;
+    const std::size_t c = pick;
+    bool ok = false;
+    if (op == 0) {
+      ok = cl.mount->mkdir_p(cl.root).ok();
+    } else if (op <= config.files_per_client) {
+      const std::size_t file = op - 1;
+      const std::string path = cl.root + "/f" + std::to_string(file);
+      ok = cl.mount->write_file(path, file_content(c, file, config.file_bytes)).ok();
+    } else {
+      const std::size_t file = (op - 1 - config.files_per_client) % config.files_per_client;
+      const std::string path = cl.root + "/f" + std::to_string(file);
+      const auto read = cl.mount->read_file(path);
+      ok = read.ok() && read.value() == file_content(c, file, config.file_bytes);
+    }
+
+    const SimDuration took = clock.now() - before;
+    cl.local = clock.now();
+    if (cl.local > finish) finish = cl.local;
+    ++result.ops;
+    if (!ok) ++result.failures;
+    result.busy += took;
+    if (took > result.max_op) result.max_op = took;
+  }
+
+  // Leave the cluster clock at the workload's end: the latest client
+  // finish when timelines overlapped (serial runs are already there).
+  if (config.overlap) clock.set_now(finish);
+  result.makespan = finish - t0;
+  return result;
+}
+
+}  // namespace kosha::sim

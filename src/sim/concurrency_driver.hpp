@@ -1,0 +1,61 @@
+#pragma once
+
+// Multi-client workload driver for the event-driven execution model.
+//
+// Runs N simulated clients against one cluster, each mounting /kosha on
+// its own host and working in a private /u<c> subtree (mkdir, then a
+// create/write pass, then a read pass that verifies content). Client
+// timelines are interleaved conservatively: the driver always runs the
+// client with the lowest local virtual time next (ties broken by lowest
+// client index), hopping the cluster clock between per-client timelines,
+// so service-queue contention at the storage nodes is observed in
+// timestamp order and the schedule is deterministic for a given seed.
+//
+// With `overlap` off the same op sequence is charged serially — every
+// client pays for every other client's ops — which is the legacy
+// one-RPC-at-a-time model. bench/concurrency_bench compares the two.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/sim_clock.hpp"
+
+namespace kosha {
+class KoshaCluster;
+}
+
+namespace kosha::sim {
+
+struct WorkloadConfig {
+  std::size_t clients = 4;
+  std::size_t files_per_client = 4;
+  std::size_t file_bytes = 4096;
+  /// Whole-file reads (with content verification) per file after the
+  /// write pass.
+  std::size_t reads_per_file = 2;
+  /// true: client timelines overlap (makespan = latest finish − start).
+  /// false: ops are charged back-to-back (makespan = sum of all ops).
+  bool overlap = true;
+};
+
+struct WorkloadResult {
+  SimDuration makespan{};
+  /// Sum of per-op latencies across all clients (the serial-equivalent
+  /// cost of the same schedule).
+  SimDuration busy{};
+  SimDuration max_op{};
+  std::size_t ops = 0;
+  /// Ops that failed outright plus reads returning the wrong content.
+  std::size_t failures = 0;
+
+  [[nodiscard]] double mean_op_us() const {
+    return ops == 0 ? 0.0 : busy.to_micros() / static_cast<double>(ops);
+  }
+};
+
+/// Run the workload on `cluster` (which must outlive the call). The
+/// cluster's clock ends at the workload's finish time.
+[[nodiscard]] WorkloadResult run_multi_client_workload(KoshaCluster& cluster,
+                                                       const WorkloadConfig& config);
+
+}  // namespace kosha::sim
