@@ -9,6 +9,7 @@ NfsMount::NfsMount(net::SimNetwork* network, const nfs::ServerDirectory* directo
     : client_(network, directory, client), server_(server) {}
 
 void NfsMount::invalidate(const std::string& path) {
+  // kosha-lint: allow(unordered-iter): erase-sweep — survivors independent of visit order
   for (auto it = handle_cache_.begin(); it != handle_cache_.end();) {
     if (path_is_within(it->first, path)) {
       it = handle_cache_.erase(it);

@@ -3,7 +3,7 @@
 // Shared infrastructure handles threaded through the Kosha components.
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "common/sim_clock.hpp"
 #include "kosha/config.hpp"
@@ -41,7 +41,10 @@ struct Runtime {
   Tracer* tracer = nullptr;
 
   /// Per-host replica managers, filled in by the cluster as nodes start.
-  std::unordered_map<net::HostId, ReplicaManager*> replica_managers;
+  /// Ordered map on purpose: ReplicaManager::promote walks it to pick a
+  /// repair donor, and that choice must be the same in every same-seed run
+  /// (kosha-lint rule D2 — unordered iteration order leaks into traces).
+  std::map<net::HostId, ReplicaManager*> replica_managers;
 
   /// Fault-injection hook for tests: when set and it returns true, an
   /// in-progress subtree copy aborts midway, leaving the

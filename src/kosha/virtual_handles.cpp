@@ -38,6 +38,7 @@ void VirtualHandleTable::drop(VirtualHandle vh) {
 }
 
 void VirtualHandleTable::drop_subtree(const std::string& path) {
+  // kosha-lint: allow(unordered-iter): erase-sweep — survivors independent of visit order
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (path_is_within(it->second.path, path)) {
       by_path_.erase(it->second.path);

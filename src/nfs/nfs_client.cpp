@@ -174,18 +174,22 @@ NfsResult<fs::Attr> NfsClient::getattr(FileHandle obj) {
 }
 
 NfsResult<fs::Attr> NfsClient::set_mode(FileHandle obj, std::uint32_t mode) {
+  // SETATTR is non-idempotent on the wire: the retransmission carries the
+  // same xid so the server's DRC answers an already-executed request.
+  const std::uint32_t xid = next_xid();
   return transact<fs::Attr>(
       NfsProc::kSetattr, obj.server,
-      encode_setattr_call(next_xid(), obj, true, mode, false, 0).size(),
-      [&](NfsServer& s) { return s.set_mode(obj, mode); },
+      encode_setattr_call(xid, obj, true, mode, false, 0).size(),
+      [&](NfsServer& s) { return s.set_mode(obj, mode, rpc_ctx(xid)); },
       [](const NfsResult<fs::Attr>&) { return kReplyBytes; });
 }
 
 NfsResult<fs::Attr> NfsClient::truncate(FileHandle obj, std::uint64_t size) {
+  const std::uint32_t xid = next_xid();
   return transact<fs::Attr>(
       NfsProc::kSetattr, obj.server,
-      encode_setattr_call(next_xid(), obj, false, 0, true, size).size(),
-      [&](NfsServer& s) { return s.truncate(obj, size); },
+      encode_setattr_call(xid, obj, false, 0, true, size).size(),
+      [&](NfsServer& s) { return s.truncate(obj, size, rpc_ctx(xid)); },
       [](const NfsResult<fs::Attr>&) { return kReplyBytes; });
 }
 

@@ -81,14 +81,14 @@ void NfsServer::charge_data(std::size_t bytes) {
   }
 }
 
-const NfsServer::DrcEntry* NfsServer::drc_find(RpcContext ctx, bool want_handle) {
+const NfsServer::DrcEntry* NfsServer::drc_find(RpcContext ctx, ReplyShape want) {
   if (!ctx.valid()) return nullptr;
   const auto it = drc_.find(drc_key(ctx));
   if (it == drc_.end()) {
     if (drc_miss_ != nullptr) drc_miss_->inc();
     return nullptr;
   }
-  if (it->second.boot != ctx.boot || it->second.is_handle != want_handle) {
+  if (it->second.boot != ctx.boot || it->second.shape != want) {
     // Stale entry from a previous client incarnation, or a (client, xid)
     // collision across procedure shapes: this is not a retransmission of
     // the cached request — re-execute instead of answering with a reply
@@ -172,26 +172,46 @@ NfsResult<fs::Attr> NfsServer::getattr(FileHandle obj) {
   return attr.value();
 }
 
-NfsResult<fs::Attr> NfsServer::set_mode(FileHandle obj, std::uint32_t mode) {
-  SpanScope span(tracer_, "server.set_mode", host_);
+NfsResult<fs::Attr> NfsServer::set_mode(FileHandle obj, std::uint32_t mode,
+                                        RpcContext ctx) {
+  SpanScope span(tracer_, ctx.trace, "server.set_mode", host_);
+  if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kAttr)) {
+    span.tag("drc", "hit");
+    charge(costs_.read_meta);
+    return hit->attr_reply;
+  }
   charge(costs_.metadata_op);
   const auto inode = resolve(obj);
   if (!inode.ok()) return fail(span, inode.error());
+  NfsResult<fs::Attr> reply = NfsStat::kInval;
   if (const auto r = store_.set_mode(inode.value(), mode); !r.ok()) {
-    return fail(span, from_fs(r.error()));
+    reply = fail(span, from_fs(r.error()));
+  } else {
+    reply = *store_.getattr(inode.value());
   }
-  return *store_.getattr(inode.value());
+  drc_store(ctx, {.attr_reply = reply, .shape = ReplyShape::kAttr});
+  return reply;
 }
 
-NfsResult<fs::Attr> NfsServer::truncate(FileHandle obj, std::uint64_t size) {
-  SpanScope span(tracer_, "server.truncate", host_);
+NfsResult<fs::Attr> NfsServer::truncate(FileHandle obj, std::uint64_t size,
+                                        RpcContext ctx) {
+  SpanScope span(tracer_, ctx.trace, "server.truncate", host_);
+  if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kAttr)) {
+    span.tag("drc", "hit");
+    charge(costs_.read_meta);
+    return hit->attr_reply;
+  }
   charge(costs_.metadata_op);
   const auto inode = resolve(obj);
   if (!inode.ok()) return fail(span, inode.error());
+  NfsResult<fs::Attr> reply = NfsStat::kInval;
   if (const auto r = store_.truncate(inode.value(), size); !r.ok()) {
-    return fail(span, from_fs(r.error()));
+    reply = fail(span, from_fs(r.error()));
+  } else {
+    reply = *store_.getattr(inode.value());
   }
-  return *store_.getattr(inode.value());
+  drc_store(ctx, {.attr_reply = reply, .shape = ReplyShape::kAttr});
+  return reply;
 }
 
 NfsResult<ReadReply> NfsServer::read(FileHandle file, std::uint64_t offset,
@@ -226,7 +246,7 @@ NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
   // Parent under the trace context the RPC carried: on a retransmission the
   // execution still joins the originating client operation's trace.
   SpanScope span(tracer_, ctx.trace, "server.create", host_);
-  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/true)) {
+  if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kHandle)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->handle_reply;
@@ -236,11 +256,11 @@ NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
   if (!d.ok()) return fail(span, d.error());
   const auto inode = store_.create(d.value(), name, mode, uid);
   if (!inode.ok()) {
-    drc_store(ctx, {from_fs(inode.error()), NfsStat::kInval, true});
+    drc_store(ctx, {.handle_reply = from_fs(inode.error()), .shape = ReplyShape::kHandle});
     return fail(span, from_fs(inode.error()));
   }
   const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
-  drc_store(ctx, {reply, NfsStat::kInval, true});
+  drc_store(ctx, {.handle_reply = reply, .shape = ReplyShape::kHandle});
   return reply;
 }
 
@@ -248,7 +268,7 @@ NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
                                         std::uint32_t mode, std::uint32_t uid,
                                         RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.mkdir", host_);
-  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/true)) {
+  if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kHandle)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->handle_reply;
@@ -258,18 +278,18 @@ NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
   if (!d.ok()) return fail(span, d.error());
   const auto inode = store_.mkdir(d.value(), name, mode, uid);
   if (!inode.ok()) {
-    drc_store(ctx, {from_fs(inode.error()), NfsStat::kInval, true});
+    drc_store(ctx, {.handle_reply = from_fs(inode.error()), .shape = ReplyShape::kHandle});
     return fail(span, from_fs(inode.error()));
   }
   const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
-  drc_store(ctx, {reply, NfsStat::kInval, true});
+  drc_store(ctx, {.handle_reply = reply, .shape = ReplyShape::kHandle});
   return reply;
 }
 
 NfsResult<HandleReply> NfsServer::symlink(FileHandle dir, std::string_view name,
                                           std::string_view target, RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.symlink", host_);
-  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/true)) {
+  if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kHandle)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->handle_reply;
@@ -279,11 +299,11 @@ NfsResult<HandleReply> NfsServer::symlink(FileHandle dir, std::string_view name,
   if (!d.ok()) return fail(span, d.error());
   const auto inode = store_.symlink(d.value(), name, target);
   if (!inode.ok()) {
-    drc_store(ctx, {from_fs(inode.error()), NfsStat::kInval, true});
+    drc_store(ctx, {.handle_reply = from_fs(inode.error()), .shape = ReplyShape::kHandle});
     return fail(span, from_fs(inode.error()));
   }
   const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
-  drc_store(ctx, {reply, NfsStat::kInval, true});
+  drc_store(ctx, {.handle_reply = reply, .shape = ReplyShape::kHandle});
   return reply;
 }
 
@@ -299,7 +319,7 @@ NfsResult<std::string> NfsServer::readlink(FileHandle link) {
 
 NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name, RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.remove", host_);
-  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/false)) {
+  if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kUnit)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->unit_reply;
@@ -311,13 +331,13 @@ NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name, RpcCont
   if (const auto r = store_.remove(d.value(), name); !r.ok()) {
     reply = fail(span, from_fs(r.error()));
   }
-  drc_store(ctx, {NfsStat::kInval, reply, false});
+  drc_store(ctx, {.unit_reply = reply, .shape = ReplyShape::kUnit});
   return reply;
 }
 
 NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name, RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.rmdir", host_);
-  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/false)) {
+  if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kUnit)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->unit_reply;
@@ -329,7 +349,7 @@ NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name, RpcConte
   if (const auto r = store_.rmdir(d.value(), name); !r.ok()) {
     reply = fail(span, from_fs(r.error()));
   }
-  drc_store(ctx, {NfsStat::kInval, reply, false});
+  drc_store(ctx, {.unit_reply = reply, .shape = ReplyShape::kUnit});
   return reply;
 }
 
@@ -337,7 +357,7 @@ NfsResult<Unit> NfsServer::rename(FileHandle from_dir, std::string_view from_nam
                                   FileHandle to_dir, std::string_view to_name,
                                   RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.rename", host_);
-  if (const DrcEntry* hit = drc_find(ctx, /*want_handle=*/false)) {
+  if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kUnit)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
     return hit->unit_reply;
@@ -351,7 +371,7 @@ NfsResult<Unit> NfsServer::rename(FileHandle from_dir, std::string_view from_nam
   if (const auto r = store_.rename(fd.value(), from_name, td.value(), to_name); !r.ok()) {
     reply = fail(span, from_fs(r.error()));
   }
-  drc_store(ctx, {NfsStat::kInval, reply, false});
+  drc_store(ctx, {.unit_reply = reply, .shape = ReplyShape::kUnit});
   return reply;
 }
 

@@ -58,8 +58,13 @@ class NfsServer {
   // --- RPC procedures (server-side; network costs are the client's) ---
   [[nodiscard]] NfsResult<HandleReply> lookup(FileHandle dir, std::string_view name);
   [[nodiscard]] NfsResult<fs::Attr> getattr(FileHandle obj);
-  [[nodiscard]] NfsResult<fs::Attr> set_mode(FileHandle obj, std::uint32_t mode);
-  [[nodiscard]] NfsResult<fs::Attr> truncate(FileHandle obj, std::uint64_t size);
+  // SETATTR-class procedures are non-idempotent on the wire (NFSv3 treats
+  // them so: guarded SETATTR races, size-changing truncates) and therefore
+  // take the caller's RpcContext like the other mutators below.
+  [[nodiscard]] NfsResult<fs::Attr> set_mode(FileHandle obj, std::uint32_t mode,
+                                             RpcContext ctx = {});
+  [[nodiscard]] NfsResult<fs::Attr> truncate(FileHandle obj, std::uint64_t size,
+                                             RpcContext ctx = {});
   [[nodiscard]] NfsResult<ReadReply> read(FileHandle file, std::uint64_t offset,
                                           std::uint32_t count);
   [[nodiscard]] NfsResult<std::uint32_t> write(FileHandle file, std::uint64_t offset,
@@ -101,13 +106,19 @@ class NfsServer {
   void clear_drc();
 
  private:
-  /// One remembered reply; exactly one of the two results is meaningful
-  /// depending on the cached procedure's reply shape (`is_handle`), and the
-  /// entry only answers requests from the same client incarnation (`boot`).
+  /// Which of a DrcEntry's result slots is meaningful — the cached
+  /// procedure's reply shape. Checked on lookup so a (client, xid) collision
+  /// across procedures never yields a reply of the wrong type.
+  enum class ReplyShape { kHandle, kUnit, kAttr };
+
+  /// One remembered reply; exactly one of the results is meaningful
+  /// depending on the cached procedure's reply shape, and the entry only
+  /// answers requests from the same client incarnation (`boot`).
   struct DrcEntry {
     NfsResult<HandleReply> handle_reply{NfsStat::kInval};
     NfsResult<Unit> unit_reply{NfsStat::kInval};
-    bool is_handle = false;
+    NfsResult<fs::Attr> attr_reply{NfsStat::kInval};
+    ReplyShape shape = ReplyShape::kUnit;
     std::uint64_t boot = 0;
   };
 
@@ -119,7 +130,7 @@ class NfsServer {
   [[nodiscard]] static std::uint64_t drc_key(RpcContext ctx) {
     return (static_cast<std::uint64_t>(ctx.client) << 32) | ctx.xid;
   }
-  [[nodiscard]] const DrcEntry* drc_find(RpcContext ctx, bool want_handle);
+  [[nodiscard]] const DrcEntry* drc_find(RpcContext ctx, ReplyShape want);
   void drc_store(RpcContext ctx, DrcEntry entry);
   [[nodiscard]] NfsResult<fs::InodeId> resolve(FileHandle handle) const;
   [[nodiscard]] FileHandle handle_for(fs::InodeId inode) const;

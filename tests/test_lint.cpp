@@ -1,0 +1,385 @@
+// kosha_lint rule-engine tests: every rule (D1-D3, P1-P2, H1) is driven
+// over a known-bad fixture snippet and must fire with its exact rule id;
+// the annotation escape hatch, the clean path and the exit-code contract
+// are covered alongside. Fixtures live in raw strings — the tokenizer
+// ignores string literals, which is also why this file survives the
+// repo-wide lint walk.
+
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using kosha::lint::Diagnostic;
+using kosha::lint::Linter;
+
+std::vector<Diagnostic> lint_one(const std::string& path, const std::string& src) {
+  Linter linter;
+  linter.add_source(path, src);
+  return linter.run();
+}
+
+std::vector<std::string> rules_of(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> rules;
+  rules.reserve(diags.size());
+  for (const Diagnostic& d : diags) rules.push_back(d.rule);
+  return rules;
+}
+
+// ---------------------------------------------------------------------------
+// D1 — wall clock / entropy
+// ---------------------------------------------------------------------------
+
+TEST(LintD1, FlagsSystemClock) {
+  const auto diags = lint_one("src/kosha/bad.cpp", R"cpp(
+#include <chrono>
+void f() { auto t = std::chrono::system_clock::now(); (void)t; }
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D1");
+  EXPECT_EQ(diags[0].slug, "wall-clock");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintD1, FlagsLibcTimeAndRand) {
+  const auto diags = lint_one("src/kosha/bad.cpp", R"cpp(
+long f() { return time(nullptr) + rand(); }
+long g() { return std::time(nullptr); }
+)cpp");
+  EXPECT_EQ(rules_of(diags), (std::vector<std::string>{"D1", "D1", "D1"}));
+}
+
+TEST(LintD1, IgnoresMemberFunctionsNamedLikeLibc) {
+  // cluster.clock(), network->clock().now(), SimClock::time-style statics:
+  // member access and non-std qualification are different symbols.
+  const auto diags = lint_one("src/kosha/ok.cpp", R"cpp(
+void f(Cluster& cluster) {
+  auto& c = cluster.clock();
+  auto t = network_->clock().now();
+  auto r = runtime();
+  auto s = SomeClass::time(3);
+  (void)c; (void)t; (void)r; (void)s;
+}
+)cpp");
+  EXPECT_TRUE(diags.empty()) << kosha::lint::to_text(diags);
+}
+
+TEST(LintD1, AllowlistedSeedSeamMayTouchEntropy) {
+  const auto diags = lint_one("src/common/rng.cpp", R"cpp(
+unsigned seed_from_wall_clock() { return (unsigned)time(nullptr); }
+)cpp");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintD1, StringsAndCommentsAreInvisible) {
+  const auto diags = lint_one("src/kosha/ok.cpp", R"cpp(
+// rand() and system_clock in a comment are fine
+const char* k = "time(nullptr) rand() std::random_device";
+)cpp");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// D2 — unordered iteration
+// ---------------------------------------------------------------------------
+
+TEST(LintD2, FlagsRangeForOverUnorderedMember) {
+  const auto diags = lint_one("src/kosha/bad.cpp", R"cpp(
+#include <unordered_map>
+struct S {
+  std::unordered_map<int, int> members_;
+  int sum() {
+    int s = 0;
+    for (const auto& [k, v] : members_) s += v;
+    return s;
+  }
+};
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D2");
+  EXPECT_EQ(diags[0].slug, "unordered-iter");
+  EXPECT_EQ(diags[0].line, 7);
+}
+
+TEST(LintD2, FlagsIteratorLoop) {
+  const auto diags = lint_one("src/kosha/bad.cpp", R"cpp(
+#include <unordered_set>
+struct S {
+  std::unordered_set<int> seen_;
+  void sweep() {
+    for (auto it = seen_.begin(); it != seen_.end();) { ++it; }
+  }
+};
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D2");
+}
+
+TEST(LintD2, SeesDeclarationsAcrossFiles) {
+  // The member is declared in a header, iterated in a .cpp — the linter's
+  // shared name set ties the two together.
+  Linter linter;
+  linter.add_source("src/kosha/s.hpp", R"cpp(
+#pragma once
+#include <unordered_map>
+struct S {
+  void dump();
+  std::unordered_map<long, long> table_;
+};
+)cpp");
+  linter.add_source("src/kosha/s.cpp", R"cpp(
+#include "s.hpp"
+void S::dump() {
+  for (const auto& [k, v] : table_) { (void)k; (void)v; }
+}
+)cpp");
+  const auto diags = linter.run();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D2");
+  EXPECT_EQ(diags[0].file, "src/kosha/s.cpp");
+}
+
+TEST(LintD2, AnnotationWithReasonSuppresses) {
+  const auto diags = lint_one("src/kosha/ok.cpp", R"cpp(
+#include <unordered_map>
+struct S {
+  std::unordered_map<int, int> cache_;
+  void sweep() {
+    // kosha-lint: allow(unordered-iter): erase-sweep, result independent of order
+    for (auto it = cache_.begin(); it != cache_.end();) { ++it; }
+  }
+};
+)cpp");
+  EXPECT_TRUE(diags.empty()) << kosha::lint::to_text(diags);
+}
+
+TEST(LintD2, AnnotationWithoutReasonDoesNotSuppress) {
+  const auto diags = lint_one("src/kosha/bad.cpp", R"cpp(
+#include <unordered_map>
+struct S {
+  std::unordered_map<int, int> cache_;
+  void sweep() {
+    // kosha-lint: allow(unordered-iter)
+    for (auto it = cache_.begin(); it != cache_.end();) { ++it; }
+  }
+};
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D2");
+}
+
+TEST(LintD2, OrderedMapIsFine) {
+  const auto diags = lint_one("src/kosha/ok.cpp", R"cpp(
+#include <map>
+struct S {
+  std::map<int, int> sorted_;
+  int sum() {
+    int s = 0;
+    for (const auto& [k, v] : sorted_) s += v;
+    return s;
+  }
+};
+)cpp");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// D3 — event-loop callback discipline
+// ---------------------------------------------------------------------------
+
+TEST(LintD3, FlagsBlockingSleep) {
+  const auto diags = lint_one("src/kosha/bad.cpp", R"cpp(
+#include <chrono>
+#include <thread>
+void f() { std::this_thread::sleep_for(std::chrono::seconds(1)); }
+)cpp");
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].rule, "D3");
+  EXPECT_EQ(diags[0].slug, "event-callback");
+}
+
+TEST(LintD3, FlagsClockMutationInsideScheduledCallback) {
+  const auto diags = lint_one("src/kosha/bad.cpp", R"cpp(
+void f(EventLoop& loop, SimClock& clock, SimDuration t) {
+  loop.schedule_after(t, [&] { clock.set_now(t); });
+}
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D3");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintD3, SchedulingWithoutClockMutationIsFine) {
+  const auto diags = lint_one("src/kosha/ok.cpp", R"cpp(
+void f(EventLoop& loop, SimDuration t) {
+  loop.schedule_after(t, [&] { do_work(); });
+  loop.schedule_at(t, [] { more_work(); });
+}
+)cpp");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// P1 — non-idempotent handlers must engage the DRC
+// ---------------------------------------------------------------------------
+
+TEST(LintP1, FlagsHandlerMutatingBeforeDrcLookup) {
+  const auto diags = lint_one("src/nfs/bad_server.cpp", R"cpp(
+NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
+                                         RpcContext ctx) {
+  const auto inode = store_.create(dir.inode, name);
+  if (const DrcEntry* hit = drc_find(ctx, true)) return hit->handle_reply;
+  drc_store(ctx, {});
+  return HandleReply{};
+}
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "P1");
+  EXPECT_EQ(diags[0].slug, "drc");
+}
+
+TEST(LintP1, FlagsHandlerThatNeverRecordsItsReply) {
+  const auto diags = lint_one("src/nfs/bad_server.cpp", R"cpp(
+NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name,
+                                  RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx, false)) return hit->unit_reply;
+  return from_fs(store_.remove(dir.inode, name));
+}
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "P1");
+  EXPECT_NE(diags[0].message.find("drc_store"), std::string::npos);
+}
+
+TEST(LintP1, WellFormedHandlerIsClean) {
+  const auto diags = lint_one("src/nfs/ok_server.cpp", R"cpp(
+NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name,
+                                 RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx, false)) return hit->unit_reply;
+  NfsResult<Unit> reply = from_fs(store_.rmdir(dir.inode, name));
+  drc_store(ctx, reply);
+  return reply;
+}
+)cpp");
+  EXPECT_TRUE(diags.empty()) << kosha::lint::to_text(diags);
+}
+
+TEST(LintP1, IdempotentHandlerNeedsNoDrc) {
+  const auto diags = lint_one("src/nfs/ok_server.cpp", R"cpp(
+NfsResult<ReadReply> NfsServer::read(FileHandle file) {
+  return store_read(file);
+}
+)cpp");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// P2 — full RpcContext construction
+// ---------------------------------------------------------------------------
+
+TEST(LintP2, FlagsPartialContext) {
+  const auto diags = lint_one("src/nfs/bad.cpp", R"cpp(
+RpcContext make(net::HostId self, std::uint32_t xid) {
+  return RpcContext{self, xid};
+}
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "P2");
+  EXPECT_EQ(diags[0].slug, "rpc-ctx");
+}
+
+TEST(LintP2, FlagsDefaultConstructedLocal) {
+  const auto diags = lint_one("src/nfs/bad.cpp", R"cpp(
+void f() {
+  RpcContext ctx;
+  use(ctx);
+}
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "P2");
+}
+
+TEST(LintP2, FullTripleAndDefaultedParamAreClean) {
+  const auto diags = lint_one("src/nfs/ok.cpp", R"cpp(
+NfsResult<Unit> handler(FileHandle dir, RpcContext ctx = {});
+RpcContext make(net::HostId self, std::uint32_t xid, std::uint64_t boot) {
+  RpcContext ctx{self, xid, boot};
+  return ctx;
+}
+)cpp");
+  EXPECT_TRUE(diags.empty()) << kosha::lint::to_text(diags);
+}
+
+// ---------------------------------------------------------------------------
+// H1 — header hygiene
+// ---------------------------------------------------------------------------
+
+TEST(LintH1, FlagsMissingPragmaOnce) {
+  const auto diags = lint_one("src/kosha/bad.hpp", R"cpp(
+struct S { int x = 0; };
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "H1");
+  EXPECT_EQ(diags[0].slug, "header");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintH1, FlagsUsingNamespaceInHeader) {
+  const auto diags = lint_one("src/kosha/bad.hpp", R"cpp(
+#pragma once
+using namespace std;
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "H1");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintH1, CleanHeaderPasses) {
+  const auto diags = lint_one("src/kosha/ok.hpp", R"cpp(
+#pragma once
+namespace kosha {
+struct S { int x = 0; };
+}  // namespace kosha
+)cpp");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Output and exit codes
+// ---------------------------------------------------------------------------
+
+TEST(LintOutput, ExitCodesAndFormats) {
+  const auto clean = lint_one("src/kosha/ok.cpp", "int f() { return 1; }\n");
+  EXPECT_EQ(kosha::lint::exit_code(clean), 0);
+
+  const auto bad = lint_one("src/kosha/bad.cpp", R"cpp(
+void f() { auto r = rand(); (void)r; }
+)cpp");
+  EXPECT_EQ(kosha::lint::exit_code(bad), 1);
+  ASSERT_EQ(bad.size(), 1u);
+
+  const std::string text = kosha::lint::to_text(bad);
+  EXPECT_NE(text.find("src/kosha/bad.cpp:2: error:"), std::string::npos);
+  EXPECT_NE(text.find("[D1]"), std::string::npos);
+
+  const std::string json = kosha::lint::to_json(bad, 1);
+  EXPECT_NE(json.find("\"violations\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"D1\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+}
+
+TEST(LintOutput, DiagnosticsSortedDeterministically) {
+  Linter linter;
+  linter.add_source("src/z.cpp", "void f() { auto r = rand(); (void)r; }\n");
+  linter.add_source("src/a.cpp", "void f() { auto r = rand(); (void)r; }\n");
+  const auto diags = linter.run();
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].file, "src/a.cpp");
+  EXPECT_EQ(diags[1].file, "src/z.cpp");
+}
+
+}  // namespace

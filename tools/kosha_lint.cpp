@@ -1,0 +1,131 @@
+// kosha_lint CLI — walk the repo's sources and enforce the determinism and
+// RPC-protocol invariants described in DESIGN §7.
+//
+// Usage:
+//   kosha_lint [--root=DIR] [--json[=FILE]] [paths...]
+//
+// With no paths, lints src/ tools/ bench/ tests/ under --root (default:
+// the current directory). Paths may be files or directories; directories
+// are walked recursively, skipping build trees and hidden directories.
+// Exit status: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using kosha::lint::Linter;
+
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  if (name.empty()) return false;
+  if (name[0] == '.') return true;                 // .git and friends
+  return name.rfind("build", 0) == 0 || name == "results";
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& out) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    if (Linter::is_cpp_source(root.string())) out.push_back(root);
+    return;
+  }
+  fs::recursive_directory_iterator it(root, fs::directory_options::skip_permission_denied,
+                                      ec);
+  if (ec) return;
+  for (const fs::recursive_directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) break;
+    if (it->is_directory(ec)) {
+      if (skip_dir(it->path())) it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file(ec) && Linter::is_cpp_source(it->path().string())) {
+      out.push_back(it->path());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  std::string json_file;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_file = arg.substr(7);
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: kosha_lint [--root=DIR] [--json[=FILE]] [paths...]\n");
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "kosha_lint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools", "bench", "tests"};
+
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    const fs::path full = fs::path(root) / p;
+    std::error_code ec;
+    if (!fs::exists(full, ec)) {
+      std::fprintf(stderr, "kosha_lint: no such path: %s\n", full.string().c_str());
+      return 2;
+    }
+    collect(full, files);
+  }
+
+  Linter linter;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "kosha_lint: cannot read %s\n", file.string().c_str());
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    // Report paths relative to --root so diagnostics are stable across
+    // checkouts (and clickable from the repo root).
+    const std::string rel =
+        fs::path(file).lexically_relative(root).generic_string();
+    linter.add_source(rel.empty() ? file.generic_string() : rel, content.str());
+  }
+
+  const auto diags = linter.run();
+  std::fputs(kosha::lint::to_text(diags).c_str(), stdout);
+  if (json) {
+    const std::string report = kosha::lint::to_json(diags, linter.file_count());
+    if (json_file.empty()) {
+      std::fputs(report.c_str(), stdout);
+    } else {
+      std::ofstream out(json_file, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "kosha_lint: cannot write %s\n", json_file.c_str());
+        return 2;
+      }
+      out << report;
+    }
+  }
+  if (!diags.empty()) {
+    std::fprintf(stderr, "kosha_lint: %zu violation%s in %zu files scanned\n",
+                 diags.size(), diags.size() == 1 ? "" : "s", linter.file_count());
+  }
+  return kosha::lint::exit_code(diags);
+}

@@ -1,0 +1,99 @@
+#pragma once
+
+// kosha_lint — repo-specific static analysis for determinism and
+// RPC-protocol invariants (DESIGN §7).
+//
+// The reproduction's results rest on two conventions that ordinary
+// compilers cannot check: same-seed runs must be byte-identical, and every
+// non-idempotent NFS procedure must be at-most-once through the server's
+// duplicate-request cache. This linter walks the repo's own sources with a
+// hand-rolled C++ tokenizer (comments, string/char literals, raw strings
+// and preprocessor lines are understood; no libclang dependency) and
+// enforces the conventions as errors:
+//
+//   D1 wall-clock      no wall-clock/entropy primitives (system_clock,
+//                      steady_clock, time(), rand(), std::random_device,
+//                      getenv, ...) outside the allowlisted seed/CLI seams.
+//   D2 unordered-iter  no range-for or .begin() iteration over a
+//                      std::unordered_map/set member: iteration order is
+//                      implementation-defined and leaks into traces,
+//                      metrics and migration order.
+//   D3 event-callback  no blocking sleeps anywhere, and no set_now()/now_
+//                      mutation inside arguments (callbacks) passed to
+//                      EventLoop::schedule_at/schedule_after.
+//   P1 drc             every NfsServer handler for a non-idempotent proc
+//                      (CREATE/MKDIR/SYMLINK/REMOVE/RMDIR/RENAME/SETATTR)
+//                      must consult drc_find before touching store_ and
+//                      record its reply with drc_store.
+//   P2 rpc-ctx         every RpcContext construction carries the full
+//                      {client, xid, boot} triple (an empty `{}` default
+//                      argument — the documented absent-context sentinel —
+//                      is permitted).
+//   H1 header          header hygiene: #pragma once present, no
+//                      `using namespace` at header scope.
+//
+// A violating line can be excused with an annotation carrying a reason:
+//
+//   ... // kosha-lint: allow(unordered-iter): erase-sweep, order-free
+//
+// either on the offending line or as a comment on the line directly above
+// it. An annotation without a reason does not suppress anything.
+
+#include <string>
+#include <vector>
+
+namespace kosha::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;     // "D1".."H1"
+  std::string slug;     // annotation name: "wall-clock", "unordered-iter", ...
+  std::string message;
+};
+
+struct Config {
+  /// Path suffixes allowed to touch wall clock / entropy (the seed and CLI
+  /// seams where nondeterminism is deliberately injected exactly once).
+  std::vector<std::string> entropy_allowlist = {
+      "src/common/rng.cpp", "src/common/rng.hpp",
+      "src/common/cli.cpp", "src/common/cli.hpp"};
+};
+
+/// Two-pass linter: add_source() collects cross-file facts (which member
+/// names are declared with unordered containers), run() applies every rule
+/// to every added source. Diagnostics are sorted by (file, line, rule) so
+/// output is deterministic regardless of the order sources were added.
+class Linter {
+ public:
+  explicit Linter(Config config = {});
+  ~Linter();
+  Linter(const Linter&) = delete;
+  Linter& operator=(const Linter&) = delete;
+
+  void add_source(std::string path, std::string content);
+  [[nodiscard]] std::vector<Diagnostic> run();
+
+  [[nodiscard]] std::size_t file_count() const;
+
+  [[nodiscard]] static bool is_header(const std::string& path);
+  /// True for files the repo-wide walk should lint (.cpp/.cc/.hpp/.h).
+  [[nodiscard]] static bool is_cpp_source(const std::string& path);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// GCC-style "file:line: error: message [rule]" lines, one per diagnostic.
+[[nodiscard]] std::string to_text(const std::vector<Diagnostic>& diags);
+
+/// Machine-readable report: {"violations": N, "files_scanned": N,
+/// "diagnostics": [{file, line, rule, slug, message}...]}.
+[[nodiscard]] std::string to_json(const std::vector<Diagnostic>& diags,
+                                  std::size_t files_scanned);
+
+/// Exit code the CLI maps lint results to: 0 clean, 1 diagnostics found.
+[[nodiscard]] int exit_code(const std::vector<Diagnostic>& diags);
+
+}  // namespace kosha::lint
