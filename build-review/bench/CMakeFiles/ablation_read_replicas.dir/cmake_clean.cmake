@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_read_replicas.dir/ablation_read_replicas.cpp.o"
+  "CMakeFiles/ablation_read_replicas.dir/ablation_read_replicas.cpp.o.d"
+  "ablation_read_replicas"
+  "ablation_read_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_read_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

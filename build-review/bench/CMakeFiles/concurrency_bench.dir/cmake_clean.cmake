@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_bench.dir/concurrency_bench.cpp.o"
+  "CMakeFiles/concurrency_bench.dir/concurrency_bench.cpp.o.d"
+  "concurrency_bench"
+  "concurrency_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

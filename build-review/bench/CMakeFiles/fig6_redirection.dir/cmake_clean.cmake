@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_redirection.dir/fig6_redirection.cpp.o"
+  "CMakeFiles/fig6_redirection.dir/fig6_redirection.cpp.o.d"
+  "fig6_redirection"
+  "fig6_redirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_redirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_availability.dir/fig7_availability.cpp.o"
+  "CMakeFiles/fig7_availability.dir/fig7_availability.cpp.o.d"
+  "fig7_availability"
+  "fig7_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_scalability.dir/table1_scalability.cpp.o"
+  "CMakeFiles/table1_scalability.dir/table1_scalability.cpp.o.d"
+  "table1_scalability"
+  "table1_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

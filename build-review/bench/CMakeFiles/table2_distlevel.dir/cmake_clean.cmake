@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_distlevel.dir/table2_distlevel.cpp.o"
+  "CMakeFiles/table2_distlevel.dir/table2_distlevel.cpp.o.d"
+  "table2_distlevel"
+  "table2_distlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_distlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

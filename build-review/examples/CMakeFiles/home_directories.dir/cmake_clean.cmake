@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_directories.dir/home_directories.cpp.o"
+  "CMakeFiles/home_directories.dir/home_directories.cpp.o.d"
+  "home_directories"
+  "home_directories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_directories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

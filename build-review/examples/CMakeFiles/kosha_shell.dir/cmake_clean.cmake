@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_shell.dir/kosha_shell.cpp.o"
+  "CMakeFiles/kosha_shell.dir/kosha_shell.cpp.o.d"
+  "kosha_shell"
+  "kosha_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

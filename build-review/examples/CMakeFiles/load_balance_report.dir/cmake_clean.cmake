@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balance_report.dir/load_balance_report.cpp.o"
+  "CMakeFiles/load_balance_report.dir/load_balance_report.cpp.o.d"
+  "load_balance_report"
+  "load_balance_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balance_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

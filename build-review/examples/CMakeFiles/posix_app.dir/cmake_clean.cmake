@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_app.dir/posix_app.cpp.o"
+  "CMakeFiles/posix_app.dir/posix_app.cpp.o.d"
+  "posix_app"
+  "posix_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

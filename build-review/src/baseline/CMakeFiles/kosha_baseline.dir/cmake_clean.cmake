@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_baseline.dir/nfs_mount.cpp.o"
+  "CMakeFiles/kosha_baseline.dir/nfs_mount.cpp.o.d"
+  "libkosha_baseline.a"
+  "libkosha_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

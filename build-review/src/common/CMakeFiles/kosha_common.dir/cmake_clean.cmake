@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_common.dir/cli.cpp.o"
+  "CMakeFiles/kosha_common.dir/cli.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/event_loop.cpp.o"
+  "CMakeFiles/kosha_common.dir/event_loop.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/json.cpp.o"
+  "CMakeFiles/kosha_common.dir/json.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/log.cpp.o"
+  "CMakeFiles/kosha_common.dir/log.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/metrics.cpp.o"
+  "CMakeFiles/kosha_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/path.cpp.o"
+  "CMakeFiles/kosha_common.dir/path.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/rng.cpp.o"
+  "CMakeFiles/kosha_common.dir/rng.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/sha1.cpp.o"
+  "CMakeFiles/kosha_common.dir/sha1.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/stats.cpp.o"
+  "CMakeFiles/kosha_common.dir/stats.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/table.cpp.o"
+  "CMakeFiles/kosha_common.dir/table.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/kosha_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/tracing.cpp.o"
+  "CMakeFiles/kosha_common.dir/tracing.cpp.o.d"
+  "CMakeFiles/kosha_common.dir/uint128.cpp.o"
+  "CMakeFiles/kosha_common.dir/uint128.cpp.o.d"
+  "libkosha_common.a"
+  "libkosha_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

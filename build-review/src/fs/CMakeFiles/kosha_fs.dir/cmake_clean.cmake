@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_fs.dir/local_fs.cpp.o"
+  "CMakeFiles/kosha_fs.dir/local_fs.cpp.o.d"
+  "libkosha_fs.a"
+  "libkosha_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kosha/audit.cpp" "src/kosha/CMakeFiles/kosha_core.dir/audit.cpp.o" "gcc" "src/kosha/CMakeFiles/kosha_core.dir/audit.cpp.o.d"
+  "/root/repo/src/kosha/cluster.cpp" "src/kosha/CMakeFiles/kosha_core.dir/cluster.cpp.o" "gcc" "src/kosha/CMakeFiles/kosha_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/kosha/koshad.cpp" "src/kosha/CMakeFiles/kosha_core.dir/koshad.cpp.o" "gcc" "src/kosha/CMakeFiles/kosha_core.dir/koshad.cpp.o.d"
+  "/root/repo/src/kosha/koshad_failover.cpp" "src/kosha/CMakeFiles/kosha_core.dir/koshad_failover.cpp.o" "gcc" "src/kosha/CMakeFiles/kosha_core.dir/koshad_failover.cpp.o.d"
+  "/root/repo/src/kosha/koshad_resolve.cpp" "src/kosha/CMakeFiles/kosha_core.dir/koshad_resolve.cpp.o" "gcc" "src/kosha/CMakeFiles/kosha_core.dir/koshad_resolve.cpp.o.d"
+  "/root/repo/src/kosha/mount.cpp" "src/kosha/CMakeFiles/kosha_core.dir/mount.cpp.o" "gcc" "src/kosha/CMakeFiles/kosha_core.dir/mount.cpp.o.d"
+  "/root/repo/src/kosha/placement.cpp" "src/kosha/CMakeFiles/kosha_core.dir/placement.cpp.o" "gcc" "src/kosha/CMakeFiles/kosha_core.dir/placement.cpp.o.d"
+  "/root/repo/src/kosha/posix.cpp" "src/kosha/CMakeFiles/kosha_core.dir/posix.cpp.o" "gcc" "src/kosha/CMakeFiles/kosha_core.dir/posix.cpp.o.d"
+  "/root/repo/src/kosha/replication.cpp" "src/kosha/CMakeFiles/kosha_core.dir/replication.cpp.o" "gcc" "src/kosha/CMakeFiles/kosha_core.dir/replication.cpp.o.d"
+  "/root/repo/src/kosha/virtual_handles.cpp" "src/kosha/CMakeFiles/kosha_core.dir/virtual_handles.cpp.o" "gcc" "src/kosha/CMakeFiles/kosha_core.dir/virtual_handles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/kosha_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/kosha_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fs/CMakeFiles/kosha_fs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nfs/CMakeFiles/kosha_nfs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pastry/CMakeFiles/kosha_pastry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

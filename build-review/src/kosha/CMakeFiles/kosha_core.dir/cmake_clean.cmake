@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_core.dir/audit.cpp.o"
+  "CMakeFiles/kosha_core.dir/audit.cpp.o.d"
+  "CMakeFiles/kosha_core.dir/cluster.cpp.o"
+  "CMakeFiles/kosha_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/kosha_core.dir/koshad.cpp.o"
+  "CMakeFiles/kosha_core.dir/koshad.cpp.o.d"
+  "CMakeFiles/kosha_core.dir/koshad_failover.cpp.o"
+  "CMakeFiles/kosha_core.dir/koshad_failover.cpp.o.d"
+  "CMakeFiles/kosha_core.dir/koshad_resolve.cpp.o"
+  "CMakeFiles/kosha_core.dir/koshad_resolve.cpp.o.d"
+  "CMakeFiles/kosha_core.dir/mount.cpp.o"
+  "CMakeFiles/kosha_core.dir/mount.cpp.o.d"
+  "CMakeFiles/kosha_core.dir/placement.cpp.o"
+  "CMakeFiles/kosha_core.dir/placement.cpp.o.d"
+  "CMakeFiles/kosha_core.dir/posix.cpp.o"
+  "CMakeFiles/kosha_core.dir/posix.cpp.o.d"
+  "CMakeFiles/kosha_core.dir/replication.cpp.o"
+  "CMakeFiles/kosha_core.dir/replication.cpp.o.d"
+  "CMakeFiles/kosha_core.dir/virtual_handles.cpp.o"
+  "CMakeFiles/kosha_core.dir/virtual_handles.cpp.o.d"
+  "libkosha_core.a"
+  "libkosha_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_net.dir/fault_plan.cpp.o"
+  "CMakeFiles/kosha_net.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/kosha_net.dir/sim_network.cpp.o"
+  "CMakeFiles/kosha_net.dir/sim_network.cpp.o.d"
+  "libkosha_net.a"
+  "libkosha_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/nfs_client.cpp" "src/nfs/CMakeFiles/kosha_nfs.dir/nfs_client.cpp.o" "gcc" "src/nfs/CMakeFiles/kosha_nfs.dir/nfs_client.cpp.o.d"
+  "/root/repo/src/nfs/nfs_server.cpp" "src/nfs/CMakeFiles/kosha_nfs.dir/nfs_server.cpp.o" "gcc" "src/nfs/CMakeFiles/kosha_nfs.dir/nfs_server.cpp.o.d"
+  "/root/repo/src/nfs/wire.cpp" "src/nfs/CMakeFiles/kosha_nfs.dir/wire.cpp.o" "gcc" "src/nfs/CMakeFiles/kosha_nfs.dir/wire.cpp.o.d"
+  "/root/repo/src/nfs/xdr.cpp" "src/nfs/CMakeFiles/kosha_nfs.dir/xdr.cpp.o" "gcc" "src/nfs/CMakeFiles/kosha_nfs.dir/xdr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/kosha_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/kosha_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fs/CMakeFiles/kosha_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

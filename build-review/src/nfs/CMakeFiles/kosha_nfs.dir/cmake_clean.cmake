@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_nfs.dir/nfs_client.cpp.o"
+  "CMakeFiles/kosha_nfs.dir/nfs_client.cpp.o.d"
+  "CMakeFiles/kosha_nfs.dir/nfs_server.cpp.o"
+  "CMakeFiles/kosha_nfs.dir/nfs_server.cpp.o.d"
+  "CMakeFiles/kosha_nfs.dir/wire.cpp.o"
+  "CMakeFiles/kosha_nfs.dir/wire.cpp.o.d"
+  "CMakeFiles/kosha_nfs.dir/xdr.cpp.o"
+  "CMakeFiles/kosha_nfs.dir/xdr.cpp.o.d"
+  "libkosha_nfs.a"
+  "libkosha_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

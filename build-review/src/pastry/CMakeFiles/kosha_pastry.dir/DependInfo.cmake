@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pastry/leaf_set.cpp" "src/pastry/CMakeFiles/kosha_pastry.dir/leaf_set.cpp.o" "gcc" "src/pastry/CMakeFiles/kosha_pastry.dir/leaf_set.cpp.o.d"
+  "/root/repo/src/pastry/overlay.cpp" "src/pastry/CMakeFiles/kosha_pastry.dir/overlay.cpp.o" "gcc" "src/pastry/CMakeFiles/kosha_pastry.dir/overlay.cpp.o.d"
+  "/root/repo/src/pastry/ring.cpp" "src/pastry/CMakeFiles/kosha_pastry.dir/ring.cpp.o" "gcc" "src/pastry/CMakeFiles/kosha_pastry.dir/ring.cpp.o.d"
+  "/root/repo/src/pastry/routing_table.cpp" "src/pastry/CMakeFiles/kosha_pastry.dir/routing_table.cpp.o" "gcc" "src/pastry/CMakeFiles/kosha_pastry.dir/routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/kosha_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/kosha_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_pastry.dir/leaf_set.cpp.o"
+  "CMakeFiles/kosha_pastry.dir/leaf_set.cpp.o.d"
+  "CMakeFiles/kosha_pastry.dir/overlay.cpp.o"
+  "CMakeFiles/kosha_pastry.dir/overlay.cpp.o.d"
+  "CMakeFiles/kosha_pastry.dir/ring.cpp.o"
+  "CMakeFiles/kosha_pastry.dir/ring.cpp.o.d"
+  "CMakeFiles/kosha_pastry.dir/routing_table.cpp.o"
+  "CMakeFiles/kosha_pastry.dir/routing_table.cpp.o.d"
+  "libkosha_pastry.a"
+  "libkosha_pastry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_pastry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_sim.dir/availability_sim.cpp.o"
+  "CMakeFiles/kosha_sim.dir/availability_sim.cpp.o.d"
+  "CMakeFiles/kosha_sim.dir/concurrency_driver.cpp.o"
+  "CMakeFiles/kosha_sim.dir/concurrency_driver.cpp.o.d"
+  "CMakeFiles/kosha_sim.dir/insertion_sim.cpp.o"
+  "CMakeFiles/kosha_sim.dir/insertion_sim.cpp.o.d"
+  "CMakeFiles/kosha_sim.dir/load_sim.cpp.o"
+  "CMakeFiles/kosha_sim.dir/load_sim.cpp.o.d"
+  "libkosha_sim.a"
+  "libkosha_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/availability.cpp" "src/trace/CMakeFiles/kosha_trace.dir/availability.cpp.o" "gcc" "src/trace/CMakeFiles/kosha_trace.dir/availability.cpp.o.d"
+  "/root/repo/src/trace/fs_trace.cpp" "src/trace/CMakeFiles/kosha_trace.dir/fs_trace.cpp.o" "gcc" "src/trace/CMakeFiles/kosha_trace.dir/fs_trace.cpp.o.d"
+  "/root/repo/src/trace/mab.cpp" "src/trace/CMakeFiles/kosha_trace.dir/mab.cpp.o" "gcc" "src/trace/CMakeFiles/kosha_trace.dir/mab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/kosha_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kosha/CMakeFiles/kosha_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nfs/CMakeFiles/kosha_nfs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fs/CMakeFiles/kosha_fs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pastry/CMakeFiles/kosha_pastry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/kosha_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_trace.dir/availability.cpp.o"
+  "CMakeFiles/kosha_trace.dir/availability.cpp.o.d"
+  "CMakeFiles/kosha_trace.dir/fs_trace.cpp.o"
+  "CMakeFiles/kosha_trace.dir/fs_trace.cpp.o.d"
+  "CMakeFiles/kosha_trace.dir/mab.cpp.o"
+  "CMakeFiles/kosha_trace.dir/mab.cpp.o.d"
+  "libkosha_trace.a"
+  "libkosha_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

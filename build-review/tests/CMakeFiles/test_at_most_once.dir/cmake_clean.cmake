@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_at_most_once.dir/test_at_most_once.cpp.o"
+  "CMakeFiles/test_at_most_once.dir/test_at_most_once.cpp.o.d"
+  "test_at_most_once"
+  "test_at_most_once.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_at_most_once.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

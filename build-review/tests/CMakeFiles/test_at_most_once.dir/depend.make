@@ -1,0 +1,2 @@
+# Empty dependencies file for test_at_most_once.
+# This may be replaced when dependencies are built.

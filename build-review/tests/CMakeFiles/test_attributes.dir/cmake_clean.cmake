@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attributes.dir/test_attributes.cpp.o"
+  "CMakeFiles/test_attributes.dir/test_attributes.cpp.o.d"
+  "test_attributes"
+  "test_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

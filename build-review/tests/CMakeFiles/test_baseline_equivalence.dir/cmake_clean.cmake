@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_equivalence.dir/test_baseline_equivalence.cpp.o"
+  "CMakeFiles/test_baseline_equivalence.dir/test_baseline_equivalence.cpp.o.d"
+  "test_baseline_equivalence"
+  "test_baseline_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

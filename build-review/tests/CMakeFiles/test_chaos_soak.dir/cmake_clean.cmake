@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chaos_soak.dir/test_chaos_soak.cpp.o"
+  "CMakeFiles/test_chaos_soak.dir/test_chaos_soak.cpp.o.d"
+  "test_chaos_soak"
+  "test_chaos_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chaos_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

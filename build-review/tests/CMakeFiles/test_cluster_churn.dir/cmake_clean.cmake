@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_churn.dir/test_cluster_churn.cpp.o"
+  "CMakeFiles/test_cluster_churn.dir/test_cluster_churn.cpp.o.d"
+  "test_cluster_churn"
+  "test_cluster_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_smoke.dir/test_cluster_smoke.cpp.o"
+  "CMakeFiles/test_cluster_smoke.dir/test_cluster_smoke.cpp.o.d"
+  "test_cluster_smoke"
+  "test_cluster_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

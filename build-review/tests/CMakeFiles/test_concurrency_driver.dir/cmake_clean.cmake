@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrency_driver.dir/test_concurrency_driver.cpp.o"
+  "CMakeFiles/test_concurrency_driver.dir/test_concurrency_driver.cpp.o.d"
+  "test_concurrency_driver"
+  "test_concurrency_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrency_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_validate.dir/test_config_validate.cpp.o"
+  "CMakeFiles/test_config_validate.dir/test_config_validate.cpp.o.d"
+  "test_config_validate"
+  "test_config_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

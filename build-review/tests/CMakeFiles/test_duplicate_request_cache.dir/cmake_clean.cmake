@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_duplicate_request_cache.dir/test_duplicate_request_cache.cpp.o"
+  "CMakeFiles/test_duplicate_request_cache.dir/test_duplicate_request_cache.cpp.o.d"
+  "test_duplicate_request_cache"
+  "test_duplicate_request_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_duplicate_request_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

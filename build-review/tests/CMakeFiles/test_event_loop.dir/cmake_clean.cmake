@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_loop.dir/test_event_loop.cpp.o"
+  "CMakeFiles/test_event_loop.dir/test_event_loop.cpp.o.d"
+  "test_event_loop"
+  "test_event_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failover_paths.dir/test_failover_paths.cpp.o"
+  "CMakeFiles/test_failover_paths.dir/test_failover_paths.cpp.o.d"
+  "test_failover_paths"
+  "test_failover_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failover_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

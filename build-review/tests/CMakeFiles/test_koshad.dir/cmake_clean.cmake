@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_koshad.dir/test_koshad.cpp.o"
+  "CMakeFiles/test_koshad.dir/test_koshad.cpp.o.d"
+  "test_koshad"
+  "test_koshad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_koshad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leaf_set.dir/test_leaf_set.cpp.o"
+  "CMakeFiles/test_leaf_set.dir/test_leaf_set.cpp.o.d"
+  "test_leaf_set"
+  "test_leaf_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leaf_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

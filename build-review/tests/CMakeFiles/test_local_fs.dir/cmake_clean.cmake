@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_fs.dir/test_local_fs.cpp.o"
+  "CMakeFiles/test_local_fs.dir/test_local_fs.cpp.o.d"
+  "test_local_fs"
+  "test_local_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_fs_model.dir/test_local_fs_model.cpp.o"
+  "CMakeFiles/test_local_fs_model.dir/test_local_fs_model.cpp.o.d"
+  "test_local_fs_model"
+  "test_local_fs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_fs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

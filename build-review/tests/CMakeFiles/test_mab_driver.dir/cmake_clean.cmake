@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mab_driver.dir/test_mab_driver.cpp.o"
+  "CMakeFiles/test_mab_driver.dir/test_mab_driver.cpp.o.d"
+  "test_mab_driver"
+  "test_mab_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mab_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mount.dir/test_mount.cpp.o"
+  "CMakeFiles/test_mount.dir/test_mount.cpp.o.d"
+  "test_mount"
+  "test_mount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

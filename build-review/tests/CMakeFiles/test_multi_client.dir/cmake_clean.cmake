@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_client.dir/test_multi_client.cpp.o"
+  "CMakeFiles/test_multi_client.dir/test_multi_client.cpp.o.d"
+  "test_multi_client"
+  "test_multi_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nfs.dir/test_nfs.cpp.o"
+  "CMakeFiles/test_nfs.dir/test_nfs.cpp.o.d"
+  "test_nfs"
+  "test_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay.dir/test_overlay.cpp.o"
+  "CMakeFiles/test_overlay.dir/test_overlay.cpp.o.d"
+  "test_overlay"
+  "test_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

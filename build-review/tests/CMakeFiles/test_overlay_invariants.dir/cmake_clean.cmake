@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay_invariants.dir/test_overlay_invariants.cpp.o"
+  "CMakeFiles/test_overlay_invariants.dir/test_overlay_invariants.cpp.o.d"
+  "test_overlay_invariants"
+  "test_overlay_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path.dir/test_path.cpp.o"
+  "CMakeFiles/test_path.dir/test_path.cpp.o.d"
+  "test_path"
+  "test_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

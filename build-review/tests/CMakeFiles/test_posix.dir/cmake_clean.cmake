@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_posix.dir/test_posix.cpp.o"
+  "CMakeFiles/test_posix.dir/test_posix.cpp.o.d"
+  "test_posix"
+  "test_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

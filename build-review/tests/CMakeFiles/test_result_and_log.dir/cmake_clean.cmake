@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_result_and_log.dir/test_result_and_log.cpp.o"
+  "CMakeFiles/test_result_and_log.dir/test_result_and_log.cpp.o.d"
+  "test_result_and_log"
+  "test_result_and_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_result_and_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retirement.dir/test_retirement.cpp.o"
+  "CMakeFiles/test_retirement.dir/test_retirement.cpp.o.d"
+  "test_retirement"
+  "test_retirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_routing_table.cpp" "tests/CMakeFiles/test_routing_table.dir/test_routing_table.cpp.o" "gcc" "tests/CMakeFiles/test_routing_table.dir/test_routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/kosha/CMakeFiles/kosha_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baseline/CMakeFiles/kosha_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/kosha_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/kosha_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nfs/CMakeFiles/kosha_nfs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fs/CMakeFiles/kosha_fs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pastry/CMakeFiles/kosha_pastry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/kosha_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/kosha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_table.dir/test_routing_table.cpp.o"
+  "CMakeFiles/test_routing_table.dir/test_routing_table.cpp.o.d"
+  "test_routing_table"
+  "test_routing_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sha1.dir/test_sha1.cpp.o"
+  "CMakeFiles/test_sha1.dir/test_sha1.cpp.o.d"
+  "test_sha1"
+  "test_sha1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sha1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_vs_stack.dir/test_sim_vs_stack.cpp.o"
+  "CMakeFiles/test_sim_vs_stack.dir/test_sim_vs_stack.cpp.o.d"
+  "test_sim_vs_stack"
+  "test_sim_vs_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_vs_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sims.dir/test_sims.cpp.o"
+  "CMakeFiles/test_sims.dir/test_sims.cpp.o.d"
+  "test_sims"
+  "test_sims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

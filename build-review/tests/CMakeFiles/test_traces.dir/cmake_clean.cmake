@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traces.dir/test_traces.cpp.o"
+  "CMakeFiles/test_traces.dir/test_traces.cpp.o.d"
+  "test_traces"
+  "test_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

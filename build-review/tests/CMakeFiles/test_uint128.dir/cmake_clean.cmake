@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uint128.dir/test_uint128.cpp.o"
+  "CMakeFiles/test_uint128.dir/test_uint128.cpp.o.d"
+  "test_uint128"
+  "test_uint128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uint128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

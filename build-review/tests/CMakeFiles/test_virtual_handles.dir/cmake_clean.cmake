@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_handles.dir/test_virtual_handles.cpp.o"
+  "CMakeFiles/test_virtual_handles.dir/test_virtual_handles.cpp.o.d"
+  "test_virtual_handles"
+  "test_virtual_handles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_handles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

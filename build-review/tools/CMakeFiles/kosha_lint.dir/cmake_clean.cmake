@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_lint.dir/kosha_lint.cpp.o"
+  "CMakeFiles/kosha_lint.dir/kosha_lint.cpp.o.d"
+  "kosha_lint"
+  "kosha_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_lint_core.dir/lint/lint.cpp.o"
+  "CMakeFiles/kosha_lint_core.dir/lint/lint.cpp.o.d"
+  "libkosha_lint_core.a"
+  "libkosha_lint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_lint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kosha_stat.dir/kosha_stat.cpp.o"
+  "CMakeFiles/kosha_stat.dir/kosha_stat.cpp.o.d"
+  "kosha_stat"
+  "kosha_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kosha_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kosha_stat.
+# This may be replaced when dependencies are built.
