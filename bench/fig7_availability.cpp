@@ -13,9 +13,19 @@
 // A second table breaks the retry/timeout totals down per NFS procedure so
 // loss-sensitive operations (multi-RPC writes vs. single-RPC stats) are
 // visible separately.
+//
+// --churn switches to the continuous-churn soak (DESIGN §8): a live
+// self-healing cluster under seeded exponential join/fail arrivals with no
+// failure oracle, reporting time-to-detection, MTTR, read availability and
+// data durability. Knobs: --nodes, --replicas, --duration S, --fail-mean S,
+// --join-mean S, --churn-files N, --drop P, --oracle (ablation: legacy
+// oracle repair), --seed; --csv dumps the deterministic timeline and
+// --metrics-out=FILE writes the JSON summary CI archives.
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "common/cli.hpp"
@@ -110,17 +120,105 @@ int run_fault_sweep(const kosha::CliArgs& args) {
   return 0;
 }
 
+/// Continuous-churn soak (DESIGN §8): seeded join/fail arrivals against a
+/// self-healing cluster, no oracle.
+int run_churn(const kosha::CliArgs& args) {
+  using namespace kosha;
+  sim::ChurnSimConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.nodes = static_cast<std::size_t>(args.get_int("nodes", 12));
+  config.replicas = static_cast<unsigned>(args.get_int("replicas", 2));
+  config.duration = SimDuration::seconds(args.get_double("duration", 20.0));
+  config.mean_fail_interarrival = SimDuration::seconds(args.get_double("fail-mean", 3.0));
+  config.mean_join_interarrival = SimDuration::seconds(args.get_double("join-mean", 5.0));
+  config.files = static_cast<std::size_t>(args.get_int("churn-files", 24));
+  config.drop_probability = args.get_double("drop", 0.0);
+  config.oracle = args.get_bool("oracle", false);
+
+  std::printf("Continuous-churn soak: %zu nodes, K=%u, %.0fs, fail mean %.1fs, "
+              "join mean %.1fs, drop %.1f%%, seed %llu, %s repair\n\n",
+              config.nodes, config.replicas, config.duration.to_seconds(),
+              config.mean_fail_interarrival.to_seconds(),
+              config.mean_join_interarrival.to_seconds(), config.drop_probability * 100.0,
+              static_cast<unsigned long long>(config.seed),
+              config.oracle ? "oracle-driven" : "self-healing");
+
+  const auto result = sim::simulate_churn(config);
+
+  TextTable table({"metric", "value"});
+  table.add_row({"failures / joins",
+                 std::to_string(result.failures) + " / " + std::to_string(result.joins)});
+  table.add_row({"detected", std::to_string(result.detected) + "/" +
+                                 std::to_string(result.failures)});
+  table.add_row({"detection ms (mean/max)", TextTable::fmt(result.detect_ms_mean, 1) + " / " +
+                                                TextTable::fmt(result.detect_ms_max, 1)});
+  table.add_row({"repaired", std::to_string(result.repaired) + "/" +
+                                 std::to_string(result.failures)});
+  table.add_row({"MTTR ms (mean/max)", TextTable::fmt(result.mttr_ms_mean, 1) + " / " +
+                                           TextTable::fmt(result.mttr_ms_max, 1)});
+  table.add_row({"availability%", TextTable::fmt(result.availability_pct, 2)});
+  table.add_row({"durability% (min/final)", TextTable::fmt(result.min_durability_pct, 2) +
+                                                " / " +
+                                                TextTable::fmt(result.final_durability_pct, 2)});
+  table.add_row({"full replication% (final)", TextTable::fmt(result.final_full_pct, 2)});
+  table.add_row({"converged", result.converged ? "yes" : "no"});
+  table.add_row({"state digest", result.digest});
+  std::fputs(table.to_string().c_str(), stdout);
+
+  if (args.get_bool("csv", false)) {
+    std::printf("\ntype,at_ns,...\n%s", result.timeline_csv.c_str());
+  }
+
+  if (const std::string out = args.get_string("metrics-out", ""); !out.empty()) {
+    std::ostringstream json;
+    json << "{\n  \"seed\": " << config.seed << ",\n  \"nodes\": " << config.nodes
+         << ",\n  \"replicas\": " << config.replicas
+         << ",\n  \"oracle\": " << (config.oracle ? "true" : "false")
+         << ",\n  \"failures\": " << result.failures << ",\n  \"joins\": " << result.joins
+         << ",\n  \"detected\": " << result.detected
+         << ",\n  \"detect_ms_mean\": " << result.detect_ms_mean
+         << ",\n  \"detect_ms_max\": " << result.detect_ms_max
+         << ",\n  \"repaired\": " << result.repaired
+         << ",\n  \"mttr_ms_mean\": " << result.mttr_ms_mean
+         << ",\n  \"mttr_ms_max\": " << result.mttr_ms_max
+         << ",\n  \"availability_pct\": " << result.availability_pct
+         << ",\n  \"min_durability_pct\": " << result.min_durability_pct
+         << ",\n  \"final_durability_pct\": " << result.final_durability_pct
+         << ",\n  \"final_full_pct\": " << result.final_full_pct
+         << ",\n  \"converged\": " << (result.converged ? "true" : "false")
+         << ",\n  \"samples\": " << result.timeline.size() << ",\n  \"digest\": \""
+         << result.digest << "\"\n}\n";
+    std::ofstream file(out);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    file << json.str();
+    std::printf("\nwrote %s\n", out.c_str());
+  }
+  // The soak fails loudly when self-healing did not do its job: every real
+  // failure must be detected and the surviving files fully re-replicated.
+  if (result.detected != result.failures || !result.converged) {
+    std::fprintf(stderr, "churn soak FAILED: detected %zu/%zu, converged=%s\n", result.detected,
+                 result.failures, result.converged ? "true" : "false");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace kosha;
   const CliArgs args(argc, argv);
   if (const auto err = args.check_known(
-          "runs,seed,files,machines,repair-hours,csv,faults,ops,nodes");
+          "runs,seed,files,machines,repair-hours,csv,faults,ops,nodes,churn,replicas,duration,"
+          "fail-mean,join-mean,churn-files,drop,oracle,metrics-out");
       !err.empty()) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
+  if (args.get_bool("churn", false)) return run_churn(args);
   if (args.get_bool("faults", false)) return run_fault_sweep(args);
   const auto runs = static_cast<std::size_t>(args.get_int("runs", 3));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));

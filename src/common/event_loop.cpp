@@ -59,6 +59,23 @@ std::size_t EventLoop::run_until(const std::function<bool()>& done) {
   return ran;
 }
 
+std::size_t EventLoop::run_until_time(SimDuration when) {
+  std::size_t ran = 0;
+  for (;;) {
+    // Drop cancelled entries sitting at the head so the peek below sees
+    // the true earliest live event.
+    while (!heap_.empty() && cancelled_.count(heap_.front().id) > 0) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      cancelled_.erase(heap_.back().id);
+      heap_.pop_back();
+    }
+    if (heap_.empty() || heap_.front().when.ns > when.ns) break;
+    if (step()) ++ran;
+  }
+  clock_->advance_to(when);
+  return ran;
+}
+
 SimDuration EventLoop::jitter(SimDuration max) {
   if (max.ns <= 0) return {};
   return SimDuration::nanos(

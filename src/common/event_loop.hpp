@@ -60,6 +60,12 @@ class EventLoop {
   /// synchronous RPC wrappers block on their own completion.
   std::size_t run_until(const std::function<bool()>& done);
 
+  /// Dispatch every event with timestamp <= `when`, then advance the
+  /// clock to `when` even if the queue still holds later events. The
+  /// churn simulator uses this to sample cluster state on a fixed grid
+  /// while timers keep firing between samples. Returns events run.
+  std::size_t run_until_time(SimDuration when);
+
   [[nodiscard]] SimDuration now() const { return clock_->now(); }
   [[nodiscard]] SimClock& clock() { return *clock_; }
   /// Pending (scheduled, not yet run or cancelled) events.

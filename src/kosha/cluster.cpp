@@ -17,6 +17,15 @@ KoshaCluster::KoshaCluster(ClusterConfig config)
   if (const std::string err = config_.kosha.validate(); !err.empty()) {
     throw std::invalid_argument("KoshaConfig: " + err);
   }
+  if (config_.self_heal.enabled && !config_.event_driven) {
+    throw std::invalid_argument(
+        "ClusterConfig: self_heal requires the event-driven execution model");
+  }
+  if (config_.self_heal.enabled) {
+    overlay_.set_failure_listener([this](pastry::NodeId observer, pastry::NodeId dead) {
+      on_failure_reported(observer, dead);
+    });
+  }
   // Execution model: attaching the event loop flips NfsClient's
   // synchronous API onto the completion-based core (nfs_client.hpp); not
   // attaching it preserves the legacy serial call-and-advance model.
@@ -99,7 +108,16 @@ net::HostId KoshaCluster::add_node(std::uint64_t capacity_bytes) {
   if (nodes_.size() <= host) nodes_.resize(host + 1);
   nodes_[host] = std::move(node);
   join_overlay(*nodes_[host]);
+  if (config_.self_heal.enabled) start_self_heal(*nodes_[host]);
   return host;
+}
+
+void KoshaCluster::start_self_heal(Node& node) {
+  node.detector = std::make_unique<pastry::FailureDetector>(
+      config_.self_heal.detector, &overlay_, &network_, &loop_, node.id, node.host, node.boot);
+  node.detector->start();
+  node.repair = std::make_unique<RepairDaemon>(config_.self_heal.repair, &runtime_, node.host);
+  node.repair->start();
 }
 
 void KoshaCluster::fail_node(net::HostId host) {
@@ -111,7 +129,19 @@ void KoshaCluster::fail_node(net::HostId host) {
   // the clean unreachable path, never through a stale server pointer.
   servers_.erase(host);
   runtime_.replica_managers.erase(host);
-  overlay_.fail(node.id);  // triggers repair, promotion, re-replication
+  if (node.detector != nullptr) node.detector->stop();
+  if (node.repair != nullptr) node.repair->stop();
+  if (config_.self_heal.enabled) {
+    // Oracle-free: stop the host and record when — survivors must notice
+    // via their detectors; the first confirmed report closes this record.
+    DetectionEvent event;
+    event.host = host;
+    event.failed_at = clock_.now();
+    death_times_[node.id] = event;
+    overlay_.mark_dead(node.id);
+  } else {
+    overlay_.fail(node.id);  // oracle: triggers repair, promotion, re-replication
+  }
 }
 
 void KoshaCluster::retire_node(net::HostId host) {
@@ -144,7 +174,25 @@ void KoshaCluster::revive_node(net::HostId host) {
   // previous incarnation. The new verifier makes those entries inert.
   node.boot = next_boot_++;
   node.daemon = std::make_unique<Koshad>(&runtime_, host, node.boot);
+  // Rejoin through the normal join protocol, exactly like a fresh node.
   join_overlay(node);
+  // Self-healing mode: the new incarnation gets a fresh detector and
+  // repair daemon (new id + new boot, so no peer's lingering "suspected"
+  // or "dead" verdict about the previous life can capture it, and its own
+  // detector starts with a clean slate).
+  if (config_.self_heal.enabled) start_self_heal(node);
+}
+
+void KoshaCluster::on_failure_reported(pastry::NodeId observer, pastry::NodeId dead) {
+  (void)observer;
+  const auto it = death_times_.find(dead);
+  if (it == death_times_.end()) return;  // false suspicion, not a real death
+  DetectionEvent event = it->second;
+  event.detected_at = clock_.now();
+  death_times_.erase(it);
+  detections_.push_back(event);
+  metrics_.histogram("selfheal.detect_ms")
+      ->record((event.detected_at - event.failed_at).to_millis());
 }
 
 std::vector<net::HostId> KoshaCluster::live_hosts() const {
@@ -162,6 +210,16 @@ nfs::NfsServer& KoshaCluster::server(net::HostId host) { return *node_ref(host).
 ReplicaManager& KoshaCluster::replicas(net::HostId host) { return *node_ref(host).replicas; }
 
 pastry::NodeId KoshaCluster::node_id(net::HostId host) const { return node_ref(host).id; }
+
+pastry::FailureDetector* KoshaCluster::detector(net::HostId host) {
+  Node& node = node_ref(host);
+  return node.alive ? node.detector.get() : nullptr;
+}
+
+RepairDaemon* KoshaCluster::repair_daemon(net::HostId host) {
+  Node& node = node_ref(host);
+  return node.alive ? node.repair.get() : nullptr;
+}
 
 void KoshaCluster::refresh_derived_metrics() {
   // Statistics that already live in dedicated structs (NetStats,
@@ -216,6 +274,52 @@ void KoshaCluster::refresh_derived_metrics() {
     metrics_.gauge(prefix + ".koshad.degraded_reads")
         ->set(static_cast<double>(ks.degraded_reads));
     metrics_.gauge(prefix + ".koshad.mirror_rpcs")->set(static_cast<double>(ks.mirror_rpcs));
+  }
+
+  if (config_.self_heal.enabled) {
+    pastry::FailureDetectorStats fd;
+    RepairDaemonStats rd;
+    for (const auto& node : nodes_) {
+      if (node == nullptr || !node->alive) continue;
+      if (node->detector != nullptr) {
+        const pastry::FailureDetectorStats& s = node->detector->stats();
+        fd.probes_sent += s.probes_sent;
+        fd.acks_received += s.acks_received;
+        fd.probe_misses += s.probe_misses;
+        fd.suspicions += s.suspicions;
+        fd.indirect_rounds += s.indirect_rounds;
+        fd.refutations += s.refutations;
+        fd.declared_dead += s.declared_dead;
+        fd.reinstated += s.reinstated;
+        fd.quarantined_verdicts += s.quarantined_verdicts;
+      }
+      if (node->repair != nullptr) {
+        const RepairDaemonStats& s = node->repair->stats();
+        rd.ticks += s.ticks;
+        rd.promoted += s.promoted;
+        rd.handed_off += s.handed_off;
+        rd.pushed += s.pushed;
+        rd.dropped += s.dropped;
+        rd.last_missing += s.last_missing;
+      }
+    }
+    metrics_.gauge("selfheal.detector.probes")->set(static_cast<double>(fd.probes_sent));
+    metrics_.gauge("selfheal.detector.acks")->set(static_cast<double>(fd.acks_received));
+    metrics_.gauge("selfheal.detector.misses")->set(static_cast<double>(fd.probe_misses));
+    metrics_.gauge("selfheal.detector.suspicions")->set(static_cast<double>(fd.suspicions));
+    metrics_.gauge("selfheal.detector.refutations")->set(static_cast<double>(fd.refutations));
+    metrics_.gauge("selfheal.detector.declared_dead")
+        ->set(static_cast<double>(fd.declared_dead));
+    metrics_.gauge("selfheal.detector.reinstated")->set(static_cast<double>(fd.reinstated));
+    metrics_.gauge("selfheal.detector.quarantined")
+        ->set(static_cast<double>(fd.quarantined_verdicts));
+    metrics_.gauge("selfheal.repair.ticks")->set(static_cast<double>(rd.ticks));
+    metrics_.gauge("selfheal.repair.promoted")->set(static_cast<double>(rd.promoted));
+    metrics_.gauge("selfheal.repair.handed_off")->set(static_cast<double>(rd.handed_off));
+    metrics_.gauge("selfheal.repair.pushed")->set(static_cast<double>(rd.pushed));
+    metrics_.gauge("selfheal.repair.dropped")->set(static_cast<double>(rd.dropped));
+    metrics_.gauge("selfheal.detections")->set(static_cast<double>(detections_.size()));
+    metrics_.gauge("selfheal.undetected")->set(static_cast<double>(death_times_.size()));
   }
 }
 

@@ -10,6 +10,7 @@
 // §4.3).
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,9 +20,11 @@
 #include "common/rng.hpp"
 #include "common/tracing.hpp"
 #include "kosha/koshad.hpp"
+#include "kosha/repair.hpp"
 #include "kosha/replication.hpp"
 #include "kosha/runtime.hpp"
 #include "nfs/nfs_server.hpp"
+#include "pastry/failure_detector.hpp"
 
 namespace kosha {
 
@@ -31,6 +34,19 @@ namespace kosha {
 struct ObservabilityConfig {
   bool metrics = false;
   bool tracing = false;
+};
+
+/// Autonomous failure handling (DESIGN §8). Off by default: fail_node then
+/// tells the survivors directly (the oracle) and repair runs synchronously
+/// — the model every pre-existing test assumes. Enabled, fail_node only
+/// stops the host: each node runs a heartbeat failure detector and an
+/// anti-entropy repair daemon on the event loop, and the survivors must
+/// detect the death, repair the ring, and converge replication themselves.
+/// Requires the event-driven execution model.
+struct SelfHealConfig {
+  bool enabled = false;
+  pastry::FailureDetectorConfig detector;
+  RepairDaemonConfig repair;
 };
 
 struct ClusterConfig {
@@ -51,6 +67,7 @@ struct ClusterConfig {
   net::NetworkConfig network;
   nfs::NfsCostModel costs;
   ObservabilityConfig observability;
+  SelfHealConfig self_heal;
 };
 
 class KoshaCluster {
@@ -65,8 +82,13 @@ class KoshaCluster {
   /// Triggers the join protocol and any key-space migration.
   net::HostId add_node(std::uint64_t capacity_bytes = 0);
 
-  /// Crash a node. Its leaf-set neighbors repair, replicas are promoted,
-  /// and clients fail over transparently on their next access.
+  /// Crash a node. Without self-healing its leaf-set neighbors repair
+  /// immediately (oracle-driven) and replicas are promoted before this
+  /// returns. With self-healing this only stops the host: survivors
+  /// discover the death via their failure detectors as virtual time runs
+  /// (drive the loop, e.g. loop().run_until_time), repair the ring, and
+  /// the repair daemons converge replication. Clients fail over
+  /// transparently on their next access either way.
   void fail_node(net::HostId host);
 
   /// Gracefully retire a node (paper §4.3: leaving is distinct from
@@ -85,6 +107,21 @@ class KoshaCluster {
   [[nodiscard]] nfs::NfsServer& server(net::HostId host);
   [[nodiscard]] ReplicaManager& replicas(net::HostId host);
   [[nodiscard]] pastry::NodeId node_id(net::HostId host) const;
+  /// The node's failure detector / repair daemon (self-healing mode only;
+  /// null otherwise or while the node is down).
+  [[nodiscard]] pastry::FailureDetector* detector(net::HostId host);
+  [[nodiscard]] RepairDaemon* repair_daemon(net::HostId host);
+
+  /// One confirmed-detection record per real failure (self-healing mode):
+  /// filled when the first survivor declares the dead node and repairs.
+  struct DetectionEvent {
+    net::HostId host = net::kInvalidHost;
+    SimDuration failed_at{};
+    SimDuration detected_at{};
+  };
+  [[nodiscard]] const std::vector<DetectionEvent>& detections() const { return detections_; }
+  /// Real failures whose death no survivor has confirmed yet.
+  [[nodiscard]] std::size_t undetected_failures() const { return death_times_.size(); }
 
   [[nodiscard]] SimClock& clock() { return clock_; }
   /// The cluster's discrete-event scheduler (attached to the network only
@@ -121,12 +158,24 @@ class KoshaCluster {
     std::unique_ptr<nfs::NfsServer> server;
     std::unique_ptr<ReplicaManager> replicas;
     std::unique_ptr<Koshad> daemon;
+    /// Self-healing mode only: the node's heartbeat detector and repair
+    /// daemon. Stopped (not destroyed — their scheduled events resolve
+    /// through registries, so stale objects are inert) on failure and
+    /// replaced on revival.
+    std::unique_ptr<pastry::FailureDetector> detector;
+    std::unique_ptr<RepairDaemon> repair;
     bool alive = true;
   };
 
   Node& node_ref(net::HostId host);
   const Node& node_ref(net::HostId host) const;
   void join_overlay(Node& node);
+  /// Self-healing mode: create and start the node's detector and repair
+  /// daemon (fresh objects per incarnation).
+  void start_self_heal(Node& node);
+  /// Failure listener: `observer` confirmed `dead`; record first-detection
+  /// latency for the real failure, if that is what it was.
+  void on_failure_reported(pastry::NodeId observer, pastry::NodeId dead);
   /// Recompute the gauges derived from externally-held statistics.
   void refresh_derived_metrics();
 
@@ -144,6 +193,11 @@ class KoshaCluster {
   /// Monotonic boot-verifier source: deterministic (no wall clock) so a
   /// seeded run replays identically across crash/revive cycles.
   std::uint64_t next_boot_ = 1;
+  /// Self-healing bookkeeping: when each still-undetected real failure
+  /// happened (keyed by the dead incarnation's node id), and the detection
+  /// record once the first survivor confirms it.
+  std::map<Uint128, DetectionEvent> death_times_;
+  std::vector<DetectionEvent> detections_;
 };
 
 }  // namespace kosha

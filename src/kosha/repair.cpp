@@ -1,0 +1,57 @@
+#include "kosha/repair.hpp"
+
+#include <cassert>
+
+#include "kosha/replication.hpp"
+
+namespace kosha {
+
+RepairDaemon::RepairDaemon(RepairDaemonConfig config, Runtime* runtime, net::HostId host)
+    : config_(config), runtime_(runtime), host_(host) {
+  assert(runtime_ != nullptr && runtime_->loop != nullptr);
+}
+
+void RepairDaemon::start() {
+  if (running_) return;
+  running_ = true;
+  runtime_->repair_daemons[host_] = this;
+  schedule_tick();
+}
+
+void RepairDaemon::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (runtime_->repair_daemon(host_) == this) runtime_->repair_daemons.erase(host_);
+}
+
+void RepairDaemon::schedule_tick() {
+  EventLoop* loop = runtime_->loop;
+  const SimDuration delay = config_.period + loop->jitter(config_.jitter);
+  Runtime* runtime = runtime_;
+  const net::HostId host = host_;
+  loop->schedule_after(delay, [runtime, host] {
+    if (RepairDaemon* d = runtime->repair_daemon(host)) d->tick();
+  });
+}
+
+void RepairDaemon::tick() {
+  if (!running_) return;
+  ReplicaManager* rm = runtime_->replica_manager(host_);
+  if (rm == nullptr) {  // the host died under us; the revival starts anew
+    stop();
+    return;
+  }
+  ++stats_.ticks;
+  // The whole pass is background traffic: counted, never charged to
+  // whatever foreground operation is in flight (DESIGN §8 invariant).
+  ClockPauser pause(*runtime_->clock);
+  const auto report = rm->reconcile(config_.max_pushes_per_tick);
+  stats_.promoted += report.promoted;
+  stats_.handed_off += report.handed_off;
+  stats_.pushed += report.pushed;
+  stats_.dropped += report.dropped;
+  stats_.last_missing = report.missing;
+  schedule_tick();
+}
+
+}  // namespace kosha

@@ -414,12 +414,27 @@ void ReplicaManager::drop_replicas_of(pastry::NodeId primary) {
 // ---------------------------------------------------------------------------
 
 void ReplicaManager::on_neighbors_changed() {
+  const bool content_changed = reconcile_dead_primaries(nullptr);
+  refresh_targets(content_changed, nullptr);
+  migrate_moved_anchors();
+}
+
+ReplicaManager::ReconcileReport ReplicaManager::reconcile(std::size_t max_pushes) {
+  ReconcileReport report;
+  const bool content_changed = reconcile_dead_primaries(&report);
+  refresh_targets(content_changed, &report);
+  migrate_moved_anchors();
+  audit_replicas(max_pushes, &report);
+  return report;
+}
+
+bool ReplicaManager::reconcile_dead_primaries(ReconcileReport* report) {
   bool content_changed = false;
 
-  // 1. Primaries we held replicas for may have died: promote the anchors
-  //    whose key space we now own. Anchors owned by another node are handed
-  //    to it directly if it has neither promoted nor received them —
-  //    callback ordering must not decide whether data survives.
+  // Primaries we held replicas for may have died: promote the anchors
+  // whose key space we now own. Anchors owned by another node are handed
+  // to it directly if it has neither promoted nor received them —
+  // callback ordering must not decide whether data survives.
   const auto held_snapshot = replicas_held_;
   for (const auto& [primary, anchors] : held_snapshot) {
     if (runtime_->overlay->is_live(primary)) continue;
@@ -432,20 +447,25 @@ void ReplicaManager::on_neighbors_changed() {
           // owner was still alive): the hidden copy is stale — discard it
           // rather than promote it over live content.
           discard_replica(primary, anchor);
+          if (report != nullptr) ++report->dropped;
         } else {
           mine.emplace(anchor, name);
         }
       } else {
-        hand_off_replica(primary, route.owner, anchor, name);
+        const bool copied = hand_off_replica(primary, route.owner, anchor, name);
+        if (copied && report != nullptr) ++report->handed_off;
       }
     }
     if (!mine.empty()) {
       promote(primary, mine);
+      if (report != nullptr) report->promoted += mine.size();
       content_changed = true;
     }
   }
+  return content_changed;
+}
 
-  // 2. Refresh replica targets.
+void ReplicaManager::refresh_targets(bool content_changed, ReconcileReport* report) {
   const std::vector<pastry::NodeId> fresh =
       runtime_->overlay->replica_targets(id_, runtime_->config.replicas);
   for (const pastry::NodeId old : targets_) {
@@ -453,16 +473,79 @@ void ReplicaManager::on_neighbors_changed() {
   }
   for (const pastry::NodeId t : fresh) {
     const bool is_new = std::find(targets_.begin(), targets_.end(), t) == targets_.end();
-    if (is_new || content_changed) push_all_to(t);
+    if (is_new || content_changed) {
+      push_all_to(t);
+      if (report != nullptr) report->pushed += primaries_.size();
+    }
   }
   targets_ = fresh;
+}
 
-  // 3. A join may have taken over part of our key space: hand over anchors
-  //    we no longer own (paper §4.3.1).
+void ReplicaManager::migrate_moved_anchors() {
+  // A join may have taken over part of our key space: hand over anchors
+  // we no longer own (paper §4.3.1).
   const auto primaries_snapshot = primaries_;
   for (const auto& [anchor, name] : primaries_snapshot) {
     const auto route = runtime_->overlay->route(host_, key_for_name(name));
     if (route.owner != id_) migrate_anchor_to(route.owner, anchor, name);
+  }
+}
+
+void ReplicaManager::audit_replicas(std::size_t max_pushes, ReconcileReport* report) {
+  // Anti-entropy traffic is off the critical path: count it, charge no
+  // foreground time.
+  ClockPauser pause(*runtime_->clock);
+  const std::string root = hidden_root(id_);
+  std::size_t pushes = 0;
+
+  // Placement audit: every registered anchor must exist, flag-free, inside
+  // this primary's hidden area on each live target. Holes (a target that
+  // crashed before the copy finished, joined after the last membership
+  // push, or lost the copy to a purge) are re-pushed, at most `max_pushes`
+  // per pass.
+  for (const pastry::NodeId t : targets_) {
+    if (!runtime_->overlay->is_live(t)) continue;
+    const net::HostId target_host = runtime_->overlay->host_of(t);
+    fs::LocalFs* store = store_of(target_host);
+    if (store == nullptr) continue;
+    // One audit round trip per target: request a manifest of our area.
+    runtime_->network->charge_rtt(host_, target_host, 64);
+    const bool flagged = store->resolve(path_child(root, kMigrationFlag)).ok();
+    for (const auto& [anchor, name] : primaries_) {
+      (void)name;
+      if (!flagged && store->resolve(root + anchor).ok()) continue;
+      if (report != nullptr) ++report->missing;
+      if (pushes >= max_pushes) continue;  // rate limit: rest next pass
+      if (push_anchor_to(t, anchor)) {
+        ++pushes;
+        if (report != nullptr) ++report->pushed;
+      }
+    }
+  }
+
+  // Stale-copy reclamation: a hidden copy held for a *live* primary that
+  // no longer lists this node as a target is left over from a delete_from
+  // that could not reach us (we were down or browned out). Ask the primary
+  // and reclaim the space.
+  const auto held_snapshot = replicas_held_;
+  for (const auto& [primary, anchors] : held_snapshot) {
+    if (!runtime_->overlay->is_live(primary)) continue;
+    const net::HostId primary_host = runtime_->overlay->host_of(primary);
+    if (!runtime_->network->is_up(primary_host)) continue;
+    ReplicaManager* prm = runtime_->replica_manager(primary_host);
+    if (prm == nullptr) continue;
+    runtime_->network->charge_rtt(host_, primary_host, 64);
+    const bool still_target =
+        std::find(prm->targets_.begin(), prm->targets_.end(), id_) != prm->targets_.end();
+    for (const auto& [anchor, name] : anchors) {
+      (void)name;
+      // Keep the copy only while the primary both targets us and still
+      // owns the anchor: a migration that moved the anchor to a new owner
+      // leaves the old primary's targets holding copies nobody tracks.
+      if (still_target && prm->primaries_.count(anchor) != 0) continue;
+      discard_replica(primary, anchor);
+      if (report != nullptr) ++report->dropped;
+    }
   }
 }
 
@@ -478,21 +561,21 @@ void ReplicaManager::discard_replica(pastry::NodeId primary, const std::string& 
   if (it->second.empty()) replicas_held_.erase(it);
 }
 
-void ReplicaManager::hand_off_replica(pastry::NodeId dead_primary, pastry::NodeId owner,
+bool ReplicaManager::hand_off_replica(pastry::NodeId dead_primary, pastry::NodeId owner,
                                       const std::string& anchor, const std::string& name) {
-  if (!runtime_->overlay->is_live(owner)) return;
+  if (!runtime_->overlay->is_live(owner)) return false;
   const net::HostId owner_host = runtime_->overlay->host_of(owner);
   ReplicaManager* owner_rm = runtime_->replica_manager(owner_host);
   fs::LocalFs* owner_store = store_of(owner_host);
-  if (owner_rm == nullptr || owner_store == nullptr) return;
+  if (owner_rm == nullptr || owner_store == nullptr) return false;
   // Skip if the owner already promoted its own copy or received a handoff.
-  if (owner_rm->primaries_.count(anchor) != 0) return;
+  if (owner_rm->primaries_.count(anchor) != 0) return false;
   // Skip if our copy is known-incomplete; a holder with a complete copy
   // will perform the handoff instead.
   fs::LocalFs& store = local_store();
   const std::string root = hidden_root(dead_primary);
-  if (store.resolve(path_child(root, kMigrationFlag)).ok()) return;
-  if (!store.resolve(root + anchor).ok()) return;
+  if (store.resolve(path_child(root, kMigrationFlag)).ok()) return false;
+  if (!store.resolve(root + anchor).ok()) return false;
 
   SpanScope span(runtime_->tracer, "replica.handoff", host_);
   if (span.active()) span.tag("target", std::to_string(owner_host));
@@ -500,7 +583,7 @@ void ReplicaManager::hand_off_replica(pastry::NodeId dead_primary, pastry::NodeI
   ClockPauser pause(*runtime_->clock);
   if (!copy_subtree(*runtime_, host_, store, root + anchor, owner_host, *owner_store,
                     anchor)) {
-    return;
+    return false;
   }
   owner_rm->register_primary(anchor, name);
   // Our copy of the dead primary's anchor is spent; the new primary pushes
@@ -513,6 +596,7 @@ void ReplicaManager::hand_off_replica(pastry::NodeId dead_primary, pastry::NodeI
     }
     if (it->second.empty()) replicas_held_.erase(it);
   }
+  return true;
 }
 
 void ReplicaManager::evacuate() {

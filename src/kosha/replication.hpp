@@ -93,6 +93,22 @@ class ReplicaManager {
   /// died (node failure).
   void on_neighbors_changed();
 
+  /// One anti-entropy pass (repair daemon): everything
+  /// on_neighbors_changed() does, plus a per-anchor audit that re-pushes
+  /// anchors missing or incomplete on a replica target (at most
+  /// `max_pushes` re-pushes per pass — the repair rate limit) and
+  /// reclaims stale hidden copies whose live primary no longer lists this
+  /// node as a target (e.g. a delete_from that could not reach us while
+  /// we were down or browned out).
+  struct ReconcileReport {
+    std::size_t promoted = 0;     // anchors promoted from a dead primary
+    std::size_t handed_off = 0;   // anchors copied to their new owner
+    std::size_t pushed = 0;       // anchors re-pushed by the audit
+    std::size_t dropped = 0;      // stale hidden copies reclaimed
+    std::size_t missing = 0;      // (anchor, target) holes observed
+  };
+  ReconcileReport reconcile(std::size_t max_pushes);
+
   /// Graceful departure (paper §4.3: nodes may *leave*, not only fail):
   /// hand every primary anchor to the node that will own its key once this
   /// node is gone. Called before the overlay removes the node; loses
@@ -151,9 +167,25 @@ class ReplicaManager {
   void promote(pastry::NodeId dead_primary,
                const std::map<std::string, std::string>& anchors);
   /// Give a dead primary's anchor to the node that now owns its key but
-  /// holds no copy of it (replica-holder-driven promotion).
-  void hand_off_replica(pastry::NodeId dead_primary, pastry::NodeId owner,
+  /// holds no copy of it (replica-holder-driven promotion). Returns true
+  /// when content was actually copied over.
+  bool hand_off_replica(pastry::NodeId dead_primary, pastry::NodeId owner,
                         const std::string& anchor, const std::string& name);
+
+  // --- shared membership-reaction stages (on_neighbors_changed and
+  // reconcile run the same three, reconcile adds the audit) --------------
+  /// Stage 1: promote/hand off/discard anchors of dead primaries.
+  /// Returns true when local primary content changed (promotion).
+  bool reconcile_dead_primaries(ReconcileReport* report);
+  /// Stage 2: re-derive replica targets from the leaf set; tear down
+  /// removed targets, push to new ones (all of them if content changed).
+  void refresh_targets(bool content_changed, ReconcileReport* report);
+  /// Stage 3: migrate anchors whose key space moved to another owner.
+  void migrate_moved_anchors();
+  /// Audit stage (reconcile only): verify each registered anchor exists,
+  /// flag-free, on each live target; re-push at most `max_pushes` holes
+  /// and reclaim hidden copies no live primary wants here any more.
+  void audit_replicas(std::size_t max_pushes, ReconcileReport* report);
   /// Drop a (stale) hidden copy held for `primary`.
   void discard_replica(pastry::NodeId primary, const std::string& anchor);
 

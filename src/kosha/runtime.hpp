@@ -15,6 +15,7 @@ namespace kosha {
 
 class EventLoop;
 class MetricsRegistry;
+class RepairDaemon;
 class ReplicaManager;
 class Tracer;
 
@@ -46,6 +47,12 @@ struct Runtime {
   /// (kosha-lint rule D2 — unordered iteration order leaks into traces).
   std::map<net::HostId, ReplicaManager*> replica_managers;
 
+  /// Per-host anti-entropy repair daemons (self-healing mode only).
+  /// Scheduled ticks resolve the daemon through this map at fire time, so
+  /// a tick aimed at a crashed node's daemon is an inert no-op. Ordered
+  /// for the same D2 reason as replica_managers.
+  std::map<net::HostId, RepairDaemon*> repair_daemons;
+
   /// Fault-injection hook for tests: when set and it returns true, an
   /// in-progress subtree copy aborts midway, leaving the
   /// MIGRATION_NOT_COMPLETE flag in place (paper §4.4 failure scenario).
@@ -54,6 +61,11 @@ struct Runtime {
   [[nodiscard]] ReplicaManager* replica_manager(net::HostId host) const {
     const auto it = replica_managers.find(host);
     return it == replica_managers.end() ? nullptr : it->second;
+  }
+
+  [[nodiscard]] RepairDaemon* repair_daemon(net::HostId host) const {
+    const auto it = repair_daemons.find(host);
+    return it == repair_daemons.end() ? nullptr : it->second;
   }
 };
 

@@ -6,6 +6,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "pastry/failure_detector.hpp"
+
 namespace kosha::pastry {
 
 namespace {
@@ -66,6 +68,16 @@ const RoutingTable& PastryOverlay::routing_table(NodeId id) const { return node(
 
 void PastryOverlay::set_neighbor_callback(NodeId id, NeighborCallback callback) {
   node(id).on_leaf_change = std::move(callback);
+}
+
+void PastryOverlay::set_detector(NodeId id, FailureDetector* detector) {
+  node(id).detector = detector;
+}
+
+FailureDetector* PastryOverlay::detector(NodeId id) const {
+  const auto it = index_by_id_.find(id);
+  if (it == index_by_id_.end() || !nodes_[it->second]->alive) return nullptr;
+  return nodes_[it->second]->detector;
 }
 
 void PastryOverlay::notify_leaf_change(Node& n) {
@@ -209,32 +221,56 @@ void PastryOverlay::join(NodeId id, net::HostId host) {
 
 void PastryOverlay::repair_leaf_set(Node& n) {
   // Pull leaf-set candidates from every remaining live member; the true
-  // replacement neighbor is within l/2 positions of one of them.
+  // replacement neighbor is within l/2 positions of one of them. A
+  // candidate the node's own failure detector has declared dead is not
+  // accepted even when ground truth says it is live — the verdict may be
+  // wrong (brownout), but the node cannot know that until the peer's
+  // probes prove it (reintroduce()), and flip-flopping the leaf set in
+  // between would churn replicas for nothing.
+  auto declared = [&](NodeId cand) {
+    return n.detector != nullptr && n.detector->has_declared_dead(cand);
+  };
+  auto acceptable = [&](NodeId cand) { return is_live(cand) && !declared(cand); };
   const std::vector<NodeId> snapshot = n.leaves.members();
   for (const NodeId m : snapshot) {
-    if (!is_live(m)) {
+    // Eviction is verdict-driven, never ground-truth-driven: a member this
+    // node has not declared dead stays in the leaf set even when it is in
+    // fact down, so the failure detector keeps probing it. Evicting by
+    // ground truth here would silently drop a second not-yet-detected
+    // casualty while repairing around the first, and a node absent from
+    // every leaf set is never probed — its death would go undeclared
+    // forever. Without a detector (oracle mode) ground truth is the only
+    // signal there is.
+    if (declared(m) || (n.detector == nullptr && !is_live(m))) {
       n.leaves.remove(m);
       continue;
     }
+    if (!is_live(m)) continue;  // a silent peer answers no state pull
     const Node& peer = node(m);
     network_->charge_rtt(n.host, peer.host, kStateBytes / 4);
     n.leaves.insert(peer.id);
     for (const NodeId cand : peer.leaves.members()) {
-      if (is_live(cand)) n.leaves.insert(cand);
+      if (acceptable(cand)) n.leaves.insert(cand);
     }
   }
 }
 
-void PastryOverlay::fail(NodeId id) {
+void PastryOverlay::mark_dead(NodeId id) {
   Node& f = node(id);
   if (!f.alive) return;
   f.alive = false;
   f.on_leaf_change = nullptr;
+  f.detector = nullptr;  // pending probe events resolve to null and no-op
   ring_.remove(id);
   if (const auto it = index_by_host_.find(f.host);
       it != index_by_host_.end() && nodes_[it->second]->id == id) {
     index_by_host_.erase(it);
   }
+}
+
+void PastryOverlay::fail(NodeId id) {
+  if (!is_live(id)) return;
+  mark_dead(id);
 
   for (const auto& up : nodes_) {
     Node& n = *up;
@@ -246,6 +282,27 @@ void PastryOverlay::fail(NodeId id) {
     }
     // Routing-table entries decay lazily during routing.
   }
+}
+
+void PastryOverlay::report_failure(NodeId observer, NodeId dead) {
+  Node& n = node(observer);
+  if (!n.alive) return;
+  const bool was_member = n.leaves.remove(dead);
+  n.table.remove(dead);
+  if (!was_member) return;
+  repair_leaf_set(n);
+  notify_leaf_change(n);
+  if (failure_listener_) failure_listener_(observer, dead);
+}
+
+void PastryOverlay::reintroduce(NodeId observer, NodeId peer) {
+  Node& n = node(observer);
+  if (!n.alive || !is_live(peer)) return;
+  // Exchange state with the returning peer (it may have drifted while we
+  // shunned it), then fold it back in.
+  network_->charge_rtt(n.host, node(peer).host, kStateBytes / 4);
+  n.table.insert(peer);
+  if (n.leaves.insert(peer)) notify_leaf_change(n);
 }
 
 }  // namespace kosha::pastry

@@ -26,6 +26,8 @@
 
 namespace kosha::pastry {
 
+class FailureDetector;
+
 /// Result of routing a key: the owning node and the overlay hops taken.
 struct RouteResult {
   NodeId owner;
@@ -36,6 +38,10 @@ struct RouteResult {
 /// Kosha's replication manager reacts by re-establishing replicas.
 using NeighborCallback = std::function<void()>;
 
+/// Fired when `observer` confirms `dead` as failed and repairs its own
+/// state (the decentralized path; the cluster uses it to time detection).
+using FailureListener = std::function<void(NodeId observer, NodeId dead)>;
+
 class PastryOverlay {
  public:
   PastryOverlay(PastryConfig config, net::SimNetwork* network);
@@ -45,9 +51,27 @@ class PastryOverlay {
   /// bootstrap node, charging overlay traffic.
   void join(NodeId id, net::HostId host);
 
-  /// Crash-fail a node. Live nodes holding it in their leaf sets repair
-  /// immediately (charged); routing-table entries decay lazily.
+  /// Crash-fail a node with oracle-driven repair: live nodes holding it in
+  /// their leaf sets repair immediately (charged); routing-table entries
+  /// decay lazily. Equivalent to mark_dead() plus telling every affected
+  /// survivor at once — the legacy path used when self-healing is off.
   void fail(NodeId id);
+
+  /// Crash-fail a node *without* telling anyone: the node stops being
+  /// live, but survivors keep it in their leaf sets until their failure
+  /// detectors notice and call report_failure(). The oracle-free path.
+  void mark_dead(NodeId id);
+
+  /// `observer` confirmed `dead` as failed (via its failure detector):
+  /// drop it from the observer's leaf set and routing table, repair the
+  /// leaf set, and fire the observer's neighbor callback so replication
+  /// reacts. Safe to call with stale verdicts (no-op when already gone).
+  void report_failure(NodeId observer, NodeId dead);
+
+  /// `observer` learned that `peer` — which it had declared dead — is in
+  /// fact alive (false suspicion healed): fold it back into the observer's
+  /// leaf set and routing table and fire the neighbor callback.
+  void reintroduce(NodeId observer, NodeId peer);
 
   [[nodiscard]] bool is_live(NodeId id) const;
   [[nodiscard]] std::size_t live_count() const { return ring_.size(); }
@@ -69,6 +93,15 @@ class PastryOverlay {
 
   void set_neighbor_callback(NodeId id, NeighborCallback callback);
 
+  /// Failure-detector registry: scheduled probe events resolve detectors
+  /// through here at fire time, so events aimed at a dead or stopped node
+  /// become no-ops instead of dangling. mark_dead()/fail() clear the slot.
+  void set_detector(NodeId id, FailureDetector* detector);
+  [[nodiscard]] FailureDetector* detector(NodeId id) const;
+
+  /// Observe confirmed failure reports (detection-latency metrics).
+  void set_failure_listener(FailureListener listener) { failure_listener_ = std::move(listener); }
+
   /// Ground truth over live nodes (tests, simulators, bootstrap choice).
   [[nodiscard]] const Ring& ring() const { return ring_; }
 
@@ -84,6 +117,9 @@ class PastryOverlay {
     RoutingTable table;
     LeafSet leaves;
     NeighborCallback on_leaf_change;
+    /// The node's heartbeat failure detector, when the cluster runs one
+    /// (self-healing mode). Not owned; cleared on death.
+    FailureDetector* detector = nullptr;
 
     Node(NodeId node_id, net::HostId h, const PastryConfig& cfg)
         : id(node_id), host(h), table(node_id, cfg), leaves(node_id, cfg.leaf_half()) {}
@@ -105,6 +141,7 @@ class PastryOverlay {
   std::unordered_map<Uint128, std::size_t> index_by_id_;
   std::unordered_map<net::HostId, std::size_t> index_by_host_;
   Ring ring_;
+  FailureListener failure_listener_;
 };
 
 }  // namespace kosha::pastry

@@ -121,6 +121,106 @@ TEST(ClusterChurn, MassJoinThenMassFailure) {
   }
 }
 
+// --- self-healing mode (DESIGN §8): no oracle, detectors + daemons -------
+
+TEST(ClusterChurn, SelfHealingChurnConvergesWithoutOracle) {
+  ClusterConfig config;
+  config.nodes = 10;
+  config.kosha.distribution_level = 2;
+  config.kosha.replicas = 2;
+  config.seed = 911;
+  config.self_heal.enabled = true;
+  KoshaCluster cluster(config);
+  Rng rng(912);
+  KoshaMount mount(&cluster.daemon(0));
+
+  std::map<std::string, std::string> expected;
+  const auto settle = [&](double seconds) {
+    cluster.loop().run_until_time(cluster.clock().now() + SimDuration::seconds(seconds));
+  };
+
+  for (int round = 0; round < 8; ++round) {
+    // Write a couple of files.
+    const std::string dir = "/sh/d" + std::to_string(rng.next_below(3));
+    ASSERT_TRUE(mount.mkdir_p(dir).ok());
+    for (int i = 0; i < 2; ++i) {
+      const std::string path = dir + "/f" + std::to_string(rng.next_below(5));
+      const std::string content = "r" + std::to_string(round) + "-" + rng.next_name(10);
+      ASSERT_TRUE(mount.write_file(path, content).ok()) << path;
+      expected[path] = content;
+    }
+
+    // One failure per round — discovered and repaired autonomously while
+    // virtual time runs (fail_node only stops the host here).
+    const auto hosts = cluster.live_hosts();
+    if (hosts.size() > 6 && round % 2 == 0) {
+      cluster.fail_node(hosts[1 + rng.next_below(hosts.size() - 1)]);
+    } else if (round % 3 == 1) {
+      (void)cluster.add_node();
+    }
+    settle(6.0);
+
+    // Everything written is still readable with the right bytes.
+    for (const auto& [path, content] : expected) {
+      const auto read = mount.read_file(path);
+      ASSERT_TRUE(read.ok()) << "round " << round << " lost " << path;
+      ASSERT_EQ(read.value(), content) << "round " << round << " corrupted " << path;
+    }
+  }
+
+  // Every real failure was detected; nothing is pending.
+  EXPECT_EQ(cluster.undetected_failures(), 0u);
+  EXPECT_FALSE(cluster.detections().empty());
+}
+
+TEST(ClusterChurn, ReviveRejoinsThroughJoinProtocolWithCleanDetectorState) {
+  ClusterConfig config;
+  config.nodes = 8;
+  config.kosha.replicas = 2;
+  config.seed = 913;
+  config.self_heal.enabled = true;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  ASSERT_TRUE(mount.mkdir_p("/rv").ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(mount.write_file("/rv/f" + std::to_string(i), std::to_string(i)).ok());
+  }
+
+  const net::HostId victim = cluster.live_hosts().back();
+  const pastry::NodeId old_id = cluster.node_id(victim);
+  cluster.fail_node(victim);
+  EXPECT_EQ(cluster.detector(victim), nullptr);
+  EXPECT_EQ(cluster.repair_daemon(victim), nullptr);
+  // Let the survivors actually detect and repair before the revival.
+  cluster.loop().run_until_time(cluster.clock().now() + SimDuration::seconds(5));
+  ASSERT_EQ(cluster.detections().size(), 1u);
+
+  cluster.revive_node(victim);
+  // The revival routes through the normal join protocol: fresh node id,
+  // fresh detector and repair daemon, running from the start.
+  const pastry::NodeId new_id = cluster.node_id(victim);
+  EXPECT_NE(new_id, old_id);
+  ASSERT_NE(cluster.detector(victim), nullptr);
+  EXPECT_TRUE(cluster.detector(victim)->running());
+  ASSERT_NE(cluster.repair_daemon(victim), nullptr);
+  EXPECT_TRUE(cluster.repair_daemon(victim)->running());
+
+  cluster.loop().run_until_time(cluster.clock().now() + SimDuration::seconds(8));
+  // No survivor may hold a lingering verdict against the reborn node: the
+  // new incarnation must be a first-class member again.
+  for (const net::HostId host : cluster.live_hosts()) {
+    if (const pastry::FailureDetector* d = cluster.detector(host)) {
+      EXPECT_FALSE(d->is_suspected(new_id)) << host;
+      EXPECT_FALSE(d->has_declared_dead(new_id)) << host;
+    }
+  }
+  for (int i = 0; i < 6; ++i) {
+    const auto read = mount.read_file("/rv/f" + std::to_string(i));
+    ASSERT_TRUE(read.ok()) << i;
+    EXPECT_EQ(read.value(), std::to_string(i));
+  }
+}
+
 TEST(ClusterChurn, ClientHandlesStayValidAcrossFailover) {
   ClusterConfig config;
   config.nodes = 8;

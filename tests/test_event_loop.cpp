@@ -144,6 +144,59 @@ TEST(EventLoop, SameSeedRunsReplayIdentically) {
   EXPECT_NE(transcript(42), transcript(43));
 }
 
+TEST(EventLoop, RunUntilTimeDispatchesDueEventsAndAdvancesTheClock) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  int ran = 0;
+  loop.schedule_at(SimDuration::millis(1), [&] { ++ran; });
+  loop.schedule_at(SimDuration::millis(2), [&] { ++ran; });
+  loop.schedule_at(SimDuration::millis(9), [&] { ++ran; });
+
+  // Everything <= the horizon runs; the clock lands exactly on the horizon
+  // even though a later event is still pending (grid sampling contract).
+  EXPECT_EQ(loop.run_until_time(SimDuration::millis(5)), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(clock.now(), SimDuration::millis(5));
+  EXPECT_EQ(loop.pending(), 1u);
+
+  // A horizon in the past dispatches nothing and never rewinds the clock.
+  EXPECT_EQ(loop.run_until_time(SimDuration::millis(3)), 0u);
+  EXPECT_EQ(clock.now(), SimDuration::millis(5));
+
+  EXPECT_EQ(loop.run_until_time(SimDuration::millis(20)), 1u);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(clock.now(), SimDuration::millis(20));
+}
+
+TEST(EventLoop, RunUntilTimeRunsEventsScheduledByEventsWithinTheHorizon) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  std::vector<std::int64_t> fired;
+  // A self-rescheduling timer (the detector/repair-daemon shape): each
+  // firing schedules the next; the horizon bounds the cascade.
+  std::function<void()> tick = [&] {
+    fired.push_back(clock.now().ns);
+    loop.schedule_after(SimDuration::millis(2), tick);
+  };
+  loop.schedule_at(SimDuration::millis(1), tick);
+  loop.run_until_time(SimDuration::millis(8));
+  EXPECT_EQ(fired.size(), 4u);  // at 1, 3, 5, 7 ms
+  EXPECT_EQ(clock.now(), SimDuration::millis(8));
+  EXPECT_EQ(loop.pending(), 1u);  // the 9 ms tick waits for the next call
+}
+
+TEST(EventLoop, RunUntilTimeSkipsCancelledHeads) {
+  SimClock clock;
+  EventLoop loop(&clock);
+  int ran = 0;
+  const auto a = loop.schedule_at(SimDuration::millis(1), [&] { ++ran; });
+  loop.schedule_at(SimDuration::millis(2), [&] { ++ran; });
+  ASSERT_TRUE(loop.cancel(a));
+  EXPECT_EQ(loop.run_until_time(SimDuration::millis(5)), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(clock.now(), SimDuration::millis(5));
+}
+
 TEST(SimClockExtensions, AdvanceToAndSetNowRespectPause) {
   SimClock clock;
   clock.advance_to(SimDuration::millis(3));

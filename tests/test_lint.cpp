@@ -224,6 +224,76 @@ void f(EventLoop& loop, SimDuration t) {
 }
 
 // ---------------------------------------------------------------------------
+// Heartbeat/repair-callback-shaped fixtures: the periodic-timer pattern the
+// failure detector and anti-entropy daemon use must stay inside the rules.
+// ---------------------------------------------------------------------------
+
+TEST(LintD1, FlagsHeartbeatTimerDrivenByWallClock) {
+  // A probe deadline taken from the host's clock instead of the loop's
+  // virtual time — the classic way a detector stops replaying.
+  const auto diags = lint_one("src/pastry/bad_detector.cpp", R"cpp(
+#include <chrono>
+void FailureDetector::probe_deadline() {
+  auto deadline = std::chrono::steady_clock::now();
+  (void)deadline;
+}
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D1");
+}
+
+TEST(LintD1, LoopJitteredHeartbeatIsClean) {
+  const auto diags = lint_one("src/pastry/ok_detector.cpp", R"cpp(
+void FailureDetector::schedule_tick(EventLoop* loop, SimDuration period,
+                                    SimDuration jitter) {
+  loop->schedule_after(period + loop->jitter(jitter), [] { resolve_and_tick(); });
+}
+)cpp");
+  EXPECT_TRUE(diags.empty()) << kosha::lint::to_text(diags);
+}
+
+TEST(LintD2, FlagsRepairSweepOverUnorderedPeerMap) {
+  // A repair pass iterating an unordered peer map: the push order (and so
+  // the wire transcript) would depend on hash seeding.
+  const auto diags = lint_one("src/kosha/bad_repair.cpp", R"cpp(
+#include <unordered_map>
+struct RepairDaemon {
+  std::unordered_map<unsigned, int> peers_;
+  void sweep() {
+    for (const auto& [peer, state] : peers_) push_to(peer, state);
+  }
+};
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D2");
+}
+
+TEST(LintD3, FlagsRepairTickMutatingTheClock) {
+  // A daemon tick must never warp virtual time; background work pauses the
+  // clock (ClockPauser), it does not set it.
+  const auto diags = lint_one("src/kosha/bad_repair.cpp", R"cpp(
+void RepairDaemon::schedule_tick(EventLoop& loop, SimClock& clock, SimDuration t) {
+  loop.schedule_after(t, [&] { clock.set_now(t); tick(); });
+}
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D3");
+}
+
+TEST(LintD3, RegistryResolvingRepairTickIsClean) {
+  // The sanctioned shape: the callback captures ids, resolves the daemon
+  // through the runtime registry at fire time, and reschedules itself.
+  const auto diags = lint_one("src/kosha/ok_repair.cpp", R"cpp(
+void schedule_tick(EventLoop* loop, Runtime* runtime, unsigned host, SimDuration delay) {
+  loop->schedule_after(delay, [runtime, host] {
+    if (RepairDaemon* d = runtime->repair_daemon(host)) d->tick();
+  });
+}
+)cpp");
+  EXPECT_TRUE(diags.empty()) << kosha::lint::to_text(diags);
+}
+
+// ---------------------------------------------------------------------------
 // P1 — non-idempotent handlers must engage the DRC
 // ---------------------------------------------------------------------------
 
