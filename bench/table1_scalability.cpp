@@ -8,16 +8,30 @@
 //
 // Flags: --runs N (default 5; paper used 50), --model (print the §6.1.2
 // analytic overhead model next to the measurement), --csv.
+//
+// --sweep switches to the scalability sweep (the committed perf
+// trajectory): for each node count in --sweep-nodes (default 64,256,1024)
+// a fully-instrumented cluster (metrics + tracing + profiling) runs a
+// multi-client workload and the run's throughput (events/sec, ops/sec),
+// virtual latency percentiles, and critical-path stage shares are written
+// to --out (default results/BENCH_scale.json). CI diffs that file against
+// results/BENCH_scale.baseline.json with kosha_prof.
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "baseline/nfs_mount.hpp"
 #include "common/cli.hpp"
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/profile.hpp"
 #include "common/table.hpp"
 #include "kosha/cluster.hpp"
 #include "kosha/mount.hpp"
+#include "sim/concurrency_driver.hpp"
 #include "trace/mab.hpp"
 
 namespace {
@@ -92,14 +106,132 @@ std::string overhead(double kosha_s, double nfs_s) {
   return TextTable::pct((kosha_s - nfs_s) / nfs_s, 1);
 }
 
+std::vector<std::size_t> parse_csv_sizes(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(static_cast<std::size_t>(std::stoull(item)));
+  }
+  return out;
+}
+
+/// The committed perf trajectory: one fully-instrumented run per node
+/// count, measuring the simulator itself (how fast does virtual time run
+/// on this host) alongside the simulated system (where does virtual time
+/// go). Virtual-time figures (ops, latency percentiles, stage shares) are
+/// deterministic per seed; wall-derived figures (wall_ms, *_per_sec) vary
+/// run to run and kosha_prof's compare gate treats them accordingly.
+int run_sweep(const CliArgs& args) {
+  const auto node_list = parse_csv_sizes(args.get_string("sweep-nodes", "64,256,1024"));
+  const auto clients = static_cast<std::size_t>(args.get_int("sweep-clients", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string out = args.get_string("out", "results/BENCH_scale.json");
+
+  std::printf("Scalability sweep: %zu clients per point, seed=%llu\n\n", clients,
+              static_cast<unsigned long long>(seed));
+  TextTable table({"nodes", "ops", "makespan (ms)", "p50 (us)", "p99 (us)", "events",
+                   "events/sec", "wall (ms)"});
+
+  std::string json = "{\n  \"bench\": \"table1_scalability_sweep\",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += "  \"clients\": " + std::to_string(clients) + ",\n";
+  json += "  \"points\": [";
+  bool first_point = true;
+  for (const std::size_t n : node_list) {
+    ClusterConfig config;
+    config.nodes = n;
+    config.seed = seed;
+    config.kosha.distribution_level = 1;
+    config.kosha.replicas = 1;
+    config.node_capacity_bytes = 64ull << 30;
+    config.observability.metrics = true;
+    config.observability.tracing = true;
+    config.observability.profiling = true;
+    KoshaCluster cluster(config);
+    // Construction (N joins) is profiled too, but the workload is what the
+    // trajectory tracks: reset so events/sec measures steady state.
+    cluster.profiler().reset();
+    cluster.tracer().clear();
+
+    sim::WorkloadConfig workload;
+    workload.clients = clients;
+    const auto result = sim::run_multi_client_workload(cluster, workload);
+
+    const SimProfiler& prof = cluster.profiler();
+    const double wall_s = static_cast<double>(prof.wall_elapsed_ns()) * 1e-9;
+    const double events_per_sec =
+        wall_s > 0 ? static_cast<double>(prof.events()) / wall_s : 0.0;
+    const double ops_per_sec = wall_s > 0 ? static_cast<double>(prof.ops()) / wall_s : 0.0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    if (const Histogram* lat = cluster.metrics().find_histogram("sim.op.latency_us");
+        lat != nullptr && lat->count() > 0) {
+      p50 = lat->percentile(50);
+      p95 = lat->percentile(95);
+      p99 = lat->percentile(99);
+    }
+    const auto critical = prof::analyze_critical_path(cluster.tracer().spans());
+
+    table.add_row({std::to_string(n), std::to_string(result.ops),
+                   TextTable::fmt(result.makespan.to_millis()), TextTable::fmt(p50, 1),
+                   TextTable::fmt(p99, 1), std::to_string(prof.events()),
+                   TextTable::fmt(events_per_sec, 0), TextTable::fmt(wall_s * 1e3, 1)});
+
+    if (!first_point) json += ",";
+    first_point = false;
+    json += "\n    {\"nodes\": " + std::to_string(n);
+    json += ", \"ops\": " + std::to_string(result.ops);
+    json += ", \"failures\": " + std::to_string(result.failures);
+    json += ", \"events\": " + std::to_string(prof.events());
+    json += ", \"makespan_ms\": " + json_number(result.makespan.to_millis());
+    json += ", \"virtual_ms\": " + json_number(cluster.clock().now().to_millis());
+    json += ", \"wall_ms\": " + json_number(wall_s * 1e3);
+    json += ", \"events_per_sec\": " + json_number(events_per_sec);
+    json += ", \"ops_per_sec\": " + json_number(ops_per_sec);
+    json += ", \"p50_us\": " + json_number(p50);
+    json += ", \"p95_us\": " + json_number(p95);
+    json += ", \"p99_us\": " + json_number(p99);
+    json += ", \"stages\": {";
+    bool first_stage = true;
+    for (const auto& [stage, total] : critical.stages) {
+      if (!first_stage) json += ", ";
+      first_stage = false;
+      const double share = critical.critical_total_ns > 0
+                               ? static_cast<double>(total.ns) /
+                                     static_cast<double>(critical.critical_total_ns)
+                               : 0.0;
+      json += "\"" + json_escape(stage) + "\": {\"ns\": " +
+              json_number(static_cast<double>(total.ns)) +
+              ", \"share\": " + json_number(share) + "}";
+    }
+    json += "}}";
+  }
+  json += "\n  ]\n}\n";
+
+  std::fputs(table.to_string().c_str(), stdout);
+  std::ofstream file(out, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s (does the directory exist?)\n", out.c_str());
+    return 1;
+  }
+  file << json;
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const kosha::CliArgs args(argc, argv);
-  if (const auto err = args.check_known("runs,seed,model,csv"); !err.empty()) {
+  if (const auto err =
+          args.check_known("runs,seed,model,csv,sweep,sweep-nodes,sweep-clients,out");
+      !err.empty()) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
   }
+  if (args.get_bool("sweep", false)) return run_sweep(args);
   const auto runs = static_cast<std::size_t>(args.get_int("runs", 5));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
 

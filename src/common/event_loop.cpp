@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "common/profile.hpp"
+
 namespace kosha {
 
 EventLoop::EventLoop(SimClock* clock, std::uint64_t seed)
@@ -12,8 +14,14 @@ EventLoop::EventLoop(SimClock* clock, std::uint64_t seed)
 }
 
 EventLoop::EventId EventLoop::schedule_at(SimDuration when, std::function<void()> fn) {
+  return schedule_at(when, "event", std::move(fn));
+}
+
+EventLoop::EventId EventLoop::schedule_at(SimDuration when, const char* category,
+                                          std::function<void()> fn) {
   const EventId id = next_id_++;
-  heap_.push_back(Entry{std::max(when, clock_->now()), id, std::move(fn)});
+  heap_.push_back(Entry{std::max(when, clock_->now()), id,
+                        category != nullptr ? category : "event", std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++stats_.scheduled;
   return id;
@@ -21,6 +29,11 @@ EventLoop::EventId EventLoop::schedule_at(SimDuration when, std::function<void()
 
 EventLoop::EventId EventLoop::schedule_after(SimDuration delay, std::function<void()> fn) {
   return schedule_at(clock_->now() + delay, std::move(fn));
+}
+
+EventLoop::EventId EventLoop::schedule_after(SimDuration delay, const char* category,
+                                             std::function<void()> fn) {
+  return schedule_at(clock_->now() + delay, category, std::move(fn));
 }
 
 bool EventLoop::cancel(EventId id) {
@@ -41,7 +54,23 @@ bool EventLoop::step() {
     if (cancelled_.erase(entry.id) > 0) continue;  // lazily dropped
     clock_->advance_to(entry.when);
     ++stats_.executed;
-    entry.fn();
+    if (profiler_ != nullptr) {
+      // Wall-clock self time of the callback body, read through the
+      // profiler's sanctioned seam (the loop itself never names a clock).
+      // Callbacks can drive nested dispatch (the synchronous RPC wrapper
+      // runs the loop from inside server invokes); nested events' wall
+      // time is subtracted so each event reports true self time.
+      const std::uint64_t wall_begin = SimProfiler::wall_now_ns();
+      const std::uint64_t saved_nested = nested_wall_ns_;
+      nested_wall_ns_ = 0;
+      entry.fn();
+      const std::uint64_t total = SimProfiler::wall_now_ns() - wall_begin;
+      profiler_->record_event(entry.category,
+                              total > nested_wall_ns_ ? total - nested_wall_ns_ : 0);
+      nested_wall_ns_ = saved_nested + total;
+    } else {
+      entry.fn();
+    }
     return true;
   }
   return false;

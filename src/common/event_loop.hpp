@@ -26,6 +26,8 @@
 
 namespace kosha {
 
+class SimProfiler;
+
 class EventLoop {
  public:
   using EventId = std::uint64_t;
@@ -40,9 +42,14 @@ class EventLoop {
 
   /// Schedule `fn` at absolute virtual time `when`. Times in the past are
   /// clamped to now: the event runs next, it cannot rewind the clock.
+  /// `category` labels the event for the profiler's per-category cost
+  /// accounting; it must point at storage outliving the event (string
+  /// literals). Untagged call sites fall into "event".
   EventId schedule_at(SimDuration when, std::function<void()> fn);
+  EventId schedule_at(SimDuration when, const char* category, std::function<void()> fn);
   /// Schedule `fn` at now + `delay` (timers, retry backoff).
   EventId schedule_after(SimDuration delay, std::function<void()> fn);
+  EventId schedule_after(SimDuration delay, const char* category, std::function<void()> fn);
 
   /// Cancel a pending event. Returns false when the event already ran,
   /// was cancelled before, or never existed.
@@ -85,10 +92,19 @@ class EventLoop {
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Attach the simulator profiler (nullptr = off, the default). When set,
+  /// step() brackets each callback with wall-clock reads through the
+  /// profiler's sanctioned seam and records per-category self time. The
+  /// profiler is a pure observer: dispatch order, clock movement and the
+  /// Rng stream are identical with it on or off.
+  void set_profiler(SimProfiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] SimProfiler* profiler() const { return profiler_; }
+
  private:
   struct Entry {
     SimDuration when;
     EventId id = kInvalidEvent;  // monotonic: doubles as the tie-break
+    const char* category = "event";
     std::function<void()> fn;
   };
   /// Min-heap order: earliest time first, then lowest (earliest-assigned)
@@ -106,6 +122,11 @@ class EventLoop {
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
   Stats stats_;
+  SimProfiler* profiler_ = nullptr;
+  /// Wall time consumed by nested dispatches inside the currently-running
+  /// callback (profiling only); lets step() report self time, not
+  /// inclusive time, when callbacks drive the loop re-entrantly.
+  std::uint64_t nested_wall_ns_ = 0;
 };
 
 }  // namespace kosha

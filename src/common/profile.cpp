@@ -1,0 +1,355 @@
+#include "common/profile.hpp"
+
+// THE wall-clock seam. kosha_lint's D1 rule forbids wall-clock reads
+// everywhere else in the tree; this file is allowlisted (tools/lint) so
+// the profiler can measure where host CPU time goes. The contract: wall
+// readings flow *out* (metrics, reports) and never back into simulation
+// state, so determinism of the simulated timeline is untouched.
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+
+namespace kosha {
+
+std::uint64_t SimProfiler::wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SimProfiler::SimProfiler() : wall_origin_ns_(wall_now_ns()) {}
+
+void SimProfiler::record_event(const char* category, std::uint64_t wall_self_ns) {
+  ++events_;
+  event_wall_ns_ += wall_self_ns;
+  CategoryStats& cat = categories_[category != nullptr ? category : "event"];
+  ++cat.count;
+  cat.wall_ns += wall_self_ns;
+}
+
+void SimProfiler::add_host_busy(std::uint32_t host, SimDuration busy) {
+  hosts_[host].busy_ns += busy.ns;
+}
+
+void SimProfiler::add_host_queue_wait(std::uint32_t host, SimDuration wait) {
+  hosts_[host].queue_ns += wait.ns;
+}
+
+void SimProfiler::note_op() { ++ops_; }
+
+std::uint64_t SimProfiler::wall_elapsed_ns() const {
+  const std::uint64_t now = wall_now_ns();
+  return now > wall_origin_ns_ ? now - wall_origin_ns_ : 0;
+}
+
+void SimProfiler::reset() {
+  events_ = 0;
+  event_wall_ns_ = 0;
+  ops_ = 0;
+  categories_.clear();
+  hosts_.clear();
+  wall_origin_ns_ = wall_now_ns();
+}
+
+void SimProfiler::export_to(MetricsRegistry& metrics, SimDuration virtual_now) const {
+  const std::uint64_t elapsed = wall_elapsed_ns();
+  const double elapsed_s = static_cast<double>(elapsed) * 1e-9;
+  metrics.gauge("prof.events")->set(static_cast<double>(events_));
+  metrics.gauge("prof.ops")->set(static_cast<double>(ops_));
+  metrics.gauge("prof.virtual_ms")->set(virtual_now.to_millis());
+  metrics.gauge("prof.wall_ms")->set(static_cast<double>(elapsed) * 1e-6);
+  metrics.gauge("prof.event_wall_ms")->set(static_cast<double>(event_wall_ns_) * 1e-6);
+  metrics.gauge("prof.events_per_sec")
+      ->set(elapsed_s > 0 ? static_cast<double>(events_) / elapsed_s : 0.0);
+  metrics.gauge("prof.ops_per_sec")
+      ->set(elapsed_s > 0 ? static_cast<double>(ops_) / elapsed_s : 0.0);
+
+  for (const auto& [name, cat] : categories_) {
+    const std::string prefix = "prof.cat." + name;
+    metrics.gauge(prefix + ".count")->set(static_cast<double>(cat.count));
+    metrics.gauge(prefix + ".wall_us")->set(static_cast<double>(cat.wall_ns) * 1e-3);
+  }
+
+  // Virtual-time occupancy. Aggregates always; per-host gauges only for
+  // small clusters so a 1k-node sweep stays readable.
+  std::int64_t busy_total = 0;
+  std::int64_t busy_max = 0;
+  std::int64_t queue_total = 0;
+  std::int64_t queue_max = 0;
+  for (const auto& [host, hs] : hosts_) {
+    (void)host;
+    busy_total += hs.busy_ns;
+    busy_max = std::max(busy_max, hs.busy_ns);
+    queue_total += hs.queue_ns;
+    queue_max = std::max(queue_max, hs.queue_ns);
+  }
+  metrics.gauge("prof.host.count")->set(static_cast<double>(hosts_.size()));
+  metrics.gauge("prof.host.busy_total_ms")->set(static_cast<double>(busy_total) * 1e-6);
+  metrics.gauge("prof.host.busy_max_ms")->set(static_cast<double>(busy_max) * 1e-6);
+  metrics.gauge("prof.host.queue_total_ms")->set(static_cast<double>(queue_total) * 1e-6);
+  metrics.gauge("prof.host.queue_max_ms")->set(static_cast<double>(queue_max) * 1e-6);
+  if (hosts_.size() <= kPerHostGaugeLimit) {
+    for (const auto& [host, hs] : hosts_) {
+      const std::string prefix = "prof.host." + std::to_string(host);
+      metrics.gauge(prefix + ".busy_ms")->set(static_cast<double>(hs.busy_ns) * 1e-6);
+      metrics.gauge(prefix + ".queue_ms")->set(static_cast<double>(hs.queue_ns) * 1e-6);
+    }
+  }
+}
+
+namespace prof {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+std::string_view classify_stage(std::string_view span_name) {
+  if (starts_with(span_name, "mount.") || starts_with(span_name, "posix.")) return "client";
+  if (span_name == "koshad.failover") return "failover";
+  if (starts_with(span_name, "koshad.")) return "koshad";
+  if (span_name == "net.queue") return "queue";
+  if (span_name == "rpc.timeout") return "rpc_timeout";
+  if (span_name == "rpc.backoff") return "rpc_backoff";
+  // "nfs.CREATE"-style client RPC spans (wire.cpp rpc_span_name) and the
+  // generic "rpc." residual both count as wire time.
+  if (starts_with(span_name, "rpc.") || starts_with(span_name, "nfs.")) return "rpc_wire";
+  if (starts_with(span_name, "server.")) return "service";
+  if (starts_with(span_name, "replica.")) return "replica";
+  if (starts_with(span_name, "fd.") || starts_with(span_name, "repair.")) return "selfheal";
+  return "other";
+}
+
+namespace {
+
+using ChildMap = std::map<std::uint64_t, std::vector<const SpanRecord*>>;
+
+/// Attribute the interval [lo, hi] of `s` among `s` itself and its
+/// children: walking backwards from hi, each child whose (clamped)
+/// interval ends at or before the unattributed frontier owns its own
+/// interval (recursively) and the gap above it belongs to `s`. Children
+/// overlapping already-attributed time are skipped — in a causal DAG the
+/// later-ending child is what bounded the parent's completion.
+void walk_critical(const SpanRecord& s, const ChildMap& children, std::int64_t lo,
+                   std::int64_t hi, std::vector<CriticalSlice>& out) {
+  std::int64_t t = hi;
+  const auto it = children.find(s.span_id);
+  if (it != children.end()) {
+    std::vector<const SpanRecord*> kids = it->second;
+    std::sort(kids.begin(), kids.end(), [](const SpanRecord* a, const SpanRecord* b) {
+      if (a->end_ns != b->end_ns) return a->end_ns > b->end_ns;
+      return a->span_id > b->span_id;
+    });
+    for (const SpanRecord* k : kids) {
+      if (k->end_ns > t) continue;  // overlaps attributed time: off the path
+      const std::int64_t kend = k->end_ns;
+      const std::int64_t kstart = std::max(k->start_ns, lo);
+      if (kstart >= t) continue;  // no room left below the frontier
+      if (t > kend) out.push_back({s.name, classify_stage(s.name), t - kend});
+      walk_critical(*k, children, kstart, kend, out);
+      t = kstart;
+      if (t <= lo) break;
+    }
+  }
+  if (t > lo) out.push_back({s.name, classify_stage(s.name), t - lo});
+}
+
+/// Flame aggregation: every span's self time (duration minus the union of
+/// its children's clamped intervals) keyed by the root-to-span name path.
+void walk_flame(const SpanRecord& s, const ChildMap& children, std::int64_t lo,
+                std::int64_t hi, const std::string& parent_path,
+                std::map<std::string, FlameEntry>& flame) {
+  const std::string path =
+      parent_path.empty() ? s.name : parent_path + ";" + s.name;
+  std::int64_t covered = 0;
+  const auto it = children.find(s.span_id);
+  if (it != children.end()) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> intervals;
+    intervals.reserve(it->second.size());
+    for (const SpanRecord* k : it->second) {
+      const std::int64_t a = std::max(k->start_ns, lo);
+      const std::int64_t b = std::min(k->end_ns, hi);
+      if (a < b) intervals.emplace_back(a, b);
+      walk_flame(*k, children, std::max(k->start_ns, lo), std::min(k->end_ns, hi), path,
+                 flame);
+    }
+    std::sort(intervals.begin(), intervals.end());
+    std::int64_t cursor = lo;
+    for (const auto& [a, b] : intervals) {
+      const std::int64_t from = std::max(a, cursor);
+      if (b > from) covered += b - from;
+      cursor = std::max(cursor, b);
+    }
+  }
+  FlameEntry& entry = flame[path];
+  ++entry.count;
+  entry.self_ns += std::max<std::int64_t>(0, (hi - lo) - covered);
+}
+
+}  // namespace
+
+CriticalPathReport analyze_critical_path(const std::vector<SpanRecord>& spans) {
+  CriticalPathReport report;
+  report.span_count = spans.size();
+
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& s : spans) by_id.emplace(s.span_id, &s);
+  ChildMap children;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord& s : spans) {
+    if (s.parent_id != 0 && by_id.count(s.parent_id) > 0) {
+      children[s.parent_id].push_back(&s);
+    } else {
+      // True roots and orphans (parent missing from the stream) both
+      // anchor an analysis tree, so partial captures still work.
+      roots.push_back(&s);
+    }
+  }
+  for (auto& [id, kids] : children) {
+    (void)id;
+    std::sort(kids.begin(), kids.end(), [](const SpanRecord* a, const SpanRecord* b) {
+      if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+      return a->span_id < b->span_id;
+    });
+  }
+  std::sort(roots.begin(), roots.end(), [](const SpanRecord* a, const SpanRecord* b) {
+    if (a->trace_id != b->trace_id) return a->trace_id < b->trace_id;
+    return a->span_id < b->span_id;
+  });
+
+  for (const SpanRecord* root : roots) {
+    TraceCritical trace;
+    trace.trace_id = root->trace_id;
+    trace.root = root->name;
+    trace.total_ns = std::max<std::int64_t>(0, root->end_ns - root->start_ns);
+
+    std::vector<CriticalSlice> slices;
+    walk_critical(*root, children, root->start_ns, root->end_ns, slices);
+    std::reverse(slices.begin(), slices.end());  // emitted end -> start
+    // Merge adjacent slices of the same span (gaps between consecutive
+    // children both belong to the parent).
+    for (const CriticalSlice& slice : slices) {
+      if (!trace.slices.empty() && trace.slices.back().name == slice.name) {
+        trace.slices.back().ns += slice.ns;
+      } else {
+        trace.slices.push_back(slice);
+      }
+    }
+
+    for (const CriticalSlice& slice : trace.slices) {
+      StageTotal& stage = report.stages[std::string(slice.stage)];
+      stage.ns += slice.ns;
+      ++stage.slices;
+    }
+    report.critical_total_ns += trace.total_ns;
+    report.traces.push_back(std::move(trace));
+
+    walk_flame(*root, children, root->start_ns, root->end_ns, "", report.flame);
+  }
+  return report;
+}
+
+namespace {
+
+/// Flame entries by self time (descending), path as the tie-break.
+std::vector<std::pair<std::string, FlameEntry>> top_flame(const CriticalPathReport& report,
+                                                          std::size_t n) {
+  std::vector<std::pair<std::string, FlameEntry>> rows(report.flame.begin(),
+                                                       report.flame.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.self_ns != b.second.self_ns) return a.second.self_ns > b.second.self_ns;
+    return a.first < b.first;
+  });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+std::vector<std::pair<std::string, StageTotal>> stages_by_time(
+    const CriticalPathReport& report) {
+  std::vector<std::pair<std::string, StageTotal>> rows(report.stages.begin(),
+                                                       report.stages.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.ns != b.second.ns) return a.second.ns > b.second.ns;
+    return a.first < b.first;
+  });
+  return rows;
+}
+
+}  // namespace
+
+std::string render_critical_report(const CriticalPathReport& report, std::size_t flame_top) {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "critical-path analysis: %zu trace(s), %zu spans, total %.3f ms\n\n",
+                report.traces.size(), report.span_count,
+                static_cast<double>(report.critical_total_ns) * 1e-6);
+  out += line;
+
+  out += "stage breakdown (share of critical path):\n";
+  const double total = static_cast<double>(std::max<std::int64_t>(1, report.critical_total_ns));
+  for (const auto& [name, stage] : stages_by_time(report)) {
+    std::snprintf(line, sizeof(line), "  %-12s %6.1f%% %12.3f ms %8llu slice(s)\n",
+                  name.c_str(), 100.0 * static_cast<double>(stage.ns) / total,
+                  static_cast<double>(stage.ns) * 1e-6,
+                  static_cast<unsigned long long>(stage.slices));
+    out += line;
+  }
+
+  const auto rows = top_flame(report, flame_top);
+  if (!rows.empty()) {
+    out += "\nflame paths (self time, top " + std::to_string(rows.size()) + "):\n";
+    for (const auto& [path, entry] : rows) {
+      std::snprintf(line, sizeof(line), "  %12.3f ms %8llu x  %s\n",
+                    static_cast<double>(entry.self_ns) * 1e-6,
+                    static_cast<unsigned long long>(entry.count), path.c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string critical_report_json(const CriticalPathReport& report, std::size_t flame_top) {
+  const double total = static_cast<double>(std::max<std::int64_t>(1, report.critical_total_ns));
+  std::string out = "{\n";
+  out += "  \"traces\": " + json_number(static_cast<double>(report.traces.size())) + ",\n";
+  out += "  \"spans\": " + json_number(static_cast<double>(report.span_count)) + ",\n";
+  out += "  \"critical_ns\": " + json_number(static_cast<double>(report.critical_total_ns)) +
+         ",\n";
+  out += "  \"stages\": {";
+  bool first = true;
+  for (const auto& [name, stage] : report.stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + json_escape(name) + "\": {\"ns\": " +
+           json_number(static_cast<double>(stage.ns)) +
+           ", \"share\": " + json_number(static_cast<double>(stage.ns) / total) +
+           ", \"slices\": " + json_number(static_cast<double>(stage.slices)) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"flame\": [";
+  first = true;
+  for (const auto& [path, entry] : top_flame(report, flame_top)) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"path\": \"" + json_escape(path) +
+           "\", \"count\": " + json_number(static_cast<double>(entry.count)) +
+           ", \"self_ns\": " + json_number(static_cast<double>(entry.self_ns)) + "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace prof
+
+}  // namespace kosha

@@ -1,0 +1,169 @@
+#pragma once
+
+// Simulator self-profiling (DESIGN §9).
+//
+// Two instruments live here, both deterministic-by-construction in what
+// they feed back into the simulation (nothing):
+//
+//   * SimProfiler — cost accounting for the simulator itself: per-event-
+//     category wall-clock self time and counts (where does the *host* CPU
+//     go), per-host virtual-time occupancy and queue wait (where does
+//     *virtual* time go), and events/sec + NFS ops/sec throughput. Wall
+//     clock is read exclusively through wall_now_ns(), whose definition in
+//     profile.cpp is the one sanctioned wall-clock seam in the tree
+//     (kosha_lint D1 allowlists that file; see tools/lint). The profiler
+//     is a pure observer: recording never touches the SimClock, never
+//     consumes RNG, and the EventLoop/SimNetwork hot paths hold a nullable
+//     pointer resolved at construction, so a profiler-off run is
+//     numerically identical to a build without the profiler at all.
+//
+//   * Causal critical-path analysis over trace spans (tracing.hpp): given
+//     the span DAG of a request, walk backwards from each root's end
+//     through the child whose interval bounds it, attributing every
+//     nanosecond of the root's duration to exactly one span — and through
+//     classify_stage() to exactly one pipeline stage (queue wait, service,
+//     wire, retry/backoff, failover, replica fan-out, ...). Inputs are
+//     virtual-time spans, so same-seed runs produce byte-identical
+//     reports.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "common/tracing.hpp"
+
+namespace kosha {
+
+class MetricsRegistry;
+
+class SimProfiler {
+ public:
+  /// Monotonic wall-clock nanoseconds. The ONLY sanctioned wall-clock read
+  /// in the repository: the definition lives in profile.cpp, which is the
+  /// single file kosha_lint's D1 wall-clock rule allowlists for it. Never
+  /// feed the result back into simulation state.
+  [[nodiscard]] static std::uint64_t wall_now_ns();
+
+  SimProfiler();
+
+  /// One dispatched event of `category` that took `wall_self_ns` of host
+  /// CPU (callback body only, queue management excluded).
+  void record_event(const char* category, std::uint64_t wall_self_ns);
+  /// `host` was busy serving a request for `busy` of virtual time.
+  void add_host_busy(std::uint32_t host, SimDuration busy);
+  /// A request waited `wait` of virtual time in `host`'s service queue.
+  void add_host_queue_wait(std::uint32_t host, SimDuration wait);
+  /// One completed client NFS RPC (feeds ops/sec).
+  void note_op();
+
+  struct CategoryStats {
+    std::uint64_t count = 0;
+    std::uint64_t wall_ns = 0;
+  };
+  struct HostStats {
+    std::int64_t busy_ns = 0;
+    std::int64_t queue_ns = 0;
+  };
+
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+  [[nodiscard]] std::uint64_t event_wall_ns() const { return event_wall_ns_; }
+  [[nodiscard]] std::uint64_t ops() const { return ops_; }
+  [[nodiscard]] const std::map<std::string, CategoryStats, std::less<>>& categories() const {
+    return categories_;
+  }
+  [[nodiscard]] const std::map<std::uint32_t, HostStats>& hosts() const { return hosts_; }
+  /// Wall time since construction (or the last reset).
+  [[nodiscard]] std::uint64_t wall_elapsed_ns() const;
+
+  /// Forget everything and restart the wall-elapsed origin.
+  void reset();
+
+  /// Mirror the accounting into `prof.*` gauges: totals, throughput
+  /// (events/sec and ops/sec over wall_elapsed), per-category counts and
+  /// wall self time, and virtual-time host occupancy (per-host gauges for
+  /// small clusters, aggregates always — a 1k-node sweep should not emit
+  /// 1k gauges). Wall-derived gauges vary run to run by nature; everything
+  /// else is deterministic.
+  void export_to(MetricsRegistry& metrics, SimDuration virtual_now) const;
+
+  /// Hosts at or below this count get individual `prof.host.N.*` gauges.
+  static constexpr std::size_t kPerHostGaugeLimit = 32;
+
+ private:
+  std::uint64_t wall_origin_ns_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t event_wall_ns_ = 0;
+  std::uint64_t ops_ = 0;
+  std::map<std::string, CategoryStats, std::less<>> categories_;
+  std::map<std::uint32_t, HostStats> hosts_;
+};
+
+namespace prof {
+
+/// Map a span name onto the request pipeline stage its self-time belongs
+/// to: "client" (mount/POSIX seam), "koshad" (interposition + DHT
+/// routing), "failover" (probing the ladder), "rpc_wire" (wire transit +
+/// client-side RPC residual), "rpc_timeout", "rpc_backoff", "queue"
+/// (service-queue wait), "service" (server execution), "replica"
+/// (fan-out), "selfheal" (detector + repair daemon), or "other".
+[[nodiscard]] std::string_view classify_stage(std::string_view span_name);
+
+/// One segment of one trace's critical path: `ns` of the trace's makespan
+/// attributed to `name` (and its stage).
+struct CriticalSlice {
+  std::string name;
+  std::string_view stage;
+  std::int64_t ns = 0;
+};
+
+/// The critical path of one root span, in chronological order.
+struct TraceCritical {
+  std::uint64_t trace_id = 0;
+  std::string root;
+  std::int64_t total_ns = 0;
+  std::vector<CriticalSlice> slices;
+};
+
+struct StageTotal {
+  std::int64_t ns = 0;
+  std::uint64_t slices = 0;
+};
+
+/// Flame-style aggregation entry: total self-time of every span whose
+/// root-to-span name path is the key (names joined with ';').
+struct FlameEntry {
+  std::uint64_t count = 0;
+  std::int64_t self_ns = 0;
+};
+
+struct CriticalPathReport {
+  std::vector<TraceCritical> traces;                       // by trace id
+  std::map<std::string, StageTotal> stages;                // stage -> critical ns
+  std::map<std::string, FlameEntry> flame;                 // path -> self time
+  std::int64_t critical_total_ns = 0;                      // sum of trace totals
+  std::size_t span_count = 0;
+};
+
+/// Reconstruct the span DAG (spans with an unknown parent are treated as
+/// roots, so partial streams still analyze) and extract each root's
+/// critical path plus the whole-DAG flame aggregation. Deterministic:
+/// children are visited in (time, span-id) order and every aggregate is a
+/// sorted map.
+[[nodiscard]] CriticalPathReport analyze_critical_path(const std::vector<SpanRecord>& spans);
+
+/// Human-readable report: stage breakdown with shares, then the top
+/// `flame_top` flame paths by self time. Byte-identical for identical
+/// span streams.
+[[nodiscard]] std::string render_critical_report(const CriticalPathReport& report,
+                                                 std::size_t flame_top = 20);
+
+/// Machine-readable twin of render_critical_report (same determinism).
+[[nodiscard]] std::string critical_report_json(const CriticalPathReport& report,
+                                               std::size_t flame_top = 50);
+
+}  // namespace prof
+
+}  // namespace kosha

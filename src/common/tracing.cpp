@@ -28,6 +28,23 @@ TraceContext Tracer::begin_span_under(TraceContext parent, std::string_view name
   return stack_.back().ctx;
 }
 
+TraceContext Tracer::emit_span(TraceContext parent, std::string_view name, std::uint32_t host,
+                               SimDuration start, SimDuration end, std::string_view status) {
+  if (!enabled()) return {};
+  SpanRecord record;
+  record.span_id = next_id_++;
+  record.trace_id = parent.valid() ? parent.trace_id : next_id_++;
+  record.parent_id = parent.valid() ? parent.span_id : 0;
+  record.name = name;
+  record.host = host;
+  record.start_ns = start.ns;
+  record.end_ns = end.ns;
+  record.status = status;
+  const TraceContext ctx{record.trace_id, record.span_id};
+  spans_.push_back(std::move(record));
+  return ctx;
+}
+
 void Tracer::tag(std::string_view key, std::string_view value) {
   if (stack_.empty()) return;
   stack_.back().record.tags.emplace_back(std::string(key), std::string(value));

@@ -76,6 +76,18 @@ class Tracer {
   void tag(std::string_view key, std::string_view value);
   void set_status(std::string_view status);
 
+  /// Record an already-finished span with explicit timestamps, parented
+  /// under `parent` (a fresh root trace when `parent` is invalid). This is
+  /// how event-driven code paths record intervals they know about but do
+  /// not execute inside — service-queue waits, timeout windows, retry
+  /// backoffs — whose start/end are computed, not lived through. The span
+  /// goes straight to the finished stream (emission order = call order,
+  /// deterministic) and the context stack is untouched. Returns the new
+  /// span's context (invalid when the tracer is off).
+  TraceContext emit_span(TraceContext parent, std::string_view name, std::uint32_t host,
+                         SimDuration start, SimDuration end,
+                         std::string_view status = "ok");
+
   /// Close the innermost open span, stamping its end time.
   void end_span();
 

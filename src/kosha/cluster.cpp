@@ -49,6 +49,10 @@ KoshaCluster::KoshaCluster(ClusterConfig config)
   runtime_.metrics = config_.observability.metrics ? &metrics_ : nullptr;
   runtime_.tracer = config_.observability.tracing ? &tracer_ : nullptr;
   network_.set_observability(runtime_.metrics, runtime_.tracer);
+  if (config_.observability.profiling) {
+    loop_.set_profiler(&profiler_);
+    network_.set_profiler(&profiler_);
+  }
 
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     const std::uint64_t capacity =
@@ -320,6 +324,10 @@ void KoshaCluster::refresh_derived_metrics() {
     metrics_.gauge("selfheal.repair.dropped")->set(static_cast<double>(rd.dropped));
     metrics_.gauge("selfheal.detections")->set(static_cast<double>(detections_.size()));
     metrics_.gauge("selfheal.undetected")->set(static_cast<double>(death_times_.size()));
+  }
+
+  if (config_.observability.profiling) {
+    profiler_.export_to(metrics_, clock_.now());
   }
 }
 

@@ -17,6 +17,7 @@
 
 #include "common/event_loop.hpp"
 #include "common/metrics.hpp"
+#include "common/profile.hpp"
 #include "common/rng.hpp"
 #include "common/tracing.hpp"
 #include "kosha/koshad.hpp"
@@ -28,12 +29,17 @@
 
 namespace kosha {
 
-/// Observability switches. Both default off: the Table 1/2 numbers must be
+/// Observability switches. All default off: the Table 1/2 numbers must be
 /// byte-identical with the instrumentation compiled in but disabled, so
 /// every seam holds a nullable pointer that these flags populate.
 struct ObservabilityConfig {
   bool metrics = false;
   bool tracing = false;
+  /// Simulator self-profiling: per-event-category wall-clock cost, host
+  /// occupancy, events/sec. Wall-derived figures vary run-to-run (the one
+  /// sanctioned non-determinism, confined to kosha_prof outputs); virtual-
+  /// time figures stay deterministic. Off keeps runs numerically identical.
+  bool profiling = false;
 };
 
 /// Autonomous failure handling (DESIGN §8). Off by default: fail_node then
@@ -137,6 +143,8 @@ class KoshaCluster {
   /// feed them (derived gauges are filled at export either way).
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
+  /// Simulator self-profiler (fed only when observability.profiling).
+  [[nodiscard]] SimProfiler& profiler() { return profiler_; }
 
   /// Snapshot the registry (refreshing gauges derived from NetStats,
   /// server and daemon counters, and per-node storage occupancy) as the
@@ -185,6 +193,7 @@ class KoshaCluster {
   Rng rng_;
   MetricsRegistry metrics_;
   Tracer tracer_;
+  SimProfiler profiler_;
   net::SimNetwork network_;
   pastry::PastryOverlay overlay_;
   nfs::ServerDirectory servers_;

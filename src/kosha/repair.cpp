@@ -1,7 +1,9 @@
 #include "kosha/repair.hpp"
 
 #include <cassert>
+#include <string>
 
+#include "common/tracing.hpp"
 #include "kosha/replication.hpp"
 
 namespace kosha {
@@ -29,7 +31,7 @@ void RepairDaemon::schedule_tick() {
   const SimDuration delay = config_.period + loop->jitter(config_.jitter);
   Runtime* runtime = runtime_;
   const net::HostId host = host_;
-  loop->schedule_after(delay, [runtime, host] {
+  loop->schedule_after(delay, "repair.tick", [runtime, host] {
     if (RepairDaemon* d = runtime->repair_daemon(host)) d->tick();
   });
 }
@@ -45,12 +47,20 @@ void RepairDaemon::tick() {
   // The whole pass is background traffic: counted, never charged to
   // whatever foreground operation is in flight (DESIGN §8 invariant).
   ClockPauser pause(*runtime_->clock);
+  SpanScope span(runtime_->tracer, "repair.tick", host_);
   const auto report = rm->reconcile(config_.max_pushes_per_tick);
   stats_.promoted += report.promoted;
   stats_.handed_off += report.handed_off;
   stats_.pushed += report.pushed;
   stats_.dropped += report.dropped;
   stats_.last_missing = report.missing;
+  if (span.active() && (report.promoted + report.handed_off + report.pushed + report.dropped +
+                        report.missing) != 0) {
+    // Tag only ticks that did repair work; idle sweeps stay lightweight.
+    span.tag("promoted", std::to_string(report.promoted));
+    span.tag("pushed", std::to_string(report.pushed));
+    span.tag("missing", std::to_string(report.missing));
+  }
   schedule_tick();
 }
 

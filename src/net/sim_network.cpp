@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/metrics.hpp"
+#include "common/profile.hpp"
 
 namespace kosha::net {
 
@@ -110,12 +111,17 @@ SimDuration SimNetwork::begin_service(HostId host, SimDuration arrival) {
   if (metrics_ != nullptr) {
     if (Histogram* h = host_obs(host).queue_delay) h->record(delay.to_micros());
   }
+  if (profiler_ != nullptr) profiler_->add_host_queue_wait(host, delay);
   return begin;
 }
 
 void SimNetwork::end_service(HostId host, SimDuration until) {
   if (busy_until_.size() <= host) busy_until_.resize(host + 1, SimDuration{});
   busy_until_[host] = std::max(busy_until_[host], until);
+}
+
+void SimNetwork::note_service_time(HostId host, SimDuration busy) {
+  if (profiler_ != nullptr) profiler_->add_host_busy(host, busy);
 }
 
 void SimNetwork::note_inflight(HostId host, int delta) {

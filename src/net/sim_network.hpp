@@ -26,6 +26,7 @@ class EventLoop;
 class Gauge;
 class Histogram;
 class MetricsRegistry;
+class SimProfiler;
 class Tracer;
 }  // namespace kosha
 
@@ -156,6 +157,11 @@ class SimNetwork {
   /// feeding the per-node `server.inflight` gauge and the peak counter.
   void note_inflight(HostId host, int delta);
 
+  /// Attribute `busy` of virtual service time to `host` in the profiler's
+  /// occupancy accounting (no-op when profiling is off). Called by the RPC
+  /// execute step, which knows both service bounds.
+  void note_service_time(HostId host, SimDuration busy);
+
   /// Count a timeout whose duration elapses as a scheduled event rather
   /// than an immediate clock advance (the event-driven twin of
   /// charge_timeout).
@@ -200,6 +206,11 @@ class SimNetwork {
   [[nodiscard]] MetricsRegistry* metrics() const { return metrics_; }
   [[nodiscard]] Tracer* tracer() const { return tracer_; }
 
+  /// Attach the simulator profiler (nullptr = off). Distributed alongside
+  /// metrics/tracer because every layer already reaches the network.
+  void set_profiler(SimProfiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] SimProfiler* profiler() const { return profiler_; }
+
   [[nodiscard]] SimClock& clock() { return *clock_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
   [[nodiscard]] NetStats& stats() { return stats_; }
@@ -221,6 +232,7 @@ class SimNetwork {
   std::unique_ptr<FaultPlan> fault_plan_;
   MetricsRegistry* metrics_ = nullptr;
   Tracer* tracer_ = nullptr;
+  SimProfiler* profiler_ = nullptr;
   EventLoop* loop_ = nullptr;
   /// Per-host single-server FIFO queues: when each host's service slot
   /// frees up. Only the event-driven path reads or writes these.

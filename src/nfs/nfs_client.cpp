@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/metrics.hpp"
+#include "common/profile.hpp"
 #include "common/tracing.hpp"
 #include "nfs/wire.hpp"
 
@@ -83,6 +84,7 @@ NfsResult<ReplyT> NfsClient::transact(NfsProc proc, net::HostId server,
     pm.latency->record((network_->clock().now() - start).to_micros());
     (reply.ok() ? pm.ok : pm.error)->inc();
   }
+  if (SimProfiler* prof = network_->profiler(); prof != nullptr) prof->note_op();
   if (!reply.ok()) span.status(to_string(reply.error()));
   return reply;
 }

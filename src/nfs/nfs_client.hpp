@@ -30,6 +30,7 @@
 
 #include "common/event_loop.hpp"
 #include "common/rng.hpp"
+#include "common/tracing.hpp"
 #include "nfs/nfs_server.hpp"
 #include "nfs/retry_policy.hpp"
 #include "nfs/wire.hpp"
@@ -199,8 +200,23 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
     /// Whether any request was delivered (see transact_impl): decides
     /// kTimedOut vs kUnreachable when attempts run out.
     bool executed = false;
+    /// The enclosing rpc.<proc> span, captured synchronously at submit
+    /// time — under interleaved execution the tracer's context stack
+    /// belongs to whichever client is running, so the completion events
+    /// must carry their own parent for the wait spans they emit.
+    TraceContext trace{};
 
     Call(Invoke&& inv, ReplyBytes&& rb) : invoke(std::move(inv)), reply_bytes(std::move(rb)) {}
+
+    /// Record a wait interval ([start, end], known rather than lived
+    /// through) as a finished child span of the rpc span. Inert when
+    /// tracing is off or the RPC runs outside any trace.
+    void emit_wait_span(const char* name, std::uint32_t host, SimDuration start,
+                        SimDuration end) {
+      Tracer* tracer = c->network_->tracer();
+      if (tracer == nullptr || !tracer->enabled() || !trace.valid()) return;
+      (void)tracer->emit_span(trace, name, host, start, end);
+    }
 
     void give_up() { done(executed ? NfsStat::kTimedOut : NfsStat::kUnreachable); }
 
@@ -209,8 +225,10 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
     void timeout_then(void (Call::*next)()) {
       c->network_->note_timeout();
       c->network_->note_proc_timeout(slot);
+      const SimDuration now = loop->now();
+      emit_wait_span("rpc.timeout", c->self_, now, now + c->network_->config().rpc_timeout);
       auto self = this->shared_from_this();
-      loop->schedule_after(c->network_->config().rpc_timeout,
+      loop->schedule_after(c->network_->config().rpc_timeout, "rpc.timeout",
                            [self, next] { ((*self).*next)(); });
     }
 
@@ -222,8 +240,10 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
       c->network_->count_retry(slot);
       const SimDuration wait = c->backoff_duration(attempt);
       ++attempt;
+      const SimDuration now = loop->now();
+      emit_wait_span("rpc.backoff", c->self_, now, now + wait);
       auto self = this->shared_from_this();
-      loop->schedule_after(wait, [self] { self->start(); });
+      loop->schedule_after(wait, "rpc.backoff", [self] { self->start(); });
     }
 
     /// One transmission attempt (retransmissions re-enter here under the
@@ -234,8 +254,12 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
         // Permanent death: one timeout, no retries (see transact_impl).
         c->network_->note_timeout();
         c->network_->note_proc_timeout(slot);
+        const SimDuration now = loop->now();
+        emit_wait_span("rpc.timeout", c->self_, now,
+                       now + c->network_->config().rpc_timeout);
         auto self = this->shared_from_this();
-        loop->schedule_after(c->network_->config().rpc_timeout, [self] { self->give_up(); });
+        loop->schedule_after(c->network_->config().rpc_timeout, "rpc.timeout",
+                             [self] { self->give_up(); });
         return;
       }
       const auto plan = c->network_->plan_message(c->self_, server, request_bytes, loop->now());
@@ -245,16 +269,18 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
       }
       c->network_->note_proc_message(slot, request_bytes);
       auto self = this->shared_from_this();
-      loop->schedule_at(plan.arrival, [self] { self->arrive(); });
+      loop->schedule_at(plan.arrival, "rpc.arrive", [self] { self->arrive(); });
     }
 
     /// The request reached the server: queue behind whatever it is
     /// already serving (this wait is the measured `net.queue_delay`).
     void arrive() {
-      const SimDuration begin = c->network_->begin_service(server, loop->now());
+      const SimDuration arrival = loop->now();
+      const SimDuration begin = c->network_->begin_service(server, arrival);
+      if (begin > arrival) emit_wait_span("net.queue", server, arrival, begin);
       c->network_->note_inflight(server, +1);
       auto self = this->shared_from_this();
-      loop->schedule_at(begin, [self] { self->execute(); });
+      loop->schedule_at(begin, "rpc.execute", [self] { self->execute(); });
     }
 
     void execute() {
@@ -272,12 +298,14 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
       // service-begin instant, so server-side spans keep real virtual
       // start/end times; the elapsed cost becomes this host's queue
       // occupancy.
+      const SimDuration begin = loop->now();
       NfsResult<ReplyT> reply = invoke(*s);
       const SimDuration end = loop->now();
       c->network_->end_service(server, end);
+      c->network_->note_service_time(server, end - begin);
       auto self = this->shared_from_this();
       auto boxed = std::make_shared<NfsResult<ReplyT>>(std::move(reply));
-      loop->schedule_at(end, [self, boxed] { self->depart(std::move(*boxed)); });
+      loop->schedule_at(end, "rpc.depart", [self, boxed] { self->depart(std::move(*boxed)); });
     }
 
     /// Service finished: send the reply back over the wire.
@@ -294,7 +322,7 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
       c->network_->note_proc_message(slot, rb);
       auto self = this->shared_from_this();
       auto boxed = std::make_shared<NfsResult<ReplyT>>(std::move(reply));
-      loop->schedule_at(plan.arrival, [self, boxed] { self->done(std::move(*boxed)); });
+      loop->schedule_at(plan.arrival, "rpc.done", [self, boxed] { self->done(std::move(*boxed)); });
     }
   };
 
@@ -305,6 +333,9 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
   call->server = server;
   call->request_bytes = request_bytes;
   call->done = std::move(done);
+  if (const Tracer* tracer = network_->tracer(); tracer != nullptr && tracer->enabled()) {
+    call->trace = tracer->current();
+  }
   call->start();
 }
 

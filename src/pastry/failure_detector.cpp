@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "common/tracing.hpp"
 #include "pastry/overlay.hpp"
 
 namespace kosha::pastry {
@@ -60,9 +61,16 @@ void FailureDetector::schedule_tick() {
   const SimDuration delay = config_.probe_period + loop_->jitter(config_.probe_jitter);
   PastryOverlay* overlay = overlay_;
   const NodeId self = self_;
-  loop_->schedule_after(delay, [overlay, self] {
+  loop_->schedule_after(delay, "fd.tick", [overlay, self] {
     if (FailureDetector* d = overlay->detector(self)) d->tick();
   });
+}
+
+void FailureDetector::trace_event(const char* name, NodeId peer) {
+  Tracer* tracer = network_->tracer();
+  if (tracer == nullptr || !tracer->enabled()) return;
+  SpanScope span(tracer, name, host_);
+  span.tag("peer", peer.to_hex().substr(0, 8));
 }
 
 void FailureDetector::prune_state() {
@@ -105,7 +113,7 @@ void FailureDetector::probe(NodeId target) {
   const std::uint64_t self_boot = boot_;
 
   // The miss timer always runs; an ack recorded before it fires wins.
-  loop_->schedule_after(config_.probe_timeout, [overlay, self, target, seq] {
+  loop_->schedule_after(config_.probe_timeout, "fd.timeout", [overlay, self, target, seq] {
     if (FailureDetector* d = overlay->detector(self)) d->on_probe_timeout(target, seq);
   });
 
@@ -115,7 +123,7 @@ void FailureDetector::probe(NodeId target) {
   if (!request.delivered) return;
 
   const net::HostId self_host = host_;
-  loop_->schedule_at(request.arrival,
+  loop_->schedule_at(request.arrival, "fd.probe",
                      [overlay, network, loop, self, self_boot, self_host, target, seq] {
                        FailureDetector* peer = overlay->detector(target);
                        // The target may have crashed while the probe was in
@@ -125,11 +133,12 @@ void FailureDetector::probe(NodeId target) {
                                                                kProbeBytes, loop->now());
                        if (!reply.delivered) return;
                        const std::uint64_t peer_boot = peer->boot();
-                       loop->schedule_at(reply.arrival, [overlay, self, target, seq, peer_boot] {
-                         if (FailureDetector* d = overlay->detector(self)) {
-                           d->on_probe_ack(target, seq, peer_boot);
-                         }
-                       });
+                       loop->schedule_at(reply.arrival, "fd.ack",
+                                         [overlay, self, target, seq, peer_boot] {
+                                           if (FailureDetector* d = overlay->detector(self)) {
+                                             d->on_probe_ack(target, seq, peer_boot);
+                                           }
+                                         });
                      });
 }
 
@@ -152,6 +161,7 @@ void FailureDetector::maybe_reinstate(NodeId peer, std::uint64_t peer_boot) {
   it->second.failed_rounds = 0;
   ++it->second.generation;
   ++stats_.reinstated;
+  trace_event("fd.reinstate", peer);
   // Reintroduction repairs the leaf set off the critical path: the traffic
   // is counted but does not stall whatever foreground op is in flight.
   ClockPauser pause(loop_->clock());
@@ -174,6 +184,7 @@ void FailureDetector::on_probe_ack(NodeId target, std::uint64_t seq, std::uint64
     state.failed_rounds = 0;
     ++state.generation;
     ++stats_.refutations;
+    trace_event("fd.refute", target);
   } else if (state.status == Status::kDead) {
     maybe_reinstate(target, target_boot);
   }
@@ -193,6 +204,7 @@ void FailureDetector::on_probe_timeout(NodeId target, std::uint64_t seq) {
     state.failed_rounds = 0;
     ++state.generation;
     ++stats_.suspicions;
+    trace_event("fd.suspect", target);
     start_confirmation_round(target, state.generation);
   }
 }
@@ -242,17 +254,18 @@ void FailureDetector::start_confirmation_round(NodeId target, std::uint64_t gene
   }
 
   if (any_success) {
-    loop_->schedule_at(first_report, [overlay, self, target, generation] {
+    loop_->schedule_at(first_report, "fd.confirm", [overlay, self, target, generation] {
       if (FailureDetector* d = overlay->detector(self)) {
         d->on_confirmation(target, generation, true);
       }
     });
   } else {
-    loop_->schedule_after(config_.probe_timeout, [overlay, self, target, generation] {
-      if (FailureDetector* d = overlay->detector(self)) {
-        d->on_confirmation(target, generation, false);
-      }
-    });
+    loop_->schedule_after(config_.probe_timeout, "fd.confirm",
+                          [overlay, self, target, generation] {
+                            if (FailureDetector* d = overlay->detector(self)) {
+                              d->on_confirmation(target, generation, false);
+                            }
+                          });
   }
 }
 
@@ -270,6 +283,7 @@ void FailureDetector::on_confirmation(NodeId target, std::uint64_t generation, b
     state.failed_rounds = 0;
     ++state.generation;
     ++stats_.refutations;
+    trace_event("fd.refute", target);
     return;
   }
   ++state.failed_rounds;
@@ -297,13 +311,15 @@ void FailureDetector::on_confirmation(NodeId target, std::uint64_t generation, b
   if (majority_down || since_ack > config_.isolation_window) {
     ++stats_.quarantined_verdicts;
     state.failed_rounds = 0;
+    trace_event("fd.quarantine", target);
     PastryOverlay* overlay = overlay_;
     const NodeId self = self_;
-    loop_->schedule_after(config_.probe_period, [overlay, self, target, generation] {
-      if (FailureDetector* d = overlay->detector(self)) {
-        d->on_quarantine_retry(target, generation);
-      }
-    });
+    loop_->schedule_after(config_.probe_period, "fd.quarantine",
+                          [overlay, self, target, generation] {
+                            if (FailureDetector* d = overlay->detector(self)) {
+                              d->on_quarantine_retry(target, generation);
+                            }
+                          });
     return;
   }
   declare_dead(target, state);
@@ -317,6 +333,7 @@ void FailureDetector::declare_dead(NodeId target, PeerState& state) {
   state.status = Status::kDead;
   ++state.generation;
   ++stats_.declared_dead;
+  trace_event("fd.declare", target);
   // Repair traffic is anti-entropy background work: counted, not charged
   // against whatever foreground operation happens to be in flight.
   ClockPauser pause(loop_->clock());

@@ -156,6 +156,10 @@ class FailureDetector {
   void probe(NodeId target);
   void start_confirmation_round(NodeId target, std::uint64_t generation);
   void declare_dead(NodeId target, PeerState& state);
+  /// Record a detector lifecycle moment (suspect/refute/declare/reinstate/
+  /// quarantine) as an instant root span tagged with the peer. Inert when
+  /// tracing is off.
+  void trace_event(const char* name, NodeId peer);
   /// Heal a death verdict about `peer` if it is live and the boot matches.
   void maybe_reinstate(NodeId peer, std::uint64_t peer_boot);
   /// Drop state for peers that left the monitored set: genuinely dead ids

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "kosha/cluster.hpp"
 #include "kosha/mount.hpp"
 
@@ -54,6 +55,14 @@ WorkloadResult run_multi_client_workload(KoshaCluster& cluster,
     clients[c].total_ops = ops_per_client;
   }
 
+  // Per-op virtual latency distribution (p50/p95/p99 for the scalability
+  // sweep). Resolved once; null when metrics are off, so the loop below
+  // pays one pointer test per op and nothing else.
+  Histogram* op_latency = nullptr;
+  if (MetricsRegistry* metrics = cluster.network().metrics(); metrics != nullptr) {
+    op_latency = metrics->histogram("sim.op.latency_us");
+  }
+
   // Conservative discrete-event interleaving: always advance the client
   // with the lowest local time (lowest index on ties), so storage-node
   // service queues see arrivals in timestamp order and the schedule is a
@@ -94,6 +103,7 @@ WorkloadResult run_multi_client_workload(KoshaCluster& cluster,
     if (!ok) ++result.failures;
     result.busy += took;
     if (took > result.max_op) result.max_op = took;
+    if (op_latency != nullptr) op_latency->record(took.to_micros());
   }
 
   // Leave the cluster clock at the workload's end: the latest client

@@ -75,6 +75,32 @@ unsigned seed_from_wall_clock() { return (unsigned)time(nullptr); }
   EXPECT_TRUE(diags.empty());
 }
 
+TEST(LintD1, ProfilerSeamMayReadSteadyClock) {
+  // src/common/profile.cpp is the one sanctioned wall-clock seam: the
+  // profiler measures the simulator and never feeds readings back in.
+  const auto diags = lint_one("src/common/profile.cpp", R"cpp(
+#include <chrono>
+unsigned long long wall_now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+)cpp");
+  EXPECT_TRUE(diags.empty()) << kosha::lint::to_text(diags);
+}
+
+TEST(LintD1, SteadyClockOutsideTheProfilerSeamIsStillFlagged) {
+  // The identical code anywhere else must trip D1 — the allowlist is a
+  // path property, not a pattern property.
+  const auto diags = lint_one("src/common/profile_helpers.cpp", R"cpp(
+#include <chrono>
+unsigned long long wall_now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D1");
+  EXPECT_EQ(diags[0].slug, "wall-clock");
+}
+
 TEST(LintD1, StringsAndCommentsAreInvisible) {
   const auto diags = lint_one("src/kosha/ok.cpp", R"cpp(
 // rand() and system_clock in a comment are fine

@@ -1,0 +1,309 @@
+// Simulator profiler: critical-path attribution on hand-built span DAGs,
+// same-seed byte-identical reports, and the profiler's own zero-overhead
+// guarantee (a profiling cluster run is numerically identical to a plain one).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/profile.hpp"
+#include "common/rng.hpp"
+#include "common/tracing.hpp"
+#include "kosha/cluster.hpp"
+#include "kosha/mount.hpp"
+
+namespace kosha {
+namespace {
+
+SpanRecord make_span(std::uint64_t trace, std::uint64_t id, std::uint64_t parent,
+                     const char* name, std::int64_t start, std::int64_t end) {
+  SpanRecord s;
+  s.trace_id = trace;
+  s.span_id = id;
+  s.parent_id = parent;
+  s.name = name;
+  s.start_ns = start;
+  s.end_ns = end;
+  s.status = "ok";
+  return s;
+}
+
+TEST(ClassifyStage, MapsSpanNamesToStages) {
+  EXPECT_EQ(prof::classify_stage("posix.write"), "client");
+  EXPECT_EQ(prof::classify_stage("mount.read_file"), "client");
+  EXPECT_EQ(prof::classify_stage("koshad.create"), "koshad");
+  EXPECT_EQ(prof::classify_stage("koshad.failover"), "failover");
+  EXPECT_EQ(prof::classify_stage("net.queue"), "queue");
+  EXPECT_EQ(prof::classify_stage("rpc.timeout"), "rpc_timeout");
+  EXPECT_EQ(prof::classify_stage("rpc.backoff"), "rpc_backoff");
+  EXPECT_EQ(prof::classify_stage("rpc.CREATE"), "rpc_wire");
+  EXPECT_EQ(prof::classify_stage("nfs.CREATE"), "rpc_wire");
+  EXPECT_EQ(prof::classify_stage("server.create"), "service");
+  EXPECT_EQ(prof::classify_stage("replica.push"), "replica");
+  EXPECT_EQ(prof::classify_stage("fd.probe"), "selfheal");
+  EXPECT_EQ(prof::classify_stage("repair.tick"), "selfheal");
+  EXPECT_EQ(prof::classify_stage("mystery"), "other");
+}
+
+// A four-level chain with known attribution:
+//
+//   posix.write   [0, 1000]
+//     koshad.create  [100, 900]
+//       rpc.CREATE      [200, 800]
+//         net.queue        [200, 300]
+//         server.create    [300, 700]
+//
+// Every nanosecond of the root interval belongs to exactly one span: the
+// deepest span covering it on the path that bounded completion.
+TEST(CriticalPath, HandBuiltDagHasKnownAttribution) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span(1, 10, 0, "posix.write", 0, 1000));
+  spans.push_back(make_span(1, 11, 10, "koshad.create", 100, 900));
+  spans.push_back(make_span(1, 12, 11, "rpc.CREATE", 200, 800));
+  spans.push_back(make_span(1, 13, 12, "net.queue", 200, 300));
+  spans.push_back(make_span(1, 14, 12, "server.create", 300, 700));
+
+  const prof::CriticalPathReport report = prof::analyze_critical_path(spans);
+  ASSERT_EQ(report.traces.size(), 1u);
+  EXPECT_EQ(report.span_count, 5u);
+  EXPECT_EQ(report.critical_total_ns, 1000);
+  EXPECT_EQ(report.traces[0].root, "posix.write");
+  EXPECT_EQ(report.traces[0].total_ns, 1000);
+
+  // Stage totals partition the root interval exactly.
+  ASSERT_EQ(report.stages.count("client"), 1u);
+  EXPECT_EQ(report.stages.at("client").ns, 200);   // [0,100) + (900,1000]
+  EXPECT_EQ(report.stages.at("client").slices, 2u);
+  EXPECT_EQ(report.stages.at("koshad").ns, 200);   // [100,200) + (800,900]
+  EXPECT_EQ(report.stages.at("rpc_wire").ns, 100); // (700,800]
+  EXPECT_EQ(report.stages.at("queue").ns, 100);    // [200,300)
+  EXPECT_EQ(report.stages.at("service").ns, 400);  // [300,700]
+  std::int64_t sum = 0;
+  for (const auto& [name, stage] : report.stages) {
+    (void)name;
+    sum += stage.ns;
+  }
+  EXPECT_EQ(sum, report.critical_total_ns);
+
+  // Slices come out in chronological order.
+  const auto& slices = report.traces[0].slices;
+  ASSERT_EQ(slices.size(), 7u);
+  EXPECT_EQ(slices[0].name, "posix.write");
+  EXPECT_EQ(slices[1].name, "koshad.create");
+  EXPECT_EQ(slices[2].name, "net.queue");
+  EXPECT_EQ(slices[3].name, "server.create");
+  EXPECT_EQ(slices[4].name, "rpc.CREATE");
+  EXPECT_EQ(slices[5].name, "koshad.create");
+  EXPECT_EQ(slices[6].name, "posix.write");
+
+  // Flame self times: duration minus union of child intervals.
+  EXPECT_EQ(report.flame.at("posix.write").self_ns, 200);
+  EXPECT_EQ(report.flame.at("posix.write;koshad.create").self_ns, 200);
+  EXPECT_EQ(report.flame.at("posix.write;koshad.create;rpc.CREATE").self_ns, 100);
+  EXPECT_EQ(report.flame.at("posix.write;koshad.create;rpc.CREATE;net.queue").self_ns, 100);
+  EXPECT_EQ(report.flame.at("posix.write;koshad.create;rpc.CREATE;server.create").self_ns,
+            400);
+}
+
+// Overlapping children: the later-ending child bounded the parent's
+// completion, so the earlier child that overlaps already-attributed time is
+// off the critical path entirely (its time still shows up in the flame view).
+TEST(CriticalPath, OverlappingChildrenPickTheBoundingOne) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span(2, 20, 0, "posix.read", 0, 1000));
+  spans.push_back(make_span(2, 21, 20, "rpc.READ", 0, 600));    // overlapped: skipped
+  spans.push_back(make_span(2, 22, 20, "replica.read", 400, 800));
+
+  const prof::CriticalPathReport report = prof::analyze_critical_path(spans);
+  ASSERT_EQ(report.traces.size(), 1u);
+  EXPECT_EQ(report.critical_total_ns, 1000);
+  EXPECT_EQ(report.stages.at("client").ns, 600);   // [0,400) + (800,1000]
+  EXPECT_EQ(report.stages.at("replica").ns, 400);  // [400,800]
+  EXPECT_EQ(report.stages.count("rpc_wire"), 0u);
+  // The skipped child still contributes flame self time.
+  EXPECT_EQ(report.flame.at("posix.read;rpc.READ").self_ns, 600);
+}
+
+TEST(CriticalPath, OrphansAnchorTheirOwnTree) {
+  // A span whose parent is missing from the stream (partial capture) is
+  // treated as a root so analysis still covers it.
+  std::vector<SpanRecord> spans;
+  spans.push_back(make_span(3, 31, 999, "server.write", 50, 250));
+  const prof::CriticalPathReport report = prof::analyze_critical_path(spans);
+  ASSERT_EQ(report.traces.size(), 1u);
+  EXPECT_EQ(report.traces[0].total_ns, 200);
+  EXPECT_EQ(report.stages.at("service").ns, 200);
+}
+
+TEST(Tracer, EmitSpanRecordsFinishedIntervalWithoutTouchingStack) {
+  SimClock clock;
+  Tracer tracer;
+  tracer.set_clock(&clock);
+  tracer.set_enabled(true);
+
+  const TraceContext root = tracer.begin_span("posix.write", 0);
+  const TraceContext emitted = tracer.emit_span(root, "rpc.backoff", 0,
+                                                SimDuration::micros(10),
+                                                SimDuration::micros(30));
+  EXPECT_TRUE(emitted.valid());
+  EXPECT_EQ(emitted.trace_id, root.trace_id);
+  EXPECT_EQ(tracer.open_depth(), 1u);  // stack untouched
+  tracer.end_span();
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const SpanRecord& backoff = tracer.spans()[0];  // finished first
+  EXPECT_EQ(backoff.name, "rpc.backoff");
+  EXPECT_EQ(backoff.parent_id, root.span_id);
+  EXPECT_EQ(backoff.start_ns, SimDuration::micros(10).ns);
+  EXPECT_EQ(backoff.end_ns, SimDuration::micros(30).ns);
+
+  // Disabled tracer: emit_span is inert and returns an invalid context.
+  tracer.set_enabled(false);
+  EXPECT_FALSE(tracer.emit_span(root, "rpc.timeout", 0, SimDuration::micros(1),
+                                SimDuration::micros(2))
+                   .valid());
+  EXPECT_EQ(tracer.spans().size(), 2u);
+}
+
+/// Same mixed workload as test_metrics: deterministic given the cluster seed.
+SimDuration run_workload(KoshaCluster& cluster) {
+  KoshaMount mount(&cluster.daemon(0));
+  Rng rng(7);
+  for (int i = 0; i < 32; ++i) {
+    const std::string dir = "/d" + std::to_string(rng.next_below(4));
+    const std::string file = dir + "/f" + std::to_string(i);
+    EXPECT_TRUE(mount.mkdir_p(dir).ok());
+    EXPECT_TRUE(mount.write_file(file, rng.next_name(24)).ok());
+    EXPECT_TRUE(mount.read_file(file).ok());
+    EXPECT_TRUE(mount.stat(file).ok());
+  }
+  return cluster.clock().now();
+}
+
+TEST(Profiler, EnabledProfilerIsNumericallyInvisible) {
+  ClusterConfig config;
+  config.nodes = 6;
+  config.kosha.replicas = 2;
+  config.seed = 11;
+  KoshaCluster plain(config);
+
+  config.observability.metrics = true;
+  config.observability.tracing = true;
+  config.observability.profiling = true;
+  KoshaCluster profiled(config);
+
+  // Wall-clock measurement flows out of the simulation, never in: the
+  // profiled run lands on the same virtual end time and network accounting.
+  EXPECT_EQ(run_workload(plain), run_workload(profiled));
+  EXPECT_EQ(plain.network().stats(), profiled.network().stats());
+
+  // ...and the profiler actually saw the run.
+  const SimProfiler& prof = profiled.profiler();
+  EXPECT_GT(prof.events(), 0u);
+  // note_op() fires per completed client NFS RPC; every mount call issues at
+  // least one, so 32 iterations x 4 mount ops is a floor.
+  EXPECT_GE(prof.ops(), 32u * 4u);
+  EXPECT_GT(prof.categories().count("rpc.execute"), 0u);
+  EXPECT_GT(prof.categories().count("rpc.arrive"), 0u);
+  EXPECT_GT(prof.hosts().size(), 0u);
+
+  // The disabled cluster recorded nothing.
+  EXPECT_EQ(plain.profiler().events(), 0u);
+  EXPECT_EQ(plain.profiler().ops(), 0u);
+}
+
+TEST(Profiler, ExportPublishesGaugesThroughTheRegistry) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.seed = 5;
+  config.observability.metrics = true;
+  config.observability.profiling = true;
+  KoshaCluster cluster(config);
+  (void)run_workload(cluster);
+
+  const auto parsed = parse_json(cluster.export_metrics_json());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const JsonValue* gauges = parsed.value().find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_GT(gauges->number_or("prof.events", 0), 0.0);
+  EXPECT_GE(gauges->number_or("prof.ops", 0), 128.0);
+  EXPECT_GT(gauges->number_or("prof.virtual_ms", 0), 0.0);
+  EXPECT_GT(gauges->number_or("prof.host.busy_total_ms", -1), 0.0);
+  // 4 hosts <= kPerHostGaugeLimit: per-host gauges present.
+  ASSERT_NE(gauges->find("prof.host.0.busy_ms"), nullptr);
+  EXPECT_GT(gauges->number_or("prof.cat.rpc.execute.count", 0), 0.0);
+}
+
+TEST(Profiler, SameSeedCriticalPathReportIsByteIdentical) {
+  ClusterConfig config;
+  config.nodes = 6;
+  config.kosha.replicas = 2;
+  config.seed = 23;
+  config.observability.tracing = true;
+  config.observability.profiling = true;
+
+  KoshaCluster a(config);
+  KoshaCluster b(config);
+  (void)run_workload(a);
+  (void)run_workload(b);
+
+  const prof::CriticalPathReport ra = prof::analyze_critical_path(a.tracer().spans());
+  const prof::CriticalPathReport rb = prof::analyze_critical_path(b.tracer().spans());
+  ASSERT_GT(ra.traces.size(), 0u);
+  EXPECT_GT(ra.critical_total_ns, 0);
+  // Both human-readable and JSON renderings are byte-identical: the whole
+  // pipeline (spans -> DAG -> attribution -> formatting) is wall-clock free.
+  EXPECT_EQ(prof::render_critical_report(ra), prof::render_critical_report(rb));
+  EXPECT_EQ(prof::critical_report_json(ra), prof::critical_report_json(rb));
+  EXPECT_EQ(a.tracer().to_jsonl(), b.tracer().to_jsonl());
+}
+
+TEST(Profiler, WorkloadSpansCoverQueueAndServiceStages) {
+  ClusterConfig config;
+  config.nodes = 6;
+  config.kosha.replicas = 2;
+  config.seed = 23;
+  config.observability.tracing = true;
+  KoshaCluster cluster(config);
+  (void)run_workload(cluster);
+
+  const prof::CriticalPathReport report =
+      prof::analyze_critical_path(cluster.tracer().spans());
+  // The real span stream exercises the taxonomy: interposition, wire and
+  // server-execution time all appear on the critical path. (Mount-layer
+  // spans begin and end at the same virtual instants as their koshad
+  // children, so "client" self time is legitimately zero.)
+  EXPECT_GT(report.stages.count("koshad"), 0u);
+  EXPECT_GT(report.stages.count("rpc_wire"), 0u);
+  EXPECT_GT(report.stages.count("service"), 0u);
+  // Per-trace totals are consistent with the slice partition.
+  for (const auto& trace : report.traces) {
+    std::int64_t sum = 0;
+    for (const auto& slice : trace.slices) sum += slice.ns;
+    EXPECT_EQ(sum, trace.total_ns) << "trace " << trace.trace_id;
+  }
+}
+
+TEST(SimProfiler, ResetClearsCountsAndCategories) {
+  SimProfiler prof;
+  prof.record_event("rpc.arrive", 100);
+  prof.record_event(nullptr, 50);  // falls back to the default category
+  prof.add_host_busy(3, SimDuration::micros(7));
+  prof.note_op();
+  EXPECT_EQ(prof.events(), 2u);
+  EXPECT_EQ(prof.event_wall_ns(), 150u);
+  EXPECT_EQ(prof.ops(), 1u);
+  EXPECT_EQ(prof.categories().at("rpc.arrive").count, 1u);
+  EXPECT_EQ(prof.categories().at("event").count, 1u);
+  prof.reset();
+  EXPECT_EQ(prof.events(), 0u);
+  EXPECT_EQ(prof.ops(), 0u);
+  EXPECT_TRUE(prof.categories().empty());
+  EXPECT_TRUE(prof.hosts().empty());
+}
+
+}  // namespace
+}  // namespace kosha

@@ -1,0 +1,238 @@
+// kosha_prof — causal critical-path analysis and perf-trajectory gating.
+//
+// Two modes:
+//
+//   --trace FILE     analyze a trace stream (export_trace_jsonl output):
+//                    reconstruct each request's span DAG, extract its
+//                    critical path, and print the per-stage breakdown plus
+//                    the flame-style aggregation. Deterministic: the same
+//                    span stream renders byte-identically. --json emits the
+//                    machine-readable twin; --out FILE writes it to a file
+//                    (for committing BENCH baselines).
+//
+//   --base FILE --current FILE
+//                    compare two benchmark JSON dumps (BENCH_scale.json /
+//                    BENCH_sim_profile.json / micro_bench --metrics-out).
+//                    Wall-clock-derived keys (containing "wall") are
+//                    skipped; throughput keys (ending "_per_sec") gate on
+//                    --min-ratio (current >= ratio * base, default 0.5 so
+//                    only large regressions fail on noisy CI runners);
+//                    every other number gates on relative --tol (default
+//                    0.25). Exit 1 on any regression, listing each one.
+//
+// The compare mode is the committed perf trajectory's teeth: CI runs the
+// sweep benches and diffs against results/*.baseline.json with this tool.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "common/profile.hpp"
+#include "common/tracing.hpp"
+
+namespace {
+
+using namespace kosha;
+
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int analyze(const CliArgs& args) {
+  const std::string path = args.get_string("trace", "");
+  std::string text;
+  if (!slurp(path, text)) {
+    std::fprintf(stderr, "kosha_prof: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  const auto spans = parse_trace_jsonl(text);
+  if (!spans.ok()) {
+    std::fprintf(stderr, "kosha_prof: %s: %s\n", path.c_str(), spans.error().c_str());
+    return 1;
+  }
+  const auto report = prof::analyze_critical_path(spans.value());
+  const std::size_t flame_top =
+      static_cast<std::size_t>(args.get_int("flame-top", args.get_bool("json", false) ? 50 : 20));
+  const std::string rendered = args.get_bool("json", false)
+                                   ? prof::critical_report_json(report, flame_top)
+                                   : prof::render_critical_report(report, flame_top);
+  if (const std::string out = args.get_string("out", ""); !out.empty()) {
+    std::ofstream f(out, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "kosha_prof: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    f << rendered;
+    return 0;
+  }
+  std::fputs(rendered.c_str(), stdout);
+  return 0;
+}
+
+/// True when this metric is wall-clock-derived and therefore varies run to
+/// run by nature: never gate on it.
+bool wall_derived(const std::string& key) { return key.find("wall") != std::string::npos; }
+
+/// True when this metric is a throughput figure gated by min-ratio rather
+/// than symmetric tolerance (faster is always fine).
+bool throughput_key(const std::string& key) {
+  constexpr std::string_view suffix = "_per_sec";
+  return key.size() >= suffix.size() &&
+         key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+struct CompareState {
+  double min_ratio = 0.5;
+  double tol = 0.25;
+  std::vector<std::string> regressions;
+  std::vector<std::string> warnings;
+};
+
+void compare_values(const std::string& path, const JsonValue& base, const JsonValue& cur,
+                    CompareState& st);
+
+void compare_objects(const std::string& path, const JsonValue& base, const JsonValue& cur,
+                     CompareState& st) {
+  for (const auto& [key, bval] : base.members()) {
+    const std::string child = path.empty() ? key : path + "." + key;
+    const JsonValue* cval = cur.find(key);
+    if (cval == nullptr) {
+      st.warnings.push_back(child + ": missing from current (schema drift?)");
+      continue;
+    }
+    compare_values(child, bval, *cval, st);
+  }
+}
+
+void compare_values(const std::string& path, const JsonValue& base, const JsonValue& cur,
+                    CompareState& st) {
+  if (base.is_object() && cur.is_object()) {
+    compare_objects(path, base, cur, st);
+    return;
+  }
+  if (base.is_array() && cur.is_array()) {
+    // Arrays (e.g. flame entries, sweep points) are compared positionally;
+    // a length change is schema drift worth flagging, not a regression.
+    if (base.items().size() != cur.items().size()) {
+      st.warnings.push_back(path + ": array length " +
+                            std::to_string(base.items().size()) + " -> " +
+                            std::to_string(cur.items().size()));
+    }
+    const std::size_t n = std::min(base.items().size(), cur.items().size());
+    for (std::size_t i = 0; i < n; ++i) {
+      compare_values(path + "[" + std::to_string(i) + "]", base.items()[i], cur.items()[i], st);
+    }
+    return;
+  }
+  if (!base.is_number() || !cur.is_number()) return;  // strings/ids: informational only
+  const std::string leaf = path.substr(path.rfind('.') + 1);
+  if (wall_derived(leaf)) return;
+  const double b = base.as_number();
+  const double c = cur.as_number();
+  char line[256];
+  if (throughput_key(leaf)) {
+    if (b > 0.0 && c < b * st.min_ratio) {
+      std::snprintf(line, sizeof(line), "%s: throughput %.6g -> %.6g (< %.0f%% of baseline)",
+                    path.c_str(), b, c, st.min_ratio * 100.0);
+      st.regressions.emplace_back(line);
+    }
+    return;
+  }
+  const double denom = std::max(std::fabs(b), 1e-12);
+  if (std::fabs(c - b) / denom > st.tol) {
+    std::snprintf(line, sizeof(line), "%s: %.6g -> %.6g (tolerance %.0f%%)", path.c_str(), b, c,
+                  st.tol * 100.0);
+    st.regressions.emplace_back(line);
+  }
+}
+
+int compare(const CliArgs& args) {
+  const std::string base_path = args.get_string("base", "");
+  const std::string cur_path = args.get_string("current", "");
+  std::string base_text;
+  std::string cur_text;
+  if (!slurp(base_path, base_text)) {
+    std::fprintf(stderr, "kosha_prof: cannot open %s\n", base_path.c_str());
+    return 1;
+  }
+  if (!slurp(cur_path, cur_text)) {
+    std::fprintf(stderr, "kosha_prof: cannot open %s\n", cur_path.c_str());
+    return 1;
+  }
+  const auto base = parse_json(base_text);
+  if (!base.ok()) {
+    std::fprintf(stderr, "kosha_prof: %s: %s\n", base_path.c_str(), base.error().c_str());
+    return 1;
+  }
+  const auto cur = parse_json(cur_text);
+  if (!cur.ok()) {
+    std::fprintf(stderr, "kosha_prof: %s: %s\n", cur_path.c_str(), cur.error().c_str());
+    return 1;
+  }
+
+  CompareState st;
+  st.min_ratio = args.get_double("min-ratio", 0.5);
+  st.tol = args.get_double("tol", 0.25);
+  compare_values("", base.value(), cur.value(), st);
+
+  for (const std::string& w : st.warnings) {
+    std::fprintf(stderr, "kosha_prof: warning: %s\n", w.c_str());
+  }
+  if (!st.regressions.empty()) {
+    std::fprintf(stderr, "kosha_prof: %zu regression(s) vs %s:\n", st.regressions.size(),
+                 base_path.c_str());
+    for (const std::string& r : st.regressions) {
+      std::fprintf(stderr, "  %s\n", r.c_str());
+    }
+    return 1;
+  }
+  std::printf("kosha_prof: %s within tolerance of %s (min-ratio %.2f, tol %.2f)\n",
+              cur_path.c_str(), base_path.c_str(), st.min_ratio, st.tol);
+  return 0;
+}
+
+int usage(int code) {
+  std::fputs(
+      "usage: kosha_prof (--trace FILE [--json] [--out FILE] [--flame-top N]\n"
+      "                   | --base FILE --current FILE [--min-ratio R] [--tol T])\n"
+      "  --trace FILE       critical-path analysis of a trace stream (JSONL)\n"
+      "  --json             machine-readable report instead of the table\n"
+      "  --out FILE         write the report to FILE instead of stdout\n"
+      "  --flame-top N      flame paths to keep (default 20 table / 50 json)\n"
+      "  --base/--current   compare two benchmark JSON dumps; exit 1 on regression\n"
+      "  --min-ratio R      throughput (*_per_sec) must stay >= R * baseline (0.5)\n"
+      "  --tol T            relative tolerance for other numbers (0.25)\n",
+      code == 0 ? stdout : stderr);
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const kosha::CliArgs args(argc, argv);
+    if (const std::string err = args.check_known(
+            "trace,json,out,flame-top,base,current,min-ratio,tol,help");
+        !err.empty()) {
+      std::fprintf(stderr, "kosha_prof: %s\n", err.c_str());
+      return usage(2);
+    }
+    if (args.get_bool("help", false)) return usage(0);
+    if (args.has("trace")) return analyze(args);
+    if (args.has("base") && args.has("current")) return compare(args);
+    return usage(2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "kosha_prof: %s\n", e.what());
+    return 2;
+  }
+}

@@ -13,7 +13,8 @@
 //
 //   D1 wall-clock      no wall-clock/entropy primitives (system_clock,
 //                      steady_clock, time(), rand(), std::random_device,
-//                      getenv, ...) outside the allowlisted seed/CLI seams.
+//                      getenv, ...) outside the allowlisted seed/CLI/
+//                      profiler seams (Config::entropy_allowlist).
 //   D2 unordered-iter  no range-for or .begin() iteration over a
 //                      std::unordered_map/set member: iteration order is
 //                      implementation-defined and leaks into traces,
@@ -53,11 +54,17 @@ struct Diagnostic {
 };
 
 struct Config {
-  /// Path suffixes allowed to touch wall clock / entropy (the seed and CLI
-  /// seams where nondeterminism is deliberately injected exactly once).
+  /// Path suffixes allowed to touch wall clock / entropy: the seed and CLI
+  /// seams where nondeterminism is deliberately injected exactly once, plus
+  /// src/common/profile.cpp — the single sanctioned wall-clock seam
+  /// (SimProfiler::wall_now_ns) behind the simulator profiler. Profiler
+  /// output is measurement of the simulator, never input to it, so the
+  /// read cannot leak into simulated state; every other file must go
+  /// through that function rather than naming a clock directly.
   std::vector<std::string> entropy_allowlist = {
       "src/common/rng.cpp", "src/common/rng.hpp",
-      "src/common/cli.cpp", "src/common/cli.hpp"};
+      "src/common/cli.cpp", "src/common/cli.hpp",
+      "src/common/profile.cpp"};
 };
 
 /// Two-pass linter: add_source() collects cross-file facts (which member
