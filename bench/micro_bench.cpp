@@ -7,6 +7,13 @@
 // workload after the benchmarks and writes its metrics snapshot (the
 // export_metrics_json format kosha_stat reads) to PATH; CI archives it as
 // results/BENCH_micro.json.
+//
+// --backend=flat|cas switches the snapshot to the dedup ablation: a
+// duplicate-heavy synthetic tree (many files sharing few distinct
+// payloads) on a cluster backed by the chosen storage backend, with
+// bench.dedup.* gauges (logical/physical bytes, dedup_ratio) added to the
+// export. Without the flag the snapshot workload and its byte-stable
+// export are unchanged.
 
 #include <benchmark/benchmark.h>
 
@@ -17,7 +24,7 @@
 
 #include "common/rng.hpp"
 #include "common/sha1.hpp"
-#include "fs/local_fs.hpp"
+#include "fs/storage_backend.hpp"
 #include "kosha/cluster.hpp"
 #include "kosha/mount.hpp"
 #include "pastry/overlay.hpp"
@@ -74,14 +81,31 @@ void BM_PastryRoute(benchmark::State& state) {
 }
 BENCHMARK(BM_PastryRoute)->Arg(16)->Arg(128)->Arg(1024);
 
-void BM_LocalFsCreate(benchmark::State& state) {
-  fs::LocalFs store;
+void BM_StoreCreate(benchmark::State& state) {
+  fs::StorageConfig config;
+  if (state.range(0) != 0) config.backend = fs::BackendKind::kCas;
+  const auto store = fs::make_backend(config);
   std::uint64_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(store.create(store.root(), "f" + std::to_string(i++)));
+    benchmark::DoNotOptimize(store->create(store->root(), "f" + std::to_string(i++)));
   }
 }
-BENCHMARK(BM_LocalFsCreate);
+BENCHMARK(BM_StoreCreate)->Arg(0)->Arg(1)->ArgName("cas");
+
+void BM_StoreWrite4k(benchmark::State& state) {
+  fs::StorageConfig config;
+  if (state.range(0) != 0) config.backend = fs::BackendKind::kCas;
+  config.chunk_bytes = 1024;
+  const auto store = fs::make_backend(config);
+  const fs::InodeId file = store->create(store->root(), "f").value();
+  const std::string payload(4096, 'x');
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->write(file, offset, payload));
+    offset = (offset + 4096) % (1 << 20);
+  }
+}
+BENCHMARK(BM_StoreWrite4k)->Arg(0)->Arg(1)->ArgName("cas");
 
 void BM_KoshaWriteSmallFile(benchmark::State& state) {
   ClusterConfig config;
@@ -136,26 +160,100 @@ int write_metrics_snapshot(const std::string& path) {
   return 0;
 }
 
+/// The dedup ablation behind results/BENCH_dedup_{flat,cas}.json: the same
+/// fixed-seed cluster as the default snapshot, but the workload is
+/// duplicate-heavy — 96 files drawn from only 6 distinct payloads, spread
+/// over 4 directories — and the store backend is the one under test. On
+/// top of the cluster's own export (which carries store.dedup_bytes /
+/// store.blocks_live on the cas backend), bench.dedup.* gauges record the
+/// logical footprint, the physical footprint, and their ratio so the two
+/// backends' JSON files are directly comparable.
+int write_dedup_snapshot(const std::string& path, fs::BackendKind backend) {
+  ClusterConfig config;
+  config.nodes = 8;
+  config.seed = 42;
+  config.kosha.replicas = 2;
+  config.kosha.storage.backend = backend;
+  config.kosha.storage.chunk_bytes = 512;
+  config.observability.metrics = true;
+  KoshaCluster cluster(config);
+  KoshaMount mount(&cluster.daemon(0));
+  Rng rng(42);
+  std::vector<std::string> payloads;
+  payloads.reserve(6);
+  for (int i = 0; i < 6; ++i) payloads.push_back(rng.next_name(2048));
+  for (int i = 0; i < 96; ++i) {
+    const std::string dir = "/dedup/d" + std::to_string(rng.next_below(4));
+    const std::string file = dir + "/f" + std::to_string(i);
+    const std::string& payload = payloads[rng.next_below(payloads.size())];
+    if (!mount.mkdir_p(dir).ok() || !mount.write_file(file, payload).ok()) {
+      std::fprintf(stderr, "micro_bench: dedup workload write failed\n");
+      return 1;
+    }
+  }
+  // Refresh the derived store gauges, then fold them into the ablation's
+  // own bench.dedup.* summary and export once more.
+  (void)cluster.export_metrics_json();
+  std::uint64_t logical = 0;
+  std::uint64_t physical = 0;
+  for (net::HostId host = 0; host < config.nodes; ++host) {
+    const fs::StorageBackend& store = cluster.server(host).store();
+    const std::uint64_t used = store.used_bytes();
+    logical += used;
+    physical += used - store.stats().dedup_bytes;
+  }
+  cluster.metrics().gauge("bench.dedup.backend")->set(backend == fs::BackendKind::kCas ? 1 : 0);
+  cluster.metrics().gauge("bench.dedup.logical_bytes")->set(static_cast<double>(logical));
+  cluster.metrics().gauge("bench.dedup.physical_bytes")->set(static_cast<double>(physical));
+  cluster.metrics().gauge("bench.dedup.dedup_ratio")
+      ->set(physical > 0 ? static_cast<double>(logical) / static_cast<double>(physical) : 1.0);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "micro_bench: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << cluster.export_metrics_json();
+  std::printf("dedup ablation (%s) written to %s: logical=%llu physical=%llu\n",
+              fs::to_string(backend), path.c_str(),
+              static_cast<unsigned long long>(logical),
+              static_cast<unsigned long long>(physical));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off --metrics-out before google-benchmark sees (and rejects) it.
+  // Peel off --metrics-out / --backend before google-benchmark sees (and
+  // rejects) them.
   std::string metrics_out;
+  std::string backend_text;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    constexpr const char* kFlag = "--metrics-out=";
-    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
-      metrics_out = argv[i] + std::strlen(kFlag);
+    constexpr const char* kMetricsFlag = "--metrics-out=";
+    constexpr const char* kBackendFlag = "--backend=";
+    if (std::strncmp(argv[i], kMetricsFlag, std::strlen(kMetricsFlag)) == 0) {
+      metrics_out = argv[i] + std::strlen(kMetricsFlag);
+    } else if (std::strncmp(argv[i], kBackendFlag, std::strlen(kBackendFlag)) == 0) {
+      backend_text = argv[i] + std::strlen(kBackendFlag);
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
 
+  fs::BackendKind backend = fs::BackendKind::kFlat;
+  if (!backend_text.empty() && !fs::parse_backend(backend_text, &backend)) {
+    std::fprintf(stderr, "micro_bench: unknown --backend=%s (flat|cas)\n", backend_text.c_str());
+    return 1;
+  }
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!metrics_out.empty()) return write_metrics_snapshot(metrics_out);
+  if (!metrics_out.empty()) {
+    return backend_text.empty() ? write_metrics_snapshot(metrics_out)
+                                : write_dedup_snapshot(metrics_out, backend);
+  }
   return 0;
 }

@@ -43,9 +43,9 @@ trace::MabPhaseTimes run_nfs_baseline(std::size_t runs, std::uint64_t seed) {
   net::SimNetwork network({}, &clock);
   const net::HostId client = network.add_host();
   const net::HostId server_host = network.add_host();
-  fs::FsConfig fs_config;
-  fs_config.capacity_bytes = 64ull << 30;
-  nfs::NfsServer server(server_host, fs_config, {}, &clock);
+  fs::StorageConfig storage;
+  storage.fs.capacity_bytes = 64ull << 30;
+  nfs::NfsServer server(server_host, storage, {}, &clock);
   nfs::ServerDirectory directory;
   directory.add(&server);
 

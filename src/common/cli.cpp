@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
 
@@ -61,6 +62,11 @@ std::string CliArgs::check_known(const std::string& known) const {
     if (allowed.count(name) == 0) return "unknown flag: --" + name;
   }
   return {};
+}
+
+std::string env_or(const char* name, std::string fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? std::move(fallback) : std::string(value);
 }
 
 }  // namespace kosha

@@ -30,4 +30,11 @@ class CliArgs {
   std::map<std::string, std::string> values_;
 };
 
+/// Environment-variable lookup with a fallback — the one sanctioned seam
+/// for out-of-band test/bench configuration (e.g. KOSHA_TEST_BACKEND).
+/// Reading the environment is not a determinism leak: the value only ever
+/// selects *which* deterministic configuration runs, never feeds entropy
+/// into a run.
+[[nodiscard]] std::string env_or(const char* name, std::string fallback);
+
 }  // namespace kosha

@@ -6,30 +6,6 @@
 
 namespace kosha::fs {
 
-const char* to_string(FsStatus status) {
-  switch (status) {
-    case FsStatus::kOk:
-      return "OK";
-    case FsStatus::kNoEnt:
-      return "NOENT";
-    case FsStatus::kExist:
-      return "EXIST";
-    case FsStatus::kNotDir:
-      return "NOTDIR";
-    case FsStatus::kIsDir:
-      return "ISDIR";
-    case FsStatus::kNotEmpty:
-      return "NOTEMPTY";
-    case FsStatus::kNoSpace:
-      return "NOSPC";
-    case FsStatus::kInval:
-      return "INVAL";
-    case FsStatus::kStale:
-      return "STALE";
-  }
-  return "?";
-}
-
 LocalFs::LocalFs(FsConfig config) : config_(config) {
   Inode root;
   root.allocated = true;
@@ -50,7 +26,8 @@ LocalFs::Inode* LocalFs::get(InodeId id) {
   return const_cast<Inode*>(static_cast<const LocalFs*>(this)->get(id));
 }
 
-InodeId LocalFs::allocate(FileType type, std::uint32_t mode, std::uint32_t uid) {
+InodeId LocalFs::allocate(FileType type, std::uint32_t mode, std::uint32_t uid,
+                          std::uint32_t gid) {
   InodeId id;
   if (!free_list_.empty()) {
     id = free_list_.back();
@@ -66,6 +43,7 @@ InodeId LocalFs::allocate(FileType type, std::uint32_t mode, std::uint32_t uid) 
   node.type = type;
   node.mode = mode;
   node.uid = uid;
+  node.gid = gid;
   node.generation = generation;
   node.mtime = ++mtime_counter_;
   ++live_inodes_;
@@ -103,13 +81,13 @@ FsResult<InodeId> LocalFs::lookup(InodeId dir, std::string_view name) const {
 }
 
 FsResult<InodeId> LocalFs::create(InodeId dir, std::string_view name, std::uint32_t mode,
-                                  std::uint32_t uid) {
+                                  std::uint32_t uid, std::uint32_t gid) {
   Inode* d = get(dir);
   if (d == nullptr) return FsStatus::kStale;
   if (d->type != FileType::kDirectory) return FsStatus::kNotDir;
   if (!valid_name(name)) return FsStatus::kInval;
   if (d->entries.count(std::string(name)) != 0) return FsStatus::kExist;
-  const InodeId id = allocate(FileType::kFile, mode, uid);
+  const InodeId id = allocate(FileType::kFile, mode, uid, gid);
   d = get(dir);  // allocate() may have reallocated the inode table
   d->entries.emplace(std::string(name), id);
   d->mtime = ++mtime_counter_;
@@ -117,13 +95,13 @@ FsResult<InodeId> LocalFs::create(InodeId dir, std::string_view name, std::uint3
 }
 
 FsResult<InodeId> LocalFs::mkdir(InodeId dir, std::string_view name, std::uint32_t mode,
-                                 std::uint32_t uid) {
+                                 std::uint32_t uid, std::uint32_t gid) {
   Inode* d = get(dir);
   if (d == nullptr) return FsStatus::kStale;
   if (d->type != FileType::kDirectory) return FsStatus::kNotDir;
   if (!valid_name(name)) return FsStatus::kInval;
   if (d->entries.count(std::string(name)) != 0) return FsStatus::kExist;
-  const InodeId id = allocate(FileType::kDirectory, mode, uid);
+  const InodeId id = allocate(FileType::kDirectory, mode, uid, gid);
   d = get(dir);  // allocate() may have reallocated the inode table
   d->entries.emplace(std::string(name), id);
   d->mtime = ++mtime_counter_;
@@ -137,7 +115,7 @@ FsResult<InodeId> LocalFs::symlink(InodeId dir, std::string_view name,
   if (d->type != FileType::kDirectory) return FsStatus::kNotDir;
   if (!valid_name(name)) return FsStatus::kInval;
   if (d->entries.count(std::string(name)) != 0) return FsStatus::kExist;
-  const InodeId id = allocate(FileType::kSymlink, 0777, 0);
+  const InodeId id = allocate(FileType::kSymlink, 0777, 0, 0);
   d = get(dir);  // allocate() may have reallocated the inode table
   inodes_[id - 1].data = std::string(target);
   d->entries.emplace(std::string(name), id);
@@ -227,7 +205,9 @@ FsResult<Attr> LocalFs::getattr(InodeId inode) const {
   a.mode = n->mode;
   a.uid = n->uid;
   a.gid = n->gid;
-  a.size = n->type == FileType::kDirectory ? n->entries.size() : n->data.size();
+  a.size = n->type == FileType::kDirectory ? n->entries.size()
+           : n->type == FileType::kFile     ? file_content_bytes(inode)
+                                            : n->data.size();
   a.mtime = n->mtime;
   a.inode = inode;
   a.generation = n->generation;
@@ -342,10 +322,15 @@ FsResult<Unit> LocalFs::remove_recursive(InodeId dir, std::string_view name) {
   return remove(dir, name);
 }
 
+std::uint64_t LocalFs::file_content_bytes(InodeId id) const {
+  const Inode* n = get(id);
+  return n == nullptr ? 0 : n->data.size();
+}
+
 std::uint64_t LocalFs::subtree_bytes(InodeId inode) const {
   const Inode* n = get(inode);
   if (n == nullptr) return 0;
-  if (n->type == FileType::kFile) return n->data.size();
+  if (n->type == FileType::kFile) return file_content_bytes(inode);
   if (n->type == FileType::kSymlink) return 0;
   std::uint64_t total = 0;
   for (const auto& [name, child] : n->entries) {

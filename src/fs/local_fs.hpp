@@ -2,12 +2,19 @@
 
 // Per-node local file system — the node's /kosha_store partition.
 //
-// An in-memory, inode-based hierarchical file system with the operation
-// vocabulary NFS needs (lookup/create/read/write/remove/rename/readdir/
-// symlink) plus byte-capacity accounting. Each Kosha node dedicates one
-// LocalFs instance as its contributed storage (paper §5: "A local disk
+// The kFlat StorageBackend: an in-memory, inode-based hierarchical file
+// system with the operation vocabulary NFS needs (lookup/create/read/
+// write/remove/rename/readdir/symlink) plus byte-capacity accounting,
+// file content held inline in each inode. Each Kosha node dedicates one
+// store instance as its contributed storage (paper §5: "A local disk
 // partition is created and used for space contribution"); capacity and the
 // utilization threshold drive the redirection mechanism of §3.3.
+//
+// The internals are protected rather than private: CasFs (cas_fs.hpp)
+// reuses the namespace/inode machinery wholesale and overrides only the
+// file-content operations, so both backends share one set of name-space,
+// mtime and generation semantics — which is what makes backend parity
+// testable op-for-op.
 
 #include <cstdint>
 #include <map>
@@ -16,119 +23,73 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "fs/storage_backend.hpp"
 
 namespace kosha::fs {
 
-/// errno-like status codes (subset of the NFSv3 error vocabulary).
-enum class FsStatus {
-  kOk,
-  kNoEnt,     // no such file or directory
-  kExist,     // entry already exists
-  kNotDir,    // component is not a directory
-  kIsDir,     // operation needs a non-directory
-  kNotEmpty,  // directory not empty
-  kNoSpace,   // capacity exceeded
-  kInval,     // invalid argument (bad name, bad offset)
-  kStale,     // inode no longer exists (stale handle)
-};
-
-[[nodiscard]] const char* to_string(FsStatus status);
-
-/// Inode number; 0 is invalid, 1 is the root directory.
-using InodeId = std::uint64_t;
-inline constexpr InodeId kInvalidInode = 0;
-
-enum class FileType : std::uint8_t { kFile, kDirectory, kSymlink };
-
-/// Subset of NFS fattr3.
-struct Attr {
-  FileType type = FileType::kFile;
-  std::uint32_t mode = 0644;
-  std::uint32_t uid = 0;
-  std::uint32_t gid = 0;
-  std::uint64_t size = 0;
-  std::uint64_t mtime = 0;  // logical modification counter
-  InodeId inode = kInvalidInode;
-  std::uint64_t generation = 0;
-};
-
-struct DirEntry {
-  std::string name;
-  InodeId inode = kInvalidInode;
-  FileType type = FileType::kFile;
-};
-
-struct FsConfig {
-  /// Contributed partition size in bytes.
-  std::uint64_t capacity_bytes = 35ull << 30;
-  /// Fraction of capacity above which new allocations are refused — the
-  /// "pre-specified utilization" that triggers Kosha redirection (§3.3).
-  double utilization_threshold = 1.0;
-};
-
-template <typename T>
-using FsResult = Result<T, FsStatus>;
-
-class LocalFs {
+class LocalFs : public StorageBackend {
  public:
   explicit LocalFs(FsConfig config = {});
 
-  [[nodiscard]] InodeId root() const { return kRootInode; }
+  [[nodiscard]] BackendKind kind() const override { return BackendKind::kFlat; }
+  [[nodiscard]] InodeId root() const override { return kRootInode; }
 
   // --- name-space operations (all take a directory inode + name) ---
-  [[nodiscard]] FsResult<InodeId> lookup(InodeId dir, std::string_view name) const;
+  [[nodiscard]] FsResult<InodeId> lookup(InodeId dir, std::string_view name) const override;
   [[nodiscard]] FsResult<InodeId> create(InodeId dir, std::string_view name,
-                                         std::uint32_t mode = 0644, std::uint32_t uid = 0);
+                                         std::uint32_t mode = 0644, std::uint32_t uid = 0,
+                                         std::uint32_t gid = 0) override;
   [[nodiscard]] FsResult<InodeId> mkdir(InodeId dir, std::string_view name,
-                                        std::uint32_t mode = 0755, std::uint32_t uid = 0);
+                                        std::uint32_t mode = 0755, std::uint32_t uid = 0,
+                                        std::uint32_t gid = 0) override;
   [[nodiscard]] FsResult<InodeId> symlink(InodeId dir, std::string_view name,
-                                          std::string_view target);
-  [[nodiscard]] FsResult<Unit> remove(InodeId dir, std::string_view name);
-  [[nodiscard]] FsResult<Unit> rmdir(InodeId dir, std::string_view name);
+                                          std::string_view target) override;
+  [[nodiscard]] FsResult<Unit> remove(InodeId dir, std::string_view name) override;
+  [[nodiscard]] FsResult<Unit> rmdir(InodeId dir, std::string_view name) override;
   [[nodiscard]] FsResult<Unit> rename(InodeId from_dir, std::string_view from_name,
-                                      InodeId to_dir, std::string_view to_name);
-  [[nodiscard]] FsResult<std::vector<DirEntry>> readdir(InodeId dir) const;
+                                      InodeId to_dir, std::string_view to_name) override;
+  [[nodiscard]] FsResult<std::vector<DirEntry>> readdir(InodeId dir) const override;
 
   // --- inode operations ---
-  [[nodiscard]] FsResult<Attr> getattr(InodeId inode) const;
-  [[nodiscard]] FsResult<Unit> set_mode(InodeId inode, std::uint32_t mode);
-  [[nodiscard]] FsResult<Unit> truncate(InodeId inode, std::uint64_t size);
+  [[nodiscard]] FsResult<Attr> getattr(InodeId inode) const override;
+  [[nodiscard]] FsResult<Unit> set_mode(InodeId inode, std::uint32_t mode) override;
+  [[nodiscard]] FsResult<Unit> truncate(InodeId inode, std::uint64_t size) override;
   [[nodiscard]] FsResult<std::uint32_t> write(InodeId inode, std::uint64_t offset,
-                                              std::string_view data);
+                                              std::string_view data) override;
   [[nodiscard]] FsResult<std::string> read(InodeId inode, std::uint64_t offset,
-                                           std::uint32_t count) const;
-  [[nodiscard]] FsResult<std::string> readlink(InodeId inode) const;
+                                           std::uint32_t count) const override;
+  [[nodiscard]] FsResult<std::string> readlink(InodeId inode) const override;
 
   // --- path conveniences (absolute paths within this store) ---
-  [[nodiscard]] FsResult<InodeId> resolve(std::string_view path) const;
+  [[nodiscard]] FsResult<InodeId> resolve(std::string_view path) const override;
   /// mkdir -p; returns the deepest directory's inode.
-  [[nodiscard]] FsResult<InodeId> mkdir_p(std::string_view path);
+  [[nodiscard]] FsResult<InodeId> mkdir_p(std::string_view path) override;
   /// Remove an entry and, for directories, its whole subtree.
-  [[nodiscard]] FsResult<Unit> remove_recursive(InodeId dir, std::string_view name);
+  [[nodiscard]] FsResult<Unit> remove_recursive(InodeId dir, std::string_view name) override;
 
   // --- capacity ---
-  [[nodiscard]] std::uint64_t capacity_bytes() const { return config_.capacity_bytes; }
-  [[nodiscard]] std::uint64_t used_bytes() const { return used_bytes_; }
-  [[nodiscard]] double utilization() const {
+  [[nodiscard]] std::uint64_t capacity_bytes() const override { return config_.capacity_bytes; }
+  [[nodiscard]] std::uint64_t used_bytes() const override { return used_bytes_; }
+  [[nodiscard]] double utilization() const override {
     return config_.capacity_bytes == 0
                ? 1.0
                : static_cast<double>(used_bytes_) / static_cast<double>(config_.capacity_bytes);
   }
   /// True when storing `extra` more bytes would cross the threshold.
-  [[nodiscard]] bool would_exceed(std::uint64_t extra) const;
+  [[nodiscard]] bool would_exceed(std::uint64_t extra) const override;
 
   /// Total bytes of all files under an inode (the inode's own data for
   /// files, recursive for directories).
-  [[nodiscard]] std::uint64_t subtree_bytes(InodeId inode) const;
+  [[nodiscard]] std::uint64_t subtree_bytes(InodeId inode) const override;
   /// Number of regular files under an inode (recursive).
-  [[nodiscard]] std::uint64_t subtree_file_count(InodeId inode) const;
+  [[nodiscard]] std::uint64_t subtree_file_count(InodeId inode) const override;
 
   /// Drop everything (paper §4.3: a revived node purges all Kosha data).
-  void purge();
+  void purge() override;
 
-  [[nodiscard]] std::size_t live_inode_count() const { return live_inodes_; }
+  [[nodiscard]] std::size_t live_inode_count() const override { return live_inodes_; }
 
- private:
+ protected:
   static constexpr InodeId kRootInode = 1;
 
   struct Inode {
@@ -145,10 +106,24 @@ class LocalFs {
 
   [[nodiscard]] const Inode* get(InodeId id) const;
   [[nodiscard]] Inode* get(InodeId id);
-  [[nodiscard]] InodeId allocate(FileType type, std::uint32_t mode, std::uint32_t uid);
-  void release(InodeId id);
+  [[nodiscard]] InodeId allocate(FileType type, std::uint32_t mode, std::uint32_t uid,
+                                 std::uint32_t gid);
+  /// Free one inode (never the root). CasFs hooks this to drop the file's
+  /// block manifest whenever the namespace lets go of an inode — remove,
+  /// rename-over, recursive removal all funnel through here.
+  virtual void release(InodeId id);
+  /// Logical byte size of a regular file's content. The flat store keeps
+  /// content inline; CasFs answers from the manifest. getattr and
+  /// subtree_bytes report through this hook so both agree per backend.
+  [[nodiscard]] virtual std::uint64_t file_content_bytes(InodeId id) const;
   [[nodiscard]] static bool valid_name(std::string_view name);
+  /// Bump and return the logical mtime counter (shared by CasFs so the
+  /// attr timeline is identical across backends).
+  std::uint64_t next_mtime() { return ++mtime_counter_; }
+  void add_used_bytes(std::uint64_t bytes) { used_bytes_ += bytes; }
+  void sub_used_bytes(std::uint64_t bytes) { used_bytes_ -= bytes; }
 
+ private:
   FsConfig config_;
   std::vector<Inode> inodes_;  // index = InodeId - 1
   std::vector<InodeId> free_list_;

@@ -1,0 +1,66 @@
+#include "fs/storage_backend.hpp"
+
+#include "fs/cas_fs.hpp"
+#include "fs/local_fs.hpp"
+
+namespace kosha::fs {
+
+const char* to_string(FsStatus status) {
+  switch (status) {
+    case FsStatus::kOk:
+      return "OK";
+    case FsStatus::kNoEnt:
+      return "NOENT";
+    case FsStatus::kExist:
+      return "EXIST";
+    case FsStatus::kNotDir:
+      return "NOTDIR";
+    case FsStatus::kIsDir:
+      return "ISDIR";
+    case FsStatus::kNotEmpty:
+      return "NOTEMPTY";
+    case FsStatus::kNoSpace:
+      return "NOSPC";
+    case FsStatus::kInval:
+      return "INVAL";
+    case FsStatus::kStale:
+      return "STALE";
+    case FsStatus::kCorrupt:
+      return "CORRUPT";
+  }
+  return "?";
+}
+
+const char* to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kFlat:
+      return "flat";
+    case BackendKind::kCas:
+      return "cas";
+  }
+  return "?";
+}
+
+bool parse_backend(std::string_view text, BackendKind* out) {
+  if (text == "flat") {
+    *out = BackendKind::kFlat;
+    return true;
+  }
+  if (text == "cas") {
+    *out = BackendKind::kCas;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<StorageBackend> make_backend(const StorageConfig& config) {
+  switch (config.backend) {
+    case BackendKind::kCas:
+      return std::make_unique<CasFs>(config);
+    case BackendKind::kFlat:
+      break;
+  }
+  return std::make_unique<LocalFs>(config.fs);
+}
+
+}  // namespace kosha::fs

@@ -13,7 +13,7 @@ namespace {
 
 /// Structurally and byte-wise compare two subtrees; MIGRATION flag files
 /// are ignored. Appends human-readable differences to `issues`.
-void compare_trees(const fs::LocalFs& a, const std::string& a_path, const fs::LocalFs& b,
+void compare_trees(const fs::StorageBackend& a, const std::string& a_path, const fs::StorageBackend& b,
                    const std::string& b_path, const std::string& label,
                    std::vector<std::string>& issues) {
   const auto a_inode = a.resolve(a_path);
@@ -104,7 +104,7 @@ void absorb(Sha1& sha, std::string_view token) {
 /// backed by a std::map), absorbing every attribute that defines durable
 /// state. mtime is deliberately excluded: it is a logical counter whose
 /// value depends on operation interleaving, not on the final contents.
-void absorb_tree(Sha1& sha, const fs::LocalFs& store, const std::string& path) {
+void absorb_tree(Sha1& sha, const fs::StorageBackend& store, const std::string& path) {
   const auto inode = store.resolve(path);
   if (!inode.ok()) return;
   const auto attr = store.getattr(*inode);

@@ -100,9 +100,9 @@ net::HostId KoshaCluster::add_node(std::uint64_t capacity_bytes) {
   auto node = std::make_unique<Node>();
   node->host = host;
   node->id = rng_.next_id();
-  fs::FsConfig fs_config;
-  fs_config.capacity_bytes = capacity_bytes;
-  node->server = std::make_unique<nfs::NfsServer>(host, fs_config, config_.costs, &clock_);
+  fs::StorageConfig storage = config_.kosha.storage;
+  storage.fs.capacity_bytes = capacity_bytes;
+  node->server = std::make_unique<nfs::NfsServer>(host, storage, config_.costs, &clock_);
   node->server->set_observability(runtime_.metrics, runtime_.tracer);
   servers_.add(node->server.get());
   node->replicas = std::make_unique<ReplicaManager>(&runtime_, host, node->id);
@@ -255,10 +255,22 @@ void KoshaCluster::refresh_derived_metrics() {
   for (const auto& node : nodes_) {
     if (node == nullptr || !node->alive) continue;
     const std::string prefix = "node." + std::to_string(node->host);
-    const fs::LocalFs& store = node->server->store();
+    const fs::StorageBackend& store = node->server->store();
     metrics_.gauge(prefix + ".store.used_bytes")->set(static_cast<double>(store.used_bytes()));
     metrics_.gauge(prefix + ".store.capacity_bytes")
         ->set(static_cast<double>(store.capacity_bytes()));
+    if (store.kind() != fs::BackendKind::kFlat) {
+      // Dedup/integrity gauges exist only on deduplicating backends, so the
+      // flat backend's metrics export stays byte-identical to what it was
+      // before the storage seam existed.
+      const fs::StorageStats stats = store.stats();
+      metrics_.gauge(prefix + ".store.dedup_bytes")
+          ->set(static_cast<double>(stats.dedup_bytes));
+      metrics_.gauge(prefix + ".store.blocks_live")
+          ->set(static_cast<double>(stats.blocks_live));
+      metrics_.gauge(prefix + ".store.verify_failures")
+          ->set(static_cast<double>(stats.verify_failures));
+    }
     metrics_.gauge(prefix + ".server.rpcs")->set(static_cast<double>(node->server->rpc_count()));
     metrics_.gauge(prefix + ".server.drc_hits")
         ->set(static_cast<double>(node->server->drc_stats().hits));
@@ -278,6 +290,23 @@ void KoshaCluster::refresh_derived_metrics() {
     metrics_.gauge(prefix + ".koshad.degraded_reads")
         ->set(static_cast<double>(ks.degraded_reads));
     metrics_.gauge(prefix + ".koshad.mirror_rpcs")->set(static_cast<double>(ks.mirror_rpcs));
+  }
+
+  if (config_.kosha.storage.backend != fs::BackendKind::kFlat) {
+    // Cluster-wide dedup/integrity totals (sum over live stores). Gated to
+    // non-flat backends for the same byte-identity reason as the per-node
+    // variants above.
+    fs::StorageStats total;
+    for (const auto& node : nodes_) {
+      if (node == nullptr || !node->alive) continue;
+      const fs::StorageStats stats = node->server->store().stats();
+      total.dedup_bytes += stats.dedup_bytes;
+      total.blocks_live += stats.blocks_live;
+      total.verify_failures += stats.verify_failures;
+    }
+    metrics_.gauge("store.dedup_bytes")->set(static_cast<double>(total.dedup_bytes));
+    metrics_.gauge("store.blocks_live")->set(static_cast<double>(total.blocks_live));
+    metrics_.gauge("store.verify_failures")->set(static_cast<double>(total.verify_failures));
   }
 
   if (config_.self_heal.enabled) {

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/sim_clock.hpp"
+#include "fs/storage_backend.hpp"
 #include "nfs/retry_policy.hpp"
 #include "pastry/types.hpp"
 
@@ -71,6 +72,12 @@ struct KoshaConfig {
 
   pastry::PastryConfig pastry;
 
+  /// Which representation backs every node's /kosha_store partition and
+  /// its CAS tuning knobs (chunk size, verified reads). Per-node capacity
+  /// still comes from ClusterConfig; storage.fs.capacity_bytes is
+  /// overridden per node at construction.
+  fs::StorageConfig storage;
+
   /// Cross-field sanity checks; returns an error description, or an empty
   /// string when the configuration is usable. KoshaCluster refuses to
   /// construct on a non-empty result.
@@ -91,6 +98,14 @@ struct KoshaConfig {
     }
     if (redirect_threshold <= 0.0 || redirect_threshold > 1.0) {
       return "redirect_threshold must be in (0, 1]";
+    }
+    if (storage.chunk_bytes == 0) {
+      return "storage.chunk_bytes must be >= 1: content-addressed stores "
+             "cannot chunk files into zero-byte blocks";
+    }
+    if (storage.chunk_bytes > (64ull << 20)) {
+      return "storage.chunk_bytes must be <= 64 MiB: larger chunks defeat "
+             "dedup and the delta replica transfer entirely";
     }
     return {};
   }

@@ -173,7 +173,8 @@ nfs::NfsResult<std::uint32_t> Koshad::write(VirtualHandle file, std::uint64_t of
 }
 
 nfs::NfsResult<VhReply> Koshad::create(VirtualHandle dir, std::string_view name,
-                                       std::uint32_t mode, std::uint32_t uid) {
+                                       std::uint32_t mode, std::uint32_t uid,
+                                       std::uint32_t gid) {
   SpanScope span(tracer(), "koshad.create", host_);
   if (span.active()) span.tag("name", name);
   charge_interposition();
@@ -189,7 +190,7 @@ nfs::NfsResult<VhReply> Koshad::create(VirtualHandle dir, std::string_view name,
   bool maybe_created = false;
   auto result = with_handle(dir, [&](const Resolved& parent) -> nfs::NfsResult<VhReply> {
     note_forward(parent.host);
-    auto created = client_.create(parent.handle, name_copy, mode, uid);
+    auto created = client_.create(parent.handle, name_copy, mode, uid, gid);
     if (!created.ok() && created.error() == nfs::NfsStat::kTimedOut) maybe_created = true;
     if (!created.ok() && created.error() == nfs::NfsStat::kExist && maybe_created) {
       note_forward(parent.host);
@@ -201,7 +202,7 @@ nfs::NfsResult<VhReply> Koshad::create(VirtualHandle dir, std::string_view name,
     if (!created.ok()) return created.error();
     const std::string stored = path_child(parent.stored_path, name_copy);
     if (ReplicaManager* rm = manager_of(parent.host)) {
-      stats_.mirror_rpcs += rm->mirror_create(stored, mode, uid);
+      stats_.mirror_rpcs += rm->mirror_create(stored, mode, uid, gid);
     }
     const VirtualHandle vh = vht_.bind(path, stored, created->handle, fs::FileType::kFile);
     return VhReply{vh, created->attr};
@@ -216,7 +217,8 @@ nfs::NfsResult<VhReply> Koshad::create(VirtualHandle dir, std::string_view name,
 }
 
 nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
-                                      std::uint32_t mode, std::uint32_t uid) {
+                                      std::uint32_t mode, std::uint32_t uid,
+                                      std::uint32_t gid) {
   SpanScope span(tracer(), "koshad.mkdir", host_);
   if (span.active()) span.tag("name", name);
   charge_interposition();
@@ -253,7 +255,7 @@ nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
     if (!is_distributed_depth(runtime_->config.distribution_level, depth)) {
       // Below the distribution level: stored with the parent (paper §3.2).
       note_forward(parent.host);
-      const auto made = client_.mkdir(parent.handle, name_copy, mode, uid);
+      const auto made = client_.mkdir(parent.handle, name_copy, mode, uid, gid);
       if (!made.ok()) {
         if (made.error() == nfs::NfsStat::kTimedOut) maybe_made = true;
         return made.error();
@@ -275,7 +277,7 @@ nfs::NfsResult<VhReply> Koshad::mkdir(VirtualHandle dir, std::string_view name,
     const net::HostId host = host_of(node);
     const auto components = split_path(path);
     const std::string stored = stored_path(components, depth, effective);
-    const auto made = remote_mkdir_p(host, stored, mode, uid);
+    const auto made = remote_mkdir_p(host, stored, mode, uid, gid);
     if (!made.ok()) return made.error();
     if (ReplicaManager* rm = manager_of(host)) rm->register_primary(stored, effective);
 
@@ -653,7 +655,7 @@ nfs::NfsResult<Unit> Koshad::copy_tree(VirtualHandle src_dir, std::string_view s
   // nothing else runs between rounds, so kExist here always means "ours":
   // adopt the existing object (truncating files) instead of failing.
   if (src->attr.type == fs::FileType::kFile) {
-    auto dst = create(dst_dir, dst_name, src->attr.mode, src->attr.uid);
+    auto dst = create(dst_dir, dst_name, src->attr.mode, src->attr.uid, src->attr.gid);
     if (!dst.ok() && dst.error() == nfs::NfsStat::kExist) {
       const auto prior = lookup(dst_dir, dst_name);
       if (!prior.ok()) return prior.error();
@@ -678,7 +680,7 @@ nfs::NfsResult<Unit> Koshad::copy_tree(VirtualHandle src_dir, std::string_view s
     return Unit{};
   }
 
-  auto dst = mkdir(dst_dir, dst_name, src->attr.mode, src->attr.uid);
+  auto dst = mkdir(dst_dir, dst_name, src->attr.mode, src->attr.uid, src->attr.gid);
   if (!dst.ok() && dst.error() == nfs::NfsStat::kExist) {
     const auto prior = lookup(dst_dir, dst_name);
     if (!prior.ok()) return prior.error();

@@ -75,10 +75,12 @@ class Koshad {
                                                     std::string_view data);
   [[nodiscard]] nfs::NfsResult<VhReply> create(VirtualHandle dir, std::string_view name,
                                                std::uint32_t mode = 0644,
-                                               std::uint32_t uid = 0);
+                                               std::uint32_t uid = 0,
+                                               std::uint32_t gid = 0);
   [[nodiscard]] nfs::NfsResult<VhReply> mkdir(VirtualHandle dir, std::string_view name,
                                               std::uint32_t mode = 0755,
-                                              std::uint32_t uid = 0);
+                                              std::uint32_t uid = 0,
+                                              std::uint32_t gid = 0);
   [[nodiscard]] nfs::NfsResult<Unit> remove(VirtualHandle dir, std::string_view name);
   [[nodiscard]] nfs::NfsResult<Unit> rmdir(VirtualHandle dir, std::string_view name);
   [[nodiscard]] nfs::NfsResult<Unit> rename(VirtualHandle from_dir, std::string_view from_name,
@@ -147,11 +149,12 @@ class Koshad {
   [[nodiscard]] nfs::NfsResult<nfs::HandleReply> remote_lookup_path(
       net::HostId host, const std::string& stored_path);
   /// mkdir -p over RPC on `host`; returns the deepest directory's handle.
-  /// `leaf_mode`/`leaf_uid` apply to the final component only.
+  /// `leaf_mode`/`leaf_uid`/`leaf_gid` apply to the final component only.
   [[nodiscard]] nfs::NfsResult<nfs::HandleReply> remote_mkdir_p(net::HostId host,
                                                                 const std::string& stored_path,
                                                                 std::uint32_t leaf_mode = 0755,
-                                                                std::uint32_t leaf_uid = 0);
+                                                                std::uint32_t leaf_uid = 0,
+                                                                std::uint32_t leaf_gid = 0);
 
   /// Remove now-empty scaffolding directories bottom-up starting at
   /// `cursor`, stopping at a non-empty directory or /.a itself (paper
@@ -186,8 +189,11 @@ class Koshad {
   void charge_interposition();
 
   [[nodiscard]] static bool is_error_retryable(nfs::NfsStat status) {
+    // kCorrupt rides the same ladder: a hash-verify failure on the primary
+    // copy is a degraded read served from a replica, exactly like an
+    // unreachable primary (the anti-entropy sweep repairs it later).
     return status == nfs::NfsStat::kUnreachable || status == nfs::NfsStat::kTimedOut ||
-           status == nfs::NfsStat::kStale;
+           status == nfs::NfsStat::kStale || status == nfs::NfsStat::kCorrupt;
   }
   [[nodiscard]] static bool valid_user_name(std::string_view name);
 

@@ -102,7 +102,8 @@ nfs::NfsResult<nfs::HandleReply> Koshad::remote_lookup_path(net::HostId host,
 nfs::NfsResult<nfs::HandleReply> Koshad::remote_mkdir_p(net::HostId host,
                                                         const std::string& stored_path,
                                                         std::uint32_t leaf_mode,
-                                                        std::uint32_t leaf_uid) {
+                                                        std::uint32_t leaf_uid,
+                                                        std::uint32_t leaf_gid) {
   note_forward(host);
   const auto root = client_.mount(host);
   if (!root.ok()) return root.error();
@@ -118,7 +119,7 @@ nfs::NfsResult<nfs::HandleReply> Koshad::remote_mkdir_p(net::HostId host,
       note_forward(host);
       // Scaffolding directories get defaults; the caller's attributes
       // apply to the directory being created.
-      next = leaf ? client_.mkdir(current.handle, components[i], leaf_mode, leaf_uid)
+      next = leaf ? client_.mkdir(current.handle, components[i], leaf_mode, leaf_uid, leaf_gid)
                   : client_.mkdir(current.handle, components[i]);
       if (!next.ok()) return next.error();
     }

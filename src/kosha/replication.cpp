@@ -20,14 +20,14 @@ std::pair<std::string, std::string> dir_and_name(const std::string& path) {
 }
 
 /// Ensure a file exists at `path` with the given content (overwrite).
-void put_file(fs::LocalFs& store, const std::string& path, const std::string& content,
-              std::uint32_t mode, std::uint32_t uid) {
+void put_file(fs::StorageBackend& store, const std::string& path, const std::string& content,
+              std::uint32_t mode, std::uint32_t uid, std::uint32_t gid) {
   const auto [parent, name] = dir_and_name(path);
   const auto dir = store.mkdir_p(parent);
   if (!dir.ok()) return;
   auto inode = store.lookup(*dir, name);
   if (!inode.ok()) {
-    const auto created = store.create(*dir, name, mode, uid);
+    const auto created = store.create(*dir, name, mode, uid, gid);
     if (!created.ok()) return;  // typically NOSPC: replica stays incomplete
     inode = created.value();
   }
@@ -37,8 +37,8 @@ void put_file(fs::LocalFs& store, const std::string& path, const std::string& co
 
 }  // namespace
 
-bool copy_subtree(Runtime& runtime, net::HostId src_host, fs::LocalFs& src,
-                  const std::string& src_path, net::HostId dst_host, fs::LocalFs& dst,
+bool copy_subtree(Runtime& runtime, net::HostId src_host, fs::StorageBackend& src,
+                  const std::string& src_path, net::HostId dst_host, fs::StorageBackend& dst,
                   const std::string& dst_path) {
   const auto root = src.resolve(src_path);
   if (!root.ok()) return true;  // nothing to copy
@@ -47,9 +47,22 @@ bool copy_subtree(Runtime& runtime, net::HostId src_host, fs::LocalFs& src,
 
   if (attr->type == fs::FileType::kFile) {
     const auto content = src.read(*root, 0, static_cast<std::uint32_t>(attr->size));
-    runtime.network->charge_message(src_host, dst_host, attr->size);
-    put_file(dst, dst_path, content.ok() ? content.value() : std::string{}, attr->mode,
-             attr->uid);
+    // An unreadable source (a corrupt block on a verifying CAS store) must
+    // not clobber the destination's copy with fabricated content; leave it
+    // for the replica path to serve and repair. Flat reads here never fail.
+    if (!content.ok()) return true;
+    std::uint64_t charge_bytes = attr->size;
+    if (const auto blocks = src.file_blocks(*root); !blocks.empty()) {
+      // Both ends speak blocks: transfer (charge) only what dst lacks.
+      std::uint64_t missing = 0;
+      bool delta = dst.kind() == src.kind();
+      for (const auto& block : blocks) {
+        if (!dst.has_block(block.id)) missing += block.bytes;
+      }
+      if (delta) charge_bytes = missing;
+    }
+    runtime.network->charge_message(src_host, dst_host, charge_bytes);
+    put_file(dst, dst_path, content.value(), attr->mode, attr->uid, attr->gid);
     return true;
   }
   if (attr->type == fs::FileType::kSymlink) {
@@ -96,13 +109,13 @@ std::string ReplicaManager::hidden_root(pastry::NodeId primary) {
   return std::string("/") + kReplicaArea + "/" + primary.to_hex();
 }
 
-fs::LocalFs& ReplicaManager::local_store() const {
+fs::StorageBackend& ReplicaManager::local_store() const {
   nfs::NfsServer* server = runtime_->servers->find(host_);
   assert(server != nullptr);
   return server->store();
 }
 
-fs::LocalFs* ReplicaManager::store_of(net::HostId host) const {
+fs::StorageBackend* ReplicaManager::store_of(net::HostId host) const {
   nfs::NfsServer* server = runtime_->servers->find(host);
   if (server == nullptr || !runtime_->network->is_up(host)) return nullptr;
   return &server->store();
@@ -197,10 +210,10 @@ std::size_t ReplicaManager::fan_out(std::size_t payload,
 
 std::size_t ReplicaManager::for_each_replica(
     const std::string& stored_path, std::size_t payload,
-    const std::function<void(fs::LocalFs&, const std::string&)>& op) {
+    const std::function<void(fs::StorageBackend&, const std::string&)>& op) {
   if (anchor_of(stored_path).empty()) return 0;
   return fan_out(payload, [&](net::HostId host) {
-    if (fs::LocalFs* store = store_of(host)) {
+    if (fs::StorageBackend* store = store_of(host)) {
       op(*store, hidden_root(id_) + stored_path);
     }
   });
@@ -208,18 +221,18 @@ std::size_t ReplicaManager::for_each_replica(
 
 std::size_t ReplicaManager::mirror_mkdir_p(const std::string& stored_path) {
   return for_each_replica(stored_path, 96,
-                          [](fs::LocalFs& store, const std::string& path) {
+                          [](fs::StorageBackend& store, const std::string& path) {
                             (void)store.mkdir_p(path);
                           });
 }
 
 std::size_t ReplicaManager::mirror_create(const std::string& stored_path, std::uint32_t mode,
-                                          std::uint32_t uid) {
+                                          std::uint32_t uid, std::uint32_t gid) {
   return for_each_replica(stored_path, 96,
-                          [mode, uid](fs::LocalFs& store, const std::string& path) {
+                          [mode, uid, gid](fs::StorageBackend& store, const std::string& path) {
                             const auto [parent, name] = dir_and_name(path);
                             if (const auto dir = store.mkdir_p(parent); dir.ok()) {
-                              (void)store.create(*dir, name, mode, uid);
+                              (void)store.create(*dir, name, mode, uid, gid);
                             }
                           });
 }
@@ -227,7 +240,7 @@ std::size_t ReplicaManager::mirror_create(const std::string& stored_path, std::u
 std::size_t ReplicaManager::mirror_write(const std::string& stored_path, std::uint64_t offset,
                                          std::string_view data) {
   return for_each_replica(stored_path, data.size(),
-                          [offset, data](fs::LocalFs& store, const std::string& path) {
+                          [offset, data](fs::StorageBackend& store, const std::string& path) {
                             if (const auto inode = store.resolve(path); inode.ok()) {
                               (void)store.write(*inode, offset, data);
                             }
@@ -237,7 +250,7 @@ std::size_t ReplicaManager::mirror_write(const std::string& stored_path, std::ui
 std::size_t ReplicaManager::mirror_truncate(const std::string& stored_path,
                                             std::uint64_t size) {
   return for_each_replica(stored_path, 96,
-                          [size](fs::LocalFs& store, const std::string& path) {
+                          [size](fs::StorageBackend& store, const std::string& path) {
                             if (const auto inode = store.resolve(path); inode.ok()) {
                               (void)store.truncate(*inode, size);
                             }
@@ -247,7 +260,7 @@ std::size_t ReplicaManager::mirror_truncate(const std::string& stored_path,
 std::size_t ReplicaManager::mirror_set_mode(const std::string& stored_path,
                                             std::uint32_t mode) {
   return for_each_replica(stored_path, 96,
-                          [mode](fs::LocalFs& store, const std::string& path) {
+                          [mode](fs::StorageBackend& store, const std::string& path) {
                             if (const auto inode = store.resolve(path); inode.ok()) {
                               (void)store.set_mode(*inode, mode);
                             }
@@ -257,7 +270,7 @@ std::size_t ReplicaManager::mirror_set_mode(const std::string& stored_path,
 std::size_t ReplicaManager::mirror_symlink(const std::string& stored_path,
                                            const std::string& target) {
   return for_each_replica(stored_path, 96,
-                          [&target](fs::LocalFs& store, const std::string& path) {
+                          [&target](fs::StorageBackend& store, const std::string& path) {
                             const auto [parent, name] = dir_and_name(path);
                             if (const auto dir = store.mkdir_p(parent); dir.ok()) {
                               (void)store.symlink(*dir, name, target);
@@ -267,7 +280,7 @@ std::size_t ReplicaManager::mirror_symlink(const std::string& stored_path,
 
 std::size_t ReplicaManager::mirror_remove(const std::string& stored_path) {
   return for_each_replica(stored_path, 96,
-                          [](fs::LocalFs& store, const std::string& path) {
+                          [](fs::StorageBackend& store, const std::string& path) {
                             const auto [parent, name] = dir_and_name(path);
                             if (const auto dir = store.resolve(parent); dir.ok()) {
                               (void)store.remove(*dir, name);
@@ -277,7 +290,7 @@ std::size_t ReplicaManager::mirror_remove(const std::string& stored_path) {
 
 std::size_t ReplicaManager::mirror_rmdir(const std::string& stored_path) {
   return for_each_replica(stored_path, 96,
-                          [](fs::LocalFs& store, const std::string& path) {
+                          [](fs::StorageBackend& store, const std::string& path) {
                             const auto [parent, name] = dir_and_name(path);
                             if (const auto dir = store.resolve(parent); dir.ok()) {
                               (void)store.rmdir(*dir, name);
@@ -287,7 +300,7 @@ std::size_t ReplicaManager::mirror_rmdir(const std::string& stored_path) {
 
 std::size_t ReplicaManager::mirror_remove_recursive(const std::string& stored_path) {
   return for_each_replica(stored_path, 96,
-                          [](fs::LocalFs& store, const std::string& path) {
+                          [](fs::StorageBackend& store, const std::string& path) {
                             const auto [parent, name] = dir_and_name(path);
                             if (const auto dir = store.resolve(parent); dir.ok()) {
                               (void)store.remove_recursive(*dir, name);
@@ -299,7 +312,7 @@ std::size_t ReplicaManager::mirror_rename(const std::string& from_path,
                                           const std::string& to_path) {
   if (anchor_of(from_path).empty()) return 0;
   return fan_out(96, [&](net::HostId host) {
-    fs::LocalFs* store = store_of(host);
+    fs::StorageBackend* store = store_of(host);
     if (store == nullptr) return;
     const auto [from_parent, from_name] = dir_and_name(hidden_root(id_) + from_path);
     const auto [to_parent, to_name] = dir_and_name(hidden_root(id_) + to_path);
@@ -316,7 +329,7 @@ std::size_t ReplicaManager::mirror_rename(const std::string& from_path,
 bool ReplicaManager::push_anchor_to(pastry::NodeId target, const std::string& anchor_path) {
   if (!runtime_->overlay->is_live(target)) return true;
   const net::HostId host = runtime_->overlay->host_of(target);
-  fs::LocalFs* store = store_of(host);
+  fs::StorageBackend* store = store_of(host);
   if (store == nullptr) return true;
   SpanScope span(runtime_->tracer, "replica.push_anchor", host_);
   if (span.active()) span.tag("target", std::to_string(host));
@@ -371,7 +384,7 @@ void ReplicaManager::push_all_to(pastry::NodeId target) {
 void ReplicaManager::delete_from(pastry::NodeId target) {
   if (!runtime_->overlay->is_live(target)) return;
   const net::HostId host = runtime_->overlay->host_of(target);
-  fs::LocalFs* store = store_of(host);
+  fs::StorageBackend* store = store_of(host);
   if (store == nullptr) return;
   ClockPauser pause(*runtime_->clock);
   runtime_->network->charge_message(host_, host, 96);
@@ -391,7 +404,7 @@ void ReplicaManager::accept_replica(pastry::NodeId primary,
     if (it->first != primary && !runtime_->overlay->is_live(it->first) &&
         it->second.count(stored_anchor_path) != 0) {
       it->second.erase(stored_anchor_path);
-      fs::LocalFs& store = local_store();
+      fs::StorageBackend& store = local_store();
       const auto [parent, name] = dir_and_name(hidden_root(it->first) + stored_anchor_path);
       if (const auto dir = store.resolve(parent); dir.ok()) {
         (void)store.remove_recursive(*dir, name);
@@ -506,14 +519,20 @@ void ReplicaManager::audit_replicas(std::size_t max_pushes, ReconcileReport* rep
   for (const pastry::NodeId t : targets_) {
     if (!runtime_->overlay->is_live(t)) continue;
     const net::HostId target_host = runtime_->overlay->host_of(t);
-    fs::LocalFs* store = store_of(target_host);
+    fs::StorageBackend* store = store_of(target_host);
     if (store == nullptr) continue;
     // One audit round trip per target: request a manifest of our area.
     runtime_->network->charge_rtt(host_, target_host, 64);
     const bool flagged = store->resolve(path_child(root, kMigrationFlag)).ok();
     for (const auto& [anchor, name] : primaries_) {
       (void)name;
-      if (!flagged && store->resolve(root + anchor).ok()) continue;
+      // A present, flag-free copy still counts as a hole when any of its
+      // blocks fails hash verification (CAS stores; flat stores always
+      // verify clean) — the re-push rewrites the damaged content.
+      if (!flagged && store->resolve(root + anchor).ok() &&
+          store->verify_subtree(root + anchor) == 0) {
+        continue;
+      }
       if (report != nullptr) ++report->missing;
       if (pushes >= max_pushes) continue;  // rate limit: rest next pass
       if (push_anchor_to(t, anchor)) {
@@ -553,7 +572,7 @@ void ReplicaManager::discard_replica(pastry::NodeId primary, const std::string& 
   const auto it = replicas_held_.find(primary);
   if (it == replicas_held_.end()) return;
   it->second.erase(anchor);
-  fs::LocalFs& store = local_store();
+  fs::StorageBackend& store = local_store();
   const auto [parent, name] = dir_and_name(hidden_root(primary) + anchor);
   if (const auto dir = store.resolve(parent); dir.ok()) {
     (void)store.remove_recursive(*dir, name);
@@ -566,13 +585,13 @@ bool ReplicaManager::hand_off_replica(pastry::NodeId dead_primary, pastry::NodeI
   if (!runtime_->overlay->is_live(owner)) return false;
   const net::HostId owner_host = runtime_->overlay->host_of(owner);
   ReplicaManager* owner_rm = runtime_->replica_manager(owner_host);
-  fs::LocalFs* owner_store = store_of(owner_host);
+  fs::StorageBackend* owner_store = store_of(owner_host);
   if (owner_rm == nullptr || owner_store == nullptr) return false;
   // Skip if the owner already promoted its own copy or received a handoff.
   if (owner_rm->primaries_.count(anchor) != 0) return false;
   // Skip if our copy is known-incomplete; a holder with a complete copy
   // will perform the handoff instead.
-  fs::LocalFs& store = local_store();
+  fs::StorageBackend& store = local_store();
   const std::string root = hidden_root(dead_primary);
   if (store.resolve(path_child(root, kMigrationFlag)).ok()) return false;
   if (!store.resolve(root + anchor).ok()) return false;
@@ -625,7 +644,7 @@ void ReplicaManager::promote(pastry::NodeId dead_primary,
                              const std::map<std::string, std::string>& anchors) {
   SpanScope span(runtime_->tracer, "replica.promote", host_);
   if (promotions_ != nullptr) promotions_->inc();
-  fs::LocalFs& store = local_store();
+  fs::StorageBackend& store = local_store();
   const std::string root = hidden_root(dead_primary);
 
   // If our copy was mid-migration when the primary died, repair it from a
@@ -634,7 +653,7 @@ void ReplicaManager::promote(pastry::NodeId dead_primary,
   if (incomplete) {
     for (const auto& [host, rm] : runtime_->replica_managers) {
       if (host == host_ || rm->replicas_held_.count(dead_primary) == 0) continue;
-      fs::LocalFs* peer = store_of(host);
+      fs::StorageBackend* peer = store_of(host);
       if (peer == nullptr) continue;
       if (peer->resolve(path_child(root, kMigrationFlag)).ok()) continue;  // also incomplete
       if (repairs_ != nullptr) repairs_->inc();
@@ -688,7 +707,7 @@ void ReplicaManager::migrate_anchor_to(pastry::NodeId new_owner,
                                        const std::string& effective_name) {
   if (!runtime_->overlay->is_live(new_owner)) return;
   const net::HostId owner_host = runtime_->overlay->host_of(new_owner);
-  fs::LocalFs* owner_store = store_of(owner_host);
+  fs::StorageBackend* owner_store = store_of(owner_host);
   ReplicaManager* owner_rm = runtime_->replica_manager(owner_host);
   if (owner_store == nullptr || owner_rm == nullptr) return;
 
@@ -696,7 +715,7 @@ void ReplicaManager::migrate_anchor_to(pastry::NodeId new_owner,
   if (span.active()) span.tag("target", std::to_string(owner_host));
   if (migrations_ != nullptr) migrations_->inc();
   ClockPauser pause(*runtime_->clock);
-  fs::LocalFs& store = local_store();
+  fs::StorageBackend& store = local_store();
   if (!copy_subtree(*runtime_, host_, store, stored_anchor_path, owner_host, *owner_store,
                     stored_anchor_path)) {
     return;  // interrupted; retried on the next membership event

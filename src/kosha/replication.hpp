@@ -74,7 +74,7 @@ class ReplicaManager {
   // caller can account the fan-out it triggered.
   std::size_t mirror_mkdir_p(const std::string& stored_path);
   std::size_t mirror_create(const std::string& stored_path, std::uint32_t mode,
-                            std::uint32_t uid);
+                            std::uint32_t uid, std::uint32_t gid);
   std::size_t mirror_write(const std::string& stored_path, std::uint64_t offset,
                            std::string_view data);
   std::size_t mirror_truncate(const std::string& stored_path, std::uint64_t size);
@@ -131,8 +131,8 @@ class ReplicaManager {
   }
 
  private:
-  [[nodiscard]] fs::LocalFs& local_store() const;
-  [[nodiscard]] fs::LocalFs* store_of(net::HostId host) const;
+  [[nodiscard]] fs::StorageBackend& local_store() const;
+  [[nodiscard]] fs::StorageBackend* store_of(net::HostId host) const;
   /// Longest registered anchor path containing `stored_path`, or empty.
   [[nodiscard]] std::string anchor_of(const std::string& stored_path) const;
   /// Live replica target hosts for mirroring.
@@ -143,8 +143,9 @@ class ReplicaManager {
   std::size_t fan_out(std::size_t payload, const std::function<void(net::HostId)>& apply);
   /// fan_out specialised to "apply `op` at the replicated stored path on
   /// every live target" (every mirror op except rename).
-  std::size_t for_each_replica(const std::string& stored_path, std::size_t payload,
-                               const std::function<void(fs::LocalFs&, const std::string&)>& op);
+  std::size_t for_each_replica(
+      const std::string& stored_path, std::size_t payload,
+      const std::function<void(fs::StorageBackend&, const std::string&)>& op);
 
   /// If a fault plan has `peer` (or this host) in a brownout right now,
   /// advance the virtual clock past the window (chained windows included)
@@ -219,10 +220,13 @@ class ReplicaManager {
 
 /// Copy a subtree between two stores, charging one message per entry plus
 /// payload bytes on the network. Does not follow symlinks (special links
-/// are copied as links). Returns false if interrupted by the runtime's
-/// fault-injection hook.
-bool copy_subtree(Runtime& runtime, net::HostId src_host, fs::LocalFs& src,
-                  const std::string& src_path, net::HostId dst_host, fs::LocalFs& dst,
+/// are copied as links). When both ends are content-addressed, a file's
+/// message charges only the bytes of blocks the destination does not
+/// already hold (delta transfer over the Merkle manifest); flat stores
+/// charge the full file size as before. Returns false if interrupted by
+/// the runtime's fault-injection hook.
+bool copy_subtree(Runtime& runtime, net::HostId src_host, fs::StorageBackend& src,
+                  const std::string& src_path, net::HostId dst_host, fs::StorageBackend& dst,
                   const std::string& dst_path);
 
 }  // namespace kosha

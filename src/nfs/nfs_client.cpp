@@ -218,22 +218,24 @@ NfsResult<std::uint32_t> NfsClient::write(FileHandle file, std::uint64_t offset,
 }
 
 NfsResult<HandleReply> NfsClient::create(FileHandle dir, std::string_view name,
-                                         std::uint32_t mode, std::uint32_t uid) {
+                                         std::uint32_t mode, std::uint32_t uid,
+                                         std::uint32_t gid) {
   const std::uint32_t xid = next_xid();
   return transact<HandleReply>(
       NfsProc::kCreate, dir.server,
       encode_create_call(xid, NfsProc::kCreate, dir, name, mode, uid).size(),
-      [&](NfsServer& s) { return s.create(dir, name, mode, uid, rpc_ctx(xid)); },
+      [&](NfsServer& s) { return s.create(dir, name, mode, uid, gid, rpc_ctx(xid)); },
       [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 
 NfsResult<HandleReply> NfsClient::mkdir(FileHandle dir, std::string_view name,
-                                        std::uint32_t mode, std::uint32_t uid) {
+                                        std::uint32_t mode, std::uint32_t uid,
+                                        std::uint32_t gid) {
   const std::uint32_t xid = next_xid();
   return transact<HandleReply>(
       NfsProc::kMkdir, dir.server,
       encode_create_call(xid, NfsProc::kMkdir, dir, name, mode, uid).size(),
-      [&](NfsServer& s) { return s.mkdir(dir, name, mode, uid, rpc_ctx(xid)); },
+      [&](NfsServer& s) { return s.mkdir(dir, name, mode, uid, gid, rpc_ctx(xid)); },
       [](const NfsResult<HandleReply>&) { return kReplyBytes; });
 }
 

@@ -96,11 +96,15 @@ class NfsClient {
                                           std::uint32_t count);
   [[nodiscard]] NfsResult<std::uint32_t> write(FileHandle file, std::uint64_t offset,
                                                std::string_view data);
+  /// The abbreviated wire sattr3 carries {mode, uid}; gid rides the
+  /// in-process invocation only, so message sizes (and every charged byte)
+  /// are unchanged by the gid plumbing.
   [[nodiscard]] NfsResult<HandleReply> create(FileHandle dir, std::string_view name,
                                               std::uint32_t mode = 0644,
-                                              std::uint32_t uid = 0);
+                                              std::uint32_t uid = 0, std::uint32_t gid = 0);
   [[nodiscard]] NfsResult<HandleReply> mkdir(FileHandle dir, std::string_view name,
-                                             std::uint32_t mode = 0755, std::uint32_t uid = 0);
+                                             std::uint32_t mode = 0755, std::uint32_t uid = 0,
+                                             std::uint32_t gid = 0);
   [[nodiscard]] NfsResult<HandleReply> symlink(FileHandle dir, std::string_view name,
                                                std::string_view target);
   [[nodiscard]] NfsResult<std::string> readlink(FileHandle link);

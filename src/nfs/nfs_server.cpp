@@ -33,6 +33,8 @@ const char* to_string(NfsStat status) {
       return "NFS3ERR_INVAL";
     case NfsStat::kStale:
       return "NFS3ERR_STALE";
+    case NfsStat::kCorrupt:
+      return "NFS3ERR_CORRUPT";
     case NfsStat::kUnreachable:
       return "NFS3ERR_UNREACHABLE";
     case NfsStat::kTimedOut:
@@ -61,13 +63,15 @@ NfsStat from_fs(fs::FsStatus status) {
       return NfsStat::kInval;
     case fs::FsStatus::kStale:
       return NfsStat::kStale;
+    case fs::FsStatus::kCorrupt:
+      return NfsStat::kCorrupt;
   }
   return NfsStat::kInval;
 }
 
-NfsServer::NfsServer(net::HostId host, fs::FsConfig fs_config, NfsCostModel costs,
+NfsServer::NfsServer(net::HostId host, fs::StorageConfig storage, NfsCostModel costs,
                      SimClock* clock)
-    : host_(host), store_(fs_config), costs_(costs), clock_(clock) {}
+    : host_(host), store_(fs::make_backend(storage)), costs_(costs), clock_(clock) {}
 
 void NfsServer::charge(SimDuration cost) {
   ++rpc_count_;
@@ -137,27 +141,27 @@ void NfsServer::clear_drc() {
 
 NfsResult<fs::InodeId> NfsServer::resolve(FileHandle handle) const {
   if (!handle.valid() || handle.server != host_) return NfsStat::kStale;
-  const auto attr = store_.getattr(handle.inode);
+  const auto attr = store_->getattr(handle.inode);
   if (!attr.ok()) return NfsStat::kStale;
   if (attr.value().generation != handle.generation) return NfsStat::kStale;
   return handle.inode;
 }
 
 FileHandle NfsServer::handle_for(fs::InodeId inode) const {
-  const auto attr = store_.getattr(inode);
+  const auto attr = store_->getattr(inode);
   return {host_, inode, attr.ok() ? attr.value().generation : 0};
 }
 
-FileHandle NfsServer::root_handle() const { return handle_for(store_.root()); }
+FileHandle NfsServer::root_handle() const { return handle_for(store_->root()); }
 
 NfsResult<HandleReply> NfsServer::lookup(FileHandle dir, std::string_view name) {
   SpanScope span(tracer_, "server.lookup", host_);
   charge(costs_.read_meta);
   const auto d = resolve(dir);
   if (!d.ok()) return fail(span, d.error());
-  const auto inode = store_.lookup(d.value(), name);
+  const auto inode = store_->lookup(d.value(), name);
   if (!inode.ok()) return fail(span, from_fs(inode.error()));
-  const auto attr = store_.getattr(inode.value());
+  const auto attr = store_->getattr(inode.value());
   if (!attr.ok()) return fail(span, from_fs(attr.error()));
   return HandleReply{handle_for(inode.value()), attr.value()};
 }
@@ -167,7 +171,7 @@ NfsResult<fs::Attr> NfsServer::getattr(FileHandle obj) {
   charge(costs_.read_meta);
   const auto inode = resolve(obj);
   if (!inode.ok()) return fail(span, inode.error());
-  const auto attr = store_.getattr(inode.value());
+  const auto attr = store_->getattr(inode.value());
   if (!attr.ok()) return fail(span, from_fs(attr.error()));
   return attr.value();
 }
@@ -184,10 +188,10 @@ NfsResult<fs::Attr> NfsServer::set_mode(FileHandle obj, std::uint32_t mode,
   const auto inode = resolve(obj);
   if (!inode.ok()) return fail(span, inode.error());
   NfsResult<fs::Attr> reply = NfsStat::kInval;
-  if (const auto r = store_.set_mode(inode.value(), mode); !r.ok()) {
+  if (const auto r = store_->set_mode(inode.value(), mode); !r.ok()) {
     reply = fail(span, from_fs(r.error()));
   } else {
-    reply = *store_.getattr(inode.value());
+    reply = *store_->getattr(inode.value());
   }
   drc_store(ctx, {.attr_reply = reply, .shape = ReplyShape::kAttr});
   return reply;
@@ -205,10 +209,10 @@ NfsResult<fs::Attr> NfsServer::truncate(FileHandle obj, std::uint64_t size,
   const auto inode = resolve(obj);
   if (!inode.ok()) return fail(span, inode.error());
   NfsResult<fs::Attr> reply = NfsStat::kInval;
-  if (const auto r = store_.truncate(inode.value(), size); !r.ok()) {
+  if (const auto r = store_->truncate(inode.value(), size); !r.ok()) {
     reply = fail(span, from_fs(r.error()));
   } else {
-    reply = *store_.getattr(inode.value());
+    reply = *store_->getattr(inode.value());
   }
   drc_store(ctx, {.attr_reply = reply, .shape = ReplyShape::kAttr});
   return reply;
@@ -220,10 +224,10 @@ NfsResult<ReadReply> NfsServer::read(FileHandle file, std::uint64_t offset,
   charge(costs_.read_meta);
   const auto inode = resolve(file);
   if (!inode.ok()) return fail(span, inode.error());
-  auto data = store_.read(inode.value(), offset, count);
+  auto data = store_->read(inode.value(), offset, count);
   if (!data.ok()) return fail(span, from_fs(data.error()));
   charge_data(data.value().size());
-  const auto attr = *store_.getattr(inode.value());
+  const auto attr = *store_->getattr(inode.value());
   const bool eof = offset + data.value().size() >= attr.size;
   return ReadReply{std::move(data.value()), eof};
 }
@@ -234,7 +238,7 @@ NfsResult<std::uint32_t> NfsServer::write(FileHandle file, std::uint64_t offset,
   charge(costs_.read_meta);
   const auto inode = resolve(file);
   if (!inode.ok()) return fail(span, inode.error());
-  const auto written = store_.write(inode.value(), offset, data);
+  const auto written = store_->write(inode.value(), offset, data);
   if (!written.ok()) return fail(span, from_fs(written.error()));
   charge_data(data.size());
   return written.value();
@@ -242,7 +246,7 @@ NfsResult<std::uint32_t> NfsServer::write(FileHandle file, std::uint64_t offset,
 
 NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
                                          std::uint32_t mode, std::uint32_t uid,
-                                         RpcContext ctx) {
+                                         std::uint32_t gid, RpcContext ctx) {
   // Parent under the trace context the RPC carried: on a retransmission the
   // execution still joins the originating client operation's trace.
   SpanScope span(tracer_, ctx.trace, "server.create", host_);
@@ -254,19 +258,19 @@ NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
   if (!d.ok()) return fail(span, d.error());
-  const auto inode = store_.create(d.value(), name, mode, uid);
+  const auto inode = store_->create(d.value(), name, mode, uid, gid);
   if (!inode.ok()) {
     drc_store(ctx, {.handle_reply = from_fs(inode.error()), .shape = ReplyShape::kHandle});
     return fail(span, from_fs(inode.error()));
   }
-  const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
+  const HandleReply reply{handle_for(inode.value()), *store_->getattr(inode.value())};
   drc_store(ctx, {.handle_reply = reply, .shape = ReplyShape::kHandle});
   return reply;
 }
 
 NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
                                         std::uint32_t mode, std::uint32_t uid,
-                                        RpcContext ctx) {
+                                        std::uint32_t gid, RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.mkdir", host_);
   if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kHandle)) {
     span.tag("drc", "hit");
@@ -276,12 +280,12 @@ NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
   if (!d.ok()) return fail(span, d.error());
-  const auto inode = store_.mkdir(d.value(), name, mode, uid);
+  const auto inode = store_->mkdir(d.value(), name, mode, uid, gid);
   if (!inode.ok()) {
     drc_store(ctx, {.handle_reply = from_fs(inode.error()), .shape = ReplyShape::kHandle});
     return fail(span, from_fs(inode.error()));
   }
-  const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
+  const HandleReply reply{handle_for(inode.value()), *store_->getattr(inode.value())};
   drc_store(ctx, {.handle_reply = reply, .shape = ReplyShape::kHandle});
   return reply;
 }
@@ -297,12 +301,12 @@ NfsResult<HandleReply> NfsServer::symlink(FileHandle dir, std::string_view name,
   charge(costs_.metadata_op);
   const auto d = resolve(dir);
   if (!d.ok()) return fail(span, d.error());
-  const auto inode = store_.symlink(d.value(), name, target);
+  const auto inode = store_->symlink(d.value(), name, target);
   if (!inode.ok()) {
     drc_store(ctx, {.handle_reply = from_fs(inode.error()), .shape = ReplyShape::kHandle});
     return fail(span, from_fs(inode.error()));
   }
-  const HandleReply reply{handle_for(inode.value()), *store_.getattr(inode.value())};
+  const HandleReply reply{handle_for(inode.value()), *store_->getattr(inode.value())};
   drc_store(ctx, {.handle_reply = reply, .shape = ReplyShape::kHandle});
   return reply;
 }
@@ -312,7 +316,7 @@ NfsResult<std::string> NfsServer::readlink(FileHandle link) {
   charge(costs_.read_meta);
   const auto inode = resolve(link);
   if (!inode.ok()) return fail(span, inode.error());
-  auto target = store_.readlink(inode.value());
+  auto target = store_->readlink(inode.value());
   if (!target.ok()) return fail(span, from_fs(target.error()));
   return target.value();
 }
@@ -328,7 +332,7 @@ NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name, RpcCont
   const auto d = resolve(dir);
   if (!d.ok()) return fail(span, d.error());
   NfsResult<Unit> reply = Unit{};
-  if (const auto r = store_.remove(d.value(), name); !r.ok()) {
+  if (const auto r = store_->remove(d.value(), name); !r.ok()) {
     reply = fail(span, from_fs(r.error()));
   }
   drc_store(ctx, {.unit_reply = reply, .shape = ReplyShape::kUnit});
@@ -346,7 +350,7 @@ NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name, RpcConte
   const auto d = resolve(dir);
   if (!d.ok()) return fail(span, d.error());
   NfsResult<Unit> reply = Unit{};
-  if (const auto r = store_.rmdir(d.value(), name); !r.ok()) {
+  if (const auto r = store_->rmdir(d.value(), name); !r.ok()) {
     reply = fail(span, from_fs(r.error()));
   }
   drc_store(ctx, {.unit_reply = reply, .shape = ReplyShape::kUnit});
@@ -368,7 +372,7 @@ NfsResult<Unit> NfsServer::rename(FileHandle from_dir, std::string_view from_nam
   const auto td = resolve(to_dir);
   if (!td.ok()) return fail(span, td.error());
   NfsResult<Unit> reply = Unit{};
-  if (const auto r = store_.rename(fd.value(), from_name, td.value(), to_name); !r.ok()) {
+  if (const auto r = store_->rename(fd.value(), from_name, td.value(), to_name); !r.ok()) {
     reply = fail(span, from_fs(r.error()));
   }
   drc_store(ctx, {.unit_reply = reply, .shape = ReplyShape::kUnit});
@@ -380,7 +384,7 @@ NfsResult<ReaddirReply> NfsServer::readdir(FileHandle dir) {
   charge(costs_.read_meta);
   const auto d = resolve(dir);
   if (!d.ok()) return fail(span, d.error());
-  auto entries = store_.readdir(d.value());
+  auto entries = store_->readdir(d.value());
   if (!entries.ok()) return fail(span, from_fs(entries.error()));
   return ReaddirReply{std::move(entries.value())};
 }
@@ -388,7 +392,7 @@ NfsResult<ReaddirReply> NfsServer::readdir(FileHandle dir) {
 NfsResult<FsstatReply> NfsServer::fsstat() {
   SpanScope span(tracer_, "server.fsstat", host_);
   charge(costs_.read_meta);
-  return FsstatReply{store_.capacity_bytes(), store_.used_bytes(), store_.utilization()};
+  return FsstatReply{store_->capacity_bytes(), store_->used_bytes(), store_->utilization()};
 }
 
 }  // namespace kosha::nfs

@@ -1,6 +1,6 @@
 #pragma once
 
-// NFS server: exports one LocalFs over opaque handles.
+// NFS server: exports one storage backend over opaque handles.
 //
 // Each Kosha node runs one of these on its /kosha_store partition (paper
 // §4: "The nodes are assumed to run NFS servers, so that their contributed
@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <string_view>
 #include <unordered_map>
 
@@ -46,11 +47,13 @@ struct DrcStats {
 
 class NfsServer {
  public:
-  NfsServer(net::HostId host, fs::FsConfig fs_config, NfsCostModel costs, SimClock* clock);
+  /// The store is built through make_backend(storage): which representation
+  /// backs this node's partition is a per-cluster configuration choice.
+  NfsServer(net::HostId host, fs::StorageConfig storage, NfsCostModel costs, SimClock* clock);
 
   [[nodiscard]] net::HostId host() const { return host_; }
-  [[nodiscard]] fs::LocalFs& store() { return store_; }
-  [[nodiscard]] const fs::LocalFs& store() const { return store_; }
+  [[nodiscard]] fs::StorageBackend& store() { return *store_; }
+  [[nodiscard]] const fs::StorageBackend& store() const { return *store_; }
 
   /// Handle of the exported root directory.
   [[nodiscard]] FileHandle root_handle() const;
@@ -75,10 +78,10 @@ class NfsServer {
   // re-executing (and spuriously failing with kExist/kNoEnt).
   [[nodiscard]] NfsResult<HandleReply> create(FileHandle dir, std::string_view name,
                                               std::uint32_t mode, std::uint32_t uid,
-                                              RpcContext ctx = {});
+                                              std::uint32_t gid = 0, RpcContext ctx = {});
   [[nodiscard]] NfsResult<HandleReply> mkdir(FileHandle dir, std::string_view name,
                                              std::uint32_t mode, std::uint32_t uid,
-                                             RpcContext ctx = {});
+                                             std::uint32_t gid = 0, RpcContext ctx = {});
   [[nodiscard]] NfsResult<HandleReply> symlink(FileHandle dir, std::string_view name,
                                                std::string_view target, RpcContext ctx = {});
   [[nodiscard]] NfsResult<std::string> readlink(FileHandle link);
@@ -138,7 +141,7 @@ class NfsServer {
   void charge_data(std::size_t bytes);
 
   net::HostId host_;
-  fs::LocalFs store_;
+  std::unique_ptr<fs::StorageBackend> store_;
   NfsCostModel costs_;
   SimClock* clock_;
   std::uint64_t rpc_count_ = 0;

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/tracing.hpp"
-#include "fs/local_fs.hpp"
+#include "fs/storage_backend.hpp"
 #include "net/sim_network.hpp"
 
 namespace kosha::nfs {
@@ -38,6 +38,10 @@ enum class NfsStat {
   kNoSpace,
   kInval,
   kStale,
+  kCorrupt,      // stored block failed hash verification on a CAS backend:
+                 // the primary's copy is damaged — the failover ladder
+                 // treats this as retryable so the read degrades to a
+                 // replica while anti-entropy repairs the damage
   kUnreachable,  // RPC timeout before any request was delivered: the op
                  // certainly never executed (host down, server withdrawn,
                  // or every transmission lost in transit)

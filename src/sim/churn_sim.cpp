@@ -46,7 +46,7 @@ std::string fmt_pct(double v) {
 /// All regular-file contents under `dir` in one store (oracle view; each
 /// dataset file carries unique bytes, so content identifies the file and
 /// primary copies and /.r/ replica copies count alike).
-void collect_contents(const fs::LocalFs& store, fs::InodeId dir, std::set<std::string>* out) {
+void collect_contents(const fs::StorageBackend& store, fs::InodeId dir, std::set<std::string>* out) {
   const auto entries = store.readdir(dir);
   if (!entries.ok()) return;
   for (const auto& entry : entries.value()) {
@@ -78,7 +78,7 @@ ChurnSample take_sample(KoshaCluster& cluster, KoshaMount& mount, const Dataset&
   // Oracle view: which live hosts hold each file's content.
   std::vector<std::set<std::string>> held(live.size());
   for (std::size_t i = 0; i < live.size(); ++i) {
-    const fs::LocalFs& store = cluster.server(live[i]).store();
+    const fs::StorageBackend& store = cluster.server(live[i]).store();
     collect_contents(store, store.root(), &held[i]);
   }
   const std::size_t need =

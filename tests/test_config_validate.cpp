@@ -52,6 +52,27 @@ TEST(ConfigValidate, RejectsOutOfRangeRedirectThreshold) {
   EXPECT_TRUE(config.validate().empty());
 }
 
+TEST(ConfigValidate, RejectsDegenerateStorageChunkSize) {
+  KoshaConfig config;
+  config.storage.chunk_bytes = 0;
+  const std::string err = config.validate();
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("chunk_bytes"), std::string::npos) << err;
+  config.storage.chunk_bytes = (64ull << 20) + 1;
+  EXPECT_FALSE(config.validate().empty());
+  // The 64 MiB boundary itself is accepted, as is a 1-byte chunk.
+  config.storage.chunk_bytes = 64ull << 20;
+  EXPECT_TRUE(config.validate().empty()) << config.validate();
+  config.storage.chunk_bytes = 1;
+  EXPECT_TRUE(config.validate().empty()) << config.validate();
+}
+
+TEST(ConfigValidate, StorageBackendChoicesAreValid) {
+  KoshaConfig config;
+  config.storage.backend = fs::BackendKind::kCas;
+  EXPECT_TRUE(config.validate().empty()) << config.validate();
+}
+
 TEST(ConfigValidate, ClusterConstructionThrowsOnInvalidConfig) {
   ClusterConfig config;
   config.nodes = 2;

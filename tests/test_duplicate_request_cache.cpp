@@ -183,7 +183,7 @@ TEST(DuplicateRequestCache, ShapeMismatchIsAMissNotAForgedReply) {
   Fixture fx;
   const RpcContext ctx{fx.client_host, /*xid=*/99, /*boot=*/7};
   // A handle-shaped entry sits in the cache under (client, xid) ...
-  ASSERT_TRUE(fx.server.create(fx.root(), "x", 0644, 0, ctx).ok());
+  ASSERT_TRUE(fx.server.create(fx.root(), "x", 0644, 0, 0, ctx).ok());
   // ... and a unit-shaped procedure arrives under the same key. Before the
   // shape check this returned the default-constructed unit slot (kInval)
   // without executing; it must instead miss, execute, and re-cache.

@@ -36,7 +36,7 @@ void run_for(KoshaCluster& cluster, SimDuration d) {
   cluster.loop().run_until_time(cluster.clock().now() + d);
 }
 
-bool store_holds(const fs::LocalFs& store, fs::InodeId dir, const std::string& content) {
+bool store_holds(const fs::StorageBackend& store, fs::InodeId dir, const std::string& content) {
   const auto entries = store.readdir(dir);
   if (!entries.ok()) return false;
   for (const auto& entry : entries.value()) {
@@ -55,7 +55,7 @@ bool store_holds(const fs::LocalFs& store, fs::InodeId dir, const std::string& c
 std::size_t count_copies(KoshaCluster& cluster, const std::string& content) {
   std::size_t copies = 0;
   for (const net::HostId host : cluster.live_hosts()) {
-    const fs::LocalFs& store = cluster.server(host).store();
+    const fs::StorageBackend& store = cluster.server(host).store();
     copies += store_holds(store, store.root(), content);
   }
   return copies;

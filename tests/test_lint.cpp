@@ -1,4 +1,4 @@
-// kosha_lint rule-engine tests: every rule (D1-D3, P1-P2, H1) is driven
+// kosha_lint rule-engine tests: every rule (D1-D3, P1-P2, S1, H1) is driven
 // over a known-bad fixture snippet and must fire with its exact rule id;
 // the annotation escape hatch, the clean path and the exit-code contract
 // are covered alongside. Fixtures live in raw strings — the tokenizer
@@ -408,6 +408,55 @@ RpcContext make(net::HostId self, std::uint32_t xid, std::uint64_t boot) {
 }
 )cpp");
   EXPECT_TRUE(diags.empty()) << kosha::lint::to_text(diags);
+}
+
+// ---------------------------------------------------------------------------
+// S1 — storage backend seam
+// ---------------------------------------------------------------------------
+
+TEST(LintS1, FlagsConcreteBackendOutsideFs) {
+  const auto diags = lint_one("src/kosha/bad.cpp", R"cpp(
+#include "fs/local_fs.hpp"
+void f() { kosha::fs::LocalFs store; (void)store; }
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "S1");
+  EXPECT_EQ(diags[0].slug, "storage-seam");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintS1, FlagsCasFsInBench) {
+  const auto diags = lint_one("bench/bad_bench.cpp", R"cpp(
+void f() { kosha::fs::CasFs* store = nullptr; (void)store; }
+)cpp");
+  EXPECT_EQ(rules_of(diags), (std::vector<std::string>{"S1"}));
+}
+
+TEST(LintS1, AllowsConcreteTypesInFsLayerAndTests) {
+  const std::string src = R"cpp(
+void f() { kosha::fs::LocalFs a; kosha::fs::CasFs* b = nullptr; (void)a; (void)b; }
+)cpp";
+  EXPECT_TRUE(lint_one("src/fs/cas_fs.cpp", src).empty());
+  EXPECT_TRUE(lint_one("tests/test_storage_backend.cpp", src).empty());
+}
+
+TEST(LintS1, IgnoresCommentsAndStrings) {
+  // Doc comments explaining the LocalFs/CasFs split are fine anywhere; the
+  // tokenizer never sees comments or string literals.
+  const auto diags = lint_one("src/kosha/ok.cpp", R"cpp(
+// LocalFs is wrapped by CasFs; see fs/storage_backend.hpp.
+const char* kName = "LocalFs";
+)cpp");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintS1, InterfaceUseIsClean) {
+  const auto diags = lint_one("src/kosha/ok.cpp", R"cpp(
+#include "fs/storage_backend.hpp"
+void f(kosha::fs::StorageBackend& store) { (void)store.kind(); }
+std::unique_ptr<kosha::fs::StorageBackend> g() { return kosha::fs::make_backend({}); }
+)cpp");
+  EXPECT_TRUE(diags.empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -9,7 +9,8 @@
 #include <string>
 #include <vector>
 
-#include "fs/local_fs.hpp"
+#include "common/cli.hpp"
+#include "fs/storage_backend.hpp"
 #include "kosha/audit.hpp"
 #include "kosha/cluster.hpp"
 #include "kosha/mount.hpp"
@@ -19,6 +20,15 @@
 namespace kosha {
 namespace {
 
+/// CI re-runs this suite with KOSHA_TEST_BACKEND=cas to prove the whole
+/// stack is backend-agnostic; default (unset/flat) runs are untouched.
+void apply_test_backend(ClusterConfig* config) {
+  fs::BackendKind backend = fs::BackendKind::kFlat;
+  if (fs::parse_backend(env_or("KOSHA_TEST_BACKEND", "flat"), &backend)) {
+    config->kosha.storage.backend = backend;
+  }
+}
+
 ClusterConfig self_heal_config(std::size_t nodes, std::uint64_t seed) {
   ClusterConfig config;
   config.nodes = nodes;
@@ -26,6 +36,7 @@ ClusterConfig self_heal_config(std::size_t nodes, std::uint64_t seed) {
   config.kosha.distribution_level = 2;
   config.seed = seed;
   config.self_heal.enabled = true;
+  apply_test_backend(&config);
   return config;
 }
 
@@ -34,7 +45,7 @@ void run_for(KoshaCluster& cluster, SimDuration d) {
 }
 
 /// Full store path of the file holding `content`, or empty.
-std::string find_path(const fs::LocalFs& store, fs::InodeId dir, const std::string& prefix,
+std::string find_path(const fs::StorageBackend& store, fs::InodeId dir, const std::string& prefix,
                       const std::string& content) {
   const auto entries = store.readdir(dir);
   if (!entries.ok()) return {};
@@ -56,7 +67,7 @@ std::string find_path(const fs::LocalFs& store, fs::InodeId dir, const std::stri
 std::vector<net::HostId> holders(KoshaCluster& cluster, const std::string& content) {
   std::vector<net::HostId> held;
   for (const net::HostId host : cluster.live_hosts()) {
-    const fs::LocalFs& store = cluster.server(host).store();
+    const fs::StorageBackend& store = cluster.server(host).store();
     if (!find_path(store, store.root(), "", content).empty()) held.push_back(host);
   }
   return held;
@@ -65,7 +76,7 @@ std::vector<net::HostId> holders(KoshaCluster& cluster, const std::string& conte
 /// Delete the whole anchor copy containing `content` from `host`'s store
 /// (out-of-band damage: no RPC, no replica bookkeeping).
 void vandalize_copy(KoshaCluster& cluster, net::HostId host, const std::string& content) {
-  fs::LocalFs& store = cluster.server(host).store();
+  fs::StorageBackend& store = cluster.server(host).store();
   const std::string path = find_path(store, store.root(), "", content);
   ASSERT_FALSE(path.empty());
   // path = <hidden root>/<anchor dirs>/<file>; drop the file's directory —

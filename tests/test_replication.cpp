@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cli.hpp"
 #include "common/path.hpp"
 #include "kosha/cluster.hpp"
 #include "kosha/mount.hpp"
@@ -13,6 +14,15 @@
 namespace kosha {
 namespace {
 
+/// CI re-runs this suite with KOSHA_TEST_BACKEND=cas to prove the whole
+/// stack is backend-agnostic; default (unset/flat) runs are untouched.
+void apply_test_backend(ClusterConfig* config) {
+  fs::BackendKind backend = fs::BackendKind::kFlat;
+  if (fs::parse_backend(env_or("KOSHA_TEST_BACKEND", "flat"), &backend)) {
+    config->kosha.storage.backend = backend;
+  }
+}
+
 ClusterConfig config_for(std::size_t nodes, unsigned replicas, std::uint64_t seed = 7) {
   ClusterConfig config;
   config.nodes = nodes;
@@ -20,6 +30,7 @@ ClusterConfig config_for(std::size_t nodes, unsigned replicas, std::uint64_t see
   config.kosha.replicas = replicas;
   config.node_capacity_bytes = 1ull << 30;
   config.seed = seed;
+  apply_test_backend(&config);
   return config;
 }
 

@@ -518,6 +518,20 @@ struct Linter::Impl {
     }
   }
 
+  // --- S1: storage backend seam -------------------------------------------
+
+  void rule_storage_seam(const SourceFile& f) {
+    if (f.path.rfind("src/fs/", 0) == 0 || f.path.rfind("tests/", 0) == 0) return;
+    static const std::set<std::string, std::less<>> kConcrete = {"LocalFs", "CasFs"};
+    for (const Token& tok : f.tokens) {
+      if (tok.kind != TokKind::kIdent || kConcrete.count(tok.text) == 0) continue;
+      report(f, tok.line, "S1", "storage-seam",
+             "concrete storage backend `" + tok.text +
+                 "` named outside src/fs/ and tests/; program against "
+                 "fs::StorageBackend and construct via fs::make_backend");
+    }
+  }
+
   // --- H1: header hygiene --------------------------------------------------
 
   void rule_header(const SourceFile& f) {
@@ -571,6 +585,7 @@ std::vector<Diagnostic> Linter::run() {
     impl_->rule_event_callbacks(f);
     impl_->rule_drc(f);
     impl_->rule_rpc_ctx(f);
+    impl_->rule_storage_seam(f);
     impl_->rule_header(f);
   }
   std::sort(impl_->diags.begin(), impl_->diags.end(),

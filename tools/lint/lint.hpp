@@ -32,6 +32,11 @@
 //                      is permitted).
 //   H1 header          header hygiene: #pragma once present, no
 //                      `using namespace` at header scope.
+//   S1 storage-seam    no concrete storage backend type (LocalFs, CasFs)
+//                      named outside src/fs/ and tests/: everything else
+//                      must program against fs::StorageBackend and
+//                      construct stores through fs::make_backend, so new
+//                      backends slot in without touching consumers.
 //
 // A violating line can be excused with an annotation carrying a reason:
 //
