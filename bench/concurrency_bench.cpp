@@ -14,6 +14,7 @@
 // the concurrency win the event loop buys.
 //
 // Flags: --clients=1,4,16 (csv), --nodes, --files, --bytes, --reads,
+//        --zipf=S (read-pass Zipf popularity skew; 0 = legacy round-robin),
 //        --seed, --metrics-out=FILE (JSON summary for CI artifacts),
 //        --profile-out=FILE (BENCH_sim_profile.json: one profiling-enabled
 //        run at the largest client count, with per-event-category costs,
@@ -139,7 +140,7 @@ int write_profile_json(const std::string& out, std::size_t nodes, std::uint64_t 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (const auto err =
-          args.check_known("clients,nodes,files,bytes,reads,seed,metrics-out,profile-out");
+          args.check_known("clients,nodes,files,bytes,reads,zipf,seed,metrics-out,profile-out");
       !err.empty()) {
     std::fprintf(stderr, "%s\n", err.c_str());
     return 1;
@@ -151,9 +152,10 @@ int main(int argc, char** argv) {
   workload.files_per_client = static_cast<std::size_t>(args.get_int("files", 4));
   workload.file_bytes = static_cast<std::size_t>(args.get_int("bytes", 4096));
   workload.reads_per_file = static_cast<std::size_t>(args.get_int("reads", 2));
+  workload.zipf_s = args.get_double("zipf", 0.0);
 
-  std::printf("Concurrency bench: event-driven core (%zu nodes, seed=%llu)\n\n", nodes,
-              static_cast<unsigned long long>(seed));
+  std::printf("Concurrency bench: event-driven core (%zu nodes, seed=%llu, zipf=%.2f)\n\n",
+              nodes, static_cast<unsigned long long>(seed), workload.zipf_s);
 
   // --- Part 1: K=3 replica fan-out, one client -----------------------------
   constexpr unsigned kReplicas = 3;

@@ -33,6 +33,12 @@ KoshaCluster::KoshaCluster(ClusterConfig config)
     network_.set_event_loop(&loop_);
     runtime_.loop = &loop_;
   }
+  if (config_.kosha.overload.enabled) {
+    // Arm the network's per-host admission bounds; client-side controls
+    // (budget, breakers) are armed per daemon in Koshad's constructor.
+    network_.set_admission({config_.kosha.overload.max_inflight,
+                            config_.kosha.overload.low_priority_inflight()});
+  }
   runtime_.clock = &clock_;
   runtime_.network = &network_;
   runtime_.overlay = &overlay_;
@@ -353,6 +359,51 @@ void KoshaCluster::refresh_derived_metrics() {
     metrics_.gauge("selfheal.repair.dropped")->set(static_cast<double>(rd.dropped));
     metrics_.gauge("selfheal.detections")->set(static_cast<double>(detections_.size()));
     metrics_.gauge("selfheal.undetected")->set(static_cast<double>(death_times_.size()));
+  }
+
+  if (config_.kosha.overload.enabled) {
+    // Overload-control snapshot (gated for the usual byte-identity
+    // reason): network-level shed decisions, then the client-side budget
+    // and breaker totals summed over all live daemons.
+    metrics_.gauge("overload.admission_rejected")
+        ->set(static_cast<double>(net.admission_rejected));
+    metrics_.gauge("overload.deadline_rejected")
+        ->set(static_cast<double>(net.deadline_rejected));
+    metrics_.gauge("overload.expired")->set(static_cast<double>(net.expired));
+    metrics_.gauge("overload.shed_low_priority")
+        ->set(static_cast<double>(net.shed_low_priority));
+    nfs::OverloadClientStats oc;
+    std::uint64_t server_deadline_rejects = 0;
+    std::uint64_t ladder_aborts = 0;
+    std::uint64_t repair_yields = 0;
+    double budget_tokens = 0.0;
+    for (const auto& node : nodes_) {
+      if (node == nullptr || !node->alive) continue;
+      const nfs::OverloadClientStats s = node->daemon->nfs_client().overload_stats();
+      oc.budget_exhausted += s.budget_exhausted;
+      oc.breaker_opens += s.breaker_opens;
+      oc.breaker_fast_fails += s.breaker_fast_fails;
+      oc.overloaded_replies += s.overloaded_replies;
+      oc.breakers_open += s.breakers_open;
+      budget_tokens += s.budget_tokens;
+      server_deadline_rejects += node->server->deadline_rejects();
+      ladder_aborts += node->daemon->stats().ladder_deadline_aborts;
+      if (node->repair != nullptr) repair_yields += node->repair->stats().yields;
+    }
+    metrics_.gauge("overload.budget_exhausted")
+        ->set(static_cast<double>(oc.budget_exhausted));
+    metrics_.gauge("overload.budget_tokens")->set(budget_tokens);
+    metrics_.gauge("overload.breaker_opens")->set(static_cast<double>(oc.breaker_opens));
+    metrics_.gauge("overload.breaker_fast_fails")
+        ->set(static_cast<double>(oc.breaker_fast_fails));
+    metrics_.gauge("overload.breakers_open")->set(static_cast<double>(oc.breakers_open));
+    metrics_.gauge("overload.overloaded_replies")
+        ->set(static_cast<double>(oc.overloaded_replies));
+    metrics_.gauge("overload.server_deadline_rejects")
+        ->set(static_cast<double>(server_deadline_rejects));
+    metrics_.gauge("overload.ladder_deadline_aborts")
+        ->set(static_cast<double>(ladder_aborts));
+    metrics_.gauge("overload.repair_yields")->set(static_cast<double>(repair_yields));
   }
 
   if (config_.observability.profiling) {

@@ -66,6 +66,12 @@ struct KoshaConfig {
   /// plan this has no effect on behaviour or cost.
   nfs::RetryPolicy retry;
 
+  /// Overload control (admission, retry budgets, breakers, deadline
+  /// propagation, repair yielding). Disabled by default — and when
+  /// disabled, every run is numerically identical to one predating the
+  /// subsystem. See DESIGN's overload-control section.
+  nfs::OverloadControlConfig overload;
+
   /// Seed for per-daemon jitter streams; KoshaCluster overwrites it with
   /// the cluster seed so chaos runs replay bit-for-bit.
   std::uint64_t rng_seed = 42;
@@ -106,6 +112,38 @@ struct KoshaConfig {
     if (storage.chunk_bytes > (64ull << 20)) {
       return "storage.chunk_bytes must be <= 64 MiB: larger chunks defeat "
              "dedup and the delta replica transfer entirely";
+    }
+    if (retry.response_timeout.ns < 0) {
+      return "retry.response_timeout must be >= 0: negative patience would "
+             "abandon every attempt before it was sent";
+    }
+    if (overload.op_budget.ns < 0) {
+      return "overload.op_budget must be >= 0: a negative operation budget "
+             "would stamp already-expired deadlines on every RPC";
+    }
+    if (overload.enabled) {
+      if (overload.max_inflight == 0) {
+        return "overload.max_inflight must be >= 1 when overload control is "
+               "enabled: a zero admission bound would bounce every arrival";
+      }
+      if (overload.low_priority_fraction <= 0.0 || overload.low_priority_fraction > 1.0) {
+        return "overload.low_priority_fraction must be in (0, 1]: background "
+               "traffic needs a nonzero bound no looser than the foreground's";
+      }
+      if (overload.retry_budget_cap < 1.0) {
+        return "overload.retry_budget_cap must be >= 1: a bucket that can "
+               "never hold one token forbids all retransmissions";
+      }
+      if (overload.retry_budget_refill <= 0.0 ||
+          overload.retry_budget_refill > overload.retry_budget_cap) {
+        return "overload.retry_budget_refill must be in (0, retry_budget_cap]: "
+               "zero refill starves retries forever, refill above the cap is "
+               "unreachable";
+      }
+      if (overload.breaker_threshold > 0 && overload.breaker_cooldown.ns <= 0) {
+        return "overload.breaker_cooldown must be > 0 when breakers are on: an "
+               "instant cooldown makes the breaker a no-op";
+      }
     }
     return {};
   }

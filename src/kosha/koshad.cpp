@@ -39,6 +39,7 @@ Koshad::Koshad(Runtime* runtime, net::HostId host, std::uint64_t boot)
       host_(host),
       client_(runtime->network, runtime->servers, host, runtime->config.retry,
               runtime->config.rng_seed, boot) {
+  if (runtime_->config.overload.enabled) client_.configure_overload(runtime_->config.overload);
   if (runtime_->metrics != nullptr) {
     route_hops_hist_ =
         runtime_->metrics->histogram("koshad.overlay.route_hops", {0, 1, 2, 3, 4, 6, 8, 12, 16});
@@ -65,6 +66,14 @@ void Koshad::note_forward(net::HostId host) {
 
 void Koshad::charge_interposition() {
   runtime_->clock->advance(runtime_->config.interposition_cost);
+  // Deadline propagation starts here: every handler charges interposition
+  // first, so this stamp gives the whole operation — forwarded RPCs,
+  // mirror fan-out, failover rounds — one absolute budget that servers
+  // check before executing (and the ladder checks before re-resolving).
+  const auto& overload = runtime_->config.overload;
+  if (overload.enabled && overload.op_budget.ns > 0) {
+    client_.set_op_deadline(runtime_->clock->now() + overload.op_budget);
+  }
 }
 
 // ---------------------------------------------------------------------------

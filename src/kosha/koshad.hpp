@@ -49,6 +49,8 @@ struct KoshadStats {
                                      // primary was unreachable
   std::uint64_t mirror_rpcs = 0;     // replica mirror messages this daemon's
                                      // mutations fanned out
+  std::uint64_t ladder_deadline_aborts = 0;  // failover rounds skipped because
+                                             // the op's deadline had passed
 
   friend bool operator==(const KoshadStats&, const KoshadStats&) = default;
 };
@@ -99,6 +101,9 @@ class Koshad {
   [[nodiscard]] const KoshadStats& stats() const { return stats_; }
   [[nodiscard]] const VirtualHandleTable& handle_table() const { return vht_; }
   [[nodiscard]] Runtime& runtime() const { return *runtime_; }
+  /// This daemon's NFS client — read-only, for aggregating its
+  /// overload-control counters into the cluster's overload.* gauges.
+  [[nodiscard]] const nfs::NfsClient& nfs_client() const { return client_; }
 
  private:
   /// A virtual path resolved to its storage node.
@@ -192,8 +197,12 @@ class Koshad {
     // kCorrupt rides the same ladder: a hash-verify failure on the primary
     // copy is a degraded read served from a replica, exactly like an
     // unreachable primary (the anti-entropy sweep repairs it later).
+    // kOverloaded is retryable the same way: the shed attempt certainly
+    // did not execute, but an *earlier* attempt under the same xid may
+    // have — so the ladder keeps its maybe-executed (adoption) rules.
     return status == nfs::NfsStat::kUnreachable || status == nfs::NfsStat::kTimedOut ||
-           status == nfs::NfsStat::kStale || status == nfs::NfsStat::kCorrupt;
+           status == nfs::NfsStat::kStale || status == nfs::NfsStat::kCorrupt ||
+           status == nfs::NfsStat::kOverloaded;
   }
   [[nodiscard]] static bool valid_user_name(std::string_view name);
 

@@ -42,6 +42,18 @@ nfs::NfsStat Koshad::failover_ladder(
   const unsigned rounds = std::max(1u, runtime_->config.failover_rounds);
   unsigned depth = 0;
   for (unsigned round = 0; round < rounds; ++round) {
+    // Deadline propagation reaches the ladder too: once the operation's
+    // budget (stamped at handler entry) has passed, the caller has given
+    // up — burning more rounds on re-resolves and retries is dead work.
+    // The op keeps its maybe-executed verdict: an earlier attempt may
+    // have applied, so surface the retryable status we already hold.
+    if (runtime_->config.overload.enabled && client_.op_deadline().ns > 0 &&
+        runtime_->clock->now() > client_.op_deadline()) {
+      ++stats_.ladder_deadline_aborts;
+      ++stats_.failed_failovers;
+      if (failover_depth_hist_ != nullptr) failover_depth_hist_->record(static_cast<double>(depth));
+      return status;
+    }
     ++stats_.failovers;
     depth = round + 1;
     SpanScope span(tracer(), "koshad.failover", host_);

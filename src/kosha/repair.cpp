@@ -48,7 +48,20 @@ void RepairDaemon::tick() {
   // whatever foreground operation is in flight (DESIGN §8 invariant).
   ClockPauser pause(*runtime_->clock);
   SpanScope span(runtime_->tracer, "repair.tick", host_);
-  const auto report = rm->reconcile(config_.max_pushes_per_tick);
+  // Priority-aware admission: when this host is already serving a burst of
+  // foreground RPCs, skip the pushes this pass (audits still run) — repair
+  // bandwidth is exactly the capacity the clients are short of. The missed
+  // work is not lost, only deferred to a calmer tick.
+  std::size_t push_limit = config_.max_pushes_per_tick;
+  const auto& overload = runtime_->config.overload;
+  if (overload.enabled && overload.repair_yield_inflight > 0 &&
+      runtime_->network->inflight(host_) >=
+          static_cast<int>(overload.repair_yield_inflight)) {
+    push_limit = 0;
+    ++stats_.yields;
+    if (span.active()) span.tag("yield", "1");
+  }
+  const auto report = rm->reconcile(push_limit);
   stats_.promoted += report.promoted;
   stats_.handed_off += report.handed_off;
   stats_.pushed += report.pushed;

@@ -51,6 +51,9 @@ struct RepairDaemonStats {
   std::uint64_t dropped = 0;
   /// Holes seen by the most recent audit (0 once converged).
   std::uint64_t last_missing = 0;
+  /// Passes that performed no pushes because the host was busy serving
+  /// foreground RPCs (overload control: anti-entropy yields first).
+  std::uint64_t yields = 0;
 
   friend bool operator==(const RepairDaemonStats&, const RepairDaemonStats&) = default;
 };

@@ -92,6 +92,32 @@ SimNetwork::WirePlan SimNetwork::plan_message(HostId src, HostId dst,
   return {true, at + wire + spike};
 }
 
+SimNetwork::Admit SimNetwork::admit(HostId host, SimDuration arrival, SimDuration deadline,
+                                    bool low_priority) {
+  if (admission_.max_inflight == 0) return Admit::kAdmit;
+  const unsigned bound = (low_priority && admission_.low_priority_inflight > 0)
+                             ? admission_.low_priority_inflight
+                             : admission_.max_inflight;
+  const int current = inflight(host);
+  if (current >= static_cast<int>(bound)) {
+    if (low_priority) {
+      ++stats_.shed_low_priority;
+    } else {
+      ++stats_.admission_rejected;
+    }
+    return Admit::kRejectInflight;
+  }
+  if (deadline.ns > 0) {
+    const SimDuration begin =
+        host < busy_until_.size() ? std::max(arrival, busy_until_[host]) : arrival;
+    if (begin > deadline) {
+      ++stats_.deadline_rejected;
+      return Admit::kRejectDeadline;
+    }
+  }
+  return Admit::kAdmit;
+}
+
 SimNetwork::HostObs& SimNetwork::host_obs(HostId host) {
   if (host_obs_.size() <= host) host_obs_.resize(host + 1);
   HostObs& obs = host_obs_[host];

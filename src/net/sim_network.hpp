@@ -84,6 +84,18 @@ struct NetStats {
   /// Highest number of simultaneously in-flight (arrived, not yet
   /// completed) RPCs observed at any single host.
   std::uint64_t inflight_peak = 0;
+  /// Overload control (all zero unless an AdmissionControl is installed):
+  /// arrivals bounced because the destination's in-flight bound was full.
+  std::uint64_t admission_rejected = 0;
+  /// Arrivals bounced because their propagated deadline could not be met
+  /// even at the head of the queue.
+  std::uint64_t deadline_rejected = 0;
+  /// Requests dropped at the service instant: their deadline had passed
+  /// while they queued (dead work refused instead of executed).
+  std::uint64_t expired = 0;
+  /// Background (low-priority) arrivals shed at the tighter background
+  /// bound while foreground traffic still fit.
+  std::uint64_t shed_low_priority = 0;
   /// Per-procedure breakdown of client RPC traffic (a slice of the
   /// aggregates above; overlay/replication traffic has no procedure).
   std::array<ProcNetStats, kNetProcSlots> per_proc{};
@@ -144,6 +156,49 @@ class SimNetwork {
   /// event instead of advancing the clock.
   [[nodiscard]] WirePlan plan_message(HostId src, HostId dst, std::size_t payload_bytes,
                                       SimDuration at);
+
+  // --- overload control (admission at the service queue) ------------------
+
+  /// Per-host admission bounds; installed by the cluster when overload
+  /// control is enabled. max_inflight == 0 (the default) disables every
+  /// admission check, keeping the unbounded-FIFO legacy behaviour and
+  /// leaving all overload counters untouched.
+  struct AdmissionControl {
+    unsigned max_inflight = 0;
+    /// Tighter bound for background (low-priority) traffic; 0 = use
+    /// max_inflight for every class.
+    unsigned low_priority_inflight = 0;
+  };
+  void set_admission(AdmissionControl admission) { admission_ = admission; }
+  [[nodiscard]] const AdmissionControl& admission() const { return admission_; }
+
+  /// Admission verdict for one arrival.
+  enum class Admit {
+    kAdmit,           // queue it
+    kRejectInflight,  // destination at its in-flight bound (or the
+                      // background bound, for low-priority traffic)
+    kRejectDeadline,  // even immediate head-of-queue service would begin
+                      // after the request's propagated deadline
+  };
+
+  /// Judge one arrival at `host` against the installed admission bounds.
+  /// `deadline` is the request's absolute give-up time (0 = none);
+  /// `low_priority` marks background traffic (repair, anti-entropy) that
+  /// sheds at the tighter bound. Pure with respect to clock and Rng —
+  /// only the overload rejection counters move, and only on rejection.
+  [[nodiscard]] Admit admit(HostId host, SimDuration arrival, SimDuration deadline,
+                            bool low_priority);
+
+  /// Count one request dropped at its service instant because its deadline
+  /// passed while it queued (the event-driven execute step refuses the
+  /// dead work instead of performing it).
+  void note_expired() { ++stats_.expired; }
+
+  /// Current in-flight RPC count at `host` (0 for never-seen hosts). The
+  /// repair daemon reads this to yield to foreground load.
+  [[nodiscard]] int inflight(HostId host) const {
+    return host < inflight_.size() ? inflight_[host] : 0;
+  }
 
   /// Admit a request arriving at `arrival` to `host`'s FIFO service
   /// queue: returns when service can begin (the previous request's
@@ -239,6 +294,7 @@ class SimNetwork {
   std::vector<SimDuration> busy_until_;
   std::vector<int> inflight_;
   std::vector<HostObs> host_obs_;
+  AdmissionControl admission_;
 };
 
 }  // namespace kosha::net

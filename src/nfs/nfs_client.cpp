@@ -38,12 +38,7 @@ bool NfsClient::deliver_reply(net::HostId server, std::size_t reply_bytes) {
 }
 
 SimDuration NfsClient::backoff_duration(unsigned attempt) {
-  SimDuration wait = retry_.backoff_for(attempt);
-  if (retry_.jitter > 0.0) {
-    wait += SimDuration::nanos(static_cast<std::int64_t>(
-        static_cast<double>(wait.ns) * retry_.jitter * jitter_rng_.next_double()));
-  }
-  return wait;
+  return retry_.jittered_backoff(attempt, jitter_rng_);
 }
 
 void NfsClient::backoff(unsigned attempt) { network_->clock().advance(backoff_duration(attempt)); }
@@ -66,7 +61,38 @@ RpcContext NfsClient::rpc_ctx(std::uint32_t xid) const {
   if (const Tracer* tracer = network_->tracer(); tracer != nullptr && tracer->enabled()) {
     ctx.trace = tracer->current();
   }
+  // Zero unless koshad stamped an op budget: deadline propagation costs a
+  // copy of an always-present field, nothing else.
+  ctx.deadline = op_deadline_;
   return ctx;
+}
+
+CircuitBreaker* NfsClient::breaker_for(net::HostId server) {
+  if (!overload_.enabled || overload_.breaker_threshold == 0) return nullptr;
+  auto it = breakers_.find(server);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(server,
+                      CircuitBreaker(overload_.breaker_threshold, overload_.breaker_cooldown))
+             .first;
+  }
+  return &it->second;
+}
+
+OverloadClientStats NfsClient::overload_stats() const {
+  OverloadClientStats s;
+  if (budget_.has_value()) {
+    s.budget_exhausted = budget_->exhausted();
+    s.budget_tokens = budget_->tokens();
+  }
+  s.overloaded_replies = overloaded_replies_;
+  for (const auto& [host, breaker] : breakers_) {
+    (void)host;
+    s.breaker_opens += breaker.opens();
+    s.breaker_fast_fails += breaker.fast_fails();
+    if (breaker.state() != CircuitBreaker::State::kClosed) ++s.breakers_open;
+  }
+  return s;
 }
 
 template <typename ReplyT, typename Invoke, typename ReplyBytes>
@@ -110,6 +136,25 @@ NfsResult<ReplyT> NfsClient::transact_impl(std::size_t proc_slot, net::HostId se
     return *std::move(final_reply);
   }
 
+  if (overload_.enabled) {
+    if (budget_.has_value()) budget_->earn();
+    // Serial callers are the legacy execution model or background work
+    // under a paused clock; the latter is low-priority and sheds at the
+    // tighter admission bound so anti-entropy yields to client RPCs.
+    const bool low_priority = network_->clock().paused();
+    const SimDuration now = network_->clock().now();
+    // Background work runs between foreground ops, when the last stamped
+    // op deadline is stale — it sheds on the low-priority bound only.
+    const SimDuration deadline = low_priority ? SimDuration{} : op_deadline_;
+    if (network_->admit(server, now, deadline, low_priority) !=
+        net::SimNetwork::Admit::kAdmit) {
+      return NfsStat::kOverloaded;
+    }
+    if (CircuitBreaker* b = breaker_for(server); b != nullptr && !b->allow(now)) {
+      return NfsStat::kOverloaded;
+    }
+  }
+
   const unsigned attempts = std::max(1u, retry_.max_attempts);
   // Whether any request was delivered (and thus the procedure executed at
   // least once). Decides the give-up status: kTimedOut when the op may
@@ -123,10 +168,12 @@ NfsResult<ReplyT> NfsClient::transact_impl(std::size_t proc_slot, net::HostId se
         // failover (not retransmission) is the right reaction.
         network_->charge_timeout();
         network_->note_proc_timeout(proc_slot);
+        if (CircuitBreaker* b = breaker_for(server)) b->on_failure(network_->clock().now());
         return executed ? NfsStat::kTimedOut : NfsStat::kUnreachable;
       case SendOutcome::kLost:
         network_->charge_timeout();
         network_->note_proc_timeout(proc_slot);
+        if (CircuitBreaker* b = breaker_for(server)) b->on_failure(network_->clock().now());
         break;
       case SendOutcome::kSent: {
         executed = true;
@@ -135,17 +182,32 @@ NfsResult<ReplyT> NfsClient::transact_impl(std::size_t proc_slot, net::HostId se
         const std::size_t rb = reply_bytes(reply);
         if (deliver_reply(server, rb)) {
           network_->note_proc_message(proc_slot, rb);
+          if (overload_.enabled) {
+            if (!reply.ok() && reply.error() == NfsStat::kOverloaded) {
+              ++overloaded_replies_;
+              if (CircuitBreaker* b = breaker_for(server)) {
+                b->on_failure(network_->clock().now());
+              }
+            } else if (CircuitBreaker* b = breaker_for(server)) {
+              b->on_success();
+            }
+          }
           return reply;
         }
         // Reply lost: the op may have executed — the retransmission below
         // reuses the xid so the server's DRC returns this very reply.
         network_->charge_timeout();
         network_->note_proc_timeout(proc_slot);
+        if (CircuitBreaker* b = breaker_for(server)) b->on_failure(network_->clock().now());
         break;
       }
     }
     if (attempt + 1 >= attempts) {
       return executed ? NfsStat::kTimedOut : NfsStat::kUnreachable;
+    }
+    if (overload_.enabled && budget_.has_value() && !budget_->spend()) {
+      // Out of retry tokens: shed our own retransmission.
+      return executed ? NfsStat::kTimedOut : NfsStat::kOverloaded;
     }
     network_->count_retry(proc_slot);
     backoff(attempt);

@@ -20,11 +20,24 @@
 // not execute — safe to re-issue), kTimedOut if at least one did (the op
 // may have executed with its reply lost — re-issuing a non-idempotent op
 // requires adopting an already-applied result; see koshad's ladder).
+//
+// A third regime exists when RetryPolicy::response_timeout > 0 (the
+// event-driven model only): a *delivered* request whose reply has not come
+// back within the timeout is abandoned and retransmitted. The abandoned
+// copy keeps queueing and executing server-side — that dead work is the
+// raw material of metastable congestive collapse, which is why abandonment
+// is only ever paired with the overload controls configured through
+// configure_overload(): a token-bucket retry budget bounds retransmission
+// amplification, a per-server circuit breaker stops offering load to a
+// host that keeps failing, and kOverloaded admission rejections back off
+// on the budget instead of retransmitting naively.
 
 #include <algorithm>
 #include <array>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <unordered_map>
 
@@ -69,6 +82,29 @@ class NfsClient {
   [[nodiscard]] std::uint64_t boot() const { return boot_; }
   [[nodiscard]] const RetryPolicy& retry_policy() const { return retry_; }
   void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+
+  /// Arm the client-side overload controls (retry budget, per-server
+  /// circuit breakers, admission checks, deadline propagation). With
+  /// `config.enabled == false` — the default state — every call path is
+  /// numerically identical to a client without overload control.
+  void configure_overload(const OverloadControlConfig& config) {
+    overload_ = config;
+    budget_.reset();
+    breakers_.clear();
+    if (overload_.enabled) budget_.emplace(overload_.retry_budget_cap, overload_.retry_budget_refill);
+  }
+  [[nodiscard]] const OverloadControlConfig& overload_config() const { return overload_; }
+
+  /// Absolute deadline stamped into every subsequent RPC's context (see
+  /// RpcContext::deadline): koshad sets it from its op budget at handler
+  /// entry so servers and the failover ladder stop burning time on work
+  /// the caller has abandoned. 0 (the default) propagates no deadline.
+  void set_op_deadline(SimDuration deadline) { op_deadline_ = deadline; }
+  [[nodiscard]] SimDuration op_deadline() const { return op_deadline_; }
+
+  /// Snapshot of this client's overload-control counters (budget and
+  /// breakers). All zero while overload control is disabled.
+  [[nodiscard]] OverloadClientStats overload_stats() const;
 
   /// The completion-based RPC core of the event-driven execution model.
   /// Sends the request now; every later step — wire arrival, admission to
@@ -157,8 +193,14 @@ class NfsClient {
   [[nodiscard]] ProcMetrics& proc_metrics(NfsProc proc);
 
   /// RPC identity for a non-idempotent call, carrying the current trace
-  /// context (invalid when tracing is off).
+  /// context (invalid when tracing is off) and the op deadline (zero when
+  /// none was stamped).
   [[nodiscard]] RpcContext rpc_ctx(std::uint32_t xid) const;
+
+  /// The circuit breaker guarding `server`, created on first use. Null
+  /// while overload control is disabled (or breakers are configured off),
+  /// so call sites stay single-branch on the legacy path.
+  [[nodiscard]] CircuitBreaker* breaker_for(net::HostId server);
 
   std::uint32_t next_xid() { return ++xid_; }
 
@@ -173,6 +215,17 @@ class NfsClient {
   std::uint64_t boot_ = 0;
   RetryPolicy retry_;
   Rng jitter_rng_;
+  OverloadControlConfig overload_{};
+  /// Token bucket bounding retransmissions; engaged iff overload control
+  /// is enabled.
+  std::optional<RetryBudget> budget_;
+  /// Per-server breakers, ordered so stats aggregation iterates
+  /// deterministically.
+  std::map<net::HostId, CircuitBreaker> breakers_;
+  /// kOverloaded outcomes observed by this client (admission rejections
+  /// and deadline bounces reaching it as replies).
+  std::uint64_t overloaded_replies_ = 0;
+  SimDuration op_deadline_{};
   std::array<ProcMetrics, net::kNetProcSlots> proc_metrics_{};
 };
 
@@ -185,6 +238,17 @@ class NfsClient {
 // instants, the jitter stream is drawn in the same order, and every
 // NetStats counter moves identically — that equivalence is what lets the
 // synchronous wrapper switch execution models without changing a number.
+//
+// With response_timeout > 0 ("timed mode") the machine grows a second
+// track: every transmission arms an abandonment timer, and a request's
+// server-side chain (arrive/execute/depart) keeps running even after the
+// client abandoned the attempt — the `finished` latch and per-chain
+// `born` attempt stamp keep stale chains from touching the retry state,
+// while their queueing and service time remain real (that dead work is
+// exactly what the overload experiments measure). Overload control hooks
+// in at three points: start() fails fast on an open breaker, arrive()
+// asks the network's admission control before occupying the queue, and
+// execute() refuses attempts whose deadline passed while they queued.
 
 template <typename ReplyT, typename Invoke, typename ReplyBytes>
 void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
@@ -202,8 +266,18 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
     std::function<void(NfsResult<ReplyT>)> done;
     unsigned attempt = 0;
     /// Whether any request was delivered (see transact_impl): decides
-    /// kTimedOut vs kUnreachable when attempts run out.
+    /// kTimedOut vs kUnreachable when attempts run out. In timed mode a
+    /// delivered request counts immediately — the queued copy may still
+    /// execute after the attempt is abandoned, so "delivered" is the only
+    /// safe proxy for "may have executed".
     bool executed = false;
+    /// Completion latch (timed mode): a stale chain's late reply must not
+    /// complete the op twice. Never set before completion on the legacy
+    /// wait-forever path, where only one chain ever exists.
+    bool finished = false;
+    /// Pending abandonment timer (timed mode only), cancelled when the op
+    /// completes first.
+    EventLoop::EventId abandon_timer = EventLoop::kInvalidEvent;
     /// The enclosing rpc.<proc> span, captured synchronously at submit
     /// time — under interleaved execution the tracer's context stack
     /// belongs to whichever client is running, so the completion events
@@ -222,7 +296,58 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
       (void)tracer->emit_span(trace, name, host, start, end);
     }
 
-    void give_up() { done(executed ? NfsStat::kTimedOut : NfsStat::kUnreachable); }
+    /// Timed mode is in force when the policy sets a response timeout.
+    [[nodiscard]] bool timed() const { return c->retry_.response_timeout.ns > 0; }
+
+    /// Single exit point: latch, cancel the abandonment timer, fire done.
+    void complete(NfsResult<ReplyT> result) {
+      if (finished) return;
+      finished = true;
+      if (abandon_timer != EventLoop::kInvalidEvent) {
+        (void)loop->cancel(abandon_timer);
+        abandon_timer = EventLoop::kInvalidEvent;
+      }
+      done(std::move(result));
+    }
+
+    void give_up() { complete(executed ? NfsStat::kTimedOut : NfsStat::kUnreachable); }
+
+    /// Retransmission decision shared by abandonment and kOverloaded
+    /// rejections (timed mode): pay for the retry out of the budget, back
+    /// off, and re-enter start() — or fail fast when attempts or tokens
+    /// run out. `give_up_status` is the certainly-not-executed verdict;
+    /// a delivered request always degrades it to kTimedOut.
+    void budgeted_retry(NfsStat give_up_status) {
+      if (attempt + 1 >= std::max(1u, c->retry_.max_attempts)) {
+        complete(executed ? NfsStat::kTimedOut : give_up_status);
+        return;
+      }
+      if (c->overload_.enabled && c->budget_.has_value() && !c->budget_->spend()) {
+        // Budget exhausted: refusing to retransmit is the amplification
+        // bound that keeps a flash crowd from becoming metastable.
+        complete(executed ? NfsStat::kTimedOut : NfsStat::kOverloaded);
+        return;
+      }
+      c->network_->count_retry(slot);
+      const SimDuration wait = c->backoff_duration(attempt);
+      ++attempt;
+      const SimDuration now = loop->now();
+      emit_wait_span("rpc.backoff", c->self_, now, now + wait);
+      auto self = this->shared_from_this();
+      loop->schedule_after(wait, "rpc.backoff", [self] { self->start(); });
+    }
+
+    /// The abandonment timer fired: no reply within response_timeout.
+    void abandon(unsigned expected_attempt) {
+      if (finished || attempt != expected_attempt) return;  // stale timer
+      abandon_timer = EventLoop::kInvalidEvent;
+      c->network_->note_timeout();
+      c->network_->note_proc_timeout(slot);
+      const SimDuration now = loop->now();
+      emit_wait_span("rpc.timeout", c->self_, now - c->retry_.response_timeout, now);
+      if (CircuitBreaker* b = c->breaker_for(server)) b->on_failure(now);
+      budgeted_retry(NfsStat::kUnreachable);
+    }
 
     /// Count a timeout now; let its duration elapse as an event, then
     /// continue with `next`.
@@ -266,35 +391,98 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
                              [self] { self->give_up(); });
         return;
       }
+      if (CircuitBreaker* b = c->breaker_for(server); b != nullptr && !b->allow(loop->now())) {
+        // Open breaker: fail fast without offering the wire any load (the
+        // breaker's own fast_fails counter records the refusal).
+        const SimDuration now = loop->now();
+        emit_wait_span("rpc.breaker_open", c->self_, now, now);
+        auto self = this->shared_from_this();
+        loop->schedule_at(now, "rpc.reject", [self] { self->complete(NfsStat::kOverloaded); });
+        return;
+      }
       const auto plan = c->network_->plan_message(c->self_, server, request_bytes, loop->now());
+      if (timed()) {
+        // Delivered or lost, the client's view is identical: wait
+        // response_timeout for a reply, then abandon the attempt. The
+        // per-transmission deadline rides the chain by value so stale
+        // chains judge themselves against their own patience window.
+        const SimDuration dl = loop->now() + c->retry_.response_timeout;
+        if (plan.delivered) {
+          executed = true;
+          c->network_->note_proc_message(slot, request_bytes);
+          auto self = this->shared_from_this();
+          loop->schedule_at(plan.arrival, "rpc.arrive",
+                            [self, dl, born = attempt] { self->arrive(dl, born); });
+        }
+        auto self = this->shared_from_this();
+        abandon_timer = loop->schedule_after(
+            c->retry_.response_timeout, "rpc.abandon",
+            [self, expected = attempt] { self->abandon(expected); });
+        return;
+      }
       if (!plan.delivered) {
         timeout_then(&Call::retry_or_fail);
         return;
       }
       c->network_->note_proc_message(slot, request_bytes);
       auto self = this->shared_from_this();
-      loop->schedule_at(plan.arrival, "rpc.arrive", [self] { self->arrive(); });
+      loop->schedule_at(plan.arrival, "rpc.arrive",
+                        [self, born = attempt] { self->arrive(SimDuration{}, born); });
     }
 
-    /// The request reached the server: queue behind whatever it is
-    /// already serving (this wait is the measured `net.queue_delay`).
-    void arrive() {
+    /// The request reached the server: pass admission control, then queue
+    /// behind whatever it is already serving (this wait is the measured
+    /// `net.queue_delay`). `dl` is this transmission's abandonment
+    /// deadline (zero in legacy mode); `born` the attempt that sent it.
+    void arrive(SimDuration dl, unsigned born) {
       const SimDuration arrival = loop->now();
+      if (c->overload_.enabled) {
+        if (c->network_->admit(server, arrival, dl, false) != net::SimNetwork::Admit::kAdmit) {
+          // Bounced at the door: a rejection costs one cheap reply
+          // message instead of queue occupancy and service time.
+          emit_wait_span("server.shed", server, arrival, arrival);
+          const auto back =
+              c->network_->plan_message(server, c->self_, NfsClient::kReplyBytes, arrival);
+          if (back.delivered) {
+            c->network_->note_proc_message(slot, NfsClient::kReplyBytes);
+            auto self = this->shared_from_this();
+            loop->schedule_at(back.arrival, "rpc.done", [self, born] {
+              self->handle_result(NfsStat::kOverloaded, born);
+            });
+          } else if (!timed()) {
+            // Legacy mode has no abandonment timer to fall back on, and
+            // never more than one live chain: treat the lost rejection
+            // like any lost reply.
+            timeout_then(&Call::retry_or_fail);
+          }
+          return;
+        }
+      }
       const SimDuration begin = c->network_->begin_service(server, arrival);
       if (begin > arrival) emit_wait_span("net.queue", server, arrival, begin);
       c->network_->note_inflight(server, +1);
       auto self = this->shared_from_this();
-      loop->schedule_at(begin, "rpc.execute", [self] { self->execute(); });
+      loop->schedule_at(begin, "rpc.execute", [self, dl, born] { self->execute(dl, born); });
     }
 
-    void execute() {
+    void execute(SimDuration dl, unsigned born) {
       NfsServer* s = c->directory_->find(server);
       if (s == nullptr || !c->network_->is_up(server)) {
         // Died while the request sat in its queue: indistinguishable from
         // a lost reply for the client.
         c->network_->note_inflight(server, -1);
         executed = true;
+        if (timed()) return;  // the abandonment timer owns the retry
         timeout_then(&Call::retry_or_fail);
+        return;
+      }
+      if (c->overload_.enabled && dl.ns > 0 && loop->now() > dl) {
+        // The client abandoned this attempt while it queued: drop the
+        // dead work instead of burning service time on a reply nobody is
+        // waiting for. No message goes back — the client moved on.
+        c->network_->note_expired();
+        c->network_->note_inflight(server, -1);
+        emit_wait_span("server.expired", server, loop->now(), loop->now());
         return;
       }
       executed = true;
@@ -309,27 +497,60 @@ void NfsClient::call_async(std::size_t proc_slot, net::HostId server,
       c->network_->note_service_time(server, end - begin);
       auto self = this->shared_from_this();
       auto boxed = std::make_shared<NfsResult<ReplyT>>(std::move(reply));
-      loop->schedule_at(end, "rpc.depart", [self, boxed] { self->depart(std::move(*boxed)); });
+      loop->schedule_at(end, "rpc.depart",
+                        [self, boxed, born] { self->depart(std::move(*boxed), born); });
     }
 
     /// Service finished: send the reply back over the wire.
-    void depart(NfsResult<ReplyT> reply) {
+    void depart(NfsResult<ReplyT> reply, unsigned born) {
       c->network_->note_inflight(server, -1);
       const std::size_t rb = reply_bytes(reply);
       const auto plan = c->network_->plan_message(server, c->self_, rb, loop->now());
       if (!plan.delivered) {
         // Reply lost: the op may have executed — the retransmission
         // reuses the xid so the server's DRC returns this very reply.
+        if (timed()) return;  // the abandonment timer owns the retry
         timeout_then(&Call::retry_or_fail);
         return;
       }
       c->network_->note_proc_message(slot, rb);
       auto self = this->shared_from_this();
       auto boxed = std::make_shared<NfsResult<ReplyT>>(std::move(reply));
-      loop->schedule_at(plan.arrival, "rpc.done", [self, boxed] { self->done(std::move(*boxed)); });
+      loop->schedule_at(plan.arrival, "rpc.done",
+                        [self, boxed, born] { self->handle_result(std::move(*boxed), born); });
+    }
+
+    /// A reply (or admission rejection) reached the client. `born` tells
+    /// a stale chain's rejection from the live attempt's.
+    void handle_result(NfsResult<ReplyT> reply, unsigned born) {
+      if (finished) return;  // the op already concluded; late echo
+      if (c->overload_.enabled) {
+        const SimDuration now = loop->now();
+        if (!reply.ok() && reply.error() == NfsStat::kOverloaded) {
+          // A stale chain's rejection must not drive the live attempt's
+          // retry logic — only the transmission that is still current may.
+          if (born != attempt) return;
+          ++c->overloaded_replies_;
+          if (CircuitBreaker* b = c->breaker_for(server)) b->on_failure(now);
+          if (abandon_timer != EventLoop::kInvalidEvent) {
+            (void)loop->cancel(abandon_timer);
+            abandon_timer = EventLoop::kInvalidEvent;
+          }
+          // Shed by the server: budgeted backoff, never naive retransmit.
+          budgeted_retry(NfsStat::kOverloaded);
+          return;
+        }
+        // Any substantive reply — success or an honest NFS error — means
+        // the server is alive and serving.
+        if (CircuitBreaker* b = c->breaker_for(server)) b->on_success();
+      }
+      complete(std::move(reply));
     }
   };
 
+  // Every issued operation earns retry-budget refill; only
+  // retransmissions spend (see RetryBudget).
+  if (overload_.enabled && budget_.has_value()) budget_->earn();
   auto call = std::make_shared<Call>(std::move(invoke), std::move(reply_bytes));
   call->c = this;
   call->loop = network_->loop();

@@ -39,6 +39,8 @@ const char* to_string(NfsStat status) {
       return "NFS3ERR_UNREACHABLE";
     case NfsStat::kTimedOut:
       return "NFS3ERR_TIMEDOUT";
+    case NfsStat::kOverloaded:
+      return "NFS3ERR_OVERLOADED";
   }
   return "?";
 }
@@ -83,6 +85,15 @@ void NfsServer::charge_data(std::size_t bytes) {
     clock_->advance(SimDuration::nanos(costs_.data_per_kib.ns *
                                        static_cast<std::int64_t>(bytes) / 1024));
   }
+}
+
+bool NfsServer::reject_expired(RpcContext ctx) {
+  if (ctx.deadline.ns <= 0 || clock_ == nullptr || clock_->now() <= ctx.deadline) return false;
+  // Decode cost only (rpc_base): shedding must stay far cheaper than the
+  // metadata op it avoids, or rejection would not relieve the server.
+  charge(SimDuration{});
+  ++deadline_rejects_;
+  return true;
 }
 
 const NfsServer::DrcEntry* NfsServer::drc_find(RpcContext ctx, ReplyShape want) {
@@ -179,6 +190,7 @@ NfsResult<fs::Attr> NfsServer::getattr(FileHandle obj) {
 NfsResult<fs::Attr> NfsServer::set_mode(FileHandle obj, std::uint32_t mode,
                                         RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.set_mode", host_);
+  if (reject_expired(ctx)) return fail(span, NfsStat::kOverloaded);
   if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kAttr)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
@@ -200,6 +212,7 @@ NfsResult<fs::Attr> NfsServer::set_mode(FileHandle obj, std::uint32_t mode,
 NfsResult<fs::Attr> NfsServer::truncate(FileHandle obj, std::uint64_t size,
                                         RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.truncate", host_);
+  if (reject_expired(ctx)) return fail(span, NfsStat::kOverloaded);
   if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kAttr)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
@@ -250,6 +263,7 @@ NfsResult<HandleReply> NfsServer::create(FileHandle dir, std::string_view name,
   // Parent under the trace context the RPC carried: on a retransmission the
   // execution still joins the originating client operation's trace.
   SpanScope span(tracer_, ctx.trace, "server.create", host_);
+  if (reject_expired(ctx)) return fail(span, NfsStat::kOverloaded);
   if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kHandle)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
@@ -272,6 +286,7 @@ NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
                                         std::uint32_t mode, std::uint32_t uid,
                                         std::uint32_t gid, RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.mkdir", host_);
+  if (reject_expired(ctx)) return fail(span, NfsStat::kOverloaded);
   if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kHandle)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
@@ -293,6 +308,7 @@ NfsResult<HandleReply> NfsServer::mkdir(FileHandle dir, std::string_view name,
 NfsResult<HandleReply> NfsServer::symlink(FileHandle dir, std::string_view name,
                                           std::string_view target, RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.symlink", host_);
+  if (reject_expired(ctx)) return fail(span, NfsStat::kOverloaded);
   if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kHandle)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
@@ -323,6 +339,7 @@ NfsResult<std::string> NfsServer::readlink(FileHandle link) {
 
 NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name, RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.remove", host_);
+  if (reject_expired(ctx)) return fail(span, NfsStat::kOverloaded);
   if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kUnit)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
@@ -341,6 +358,7 @@ NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name, RpcCont
 
 NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name, RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.rmdir", host_);
+  if (reject_expired(ctx)) return fail(span, NfsStat::kOverloaded);
   if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kUnit)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);
@@ -361,6 +379,7 @@ NfsResult<Unit> NfsServer::rename(FileHandle from_dir, std::string_view from_nam
                                   FileHandle to_dir, std::string_view to_name,
                                   RpcContext ctx) {
   SpanScope span(tracer_, ctx.trace, "server.rename", host_);
+  if (reject_expired(ctx)) return fail(span, NfsStat::kOverloaded);
   if (const DrcEntry* hit = drc_find(ctx, ReplyShape::kUnit)) {
     span.tag("drc", "hit");
     charge(costs_.read_meta);

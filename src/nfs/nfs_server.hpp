@@ -97,6 +97,10 @@ class NfsServer {
 
   [[nodiscard]] std::uint64_t rpc_count() const { return rpc_count_; }
   [[nodiscard]] const DrcStats& drc_stats() const { return drc_stats_; }
+  /// Non-idempotent requests bounced with kOverloaded because their
+  /// propagated deadline (RpcContext::deadline) had already passed on
+  /// arrival. Always zero while overload control is disabled.
+  [[nodiscard]] std::uint64_t deadline_rejects() const { return deadline_rejects_; }
 
   /// Attach the cluster's observability sinks (nullptr = off). Procedures
   /// then run under server-side spans — parented by the trace context the
@@ -135,6 +139,13 @@ class NfsServer {
   }
   [[nodiscard]] const DrcEntry* drc_find(RpcContext ctx, ReplyShape want);
   void drc_store(RpcContext ctx, DrcEntry entry);
+  /// True iff the request's propagated op deadline has already passed —
+  /// the client gave up, so executing (or even caching a reply) is dead
+  /// work. Non-idempotent handlers MUST call this before their drc_store
+  /// (lint rule P3): rejecting after the store would poison the DRC with
+  /// a kOverloaded reply that a later retransmission of the same xid
+  /// would then be served instead of executing.
+  [[nodiscard]] bool reject_expired(RpcContext ctx);
   [[nodiscard]] NfsResult<fs::InodeId> resolve(FileHandle handle) const;
   [[nodiscard]] FileHandle handle_for(fs::InodeId inode) const;
   void charge(SimDuration cost);
@@ -145,6 +156,7 @@ class NfsServer {
   NfsCostModel costs_;
   SimClock* clock_;
   std::uint64_t rpc_count_ = 0;
+  std::uint64_t deadline_rejects_ = 0;
   std::unordered_map<std::uint64_t, DrcEntry> drc_;
   std::deque<std::uint64_t> drc_order_;
   DrcStats drc_stats_;

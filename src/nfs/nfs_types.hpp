@@ -49,6 +49,14 @@ enum class NfsStat {
                  // op *may have executed* with its reply lost. Callers that
                  // re-issue a non-idempotent op after this status must be
                  // prepared to adopt an already-applied result.
+  kOverloaded,   // request shed by overload control before execution: the
+                 // server's admission bound bounced the arrival, the request's
+                 // propagated deadline had already passed, or the client's own
+                 // breaker/retry budget refused to offer more load. The op
+                 // certainly did not execute *on this attempt* — but an
+                 // earlier attempt of the same xid may have (the koshad
+                 // ladder treats it as retryable and keeps its maybe-executed
+                 // bookkeeping).
 };
 
 [[nodiscard]] const char* to_string(NfsStat status);
@@ -77,6 +85,13 @@ struct RpcContext {
   /// tracing. Not part of the DRC key: a retransmission may carry a
   /// different span id but is still the same request.
   TraceContext trace{};
+  /// Absolute virtual-time deadline of the client *operation* this RPC
+  /// serves (0 = none — the default, and always the value when overload
+  /// control is disabled). Propagated so servers can refuse to execute
+  /// work the client has already abandoned (kOverloaded before any DRC
+  /// store). Like `trace`, NOT part of the DRC key: a retransmission may
+  /// carry a refreshed deadline but is still the same request.
+  SimDuration deadline{};
 
   [[nodiscard]] bool valid() const { return client != net::kInvalidHost; }
 };

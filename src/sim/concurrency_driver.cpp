@@ -31,6 +31,7 @@ struct Client {
   SimDuration local{};    // this client's virtual finish time so far
   std::size_t next_op = 0;
   std::size_t total_ops = 0;
+  Rng zipf_rng{0};        // per-client popularity stream (zipf_s > 0 only)
 };
 
 }  // namespace
@@ -46,6 +47,14 @@ WorkloadResult run_multi_client_workload(KoshaCluster& cluster,
   const std::size_t ops_per_client =
       1 + config.files_per_client + config.files_per_client * config.reads_per_file;
 
+  // Optional Zipf read popularity: one sampler, one forked stream per
+  // client, both derived from the cluster seed. With zipf_s == 0 neither
+  // exists and the read pass is the legacy round-robin — numerically
+  // identical to runs predating the knob.
+  const bool zipf = config.zipf_s > 0.0 && config.files_per_client > 0;
+  const ZipfSampler popularity(zipf ? config.files_per_client : 1, config.zipf_s);
+  const Rng zipf_root(cluster.config().seed ^ 0x5a1full);
+
   std::vector<Client> clients(config.clients);
   for (std::size_t c = 0; c < clients.size(); ++c) {
     clients[c].mount =
@@ -53,6 +62,7 @@ WorkloadResult run_multi_client_workload(KoshaCluster& cluster,
     clients[c].root = "/u" + std::to_string(c);
     clients[c].local = t0;
     clients[c].total_ops = ops_per_client;
+    if (zipf) clients[c].zipf_rng = zipf_root.fork(c);
   }
 
   // Per-op virtual latency distribution (p50/p95/p99 for the scalability
@@ -90,7 +100,9 @@ WorkloadResult run_multi_client_workload(KoshaCluster& cluster,
       const std::string path = cl.root + "/f" + std::to_string(file);
       ok = cl.mount->write_file(path, file_content(c, file, config.file_bytes)).ok();
     } else {
-      const std::size_t file = (op - 1 - config.files_per_client) % config.files_per_client;
+      const std::size_t file =
+          zipf ? popularity.sample(cl.zipf_rng)
+               : (op - 1 - config.files_per_client) % config.files_per_client;
       const std::string path = cl.root + "/f" + std::to_string(file);
       const auto read = cl.mount->read_file(path);
       ok = read.ok() && read.value() == file_content(c, file, config.file_bytes);

@@ -15,9 +15,13 @@
 // client pays for every other client's ops — which is the legacy
 // one-RPC-at-a-time model. bench/concurrency_bench compares the two.
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "common/sim_clock.hpp"
 
 namespace kosha {
@@ -25,6 +29,36 @@ class KoshaCluster;
 }
 
 namespace kosha::sim {
+
+/// Seeded Zipf(s) popularity sampler over ranks [0, n): rank k is drawn
+/// with probability proportional to 1/(k+1)^s. Built once (O(n) CDF),
+/// sampled by inverse-CDF binary search, so every draw costs one uniform
+/// from the caller's Rng — deterministic for a given seed and cheap enough
+/// for per-op use in the workload drivers.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n == 0 ? 1 : n) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < cdf_.size(); ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    for (double& v : cdf_) v /= total;
+    cdf_.back() = 1.0;  // guard against accumulated rounding
+  }
+
+  /// Draw a rank in [0, n); rank 0 is the most popular.
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    return static_cast<std::size_t>(
+        std::upper_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
 
 struct WorkloadConfig {
   std::size_t clients = 4;
@@ -36,6 +70,11 @@ struct WorkloadConfig {
   /// true: client timelines overlap (makespan = latest finish − start).
   /// false: ops are charged back-to-back (makespan = sum of all ops).
   bool overlap = true;
+  /// Read-pass popularity skew. 0 (default) keeps the legacy round-robin
+  /// file selection; > 0 draws each read's file from Zipf(zipf_s) using a
+  /// per-client stream forked from the cluster seed, so hot-file
+  /// contention is reproducible run to run.
+  double zipf_s = 0.0;
 };
 
 struct WorkloadResult {

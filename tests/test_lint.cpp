@@ -1,4 +1,4 @@
-// kosha_lint rule-engine tests: every rule (D1-D3, P1-P2, S1, H1) is driven
+// kosha_lint rule-engine tests: every rule (D1-D3, P1-P3, S1, H1) is driven
 // over a known-bad fixture snippet and must fire with its exact rule id;
 // the annotation escape hatch, the clean path and the exit-code contract
 // are covered alongside. Fixtures live in raw strings — the tokenizer
@@ -371,6 +371,84 @@ NfsResult<ReadReply> NfsServer::read(FileHandle file) {
 }
 )cpp");
   EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// P3 — early rejects must precede the DRC store
+// ---------------------------------------------------------------------------
+
+TEST(LintP3, FlagsRejectExpiredAfterDrcStore) {
+  const auto diags = lint_one("src/nfs/bad_server.cpp", R"cpp(
+NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name,
+                                  RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx, false)) return hit->unit_reply;
+  NfsResult<Unit> reply = from_fs(store_.remove(dir.inode, name));
+  drc_store(ctx, reply);
+  if (reject_expired(ctx)) return NfsStat::kOverloaded;
+  return reply;
+}
+)cpp");
+  ASSERT_GE(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "P3");
+  EXPECT_EQ(diags[0].slug, "early-reject");
+}
+
+TEST(LintP3, FlagsOverloadReplyProducedAfterDrcStore) {
+  const auto diags = lint_one("src/nfs/bad_server.cpp", R"cpp(
+NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name,
+                                 RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx, false)) return hit->unit_reply;
+  NfsResult<Unit> reply = from_fs(store_.rmdir(dir.inode, name));
+  drc_store(ctx, reply);
+  if (queue_full()) return NfsStat::kOverloaded;
+  return reply;
+}
+)cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "P3");
+  EXPECT_NE(diags[0].message.find("kOverloaded"), std::string::npos);
+}
+
+TEST(LintP3, RejectBeforeDrcEngagementIsClean) {
+  const auto diags = lint_one("src/nfs/ok_server.cpp", R"cpp(
+NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name,
+                                  RpcContext ctx) {
+  if (reject_expired(ctx)) return NfsStat::kOverloaded;
+  if (const DrcEntry* hit = drc_find(ctx, false)) return hit->unit_reply;
+  NfsResult<Unit> reply = from_fs(store_.remove(dir.inode, name));
+  drc_store(ctx, reply);
+  return reply;
+}
+)cpp");
+  EXPECT_TRUE(diags.empty()) << kosha::lint::to_text(diags);
+}
+
+TEST(LintP3, HandlerWithoutEarlyRejectIsClean) {
+  const auto diags = lint_one("src/nfs/ok_server.cpp", R"cpp(
+NfsResult<Unit> NfsServer::rmdir(FileHandle dir, std::string_view name,
+                                 RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx, false)) return hit->unit_reply;
+  NfsResult<Unit> reply = from_fs(store_.rmdir(dir.inode, name));
+  drc_store(ctx, reply);
+  return reply;
+}
+)cpp");
+  EXPECT_TRUE(diags.empty()) << kosha::lint::to_text(diags);
+}
+
+TEST(LintP3, AnnotationWithReasonSuppresses) {
+  const auto diags = lint_one("src/nfs/annotated_server.cpp", R"cpp(
+NfsResult<Unit> NfsServer::remove(FileHandle dir, std::string_view name,
+                                  RpcContext ctx) {
+  if (const DrcEntry* hit = drc_find(ctx, false)) return hit->unit_reply;
+  NfsResult<Unit> reply = from_fs(store_.remove(dir.inode, name));
+  drc_store(ctx, reply);
+  // kosha-lint: allow(early-reject): reply below is advisory, never cached
+  if (reject_expired(ctx)) return NfsStat::kOverloaded;
+  return reply;
+}
+)cpp");
+  EXPECT_TRUE(diags.empty()) << kosha::lint::to_text(diags);
 }
 
 // ---------------------------------------------------------------------------

@@ -17,6 +17,9 @@
 //   --detector FILE  failure-detector summary from a metrics snapshot
 //                    (probes / suspicions / declarations / reinstatements).
 //   --repair FILE    repair-daemon summary from a metrics snapshot.
+//   --overload FILE  overload-control summary from a metrics snapshot
+//                    (admission/deadline rejections, expired dead work,
+//                    retry-budget and circuit-breaker state, repair yields).
 //   --demo           run a small observability-enabled cluster, perform one
 //                    cross-node CREATE, and print its span tree plus the
 //                    metrics snapshot (--nodes N, --replicas K, --seed S).
@@ -261,7 +264,7 @@ int show_prefixed(const std::string& path, const char* title, const std::string&
     }
   }
   if (!any) {
-    std::printf("  (no matching metrics — was the run self-healing + metrics-enabled?)\n");
+    std::printf("  (no matching metrics — was the feature enabled and metrics on?)\n");
   }
   return 0;
 }
@@ -305,12 +308,13 @@ int run_demo(const CliArgs& args) {
 int usage(int code) {
   std::fputs(
       "usage: kosha_stat (--metrics FILE [--csv] | --trace FILE [--tree] | --prof FILE\n"
-      "                   | --detector FILE | --repair FILE | --demo)\n"
+      "                   | --detector FILE | --repair FILE | --overload FILE | --demo)\n"
       "  --metrics FILE   render a metrics snapshot (JSON) as a table; --csv for rows\n"
       "  --trace FILE     summarize a trace stream (JSONL); --tree for the span forest\n"
       "  --prof FILE      render a simulator profile / critical-path report (JSON)\n"
       "  --detector FILE  failure-detector summary from a metrics snapshot\n"
       "  --repair FILE    repair-daemon summary from a metrics snapshot\n"
+      "  --overload FILE  overload-control summary from a metrics snapshot\n"
       "  --demo           trace one cross-node CREATE on a live cluster\n"
       "                   (--nodes N, --replicas K, --seed S)\n",
       code == 0 ? stdout : stderr);
@@ -323,7 +327,8 @@ int main(int argc, char** argv) {
   try {
     const kosha::CliArgs args(argc, argv);
     if (const std::string err = args.check_known(
-            "metrics,trace,csv,tree,prof,detector,repair,demo,nodes,replicas,seed,help");
+            "metrics,trace,csv,tree,prof,detector,repair,overload,demo,nodes,replicas,seed,"
+            "help");
         !err.empty()) {
       std::fprintf(stderr, "kosha_stat: %s\n", err.c_str());
       return usage(2);
@@ -343,6 +348,10 @@ int main(int argc, char** argv) {
     if (args.has("repair")) {
       return show_prefixed(args.get_string("repair", ""), "repair daemon", "selfheal.repair.",
                            "selfheal.repair");
+    }
+    if (args.has("overload")) {
+      return show_prefixed(args.get_string("overload", ""), "overload control", "overload.",
+                           "overload.");
     }
     if (args.get_bool("demo", false)) return run_demo(args);
     return usage(2);

@@ -472,6 +472,55 @@ struct Linter::Impl {
     }
   }
 
+  // --- P3: early rejects must precede the DRC store ------------------------
+  // Overload control lets a server refuse work before executing it
+  // (deadline-expired requests answer kOverloaded). In a non-idempotent
+  // handler that refusal MUST happen before the handler records a reply in
+  // the duplicate-request cache: a cached kOverloaded would be replayed to
+  // the retransmission of a request that never executed, permanently
+  // shadowing the real execution (at-most-once becomes at-most-never).
+
+  void rule_early_reject(const SourceFile& f) {
+    static const std::set<std::string, std::less<>> kNonIdempotent = {
+        "create", "mkdir",  "symlink", "link",     "remove",
+        "rmdir",  "rename", "setattr", "set_mode", "truncate"};
+    const auto& t = f.tokens;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      if (!is_ident(t[i], "NfsServer") || !is_punct(t[i + 1], "::")) continue;
+      if (t[i + 2].kind != TokKind::kIdent || kNonIdempotent.count(t[i + 2].text) == 0) {
+        continue;
+      }
+      if (!is_punct(t[i + 3], "(")) continue;
+      std::size_t j = skip_balanced(t, i + 3, "(", ")");
+      while (j < t.size() && t[j].kind == TokKind::kIdent) ++j;  // const, noexcept
+      if (j >= t.size() || !is_punct(t[j], "{")) continue;       // declaration only
+      const std::size_t body_end = skip_balanced(t, j, "{", "}");
+      std::size_t first_record = body_end, first_reject = body_end, first_overload = body_end;
+      for (std::size_t k = j; k < body_end; ++k) {
+        if (t[k].kind != TokKind::kIdent) continue;
+        if (t[k].text == "drc_store" && first_record == body_end) first_record = k;
+        if (t[k].text == "reject_expired" && first_reject == body_end) first_reject = k;
+        if (t[k].text == "kOverloaded" && first_overload == body_end) first_overload = k;
+      }
+      const std::string proc = t[i + 2].text;
+      if (first_record == body_end) continue;  // nothing cached: nothing to poison
+      if (first_reject != body_end && first_reject > first_record) {
+        report(f, t[first_reject].line, "P3", "early-reject",
+               "non-idempotent handler NfsServer::" + proc +
+                   " calls reject_expired after drc_store: the shed reply could "
+                   "be recorded in the DRC and replayed to a retransmission that "
+                   "deserves the real execution");
+      }
+      if (first_overload != body_end && first_overload > first_record) {
+        report(f, t[first_overload].line, "P3", "early-reject",
+               "non-idempotent handler NfsServer::" + proc +
+                   " produces kOverloaded after drc_store: early-reject paths "
+                   "must fire before the reply is cached (a stored overload "
+                   "reply shadows the execution forever)");
+      }
+    }
+  }
+
   // --- P2: full RpcContext construction -----------------------------------
 
   void rule_rpc_ctx(const SourceFile& f) {
@@ -584,6 +633,7 @@ std::vector<Diagnostic> Linter::run() {
     impl_->rule_unordered_iter(f);
     impl_->rule_event_callbacks(f);
     impl_->rule_drc(f);
+    impl_->rule_early_reject(f);
     impl_->rule_rpc_ctx(f);
     impl_->rule_storage_seam(f);
     impl_->rule_header(f);
