@@ -7,6 +7,7 @@
 // --replicas K (default 3).
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -39,8 +40,13 @@ Outcome run(bool read_from_replicas, std::size_t clients, std::size_t reads,
   KoshaMount setup(&cluster.daemon(0));
   (void)setup.mkdir_p("/hot");
   for (int i = 0; i < 16; ++i) {
-    (void)setup.write_file("/hot/f" + std::to_string(i),
-                           trace::mab_content(32 * 1024, static_cast<std::uint64_t>(i)));
+    if (!setup
+             .write_file("/hot/f" + std::to_string(i),
+                         trace::mab_content(32 * 1024, static_cast<std::uint64_t>(i)))
+             .ok()) {
+      std::fprintf(stderr, "ablation_read_replicas: seeding /hot failed\n");
+      std::exit(1);
+    }
   }
   const std::vector<std::uint64_t> rpc_before = [&] {
     std::vector<std::uint64_t> counts;
@@ -55,7 +61,10 @@ Outcome run(bool read_from_replicas, std::size_t clients, std::size_t reads,
   for (std::size_t c = 0; c < clients; ++c) {
     KoshaMount mount(&cluster.daemon(static_cast<net::HostId>(c)));
     for (std::size_t r = 0; r < reads; ++r) {
-      (void)mount.read_file("/hot/f" + std::to_string(r % 16));
+      if (!mount.read_file("/hot/f" + std::to_string(r % 16)).ok()) {
+        std::fprintf(stderr, "ablation_read_replicas: measured read failed\n");
+        std::exit(1);
+      }
     }
     replica_reads += cluster.daemon(static_cast<net::HostId>(c)).stats().replica_reads;
   }

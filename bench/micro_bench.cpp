@@ -147,8 +147,10 @@ int write_metrics_snapshot(const std::string& path) {
       std::fprintf(stderr, "micro_bench: snapshot workload write failed\n");
       return 1;
     }
-    (void)mount.read_file(file);
-    (void)mount.stat(file);
+    if (!mount.read_file(file).ok() || !mount.stat(file).ok()) {
+      std::fprintf(stderr, "micro_bench: snapshot workload read-back failed\n");
+      return 1;
+    }
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {

@@ -45,6 +45,8 @@ TraceContext Tracer::emit_span(TraceContext parent, std::string_view name, std::
   return ctx;
 }
 
+// Span tags own their strings by design; callers gate on enabled()/active().
+// kosha-lint: allow(hot-alloc): runs only when tracing is explicitly enabled
 void Tracer::tag(std::string_view key, std::string_view value) {
   if (stack_.empty()) return;
   stack_.back().record.tags.emplace_back(std::string(key), std::string(value));

@@ -27,6 +27,8 @@ nfs::NfsStat Koshad::failover_ladder(
   const std::string path = entry->path;  // copy: the table may rehash below
   const Resolved cached{entry->real.server, entry->real, entry->stored_path, entry->type};
 
+  // kosha-lint: edge(Koshad::with_handle): attempt is the type-erased retry
+  // thunk with_handle builds; its calls are attributed to with_handle.
   nfs::NfsStat status = attempt(cached);
   if (status == nfs::NfsStat::kOk || !is_error_retryable(status)) {
     if (failover_depth_hist_ != nullptr) failover_depth_hist_->record(0.0);

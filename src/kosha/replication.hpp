@@ -41,6 +41,9 @@ inline constexpr const char* kReplicaArea = ".r";
 struct MirrorStats {
   std::uint64_t rpcs = 0;     // individual mirror messages sent
   std::uint64_t batches = 0;  // mutations that fanned out (>=1 live target)
+  /// Mirror applications that failed on a target (typically NOSPC): the
+  /// replica is stale until the repair daemon's audit re-pushes it.
+  std::uint64_t errors = 0;
   /// Total wire time one-at-a-time execution would charge (sum over
   /// targets) vs. all-at-once execution (max per batch, accumulated).
   SimDuration sequential{};
@@ -147,6 +150,11 @@ class ReplicaManager {
       const std::string& stored_path, std::size_t payload,
       const std::function<void(fs::StorageBackend&, const std::string&)>& op);
 
+  /// Record a failed mirror application: counted in MirrorStats and the
+  /// replica.mirror.errors metric so staleness is visible, never fatal —
+  /// the audit pass re-pushes the anchor.
+  void note_mirror_error();
+
   /// If a fault plan has `peer` (or this host) in a brownout right now,
   /// advance the virtual clock past the window (chained windows included)
   /// before starting a repair copy: membership-driven re-replication waits
@@ -202,6 +210,7 @@ class ReplicaManager {
   /// Replication-event counters, resolved once at construction (all null
   /// when metrics are off).
   Counter* mirror_ops_ = nullptr;     // per-target mirrored mutations
+  Counter* mirror_errors_ = nullptr;  // mirror applications that failed
   Counter* pushes_ = nullptr;         // anchor subtrees pushed to a target
   Counter* promotions_ = nullptr;     // replicas promoted to primary
   Counter* repairs_ = nullptr;        // incomplete copies repaired from a peer

@@ -121,12 +121,16 @@ SimNetwork::Admit SimNetwork::admit(HostId host, SimDuration arrival, SimDuratio
 SimNetwork::HostObs& SimNetwork::host_obs(HostId host) {
   if (host_obs_.size() <= host) host_obs_.resize(host + 1);
   HostObs& obs = host_obs_[host];
-  if (obs.queue_delay == nullptr && metrics_ != nullptr) {
-    const std::string prefix = "node." + std::to_string(host);
-    obs.queue_delay = metrics_->histogram(prefix + ".net.queue_delay_us");
-    obs.inflight = metrics_->gauge(prefix + ".server.inflight");
-  }
+  if (obs.queue_delay == nullptr && metrics_ != nullptr) init_host_obs(host, obs);
   return obs;
+}
+
+// Label interning at the metrics registry, never on the steady-state path.
+// kosha-lint: allow(hot-alloc): once per host at its first service only
+void SimNetwork::init_host_obs(HostId host, HostObs& obs) {
+  const std::string prefix = "node." + std::to_string(host);
+  obs.queue_delay = metrics_->histogram(prefix + ".net.queue_delay_us");
+  obs.inflight = metrics_->gauge(prefix + ".server.inflight");
 }
 
 SimDuration SimNetwork::begin_service(HostId host, SimDuration arrival) {

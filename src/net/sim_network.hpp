@@ -279,6 +279,9 @@ class SimNetwork {
     Gauge* inflight = nullptr;
   };
   [[nodiscard]] HostObs& host_obs(HostId host);
+  /// Cold half of host_obs: resolve the host's instruments by name (the
+  /// one sanctioned allocation, first service per host only).
+  void init_host_obs(HostId host, HostObs& obs);
 
   NetworkConfig config_;
   SimClock* clock_;

@@ -135,7 +135,7 @@ ChurnResult simulate_churn(const ChurnSimConfig& config) {
   Dataset dataset;
   for (std::size_t i = 0; i < config.files; ++i) {
     const std::string dir = "/churn/d" + std::to_string(i % 6);
-    (void)mount.mkdir_p(dir);
+    if (!mount.mkdir_p(dir).ok()) continue;
     const std::string path = dir + "/f" + std::to_string(i);
     const std::string content =
         "content-" + std::to_string(i) + "-" + std::to_string(config.seed);

@@ -82,7 +82,9 @@ FlashCrowdResult simulate_flash_crowd(const FlashCrowdConfig& config) {
     for (std::size_t f = 0; f < config.hot_files; ++f) {
       paths[f] = "/hot/h" + std::to_string(f);
       contents[f] = hot_content(f, config.file_bytes);
-      (void)setup.write_file(paths[f], contents[f]);
+      // A fresh, unloaded cluster cannot reject these, but a half-seeded
+      // tree must not be measured as if it were whole.
+      if (!setup.write_file(paths[f], contents[f]).ok()) return result;
     }
   }
 
@@ -97,7 +99,10 @@ FlashCrowdResult simulate_flash_crowd(const FlashCrowdConfig& config) {
     a.rng = root.fork(i);
     // Warm each agent's virtual-handle cache so the measured steady state
     // is one read RPC per op, not resolve + read.
-    for (std::size_t f = 0; f < config.hot_files; ++f) (void)a.mount->read_file(paths[f]);
+    for (std::size_t f = 0; f < config.hot_files; ++f) {
+      // kosha-lint: allow(ignore-status): warm-up resolve; only the handle-cache side effect matters, the payload is discarded
+      (void)a.mount->read_file(paths[f]);
+    }
   }
 
   const SimDuration t0 = clock.now();

@@ -167,7 +167,9 @@ template <typename Mount>
 void cleanup_mab(Mount& mount, const MabWorkload& workload) {
   for (const auto& dir : workload.directories) {
     if (path_depth(dir) == 1) {
+      // kosha-lint: allow(ignore-status): untimed best-effort cleanup; leftovers cannot affect the next measured phase
       (void)mount.remove_all(dir);
+      // kosha-lint: allow(ignore-status): untimed best-effort cleanup; leftovers cannot affect the next measured phase
       (void)mount.remove_all(mab_copy_path(dir));
     }
   }

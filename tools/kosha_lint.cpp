@@ -2,13 +2,18 @@
 // RPC-protocol invariants described in DESIGN §7.
 //
 // Usage:
-//   kosha_lint [--root=DIR] [--json[=FILE]] [paths...]
+//   kosha_lint [--root=DIR] [--json[=FILE]] [--sarif[=FILE]]
+//              [--graph-out=FILE] [--explain[=RULE]] [paths...]
 //
 // With no paths, lints src/ tools/ bench/ tests/ under --root (default:
 // the current directory). Paths may be files or directories; directories
 // are walked recursively, skipping build trees and hidden directories.
+// --graph-out writes the call graph the interprocedural rules ran over as
+// GraphViz DOT; --sarif emits a SARIF 2.1.0 log for code scanning;
+// --explain prints the rule table (optionally for one rule) and exits.
 // Exit status: 0 clean, 1 diagnostics found, 2 usage or I/O error.
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -52,12 +57,40 @@ void collect(const fs::path& root, std::vector<fs::path>& out) {
   }
 }
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "kosha_lint: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+int explain(const std::string& rule) {
+  bool found = false;
+  for (const kosha::lint::RuleDoc& doc : kosha::lint::rule_docs()) {
+    if (!rule.empty() && doc.rule != rule) continue;
+    found = true;
+    std::printf("%s  allow(%s)\n  %s\n  %s\n\n", doc.rule.c_str(), doc.slug.c_str(),
+                doc.summary.c_str(), doc.detail.c_str());
+  }
+  if (!found) {
+    std::fprintf(stderr, "kosha_lint: unknown rule %s\n", rule.c_str());
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
   bool json = false;
   std::string json_file;
+  bool sarif = false;
+  std::string sarif_file;
+  std::string graph_file;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,10 +100,23 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json = true;
       json_file = arg.substr(7);
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif = true;
+      sarif_file = arg.substr(8);
+    } else if (arg.rfind("--graph-out=", 0) == 0) {
+      graph_file = arg.substr(12);
     } else if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
+    } else if (arg == "--explain") {
+      return explain("");
+    } else if (arg.rfind("--explain=", 0) == 0) {
+      return explain(arg.substr(10));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: kosha_lint [--root=DIR] [--json[=FILE]] [paths...]\n");
+      std::printf(
+          "usage: kosha_lint [--root=DIR] [--json[=FILE]] [--sarif[=FILE]]\n"
+          "                  [--graph-out=FILE] [--explain[=RULE]] [paths...]\n");
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "kosha_lint: unknown option %s\n", arg.c_str());
@@ -92,6 +138,11 @@ int main(int argc, char** argv) {
     collect(full, files);
   }
 
+  // Lint wall time is an operator-facing measurement of the linter itself
+  // (CI budgets it); it never feeds simulated state.
+  // kosha-lint: allow(wall-clock): CLI timing of the lint run, outside any simulation
+  const auto t_start = std::chrono::steady_clock::now();
+
   Linter linter;
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
@@ -109,20 +160,34 @@ int main(int argc, char** argv) {
   }
 
   const auto diags = linter.run();
+
+  // kosha-lint: allow(wall-clock): CLI timing of the lint run, outside any simulation
+  const auto t_end = std::chrono::steady_clock::now();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(t_end - t_start).count();
+
   std::fputs(kosha::lint::to_text(diags).c_str(), stdout);
   if (json) {
     const std::string report = kosha::lint::to_json(diags, linter.file_count());
     if (json_file.empty()) {
       std::fputs(report.c_str(), stdout);
-    } else {
-      std::ofstream out(json_file, std::ios::binary);
-      if (!out) {
-        std::fprintf(stderr, "kosha_lint: cannot write %s\n", json_file.c_str());
-        return 2;
-      }
-      out << report;
+    } else if (!write_file(json_file, report)) {
+      return 2;
     }
   }
+  if (sarif) {
+    const std::string report = kosha::lint::to_sarif(diags);
+    if (sarif_file.empty()) {
+      std::fputs(report.c_str(), stdout);
+    } else if (!write_file(sarif_file, report)) {
+      return 2;
+    }
+  }
+  if (!graph_file.empty() && !write_file(graph_file, linter.graph_dot())) {
+    return 2;
+  }
+  std::fprintf(stderr, "kosha_lint: %zu file%s, %lld ms\n", linter.file_count(),
+               linter.file_count() == 1 ? "" : "s", static_cast<long long>(ms));
   if (!diags.empty()) {
     std::fprintf(stderr, "kosha_lint: %zu violation%s in %zu files scanned\n",
                  diags.size(), diags.size() == 1 ? "" : "s", linter.file_count());

@@ -1,0 +1,118 @@
+#pragma once
+
+// kosha_lint phase 1b — conservative call graph over the Index.
+//
+// Nodes are functions grouped by qualified-name/arity (a declaration in a
+// header and its definition in a .cpp collapse into one node; same-named
+// same-arity functions in different namespaces collapse too — conservative
+// over-approximation, never under-approximation). Edges come in four
+// flavors, recorded so the DOT dump and the diagnostics can say how sure
+// the analyzer is:
+//
+//   kDirect      free-function or explicitly qualified call (`Class::f()`);
+//   kResolved    method call whose receiver's class the index knows
+//                (`client_.create(...)` with `NfsClient client_`);
+//   kOverApprox  method call with an unknown receiver, linked to every
+//                indexed method of the same name and compatible arity —
+//                the virtual/type-erased over-approximation;
+//   kAnnotated   a lint comment asserting `edge(Target): reason` inside
+//                the caller's body — the hand-asserted edge for truly
+//                dynamic seams (std::function trampolines like
+//                failover_ladder).
+//
+// Event roots: every callee resolved inside the argument list of an
+// EventLoop::schedule_at/schedule_after call in src/ (those arguments are
+// the event-loop callbacks), the loop's own dispatch (EventLoop::step) and
+// the SimNetwork service/delivery surface. D4 and A1 run reachability from
+// these roots.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/index.hpp"
+
+namespace kosha::lint {
+
+enum class EdgeKind { kDirect, kResolved, kOverApprox, kAnnotated };
+
+/// Keywords and casts that look like `name(` but are never call sites.
+[[nodiscard]] bool call_blocklisted(const std::string& name);
+
+/// Argument count of the call whose '(' sits at `open` (close = one past
+/// the matching ')').
+[[nodiscard]] int count_call_args(const std::vector<Token>& t, std::size_t open,
+                                  std::size_t close);
+
+/// Resolve the call site whose callee identifier sits at `k` (the argument
+/// list or template-argument list follows) to candidate function ids, using
+/// the qualifier / receiver tokens before `k` and the caller's own class.
+/// Shared by the graph builder and the R1 must-check rule so both agree on
+/// what a call can reach.
+EdgeKind resolve_call(const Index& idx, const std::vector<Token>& t, std::size_t k,
+                      int args, const Function& caller, std::vector<int>* out_funcs);
+
+class CallGraph {
+ public:
+  struct Node {
+    std::string key;           // "qual/arity"
+    std::string display;       // "Class::name" or "name"
+    std::vector<int> funcs;    // function ids sharing this node
+  };
+  struct Edge {
+    int from = -1;
+    int to = -1;
+    int file = -1;  // call-site file
+    int line = 0;   // call-site line
+    EdgeKind kind = EdgeKind::kDirect;
+  };
+  /// An edge() annotation the builder could not honor (missing reason or
+  /// unresolvable target); surfaced as an E1 diagnostic by the rule layer.
+  struct BadEdge {
+    int file = -1;
+    int line = 0;
+    std::string target;
+    bool missing_reason = false;
+  };
+
+  void build(const Index& idx);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<BadEdge>& bad_edges() const { return bad_edges_; }
+  [[nodiscard]] const std::set<int>& event_roots() const { return event_roots_; }
+  [[nodiscard]] const std::vector<int>& out_edges(int node) const { return out_[node]; }
+  [[nodiscard]] int node_of_function(int func) const { return node_of_func_[func]; }
+  /// Node id for "Class::name"/"name" with any arity; -1 when absent.
+  [[nodiscard]] int find_node(const std::string& display) const;
+
+  /// BFS from the event roots. Returns, per node, the edge index that first
+  /// reached it (-1 unreached, -2 a root). `stop` nodes are reached (and
+  /// reported reachable) but not expanded — A1 uses this for functions
+  /// annotated allow(hot-alloc), whose subtree is a sanctioned allocation
+  /// region.
+  [[nodiscard]] std::vector<int> reach_from_roots(const std::set<int>& stop) const;
+
+  /// Human-readable chain "root -> ... -> node" following parent edges.
+  [[nodiscard]] std::string path_to(const std::vector<int>& parent, int node) const;
+
+  /// Deterministic GraphViz dump. `hot` and `sink` nodes are highlighted
+  /// (filled red / orange); roots get a bold border.
+  [[nodiscard]] std::string to_dot(const std::set<int>& hot, const std::set<int>& sink) const;
+
+ private:
+  int node_for(const Index& idx, int func);
+  void add_edge(int from_node, int to_node, int file, int line, EdgeKind kind);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<BadEdge> bad_edges_;
+  std::vector<std::vector<int>> out_;
+  std::vector<int> node_of_func_;
+  std::map<std::string, int> node_ids_;
+  std::set<int> event_roots_;
+  std::set<std::pair<int, int>> edge_set_;  // dedupe (from, to)
+};
+
+}  // namespace kosha::lint

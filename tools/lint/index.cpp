@@ -1,0 +1,571 @@
+#include "lint/index.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace kosha::lint {
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+
+void parse_annotations(std::string_view comment, int line, SourceFile& out) {
+  static constexpr std::string_view kTag = "kosha-lint:";
+  std::size_t pos = comment.find(kTag);
+  while (pos != std::string_view::npos) {
+    std::size_t p = pos + kTag.size();
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    static constexpr std::string_view kAllow = "allow(";
+    static constexpr std::string_view kEdge = "edge(";
+    if (comment.compare(p, kAllow.size(), kAllow) == 0) {
+      p += kAllow.size();
+      const std::size_t close = comment.find(')', p);
+      if (close != std::string_view::npos) {
+        Annotation ann;
+        ann.slug = std::string(comment.substr(p, close - p));
+        std::size_t r = close + 1;
+        if (r < comment.size() && comment[r] == ':') {
+          ++r;
+          while (r < comment.size() && (comment[r] == ' ' || comment[r] == '\t')) ++r;
+          ann.has_reason = r < comment.size();
+        }
+        out.annotations[line].push_back(std::move(ann));
+      }
+    } else if (comment.compare(p, kEdge.size(), kEdge) == 0) {
+      p += kEdge.size();
+      const std::size_t close = comment.find(')', p);
+      if (close != std::string_view::npos) {
+        EdgeAnnotation edge;
+        edge.target = std::string(comment.substr(p, close - p));
+        edge.line = line;
+        std::size_t r = close + 1;
+        if (r < comment.size() && comment[r] == ':') {
+          ++r;
+          while (r < comment.size() && (comment[r] == ' ' || comment[r] == '\t')) ++r;
+          edge.has_reason = r < comment.size();
+        }
+        out.edge_annotations.push_back(std::move(edge));
+      }
+    }
+    pos = comment.find(kTag, pos + kTag.size());
+  }
+}
+
+}  // namespace
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open,
+                          std::string_view opener, std::string_view closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], opener)) ++depth;
+    else if (is_punct(toks[i], closer) && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "<")) ++depth;
+    else if (is_punct(toks[i], ">") && --depth == 0) return i + 1;
+    else if (is_punct(toks[i], ";") || is_punct(toks[i], "{")) return toks.size();
+  }
+  return toks.size();
+}
+
+void tokenize(const std::string& src, SourceFile& out) {
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r') {
+      advance(1);
+      continue;
+    }
+    // Preprocessor line (only when '#' is the first non-blank character):
+    // swallow it whole, honoring backslash continuations.
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          advance(2);
+          continue;
+        }
+        if (src[i] == '\n') break;
+        text += src[i];
+        advance(1);
+      }
+      out.tokens.push_back({TokKind::kDirective, std::move(text), start_line});
+      continue;
+    }
+    at_line_start = false;
+    // Comments (scanned for annotations, otherwise dropped).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int start_line = line;
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      parse_annotations(std::string_view(src).substr(i, end - i), start_line, out);
+      advance(end - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t end = src.find("*/", i + 2);
+      if (end == std::string::npos) end = n; else end += 2;
+      parse_annotations(std::string_view(src).substr(i, end - i), start_line, out);
+      advance(end - i);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, p);
+      end = end == std::string::npos ? n : end + closer.size();
+      advance(end - i);
+      continue;
+    }
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t p = i + 1;
+      while (p < n && src[p] != quote) {
+        if (src[p] == '\\' && p + 1 < n) ++p;
+        ++p;
+      }
+      advance((p < n ? p + 1 : n) - i);
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t p = i;
+      while (p < n && ident_char(src[p])) ++p;
+      out.tokens.push_back({TokKind::kIdent, src.substr(i, p - i), line});
+      advance(p - i);
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      std::size_t p = i;
+      while (p < n && (ident_char(src[p]) || src[p] == '.' || src[p] == '\'')) ++p;
+      out.tokens.push_back({TokKind::kNumber, src.substr(i, p - i), line});
+      advance(p - i);
+      continue;
+    }
+    // Punctuation; keep '::' and '->' whole so member access is one token.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back({TokKind::kPunct, "->", line});
+      advance(2);
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Index
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Identifiers that look like `name(` but are never function definitions.
+const std::set<std::string>& not_a_function() {
+  static const std::set<std::string> kSet = {
+      "if",       "for",      "while",        "switch",  "return",   "sizeof",
+      "catch",    "new",      "delete",       "throw",   "alignof",  "decltype",
+      "operator", "defined",  "static_assert", "assert", "noexcept", "alignas",
+      "co_return", "co_await", "co_yield",    "case",    "goto",     "typeid"};
+  return kSet;
+}
+
+/// Declaration-specifier keywords stripped from collected return types.
+const std::set<std::string>& specifier_keywords() {
+  static const std::set<std::string> kSet = {
+      "static",   "inline", "virtual",  "explicit", "constexpr", "consteval",
+      "friend",   "extern", "typename", "template", "const",     "constinit",
+      "volatile", "auto",   "class",    "struct",   "nodiscard", "maybe_unused"};
+  return kSet;
+}
+
+/// Count parameters and defaulted parameters of the list in (open..close).
+void count_params(const std::vector<Token>& t, std::size_t open, std::size_t close,
+                  int* arity, int* defaults) {
+  *arity = 0;
+  *defaults = 0;
+  int depth = 0;
+  bool any = false;
+  for (std::size_t k = open; k < close; ++k) {
+    if (is_punct(t[k], "(") || is_punct(t[k], "{") || is_punct(t[k], "[") ||
+        is_punct(t[k], "<")) {
+      ++depth;
+    } else if (is_punct(t[k], ")") || is_punct(t[k], "}") || is_punct(t[k], "]") ||
+               is_punct(t[k], ">")) {
+      --depth;
+    } else if (depth == 1 && is_punct(t[k], ",")) {
+      ++*arity;
+    } else if (depth == 1 && is_punct(t[k], "=")) {
+      ++*defaults;
+    } else if (depth >= 1) {
+      any = true;
+    }
+  }
+  if (any) ++*arity;
+  // `f(void)` declares zero parameters.
+  if (*arity == 1 && close == open + 3 && is_ident(t[open + 1], "void")) *arity = 0;
+  if (*defaults > *arity) *defaults = *arity;
+}
+
+}  // namespace
+
+const std::vector<int>* Index::by_name(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &it->second;
+}
+
+const std::vector<int>* Index::by_qual(const std::string& qual) const {
+  const auto it = by_qual_.find(qual);
+  return it == by_qual_.end() ? nullptr : &it->second;
+}
+
+std::string Index::type_of(const std::string& ident) const {
+  const auto it = var_type_.find(ident);
+  return it == var_type_.end() ? std::string() : it->second;
+}
+
+int Index::enclosing_function(int file, int line) const {
+  // Innermost wins: in-class definitions nest inside no other indexed body
+  // (bodies are skipped during indexing), so ranges never overlap and the
+  // first body whose line span covers `line` is the answer.
+  const auto& toks = files_[file].tokens;
+  int best = -1;
+  int best_span = 0;
+  for (std::size_t fi = 0; fi < functions_.size(); ++fi) {
+    const Function& f = functions_[fi];
+    if (f.file != file || !f.has_body()) continue;
+    const int first = toks[f.body_begin].line;
+    const int last = toks[f.body_end - 1].line;
+    if (line < first || line > last) continue;
+    const int span = last - first;
+    if (best == -1 || span < best_span) {
+      best = static_cast<int>(fi);
+      best_span = span;
+    }
+  }
+  return best;
+}
+
+void Index::collect_aliases(const SourceFile& f) {
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].text.rfind("unordered_", 0) != 0) continue;
+    // using Alias = ... unordered_map<...> ...;
+    for (std::size_t back = 1; back <= 6 && back <= i; ++back) {
+      const std::size_t j = i - back;
+      if (is_punct(t[j], ";") || is_punct(t[j], "{") || is_punct(t[j], "}")) break;
+      if (is_punct(t[j], "=") && j >= 2 && t[j - 1].kind == TokKind::kIdent &&
+          is_ident(t[j - 2], "using")) {
+        unordered_type_aliases_.insert(t[j - 1].text);
+        break;
+      }
+    }
+  }
+}
+
+void Index::collect_container_decls(const SourceFile& f) {
+  // `Container<...> name` followed by ';', '{', '=', ',' or ')' declares
+  // `name` with that container. Hash-ordered containers feed D2; every
+  // node-based associative container (ordered or not) also feeds A1's
+  // hot-path insertion audit.
+  static const std::set<std::string> kNodeBased = {
+      "map", "set", "multimap", "multiset", "unordered_map", "unordered_set",
+      "unordered_multimap", "unordered_multiset"};
+  const auto& t = f.tokens;
+  auto record = [&](const std::vector<Token>& toks, std::size_t after_type,
+                    bool unordered, bool node_based) {
+    std::size_t j = after_type;
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") || is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) return;
+    if (j + 1 < toks.size() &&
+        (is_punct(toks[j + 1], ";") || is_punct(toks[j + 1], "{") ||
+         is_punct(toks[j + 1], "=") || is_punct(toks[j + 1], ",") ||
+         is_punct(toks[j + 1], ")"))) {
+      if (unordered) unordered_names_.insert(toks[j].text);
+      if (node_based) node_map_names_.insert(toks[j].text);
+    }
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const bool unordered = t[i].text.rfind("unordered_", 0) == 0;
+    const bool node_based = kNodeBased.count(t[i].text) > 0;
+    if ((unordered || node_based) && i + 1 < t.size() && is_punct(t[i + 1], "<")) {
+      const std::size_t end = skip_angles(t, i + 1);
+      if (end < t.size() && !is_punct(t[end], "::")) {
+        record(t, end, unordered, node_based);
+      }
+    } else if (unordered_type_aliases_.count(t[i].text) > 0) {
+      record(t, i + 1, true, true);
+    }
+  }
+}
+
+void Index::collect_var_types(const SourceFile& f) {
+  // `Type name` / `Type* name` / `Type& name` and the smart-pointer /
+  // optional wrappers `W<Type> name` record name -> Type when Type is an
+  // indexed class, so the call-graph builder can resolve obj->method().
+  // Collisions keep the first binding: the map is a conservative hint, not
+  // a scope-aware symbol table.
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    std::string type;
+    std::size_t j = i + 1;
+    if (classes_.count(t[i].text) > 0) {
+      type = t[i].text;
+    } else if ((t[i].text == "unique_ptr" || t[i].text == "shared_ptr" ||
+                t[i].text == "optional") &&
+               is_punct(t[i + 1], "<") && i + 2 < t.size() &&
+               t[i + 2].kind == TokKind::kIdent && classes_.count(t[i + 2].text) > 0) {
+      type = t[i + 2].text;
+      j = skip_angles(t, i + 1);
+    } else {
+      continue;
+    }
+    while (j < t.size() &&
+           (is_punct(t[j], "*") || is_punct(t[j], "&") || is_ident(t[j], "const"))) {
+      ++j;
+    }
+    if (j >= t.size() || t[j].kind != TokKind::kIdent) continue;
+    if (j + 1 < t.size() &&
+        (is_punct(t[j + 1], ";") || is_punct(t[j + 1], "=") || is_punct(t[j + 1], ",") ||
+         is_punct(t[j + 1], ")") || is_punct(t[j + 1], "{"))) {
+      var_type_.emplace(t[j].text, type);
+    }
+  }
+}
+
+void Index::index_functions(int file_index) {
+  const auto& t = files_[file_index].tokens;
+
+  struct Scope {
+    std::string cls;
+    int entry_depth = 0;  // brace depth before the scope's '{'
+  };
+  std::vector<Scope> class_scopes;
+  int depth = 0;
+
+  auto collect_ret = [&](std::size_t name_start) {
+    std::vector<std::string> ret;
+    std::size_t k = name_start;
+    while (k > 0) {
+      const Token& p = t[k - 1];
+      const bool type_ish =
+          p.kind == TokKind::kIdent ||
+          (p.kind == TokKind::kPunct &&
+           (p.text == "::" || p.text == "<" || p.text == ">" || p.text == "*" ||
+            p.text == "&" || p.text == ","));
+      if (!type_ish) break;
+      --k;
+    }
+    for (std::size_t m = k; m < name_start; ++m) {
+      if (t[m].kind == TokKind::kIdent && specifier_keywords().count(t[m].text) > 0) continue;
+      if (t[m].kind == TokKind::kIdent) ret.push_back(t[m].text);
+    }
+    return ret;
+  };
+
+  auto try_function = [&](std::size_t i, std::size_t* resume) -> bool {
+    // t[i] is an identifier followed by '('.
+    std::string cls;
+    std::size_t name_start = i;
+    const bool dtor = i > 0 && is_punct(t[i - 1], "~");
+    if (i >= 2 && is_punct(t[i - 1], "::") && t[i - 2].kind == TokKind::kIdent) {
+      cls = t[i - 2].text;
+      name_start = i - 2;
+      if (cls == "std") return false;
+    } else if (i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"))) {
+      return false;  // member call, not a definition
+    } else if (!class_scopes.empty()) {
+      cls = class_scopes.back().cls;
+    }
+    const std::size_t params_end = skip_balanced(t, i + 1, "(", ")");
+    if (params_end >= t.size()) return false;
+
+    std::size_t j = params_end;
+    // Trailing cv/ref/specifier soup: const, noexcept(, override, final,
+    // &, &&, -> trailing-return.
+    while (j < t.size()) {
+      if (t[j].kind == TokKind::kIdent &&
+          (t[j].text == "const" || t[j].text == "noexcept" || t[j].text == "override" ||
+           t[j].text == "final" || t[j].text == "mutable")) {
+        if (j + 1 < t.size() && t[j].text == "noexcept" && is_punct(t[j + 1], "(")) {
+          j = skip_balanced(t, j + 1, "(", ")");
+        } else {
+          ++j;
+        }
+        continue;
+      }
+      if (is_punct(t[j], "&")) { ++j; continue; }
+      if (is_punct(t[j], "->")) {
+        ++j;
+        while (j < t.size() && !is_punct(t[j], "{") && !is_punct(t[j], ";") &&
+               !is_punct(t[j], "(")) {
+          ++j;
+        }
+        continue;
+      }
+      break;
+    }
+    // Constructor member-init list.
+    if (j < t.size() && is_punct(t[j], ":")) {
+      if (cls.empty() || t[i].text != cls) return false;
+      ++j;
+      while (j < t.size()) {
+        while (j < t.size() &&
+               (t[j].kind == TokKind::kIdent || is_punct(t[j], "::"))) {
+          ++j;
+        }
+        if (j < t.size() && is_punct(t[j], "<")) j = skip_angles(t, j);
+        if (j >= t.size()) return false;
+        if (is_punct(t[j], "(")) j = skip_balanced(t, j, "(", ")");
+        else if (is_punct(t[j], "{")) j = skip_balanced(t, j, "{", "}");
+        else return false;
+        if (j < t.size() && is_punct(t[j], ",")) { ++j; continue; }
+        break;
+      }
+    }
+    if (j >= t.size()) return false;
+
+    const bool is_ctor_like = dtor || (!cls.empty() && t[i].text == cls);
+    Function fn;
+    fn.file = file_index;
+    fn.cls = cls;
+    fn.name = (dtor ? "~" : "") + t[i].text;
+    fn.line = t[i].line;
+    if (!is_ctor_like) fn.ret = collect_ret(name_start);
+    count_params(t, i + 1, params_end, &fn.arity, &fn.min_arity);
+    fn.min_arity = fn.arity - fn.min_arity;
+
+    if (is_punct(t[j], "{")) {
+      if (fn.ret.empty() && !is_ctor_like && cls.empty()) return false;
+      fn.body_begin = j;
+      fn.body_end = skip_balanced(t, j, "{", "}");
+      *resume = fn.body_end > j ? fn.body_end - 1 : j;
+    } else if (is_punct(t[j], ";") || is_punct(t[j], "=")) {
+      // `= 0`, `= default`, `= delete` pure/defaulted declarations too.
+      if (fn.ret.empty() && !is_ctor_like) return false;
+      *resume = j;
+    } else {
+      return false;
+    }
+
+    const int id = static_cast<int>(functions_.size());
+    by_name_[fn.name].push_back(id);
+    by_qual_[fn.qual()].push_back(id);
+    functions_.push_back(std::move(fn));
+    return true;
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "{") {
+        ++depth;
+      } else if (tok.text == "}") {
+        --depth;
+        while (!class_scopes.empty() && class_scopes.back().entry_depth == depth) {
+          class_scopes.pop_back();
+        }
+      }
+      continue;
+    }
+    if (tok.kind != TokKind::kIdent) continue;
+    if ((tok.text == "class" || tok.text == "struct") &&
+        (i == 0 || (!is_punct(t[i - 1], "<") && !is_punct(t[i - 1], ",") &&
+                    !is_ident(t[i - 1], "enum")))) {
+      if (i + 1 < t.size() && t[i + 1].kind == TokKind::kIdent) {
+        const std::string cname = t[i + 1].text;
+        std::size_t j = i + 2;
+        int angle = 0;
+        for (; j < t.size(); ++j) {
+          if (is_punct(t[j], "<")) ++angle;
+          else if (is_punct(t[j], ">")) --angle;
+          else if (angle == 0 && is_punct(t[j], "{")) {
+            classes_.insert(cname);
+            class_scopes.push_back({cname, depth});
+            ++depth;
+            break;
+          } else if (angle == 0 && (is_punct(t[j], ";") || is_punct(t[j], "=") ||
+                                    is_punct(t[j], "(") || is_punct(t[j], ")"))) {
+            break;  // forward declaration, parameter, or elaborated use
+          }
+        }
+        i = j;
+        continue;
+      }
+    }
+    if (tok.text == "enum") {
+      // Skip the whole enum so enumerators aren't mistaken for anything.
+      std::size_t j = i + 1;
+      while (j < t.size() && !is_punct(t[j], "{") && !is_punct(t[j], ";")) ++j;
+      if (j < t.size() && is_punct(t[j], "{")) j = skip_balanced(t, j, "{", "}") - 1;
+      i = j;
+      continue;
+    }
+    if (i + 1 < t.size() && is_punct(t[i + 1], "(") &&
+        not_a_function().count(tok.text) == 0) {
+      std::size_t resume = i;
+      if (try_function(i, &resume)) i = resume;
+    }
+  }
+}
+
+void Index::build() {
+  functions_.clear();
+  by_name_.clear();
+  by_qual_.clear();
+  var_type_.clear();
+  classes_.clear();
+  unordered_names_.clear();
+  node_map_names_.clear();
+  unordered_type_aliases_.clear();
+
+  for (const SourceFile& f : files_) collect_aliases(f);
+  for (const SourceFile& f : files_) collect_container_decls(f);
+  for (int i = 0; i < static_cast<int>(files_.size()); ++i) index_functions(i);
+  // Var types need the class set, which function indexing populates.
+  for (const SourceFile& f : files_) collect_var_types(f);
+}
+
+}  // namespace kosha::lint

@@ -1,0 +1,166 @@
+#pragma once
+
+// kosha_lint phase 1 — tokenizer and translation-unit indexer.
+//
+// The linter grew from a per-function token walker (PR 5) into a two-phase
+// analyzer: this module is phase 1. It lexes every source file with the
+// same dependency-free tokenizer as before (comments, string/char/raw
+// literals and preprocessor lines never reach the rules), then builds a
+// repo-wide symbol table:
+//
+//   * every function definition and declaration, free or member, with its
+//     qualifying class, arity (plus the minimum arity once defaulted
+//     parameters are dropped), return-type tokens, and body token range;
+//   * an identifier -> class map for members, locals and parameters whose
+//     declared type names an indexed class — the cross-TU member-type
+//     resolution PR 5 used only for unordered containers, generalized so
+//     the call-graph builder can resolve `obj->method()` through it;
+//   * container-typed names split into hash-ordered (unordered_map/set,
+//     for D2) and node-based (map/set/multimap and the unordered family,
+//     for A1's hot-path insertion audit).
+//
+// The index is deliberately conservative: what it cannot parse it skips,
+// and what it cannot resolve the call-graph layer over-approximates.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kosha::lint {
+
+enum class TokKind { kIdent, kPunct, kNumber, kDirective };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// One lint annotation parsed out of a comment: allow(<slug>): <reason>.
+/// Annotations without a non-empty reason are recorded as malformed so the
+/// rule can refuse to be suppressed (and say why).
+struct Annotation {
+  std::string slug;
+  bool has_reason = false;
+};
+
+/// A lint comment asserting `edge(Target::fn): reason` — a hand-asserted
+/// call edge for the few truly dynamic seams (type-erased std::function
+/// hops, virtual dispatch the resolver cannot see). The edge source is the
+/// function whose body encloses the comment line.
+struct EdgeAnnotation {
+  std::string target;  // "Class::name" or bare "name"
+  int line = 0;
+  bool has_reason = false;
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<Token> tokens;
+  /// line -> annotations attached to that line (an annotation also covers
+  /// the line directly below it, so a whole-line comment can precede the
+  /// code it excuses).
+  std::map<int, std::vector<Annotation>> annotations;
+  std::vector<EdgeAnnotation> edge_annotations;
+};
+
+void tokenize(const std::string& src, SourceFile& out);
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text);
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text);
+
+/// Index just past the matching closer for the opener at `open` (e.g. the
+/// token after the ')' matching a '('); tokens.size() when unbalanced.
+[[nodiscard]] std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open,
+                                        std::string_view opener, std::string_view closer);
+
+/// Index just past the '>' closing a template-argument list opened at
+/// `open` (which must point at '<'); tokens.size() if it never closes
+/// plausibly (a comparison rather than a template list).
+[[nodiscard]] std::size_t skip_angles(const std::vector<Token>& toks, std::size_t open);
+
+/// One indexed function (definition or declaration).
+struct Function {
+  int file = -1;    // index into Index::files
+  std::string cls;  // qualifying class; "" for free functions
+  std::string name;
+  /// Return-type tokens (left of the name, specifier keywords stripped).
+  /// Empty for constructors/destructors.
+  std::vector<std::string> ret;
+  int arity = 0;      // declared parameter count
+  int min_arity = 0;  // arity minus defaulted parameters
+  int line = 0;
+  /// Token range of the body `{ ... }` (begin at '{', end one past '}');
+  /// begin == end for pure declarations.
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+
+  [[nodiscard]] bool has_body() const { return body_end > body_begin; }
+  [[nodiscard]] std::string qual() const {
+    return cls.empty() ? name : cls + "::" + name;
+  }
+  [[nodiscard]] bool ret_contains(std::string_view type) const {
+    for (const std::string& r : ret) {
+      if (r == type) return true;
+    }
+    return false;
+  }
+};
+
+class Index {
+ public:
+  void add_file(SourceFile f) { files_.push_back(std::move(f)); }
+
+  /// Build the symbol table over every added file. Idempotent per build:
+  /// clears derived state first.
+  void build();
+
+  [[nodiscard]] const std::vector<SourceFile>& files() const { return files_; }
+  [[nodiscard]] const std::vector<Function>& functions() const { return functions_; }
+
+  /// Function ids (indices into functions()) by unqualified name.
+  [[nodiscard]] const std::vector<int>* by_name(const std::string& name) const;
+  /// Function ids by "Class::name".
+  [[nodiscard]] const std::vector<int>* by_qual(const std::string& qual) const;
+
+  /// Declared class type of an identifier (member/local/param), "" unknown.
+  [[nodiscard]] std::string type_of(const std::string& ident) const;
+
+  [[nodiscard]] bool is_class(const std::string& name) const {
+    return classes_.count(name) > 0;
+  }
+
+  /// Names declared with a hash-ordered container (D2).
+  [[nodiscard]] const std::set<std::string>& unordered_names() const {
+    return unordered_names_;
+  }
+  /// Names declared with a node-based associative container (A1).
+  [[nodiscard]] const std::set<std::string>& node_map_names() const {
+    return node_map_names_;
+  }
+
+  /// Id of the function whose body encloses (file, line); -1 when the line
+  /// is outside every indexed body in that file.
+  [[nodiscard]] int enclosing_function(int file, int line) const;
+
+ private:
+  void collect_aliases(const SourceFile& f);
+  void collect_container_decls(const SourceFile& f);
+  void collect_var_types(const SourceFile& f);
+  void index_functions(int file_index);
+
+  std::vector<SourceFile> files_;
+  std::vector<Function> functions_;
+  std::map<std::string, std::vector<int>> by_name_;
+  std::map<std::string, std::vector<int>> by_qual_;
+  std::map<std::string, std::string> var_type_;
+  std::set<std::string> classes_;
+  std::set<std::string> unordered_names_;
+  std::set<std::string> node_map_names_;
+  std::set<std::string> unordered_type_aliases_;
+};
+
+}  // namespace kosha::lint

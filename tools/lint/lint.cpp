@@ -1,650 +1,69 @@
 #include "lint/lint.hpp"
 
 #include <algorithm>
-#include <cstddef>
-#include <map>
-#include <set>
 #include <sstream>
-#include <string_view>
 #include <utility>
 
+#include "lint/graph.hpp"
+#include "lint/index.hpp"
+#include "lint/rules.hpp"
+
 namespace kosha::lint {
-namespace {
 
 // ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-// Just enough C++ lexing for the rules: identifiers, punctuation (with `::`
-// and `->` kept whole so member access is recognizable), numbers, string and
-// character literals (including raw strings — fixture snippets live inside
-// them), comments, and preprocessor lines as single opaque tokens. Tokens
-// inside strings and comments never reach the rules, which is what lets the
-// lint test embed violating snippets as raw-string fixtures without
-// tripping the repo-wide walk over its own source.
-
-enum class TokKind { kIdent, kPunct, kNumber, kDirective };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  int line = 0;
-};
-
-bool ident_start(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
-}
-bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
-
-/// One lint annotation parsed out of a comment: allow(<slug>): <reason>.
-/// Annotations without a non-empty reason are recorded as malformed so the
-/// rule can refuse to be suppressed (and say why).
-struct Annotation {
-  std::string slug;
-  bool has_reason = false;
-};
-
-struct SourceFile {
-  std::string path;
-  std::vector<Token> tokens;
-  /// line -> annotations attached to that line (an annotation also covers
-  /// the line directly below it, so a whole-line comment can precede the
-  /// code it excuses).
-  std::map<int, std::vector<Annotation>> annotations;
-};
-
-void parse_annotations(std::string_view comment, int line, SourceFile& out) {
-  static constexpr std::string_view kTag = "kosha-lint:";
-  std::size_t pos = comment.find(kTag);
-  while (pos != std::string_view::npos) {
-    std::size_t p = pos + kTag.size();
-    while (p < comment.size() && comment[p] == ' ') ++p;
-    static constexpr std::string_view kAllow = "allow(";
-    if (comment.compare(p, kAllow.size(), kAllow) == 0) {
-      p += kAllow.size();
-      const std::size_t close = comment.find(')', p);
-      if (close != std::string_view::npos) {
-        Annotation ann;
-        ann.slug = std::string(comment.substr(p, close - p));
-        std::size_t r = close + 1;
-        if (r < comment.size() && comment[r] == ':') {
-          ++r;
-          while (r < comment.size() && (comment[r] == ' ' || comment[r] == '\t')) ++r;
-          ann.has_reason = r < comment.size();
-        }
-        out.annotations[line].push_back(std::move(ann));
-      }
-    }
-    pos = comment.find(kTag, pos + kTag.size());
-  }
-}
-
-void tokenize(const std::string& src, SourceFile& out) {
-  const std::size_t n = src.size();
-  std::size_t i = 0;
-  int line = 1;
-  bool at_line_start = true;  // only whitespace seen since the last newline
-
-  auto advance = [&](std::size_t count) {
-    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
-      if (src[i] == '\n') {
-        ++line;
-        at_line_start = true;
-      }
-    }
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n' || c == ' ' || c == '\t' || c == '\r') {
-      advance(1);
-      continue;
-    }
-    // Preprocessor line (only when '#' is the first non-blank character):
-    // swallow it whole, honoring backslash continuations.
-    if (c == '#' && at_line_start) {
-      const int start_line = line;
-      std::string text;
-      while (i < n) {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
-          advance(2);
-          continue;
-        }
-        if (src[i] == '\n') break;
-        text += src[i];
-        advance(1);
-      }
-      out.tokens.push_back({TokKind::kDirective, std::move(text), start_line});
-      continue;
-    }
-    at_line_start = false;
-    // Comments (scanned for annotations, otherwise dropped).
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const int start_line = line;
-      std::size_t end = src.find('\n', i);
-      if (end == std::string::npos) end = n;
-      parse_annotations(std::string_view(src).substr(i, end - i), start_line, out);
-      advance(end - i);
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const int start_line = line;
-      std::size_t end = src.find("*/", i + 2);
-      if (end == std::string::npos) end = n; else end += 2;
-      parse_annotations(std::string_view(src).substr(i, end - i), start_line, out);
-      advance(end - i);
-      continue;
-    }
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t p = i + 2;
-      std::string delim;
-      while (p < n && src[p] != '(') delim += src[p++];
-      const std::string closer = ")" + delim + "\"";
-      std::size_t end = src.find(closer, p);
-      end = end == std::string::npos ? n : end + closer.size();
-      advance(end - i);
-      continue;
-    }
-    // String / char literal with escapes.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      std::size_t p = i + 1;
-      while (p < n && src[p] != quote) {
-        if (src[p] == '\\' && p + 1 < n) ++p;
-        ++p;
-      }
-      advance((p < n ? p + 1 : n) - i);
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t p = i;
-      while (p < n && ident_char(src[p])) ++p;
-      out.tokens.push_back({TokKind::kIdent, src.substr(i, p - i), line});
-      advance(p - i);
-      continue;
-    }
-    if (c >= '0' && c <= '9') {
-      std::size_t p = i;
-      while (p < n && (ident_char(src[p]) || src[p] == '.' || src[p] == '\'')) ++p;
-      out.tokens.push_back({TokKind::kNumber, src.substr(i, p - i), line});
-      advance(p - i);
-      continue;
-    }
-    // Punctuation; keep '::' and '->' whole so member access is one token.
-    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
-      out.tokens.push_back({TokKind::kPunct, "::", line});
-      advance(2);
-      continue;
-    }
-    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
-      out.tokens.push_back({TokKind::kPunct, "->", line});
-      advance(2);
-      continue;
-    }
-    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
-    advance(1);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Token-walk helpers
-// ---------------------------------------------------------------------------
-
-bool is_ident(const Token& t, std::string_view text) {
-  return t.kind == TokKind::kIdent && t.text == text;
-}
-bool is_punct(const Token& t, std::string_view text) {
-  return t.kind == TokKind::kPunct && t.text == text;
-}
-
-/// Index just past the matching closer for the opener at `open` (e.g. the
-/// token after the ')' matching a '('); tokens.size() when unbalanced.
-std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t open,
-                          std::string_view opener, std::string_view closer) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (is_punct(toks[i], opener)) ++depth;
-    else if (is_punct(toks[i], closer) && --depth == 0) return i + 1;
-  }
-  return toks.size();
-}
-
-/// Index just past the '>' closing a template-argument list opened at
-/// `open` (which must point at '<'); tokens.size() if it never closes
-/// plausibly (a comparison rather than a template list).
-std::size_t skip_angles(const std::vector<Token>& toks, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (is_punct(toks[i], "<")) ++depth;
-    else if (is_punct(toks[i], ">") && --depth == 0) return i + 1;
-    else if (is_punct(toks[i], ";") || is_punct(toks[i], "{")) return toks.size();
-  }
-  return toks.size();
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Linter
+// Linter — orchestration: tokenize on add, index + graph + rules on run.
 // ---------------------------------------------------------------------------
 
 struct Linter::Impl {
   Config config;
-  std::vector<SourceFile> files;
-  /// Names (members, locals, type aliases) declared with an unordered
-  /// container type anywhere in the scanned tree; shared across files
-  /// because members are declared in headers and iterated in .cpp files.
-  std::set<std::string> unordered_names;
-  std::set<std::string> unordered_type_aliases;
-
-  std::vector<Diagnostic> diags;
-
-  bool allowed(const SourceFile& f, int line, std::string_view slug) const {
-    for (const int l : {line, line - 1}) {
-      const auto it = f.annotations.find(l);
-      if (it == f.annotations.end()) continue;
-      for (const Annotation& ann : it->second) {
-        if (ann.slug == slug && ann.has_reason) return true;
-      }
-    }
-    return false;
-  }
-
-  void report(const SourceFile& f, int line, std::string rule, std::string slug,
-              std::string message) {
-    if (allowed(f, line, slug)) return;
-    diags.push_back({f.path, line, std::move(rule), std::move(slug), std::move(message)});
-  }
-
-  bool entropy_allowlisted(const std::string& path) const {
-    for (const std::string& suffix : config.entropy_allowlist) {
-      if (path.size() >= suffix.size() &&
-          path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  // --- pass 1: collect unordered-container declarations -------------------
-
-  void collect_aliases(const SourceFile& f) {
-    const auto& t = f.tokens;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (t[i].kind != TokKind::kIdent) continue;
-      if (t[i].text.rfind("unordered_", 0) != 0) continue;
-      // using Alias = ... unordered_map<...> ...;
-      for (std::size_t back = 1; back <= 6 && back <= i; ++back) {
-        const std::size_t j = i - back;
-        if (is_punct(t[j], ";") || is_punct(t[j], "{") || is_punct(t[j], "}")) break;
-        if (is_punct(t[j], "=") && j >= 2 && t[j - 1].kind == TokKind::kIdent &&
-            is_ident(t[j - 2], "using")) {
-          unordered_type_aliases.insert(t[j - 1].text);
-          break;
-        }
-      }
-    }
-  }
-
-  void collect_decl_name(const std::vector<Token>& t, std::size_t after_type) {
-    std::size_t j = after_type;
-    while (j < t.size() &&
-           (is_punct(t[j], "&") || is_punct(t[j], "*") || is_ident(t[j], "const"))) {
-      ++j;
-    }
-    if (j >= t.size() || t[j].kind != TokKind::kIdent) return;
-    // `Type name` followed by ';', '{', '=', ',' or ')' is a declaration;
-    // `Type name(` is a function returning the container — its name is not
-    // the container. `Type>::iterator` never reaches here ('::' stops us).
-    if (j + 1 < t.size() &&
-        (is_punct(t[j + 1], ";") || is_punct(t[j + 1], "{") || is_punct(t[j + 1], "=") ||
-         is_punct(t[j + 1], ",") || is_punct(t[j + 1], ")"))) {
-      unordered_names.insert(t[j].text);
-    }
-  }
-
-  void collect_unordered_decls(const SourceFile& f) {
-    const auto& t = f.tokens;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (t[i].kind != TokKind::kIdent) continue;
-      if (t[i].text.rfind("unordered_", 0) == 0 && i + 1 < t.size() &&
-          is_punct(t[i + 1], "<")) {
-        const std::size_t end = skip_angles(t, i + 1);
-        if (end < t.size() && !is_punct(t[end], "::")) collect_decl_name(t, end);
-      } else if (unordered_type_aliases.count(t[i].text) > 0) {
-        collect_decl_name(t, i + 1);
-      }
-    }
-  }
-
-  // --- D1: wall clock / entropy -------------------------------------------
-
-  void rule_wall_clock(const SourceFile& f) {
-    if (entropy_allowlisted(f.path)) return;
-    static const std::set<std::string, std::less<>> kForbidden = {
-        "system_clock", "steady_clock",   "high_resolution_clock",
-        "random_device", "getenv",        "srand",
-        "mt19937",       "mt19937_64",    "default_random_engine"};
-    static const std::set<std::string, std::less<>> kCallLike = {"time", "rand"};
-    const auto& t = f.tokens;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (t[i].kind != TokKind::kIdent) continue;
-      if (kForbidden.count(t[i].text) > 0) {
-        report(f, t[i].line, "D1", "wall-clock",
-               "nondeterministic primitive `" + t[i].text +
-                   "` outside common/rng or common/cli; derive values from the "
-                   "seeded Rng or the SimClock");
-        continue;
-      }
-      if (kCallLike.count(t[i].text) == 0) continue;
-      if (i + 1 >= t.size() || !is_punct(t[i + 1], "(")) continue;
-      if (i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"))) continue;
-      if (i > 0 && is_punct(t[i - 1], "::")) {
-        // Qualified: `std::time(` and global `::time(` are the libc calls;
-        // `SomeClass::time(` is a different symbol.
-        if (i >= 2 && t[i - 2].kind == TokKind::kIdent && t[i - 2].text != "std") continue;
-      }
-      report(f, t[i].line, "D1", "wall-clock",
-             "call to wall-clock/entropy function `" + t[i].text +
-                 "()`; simulations must use SimClock / seeded Rng");
-    }
-  }
-
-  // --- D2: unordered iteration --------------------------------------------
-
-  void rule_unordered_iter(const SourceFile& f) {
-    const auto& t = f.tokens;
-    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-      if (!is_ident(t[i], "for") || !is_punct(t[i + 1], "(")) continue;
-      const std::size_t open = i + 1;
-      const std::size_t end = skip_balanced(t, open, "(", ")");
-      // Split at a ':' on paren depth 1 — a range-for. ('::' is one token,
-      // so it cannot masquerade as the range separator.)
-      std::size_t colon = end;
-      int depth = 0;
-      for (std::size_t j = open; j < end; ++j) {
-        if (is_punct(t[j], "(")) ++depth;
-        else if (is_punct(t[j], ")")) --depth;
-        else if (depth == 1 && is_punct(t[j], ":")) {
-          colon = j;
-          break;
-        }
-      }
-      if (colon < end) {
-        for (std::size_t j = colon + 1; j < end; ++j) {
-          if (t[j].kind == TokKind::kIdent && unordered_names.count(t[j].text) > 0) {
-            report(f, t[j].line, "D2", "unordered-iter",
-                   "range-for over unordered container `" + t[j].text +
-                       "`: iteration order is implementation-defined and leaks "
-                       "into traces/metrics/migration order; iterate a sorted "
-                       "copy or use std::map");
-            break;
-          }
-        }
-      } else {
-        // Classic for: flag `name.begin()` / `name->begin()` iterator loops.
-        for (std::size_t j = open; j + 2 < end; ++j) {
-          if (t[j].kind == TokKind::kIdent && unordered_names.count(t[j].text) > 0 &&
-              (is_punct(t[j + 1], ".") || is_punct(t[j + 1], "->")) &&
-              (is_ident(t[j + 2], "begin") || is_ident(t[j + 2], "cbegin"))) {
-            report(f, t[j].line, "D2", "unordered-iter",
-                   "iterator loop over unordered container `" + t[j].text +
-                       "`: iteration order is implementation-defined; sort or "
-                       "annotate if provably order-insensitive");
-            break;
-          }
-        }
-      }
-    }
-  }
-
-  // --- D3: event-loop callback discipline ---------------------------------
-
-  void rule_event_callbacks(const SourceFile& f) {
-    static const std::set<std::string, std::less<>> kSleeps = {
-        "sleep_for", "sleep_until", "usleep", "nanosleep"};
-    const auto& t = f.tokens;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (t[i].kind != TokKind::kIdent) continue;
-      if (kSleeps.count(t[i].text) > 0 ||
-          (t[i].text == "sleep" && i + 1 < t.size() && is_punct(t[i + 1], "(") &&
-           (i == 0 || (!is_punct(t[i - 1], ".") && !is_punct(t[i - 1], "->"))))) {
-        report(f, t[i].line, "D3", "event-callback",
-               "blocking sleep `" + t[i].text +
-                 "`: virtual time only moves via SimClock/EventLoop; real "
-                 "sleeps stall the simulation without advancing it");
-        continue;
-      }
-      if ((t[i].text == "schedule_at" || t[i].text == "schedule_after") &&
-          i + 1 < t.size() && is_punct(t[i + 1], "(")) {
-        const std::size_t end = skip_balanced(t, i + 1, "(", ")");
-        for (std::size_t j = i + 2; j < end; ++j) {
-          if (is_ident(t[j], "set_now") || is_ident(t[j], "now_")) {
-            report(f, t[j].line, "D3", "event-callback",
-                   "`" + t[j].text + "` inside a callback passed to " + t[i].text +
-                       ": event callbacks must not mutate the clock directly — "
-                       "the loop advances it when dispatching");
-          }
-        }
-      }
-    }
-  }
-
-  // --- P1: non-idempotent handlers must engage the DRC --------------------
-
-  void rule_drc(const SourceFile& f) {
-    static const std::set<std::string, std::less<>> kNonIdempotent = {
-        "create", "mkdir",  "symlink", "link",     "remove",
-        "rmdir",  "rename", "setattr", "set_mode", "truncate"};
-    const auto& t = f.tokens;
-    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
-      if (!is_ident(t[i], "NfsServer") || !is_punct(t[i + 1], "::")) continue;
-      if (t[i + 2].kind != TokKind::kIdent || kNonIdempotent.count(t[i + 2].text) == 0) {
-        continue;
-      }
-      if (!is_punct(t[i + 3], "(")) continue;
-      std::size_t j = skip_balanced(t, i + 3, "(", ")");
-      while (j < t.size() && t[j].kind == TokKind::kIdent) ++j;  // const, noexcept
-      if (j >= t.size() || !is_punct(t[j], "{")) continue;       // declaration only
-      const std::size_t body_end = skip_balanced(t, j, "{", "}");
-      std::size_t first_store = body_end, first_find = body_end, first_record = body_end;
-      for (std::size_t k = j; k < body_end; ++k) {
-        if (t[k].kind != TokKind::kIdent) continue;
-        if (t[k].text == "store_" && first_store == body_end) first_store = k;
-        if (t[k].text == "drc_find" && first_find == body_end) first_find = k;
-        if (t[k].text == "drc_store" && first_record == body_end) first_record = k;
-      }
-      const std::string proc = t[i + 2].text;
-      if (first_store == body_end) continue;  // no mutation: nothing to protect
-      if (first_find > first_store) {
-        report(f, t[i].line, "P1", "drc",
-               "non-idempotent handler NfsServer::" + proc +
-                   " touches store_ before consulting drc_find: a retransmission "
-                   "of an executed request would re-execute (at-most-once "
-                   "violation)");
-      }
-      if (first_record == body_end) {
-        report(f, t[i].line, "P1", "drc",
-               "non-idempotent handler NfsServer::" + proc +
-                   " never records its reply via drc_store: the DRC cannot "
-                   "answer the retransmission");
-      }
-    }
-  }
-
-  // --- P3: early rejects must precede the DRC store ------------------------
-  // Overload control lets a server refuse work before executing it
-  // (deadline-expired requests answer kOverloaded). In a non-idempotent
-  // handler that refusal MUST happen before the handler records a reply in
-  // the duplicate-request cache: a cached kOverloaded would be replayed to
-  // the retransmission of a request that never executed, permanently
-  // shadowing the real execution (at-most-once becomes at-most-never).
-
-  void rule_early_reject(const SourceFile& f) {
-    static const std::set<std::string, std::less<>> kNonIdempotent = {
-        "create", "mkdir",  "symlink", "link",     "remove",
-        "rmdir",  "rename", "setattr", "set_mode", "truncate"};
-    const auto& t = f.tokens;
-    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
-      if (!is_ident(t[i], "NfsServer") || !is_punct(t[i + 1], "::")) continue;
-      if (t[i + 2].kind != TokKind::kIdent || kNonIdempotent.count(t[i + 2].text) == 0) {
-        continue;
-      }
-      if (!is_punct(t[i + 3], "(")) continue;
-      std::size_t j = skip_balanced(t, i + 3, "(", ")");
-      while (j < t.size() && t[j].kind == TokKind::kIdent) ++j;  // const, noexcept
-      if (j >= t.size() || !is_punct(t[j], "{")) continue;       // declaration only
-      const std::size_t body_end = skip_balanced(t, j, "{", "}");
-      std::size_t first_record = body_end, first_reject = body_end, first_overload = body_end;
-      for (std::size_t k = j; k < body_end; ++k) {
-        if (t[k].kind != TokKind::kIdent) continue;
-        if (t[k].text == "drc_store" && first_record == body_end) first_record = k;
-        if (t[k].text == "reject_expired" && first_reject == body_end) first_reject = k;
-        if (t[k].text == "kOverloaded" && first_overload == body_end) first_overload = k;
-      }
-      const std::string proc = t[i + 2].text;
-      if (first_record == body_end) continue;  // nothing cached: nothing to poison
-      if (first_reject != body_end && first_reject > first_record) {
-        report(f, t[first_reject].line, "P3", "early-reject",
-               "non-idempotent handler NfsServer::" + proc +
-                   " calls reject_expired after drc_store: the shed reply could "
-                   "be recorded in the DRC and replayed to a retransmission that "
-                   "deserves the real execution");
-      }
-      if (first_overload != body_end && first_overload > first_record) {
-        report(f, t[first_overload].line, "P3", "early-reject",
-               "non-idempotent handler NfsServer::" + proc +
-                   " produces kOverloaded after drc_store: early-reject paths "
-                   "must fire before the reply is cached (a stored overload "
-                   "reply shadows the execution forever)");
-      }
-    }
-  }
-
-  // --- P2: full RpcContext construction -----------------------------------
-
-  void rule_rpc_ctx(const SourceFile& f) {
-    const auto& t = f.tokens;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (!is_ident(t[i], "RpcContext")) continue;
-      if (i > 0 && (is_ident(t[i - 1], "struct") || is_ident(t[i - 1], "class"))) {
-        continue;  // the type's own definition
-      }
-      std::size_t j = i + 1;
-      if (j < t.size() && t[j].kind == TokKind::kIdent) {
-        if (j + 1 < t.size() && is_punct(t[j + 1], "::")) continue;  // return type
-        ++j;
-        if (j < t.size() && is_punct(t[j], ";")) {
-          report(f, t[j].line, "P2", "rpc-ctx",
-                 "default-constructed RpcContext: outbound RPCs must carry the "
-                 "full {client, xid, boot} triple (see NfsClient::rpc_ctx)");
-          continue;
-        }
-      }
-      if (j < t.size() && is_punct(t[j], "=")) ++j;
-      if (j >= t.size() || !is_punct(t[j], "{")) continue;
-      const std::size_t end = skip_balanced(t, j, "{", "}");
-      int args = 0, depth = 0;
-      bool any = false;
-      for (std::size_t k = j; k < end; ++k) {
-        if (is_punct(t[k], "{") || is_punct(t[k], "(") || is_punct(t[k], "[")) ++depth;
-        else if (is_punct(t[k], "}") || is_punct(t[k], ")") || is_punct(t[k], "]")) --depth;
-        else if (depth == 1 && is_punct(t[k], ",")) ++args;
-        else if (depth >= 1) any = true;
-      }
-      if (any) ++args;
-      if (args >= 3) continue;
-      // An empty `{}` that is a defaulted parameter (followed by ')' or ',')
-      // is the documented absent-context sentinel for direct server calls.
-      if (args == 0 && end < t.size() &&
-          (is_punct(t[end], ")") || is_punct(t[end], ","))) {
-        continue;
-      }
-      report(f, t[j].line, "P2", "rpc-ctx",
-             "RpcContext constructed with " + std::to_string(args) +
-                 " of 3 required fields {client, xid, boot}: partial contexts "
-                 "defeat the duplicate-request cache's incarnation check");
-    }
-  }
-
-  // --- S1: storage backend seam -------------------------------------------
-
-  void rule_storage_seam(const SourceFile& f) {
-    if (f.path.rfind("src/fs/", 0) == 0 || f.path.rfind("tests/", 0) == 0) return;
-    static const std::set<std::string, std::less<>> kConcrete = {"LocalFs", "CasFs"};
-    for (const Token& tok : f.tokens) {
-      if (tok.kind != TokKind::kIdent || kConcrete.count(tok.text) == 0) continue;
-      report(f, tok.line, "S1", "storage-seam",
-             "concrete storage backend `" + tok.text +
-                 "` named outside src/fs/ and tests/; program against "
-                 "fs::StorageBackend and construct via fs::make_backend");
-    }
-  }
-
-  // --- H1: header hygiene --------------------------------------------------
-
-  void rule_header(const SourceFile& f) {
-    if (!Linter::is_header(f.path)) return;
-    const auto& t = f.tokens;
-    bool pragma_once = false;
-    for (const Token& tok : t) {
-      if (tok.kind == TokKind::kDirective &&
-          tok.text.find("pragma") != std::string::npos &&
-          tok.text.find("once") != std::string::npos) {
-        pragma_once = true;
-        break;
-      }
-    }
-    if (!pragma_once) {
-      report(f, 1, "H1", "header",
-             "header is missing `#pragma once` (double inclusion breaks the "
-             "one-definition rule)");
-    }
-    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-      if (is_ident(t[i], "using") && is_ident(t[i + 1], "namespace")) {
-        report(f, t[i].line, "H1", "header",
-               "`using namespace` at header scope pollutes every includer's "
-               "namespace");
-      }
-    }
-  }
+  Index index;
+  CallGraph graph;
+  RuleResult last;
+  bool ran = false;
 };
 
-Linter::Linter(Config config) : impl_(new Impl{std::move(config), {}, {}, {}, {}}) {}
+Linter::Linter(Config config) : impl_(new Impl) { impl_->config = std::move(config); }
 Linter::~Linter() { delete impl_; }
 
 void Linter::add_source(std::string path, std::string content) {
   SourceFile f;
   f.path = std::move(path);
   tokenize(content, f);
-  impl_->files.push_back(std::move(f));
+  impl_->index.add_file(std::move(f));
 }
 
-std::size_t Linter::file_count() const { return impl_->files.size(); }
+std::size_t Linter::file_count() const { return impl_->index.files().size(); }
 
 std::vector<Diagnostic> Linter::run() {
-  impl_->diags.clear();
-  impl_->unordered_names.clear();
-  impl_->unordered_type_aliases.clear();
-  for (const SourceFile& f : impl_->files) impl_->collect_aliases(f);
-  for (const SourceFile& f : impl_->files) impl_->collect_unordered_decls(f);
-  for (const SourceFile& f : impl_->files) {
-    impl_->rule_wall_clock(f);
-    impl_->rule_unordered_iter(f);
-    impl_->rule_event_callbacks(f);
-    impl_->rule_drc(f);
-    impl_->rule_early_reject(f);
-    impl_->rule_rpc_ctx(f);
-    impl_->rule_storage_seam(f);
-    impl_->rule_header(f);
+  impl_->index.build();
+  impl_->graph.build(impl_->index);
+  impl_->last = run_rules(impl_->config, impl_->index, impl_->graph);
+  impl_->ran = true;
+  return impl_->last.diags;
+}
+
+std::string Linter::graph_dot() const {
+  if (!impl_->ran) return std::string();
+  return impl_->graph.to_dot(impl_->last.hot_nodes, impl_->last.sink_nodes);
+}
+
+std::vector<std::string> Linter::edge_list() const {
+  std::vector<std::string> out;
+  if (!impl_->ran) return out;
+  const auto& nodes = impl_->graph.nodes();
+  for (const CallGraph::Edge& e : impl_->graph.edges()) {
+    const char* kind = "direct";
+    switch (e.kind) {
+      case EdgeKind::kDirect: kind = "direct"; break;
+      case EdgeKind::kResolved: kind = "resolved"; break;
+      case EdgeKind::kOverApprox: kind = "overapprox"; break;
+      case EdgeKind::kAnnotated: kind = "annotated"; break;
+    }
+    out.push_back(nodes[e.from].display + " -> " + nodes[e.to].display + " [" + kind +
+                  "]");
   }
-  std::sort(impl_->diags.begin(), impl_->diags.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
-  return impl_->diags;
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 bool Linter::is_header(const std::string& path) {
@@ -660,6 +79,10 @@ bool Linter::is_cpp_source(const std::string& path) {
   }
   return false;
 }
+
+// ---------------------------------------------------------------------------
+// Serializers
+// ---------------------------------------------------------------------------
 
 std::string to_text(const std::vector<Diagnostic>& diags) {
   std::ostringstream out;
@@ -704,6 +127,124 @@ std::string to_json(const std::vector<Diagnostic>& diags, std::size_t files_scan
   }
   out << (diags.empty() ? "]" : "\n  ]") << "\n}\n";
   return out.str();
+}
+
+std::string to_sarif(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+         "master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"kosha_lint\",\n"
+      << "          \"informationUri\": \"DESIGN.md\",\n"
+      << "          \"rules\": [";
+  const auto& docs = rule_docs();
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "            {\"id\": ";
+    json_escape(out, docs[i].rule);
+    out << ", \"shortDescription\": {\"text\": ";
+    json_escape(out, docs[i].summary);
+    out << "}}";
+  }
+  out << "\n          ]\n        }\n      },\n      \"results\": [";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out << (i == 0 ? "\n" : ",\n") << "        {\"ruleId\": ";
+    json_escape(out, d.rule);
+    out << ", \"level\": \"error\", \"message\": {\"text\": ";
+    json_escape(out, d.message);
+    out << "}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+           "{\"uri\": ";
+    json_escape(out, d.file);
+    out << "}, \"region\": {\"startLine\": " << (d.line > 0 ? d.line : 1) << "}}}]}";
+  }
+  out << (diags.empty() ? "]" : "\n      ]") << "\n    }\n  ]\n}\n";
+  return out.str();
+}
+
+const std::vector<RuleDoc>& rule_docs() {
+  static const std::vector<RuleDoc> kDocs = {
+      {"D1", "wall-clock",
+       "no wall-clock/entropy primitives outside the sanctioned seams",
+       "system_clock, steady_clock, time(), rand(), std::random_device, getenv "
+       "and friends are banned outside common/rng, common/cli and "
+       "common/profile.cpp: same-seed runs must be byte-identical, so every "
+       "time or random value must come from SimClock or the seeded Rng."},
+      {"D2", "unordered-iter",
+       "no iteration over unordered containers",
+       "range-for or .begin() loops over std::unordered_map/set visit elements "
+       "in implementation-defined order, which leaks into traces, metrics and "
+       "migration order. Iterate a sorted copy, use std::map, or annotate "
+       "allow(unordered-iter) with why the loop is order-free."},
+      {"D3", "event-callback",
+       "no blocking sleeps; callbacks must not mutate the clock",
+       "virtual time only moves when the EventLoop dispatches; sleep_for/usleep "
+       "stall the simulation without advancing it, and set_now inside a "
+       "scheduled callback races the loop's own clock advance."},
+      {"D4", "event-reachable",
+       "nothing reachable from the event loop may reach wall clock or entropy",
+       "the transitive closure of D1+D3 over the call graph: starting from the "
+       "event roots (callbacks passed to schedule_at/schedule_after, "
+       "EventLoop::step, the SimNetwork service surface), no reachable function "
+       "may contain a wall-clock/entropy/sleep token. The one sanctioned seam "
+       "is src/common/profile.cpp (profiler measurement of the simulator, "
+       "never input to it). Annotate the sink function's definition line with "
+       "allow(event-reachable) and a reason only when the value provably "
+       "cannot flow into simulated state."},
+      {"R1", "must-check",
+       "status returns must be consumed",
+       "a call whose every candidate returns FsStatus/NfsStat/NfsStatus/"
+       "RpcStatus or a Result<...> must be assigned, compared, returned, or "
+       "(void)-cast. A (void) cast additionally needs an adjacent "
+       "allow(ignore-status) annotation saying why dropping the status is "
+       "safe — at-most-once semantics die quietly when error paths are "
+       "ignored."},
+      {"A1", "hot-alloc",
+       "no allocation on the event hot path",
+       "functions reachable from the event roots may not construct "
+       "std::string, call new/std::to_string, or insert into node-based "
+       "associative containers: dispatch-path allocations dominate the "
+       "simulator profile (see docs/PERF.md). allow(hot-alloc) on a "
+       "function's definition line excuses its body and stops hotness from "
+       "propagating through it, marking a sanctioned allocation subtree "
+       "(e.g. setup or report formatting)."},
+      {"P1", "drc",
+       "non-idempotent handlers are at-most-once through the DRC",
+       "every NfsServer handler for CREATE/MKDIR/SYMLINK/LINK/REMOVE/RMDIR/"
+       "RENAME/SETATTR must consult drc_find before touching store_ and record "
+       "its reply with drc_store, or a retransmission re-executes the op."},
+      {"P2", "rpc-ctx",
+       "RpcContext carries the full {client, xid, boot} triple",
+       "partial contexts defeat the duplicate-request cache's incarnation "
+       "check; the empty {} default argument is the documented absent-context "
+       "sentinel for direct server calls."},
+      {"P3", "early-reject",
+       "overload rejects fire before the DRC store",
+       "a kOverloaded reply recorded in the DRC would be replayed to the "
+       "retransmission of a request that never executed, shadowing the real "
+       "execution forever."},
+      {"P4", "deadline-prop",
+       "child RpcContexts propagate the parent's deadline",
+       "a child context built on the koshad failover or NFS client paths "
+       "without the parent's deadline gives downstream admission control an "
+       "infinite time budget, defeating deadline-based shedding."},
+      {"S1", "storage-seam",
+       "concrete storage backends stay behind fs::make_backend",
+       "LocalFs/CasFs may be named only in src/fs/ and tests/; everything "
+       "else programs against fs::StorageBackend so new backends slot in "
+       "without touching consumers."},
+      {"H1", "header",
+       "header hygiene",
+       "#pragma once present; no `using namespace` at header scope."},
+      {"E1", "edge",
+       "edge() annotations must resolve and carry a reason",
+       "a `kosha-lint: edge(Target::fn): reason` comment asserts a call edge "
+       "at a type-erased seam the resolver cannot see; one that names no "
+       "indexed function or omits the reason is dropped, so it errors instead "
+       "of silently losing graph coverage."},
+  };
+  return kDocs;
 }
 
 int exit_code(const std::vector<Diagnostic>& diags) { return diags.empty() ? 0 : 1; }

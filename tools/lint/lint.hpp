@@ -3,40 +3,55 @@
 // kosha_lint — repo-specific static analysis for determinism and
 // RPC-protocol invariants (DESIGN §7).
 //
-// The reproduction's results rest on two conventions that ordinary
-// compilers cannot check: same-seed runs must be byte-identical, and every
-// non-idempotent NFS procedure must be at-most-once through the server's
-// duplicate-request cache. This linter walks the repo's own sources with a
-// hand-rolled C++ tokenizer (comments, string/char literals, raw strings
-// and preprocessor lines are understood; no libclang dependency) and
-// enforces the conventions as errors:
+// The reproduction's results rest on conventions that ordinary compilers
+// cannot check: same-seed runs must be byte-identical, every non-idempotent
+// NFS procedure must be at-most-once through the server's duplicate-request
+// cache, and the event-dispatch path must stay allocation-lean. The linter
+// is a two-phase analyzer with no libclang dependency:
 //
-//   D1 wall-clock      no wall-clock/entropy primitives (system_clock,
-//                      steady_clock, time(), rand(), std::random_device,
-//                      getenv, ...) outside the allowlisted seed/CLI/
-//                      profiler seams (Config::entropy_allowlist).
-//   D2 unordered-iter  no range-for or .begin() iteration over a
-//                      std::unordered_map/set member: iteration order is
-//                      implementation-defined and leaks into traces,
-//                      metrics and migration order.
-//   D3 event-callback  no blocking sleeps anywhere, and no set_now()/now_
-//                      mutation inside arguments (callbacks) passed to
-//                      EventLoop::schedule_at/schedule_after.
-//   P1 drc             every NfsServer handler for a non-idempotent proc
-//                      (CREATE/MKDIR/SYMLINK/REMOVE/RMDIR/RENAME/SETATTR)
-//                      must consult drc_find before touching store_ and
-//                      record its reply with drc_store.
-//   P2 rpc-ctx         every RpcContext construction carries the full
-//                      {client, xid, boot} triple (an empty `{}` default
-//                      argument — the documented absent-context sentinel —
-//                      is permitted).
-//   H1 header          header hygiene: #pragma once present, no
-//                      `using namespace` at header scope.
-//   S1 storage-seam    no concrete storage backend type (LocalFs, CasFs)
-//                      named outside src/fs/ and tests/: everything else
-//                      must program against fs::StorageBackend and
-//                      construct stores through fs::make_backend, so new
-//                      backends slot in without touching consumers.
+//   phase 1 (lint/index.*, lint/graph.*) lexes every TU with a hand-rolled
+//   tokenizer (comments, string/char/raw literals and preprocessor lines
+//   never reach the rules), indexes every function — free or member, with
+//   class, arity and return type — and builds a conservative call graph:
+//   direct calls, receiver-resolved method calls, name+arity
+//   over-approximation for unknown receivers, and hand-asserted
+//   `edge(Target): reason` lint comments for type-erased seams.
+//
+//   phase 2 (lint/rules.*) runs the rule families:
+//
+//   D1 wall-clock        no wall-clock/entropy primitive outside the
+//                        allowlisted seed/CLI/profiler seams.
+//   D2 unordered-iter    no iteration over unordered containers (order is
+//                        implementation-defined and leaks into traces).
+//   D3 event-callback    no blocking sleeps; no clock mutation inside
+//                        callbacks passed to schedule_at/schedule_after.
+//   D4 event-reachable   transitive closure of D1+D3: nothing reachable
+//                        from the event-loop roots (scheduled callbacks,
+//                        EventLoop::step, the SimNetwork service surface)
+//                        may reach a wall-clock/entropy/sleep sink, except
+//                        the sanctioned src/common/profile.cpp seam.
+//   R1 must-check        every call returning FsStatus/NfsStat/Result<...>
+//                        must be consumed — assigned, compared, returned,
+//                        or (void)-cast with an allow(ignore-status)
+//                        annotation carrying a reason.
+//   A1 hot-alloc         functions reachable from the event roots may not
+//                        construct std::string, call new, or insert into
+//                        node-based containers; allow(hot-alloc) on a
+//                        function excuses it and stops propagation through
+//                        it (a sanctioned allocation subtree).
+//   P1 drc               non-idempotent NfsServer handlers consult
+//                        drc_find before mutating and record via drc_store.
+//   P2 rpc-ctx           every RpcContext construction carries the full
+//                        {client, xid, boot} triple.
+//   P3 early-reject      overload rejects fire before the DRC store.
+//   P4 deadline-prop     child RpcContexts on src/kosha/ and src/nfs/
+//                        paths propagate the parent's deadline.
+//   S1 storage-seam      concrete storage backends named only in src/fs/
+//                        and tests/.
+//   H1 header            #pragma once present; no `using namespace` at
+//                        header scope.
+//   E1 edge              every edge() annotation resolves and carries a
+//                        reason.
 //
 // A violating line can be excused with an annotation carrying a reason:
 //
@@ -53,8 +68,8 @@ namespace kosha::lint {
 struct Diagnostic {
   std::string file;
   int line = 0;
-  std::string rule;     // "D1".."H1"
-  std::string slug;     // annotation name: "wall-clock", "unordered-iter", ...
+  std::string rule;     // "D1".."E1"
+  std::string slug;     // annotation name: "wall-clock", "hot-alloc", ...
   std::string message;
 };
 
@@ -72,10 +87,10 @@ struct Config {
       "src/common/profile.cpp"};
 };
 
-/// Two-pass linter: add_source() collects cross-file facts (which member
-/// names are declared with unordered containers), run() applies every rule
-/// to every added source. Diagnostics are sorted by (file, line, rule) so
-/// output is deterministic regardless of the order sources were added.
+/// Two-phase linter: add_source() tokenizes, run() indexes every added TU,
+/// builds the call graph, and applies every rule. Diagnostics are sorted by
+/// (file, line, rule) so output is deterministic regardless of the order
+/// sources were added.
 class Linter {
  public:
   explicit Linter(Config config = {});
@@ -87,6 +102,17 @@ class Linter {
   [[nodiscard]] std::vector<Diagnostic> run();
 
   [[nodiscard]] std::size_t file_count() const;
+
+  /// GraphViz dump of the call graph built by the last run() (empty string
+  /// before run()). Event roots get a bold red border, the A1 hot set a
+  /// light fill, D4 sink functions an orange fill; over-approximated edges
+  /// are dashed, hand-asserted edge() edges bold red.
+  [[nodiscard]] std::string graph_dot() const;
+
+  /// Call-graph edges from the last run() as "Caller -> Callee [kind]"
+  /// strings (kind: direct/resolved/overapprox/annotated), sorted. Test
+  /// seam for call-graph construction coverage.
+  [[nodiscard]] std::vector<std::string> edge_list() const;
 
   [[nodiscard]] static bool is_header(const std::string& path);
   /// True for files the repo-wide walk should lint (.cpp/.cc/.hpp/.h).
@@ -104,6 +130,22 @@ class Linter {
 /// "diagnostics": [{file, line, rule, slug, message}...]}.
 [[nodiscard]] std::string to_json(const std::vector<Diagnostic>& diags,
                                   std::size_t files_scanned);
+
+/// SARIF 2.1.0 log for GitHub code scanning: one run, one rule entry per
+/// rule id, one result per diagnostic with the repo-relative artifact
+/// location.
+[[nodiscard]] std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+/// One row of the --explain table.
+struct RuleDoc {
+  std::string rule;     // "D1".."E1"
+  std::string slug;     // annotation slug the rule honors
+  std::string summary;  // one line
+  std::string detail;   // what it checks, why, and how to annotate
+};
+
+/// Documentation for every rule, ordered as listed above.
+[[nodiscard]] const std::vector<RuleDoc>& rule_docs();
 
 /// Exit code the CLI maps lint results to: 0 clean, 1 diagnostics found.
 [[nodiscard]] int exit_code(const std::vector<Diagnostic>& diags);

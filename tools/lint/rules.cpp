@@ -1,0 +1,707 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace kosha::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+bool allowed(const SourceFile& f, int line, std::string_view slug) {
+  for (const int l : {line, line - 1}) {
+    const auto it = f.annotations.find(l);
+    if (it == f.annotations.end()) continue;
+    for (const Annotation& ann : it->second) {
+      if (ann.slug == slug && ann.has_reason) return true;
+    }
+  }
+  return false;
+}
+
+bool entropy_allowlisted(const Config& config, const std::string& path) {
+  for (const std::string& suffix : config.entropy_allowlist) {
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct Ctx {
+  const Config& config;
+  const Index& idx;
+  const CallGraph& graph;
+  RuleResult* result;
+
+  void report(const SourceFile& f, int line, std::string rule, std::string slug,
+              std::string message) const {
+    if (allowed(f, line, slug)) return;
+    result->diags.push_back(
+        {f.path, line, std::move(rule), std::move(slug), std::move(message)});
+  }
+};
+
+/// First wall-clock/entropy/sleep token inside [begin, end) of `t`, with the
+/// same member-access and qualification filters as D1/D3; (npos, "") when
+/// clean. Shared by D1's per-file scan and D4's per-function sink scan.
+std::pair<std::size_t, std::string> find_sink(const std::vector<Token>& t,
+                                              std::size_t begin, std::size_t end) {
+  static const std::set<std::string, std::less<>> kForbidden = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "random_device", "getenv",       "srand",
+      "mt19937",       "mt19937_64",   "default_random_engine",
+      "sleep_for",     "sleep_until",  "usleep",
+      "nanosleep"};
+  static const std::set<std::string, std::less<>> kCallLike = {"time", "rand", "sleep"};
+  for (std::size_t i = begin; i < end && i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (kForbidden.count(t[i].text) > 0) return {i, t[i].text};
+    if (kCallLike.count(t[i].text) == 0) continue;
+    if (i + 1 >= t.size() || !is_punct(t[i + 1], "(")) continue;
+    if (i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"))) continue;
+    if (i > 0 && is_punct(t[i - 1], "::")) {
+      if (i >= 2 && t[i - 2].kind == TokKind::kIdent && t[i - 2].text != "std") continue;
+    }
+    return {i, t[i].text};
+  }
+  return {std::string::npos, std::string()};
+}
+
+// ---------------------------------------------------------------------------
+// D1: wall clock / entropy
+// ---------------------------------------------------------------------------
+
+void rule_wall_clock(const Ctx& ctx, const SourceFile& f) {
+  if (entropy_allowlisted(ctx.config, f.path)) return;
+  static const std::set<std::string, std::less<>> kForbidden = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "random_device", "getenv",       "srand",
+      "mt19937",       "mt19937_64",   "default_random_engine"};
+  static const std::set<std::string, std::less<>> kCallLike = {"time", "rand"};
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (kForbidden.count(t[i].text) > 0) {
+      ctx.report(f, t[i].line, "D1", "wall-clock",
+                 "nondeterministic primitive `" + t[i].text +
+                     "` outside common/rng or common/cli; derive values from the "
+                     "seeded Rng or the SimClock");
+      continue;
+    }
+    if (kCallLike.count(t[i].text) == 0) continue;
+    if (i + 1 >= t.size() || !is_punct(t[i + 1], "(")) continue;
+    if (i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"))) continue;
+    if (i > 0 && is_punct(t[i - 1], "::")) {
+      // Qualified: `std::time(` and global `::time(` are the libc calls;
+      // `SomeClass::time(` is a different symbol.
+      if (i >= 2 && t[i - 2].kind == TokKind::kIdent && t[i - 2].text != "std") continue;
+    }
+    ctx.report(f, t[i].line, "D1", "wall-clock",
+               "call to wall-clock/entropy function `" + t[i].text +
+                   "()`; simulations must use SimClock / seeded Rng");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D2: unordered iteration
+// ---------------------------------------------------------------------------
+
+void rule_unordered_iter(const Ctx& ctx, const SourceFile& f) {
+  const auto& unordered = ctx.idx.unordered_names();
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i], "for") || !is_punct(t[i + 1], "(")) continue;
+    const std::size_t open = i + 1;
+    const std::size_t end = skip_balanced(t, open, "(", ")");
+    // Split at a ':' on paren depth 1 — a range-for. ('::' is one token,
+    // so it cannot masquerade as the range separator.)
+    std::size_t colon = end;
+    int depth = 0;
+    for (std::size_t j = open; j < end; ++j) {
+      if (is_punct(t[j], "(")) ++depth;
+      else if (is_punct(t[j], ")")) --depth;
+      else if (depth == 1 && is_punct(t[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon < end) {
+      for (std::size_t j = colon + 1; j < end; ++j) {
+        if (t[j].kind == TokKind::kIdent && unordered.count(t[j].text) > 0) {
+          ctx.report(f, t[j].line, "D2", "unordered-iter",
+                     "range-for over unordered container `" + t[j].text +
+                         "`: iteration order is implementation-defined and leaks "
+                         "into traces/metrics/migration order; iterate a sorted "
+                         "copy or use std::map");
+          break;
+        }
+      }
+    } else {
+      // Classic for: flag `name.begin()` / `name->begin()` iterator loops.
+      for (std::size_t j = open; j + 2 < end; ++j) {
+        if (t[j].kind == TokKind::kIdent && unordered.count(t[j].text) > 0 &&
+            (is_punct(t[j + 1], ".") || is_punct(t[j + 1], "->")) &&
+            (is_ident(t[j + 2], "begin") || is_ident(t[j + 2], "cbegin"))) {
+          ctx.report(f, t[j].line, "D2", "unordered-iter",
+                     "iterator loop over unordered container `" + t[j].text +
+                         "`: iteration order is implementation-defined; sort or "
+                         "annotate if provably order-insensitive");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D3: event-loop callback discipline (direct checks; D4 is the transitive
+// closure of the same discipline)
+// ---------------------------------------------------------------------------
+
+void rule_event_callbacks(const Ctx& ctx, const SourceFile& f) {
+  static const std::set<std::string, std::less<>> kSleeps = {
+      "sleep_for", "sleep_until", "usleep", "nanosleep"};
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (kSleeps.count(t[i].text) > 0 ||
+        (t[i].text == "sleep" && i + 1 < t.size() && is_punct(t[i + 1], "(") &&
+         (i == 0 || (!is_punct(t[i - 1], ".") && !is_punct(t[i - 1], "->"))))) {
+      ctx.report(f, t[i].line, "D3", "event-callback",
+                 "blocking sleep `" + t[i].text +
+                     "`: virtual time only moves via SimClock/EventLoop; real "
+                     "sleeps stall the simulation without advancing it");
+      continue;
+    }
+    if ((t[i].text == "schedule_at" || t[i].text == "schedule_after") &&
+        i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+      const std::size_t end = skip_balanced(t, i + 1, "(", ")");
+      for (std::size_t j = i + 2; j < end; ++j) {
+        if (is_ident(t[j], "set_now") || is_ident(t[j], "now_")) {
+          ctx.report(f, t[j].line, "D3", "event-callback",
+                     "`" + t[j].text + "` inside a callback passed to " + t[i].text +
+                         ": event callbacks must not mutate the clock directly — "
+                         "the loop advances it when dispatching");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P1: non-idempotent handlers must engage the DRC
+// ---------------------------------------------------------------------------
+
+const std::set<std::string, std::less<>>& non_idempotent_procs() {
+  static const std::set<std::string, std::less<>> kSet = {
+      "create", "mkdir",  "symlink", "link",     "remove",
+      "rmdir",  "rename", "setattr", "set_mode", "truncate"};
+  return kSet;
+}
+
+void rule_drc(const Ctx& ctx, const SourceFile& f) {
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (!is_ident(t[i], "NfsServer") || !is_punct(t[i + 1], "::")) continue;
+    if (t[i + 2].kind != TokKind::kIdent ||
+        non_idempotent_procs().count(t[i + 2].text) == 0) {
+      continue;
+    }
+    if (!is_punct(t[i + 3], "(")) continue;
+    std::size_t j = skip_balanced(t, i + 3, "(", ")");
+    while (j < t.size() && t[j].kind == TokKind::kIdent) ++j;  // const, noexcept
+    if (j >= t.size() || !is_punct(t[j], "{")) continue;       // declaration only
+    const std::size_t body_end = skip_balanced(t, j, "{", "}");
+    std::size_t first_store = body_end, first_find = body_end, first_record = body_end;
+    for (std::size_t k = j; k < body_end; ++k) {
+      if (t[k].kind != TokKind::kIdent) continue;
+      if (t[k].text == "store_" && first_store == body_end) first_store = k;
+      if (t[k].text == "drc_find" && first_find == body_end) first_find = k;
+      if (t[k].text == "drc_store" && first_record == body_end) first_record = k;
+    }
+    const std::string proc = t[i + 2].text;
+    if (first_store == body_end) continue;  // no mutation: nothing to protect
+    if (first_find > first_store) {
+      ctx.report(f, t[i].line, "P1", "drc",
+                 "non-idempotent handler NfsServer::" + proc +
+                     " touches store_ before consulting drc_find: a retransmission "
+                     "of an executed request would re-execute (at-most-once "
+                     "violation)");
+    }
+    if (first_record == body_end) {
+      ctx.report(f, t[i].line, "P1", "drc",
+                 "non-idempotent handler NfsServer::" + proc +
+                     " never records its reply via drc_store: the DRC cannot "
+                     "answer the retransmission");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P3: early rejects must precede the DRC store
+// ---------------------------------------------------------------------------
+// Overload control lets a server refuse work before executing it
+// (deadline-expired requests answer kOverloaded). In a non-idempotent
+// handler that refusal MUST happen before the handler records a reply in
+// the duplicate-request cache: a cached kOverloaded would be replayed to
+// the retransmission of a request that never executed, permanently
+// shadowing the real execution (at-most-once becomes at-most-never).
+
+void rule_early_reject(const Ctx& ctx, const SourceFile& f) {
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (!is_ident(t[i], "NfsServer") || !is_punct(t[i + 1], "::")) continue;
+    if (t[i + 2].kind != TokKind::kIdent ||
+        non_idempotent_procs().count(t[i + 2].text) == 0) {
+      continue;
+    }
+    if (!is_punct(t[i + 3], "(")) continue;
+    std::size_t j = skip_balanced(t, i + 3, "(", ")");
+    while (j < t.size() && t[j].kind == TokKind::kIdent) ++j;  // const, noexcept
+    if (j >= t.size() || !is_punct(t[j], "{")) continue;       // declaration only
+    const std::size_t body_end = skip_balanced(t, j, "{", "}");
+    std::size_t first_record = body_end, first_reject = body_end, first_overload = body_end;
+    for (std::size_t k = j; k < body_end; ++k) {
+      if (t[k].kind != TokKind::kIdent) continue;
+      if (t[k].text == "drc_store" && first_record == body_end) first_record = k;
+      if (t[k].text == "reject_expired" && first_reject == body_end) first_reject = k;
+      if (t[k].text == "kOverloaded" && first_overload == body_end) first_overload = k;
+    }
+    const std::string proc = t[i + 2].text;
+    if (first_record == body_end) continue;  // nothing cached: nothing to poison
+    if (first_reject != body_end && first_reject > first_record) {
+      ctx.report(f, t[first_reject].line, "P3", "early-reject",
+                 "non-idempotent handler NfsServer::" + proc +
+                     " calls reject_expired after drc_store: the shed reply could "
+                     "be recorded in the DRC and replayed to a retransmission that "
+                     "deserves the real execution");
+    }
+    if (first_overload != body_end && first_overload > first_record) {
+      ctx.report(f, t[first_overload].line, "P3", "early-reject",
+                 "non-idempotent handler NfsServer::" + proc +
+                     " produces kOverloaded after drc_store: early-reject paths "
+                     "must fire before the reply is cached (a stored overload "
+                     "reply shadows the execution forever)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P2: full RpcContext construction
+// ---------------------------------------------------------------------------
+
+void rule_rpc_ctx(const Ctx& ctx, const SourceFile& f) {
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i], "RpcContext")) continue;
+    if (i > 0 && (is_ident(t[i - 1], "struct") || is_ident(t[i - 1], "class"))) {
+      continue;  // the type's own definition
+    }
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].kind == TokKind::kIdent) {
+      if (j + 1 < t.size() && is_punct(t[j + 1], "::")) continue;  // return type
+      ++j;
+      if (j < t.size() && is_punct(t[j], ";")) {
+        ctx.report(f, t[j].line, "P2", "rpc-ctx",
+                   "default-constructed RpcContext: outbound RPCs must carry the "
+                   "full {client, xid, boot} triple (see NfsClient::rpc_ctx)");
+        continue;
+      }
+    }
+    if (j < t.size() && is_punct(t[j], "=")) ++j;
+    if (j >= t.size() || !is_punct(t[j], "{")) continue;
+    const std::size_t end = skip_balanced(t, j, "{", "}");
+    int args = 0, depth = 0;
+    bool any = false;
+    for (std::size_t k = j; k < end; ++k) {
+      if (is_punct(t[k], "{") || is_punct(t[k], "(") || is_punct(t[k], "[")) ++depth;
+      else if (is_punct(t[k], "}") || is_punct(t[k], ")") || is_punct(t[k], "]")) --depth;
+      else if (depth == 1 && is_punct(t[k], ",")) ++args;
+      else if (depth >= 1) any = true;
+    }
+    if (any) ++args;
+    if (args >= 3) continue;
+    // An empty `{}` that is a defaulted parameter (followed by ')' or ',')
+    // is the documented absent-context sentinel for direct server calls.
+    if (args == 0 && end < t.size() &&
+        (is_punct(t[end], ")") || is_punct(t[end], ","))) {
+      continue;
+    }
+    ctx.report(f, t[j].line, "P2", "rpc-ctx",
+               "RpcContext constructed with " + std::to_string(args) +
+                   " of 3 required fields {client, xid, boot}: partial contexts "
+                   "defeat the duplicate-request cache's incarnation check");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// S1: storage backend seam
+// ---------------------------------------------------------------------------
+
+void rule_storage_seam(const Ctx& ctx, const SourceFile& f) {
+  if (f.path.rfind("src/fs/", 0) == 0 || f.path.rfind("tests/", 0) == 0) return;
+  static const std::set<std::string, std::less<>> kConcrete = {"LocalFs", "CasFs"};
+  for (const Token& tok : f.tokens) {
+    if (tok.kind != TokKind::kIdent || kConcrete.count(tok.text) == 0) continue;
+    ctx.report(f, tok.line, "S1", "storage-seam",
+               "concrete storage backend `" + tok.text +
+                   "` named outside src/fs/ and tests/; program against "
+                   "fs::StorageBackend and construct via fs::make_backend");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H1: header hygiene
+// ---------------------------------------------------------------------------
+
+void rule_header(const Ctx& ctx, const SourceFile& f) {
+  if (!Linter::is_header(f.path)) return;
+  const auto& t = f.tokens;
+  bool pragma_once = false;
+  for (const Token& tok : t) {
+    if (tok.kind == TokKind::kDirective &&
+        tok.text.find("pragma") != std::string::npos &&
+        tok.text.find("once") != std::string::npos) {
+      pragma_once = true;
+      break;
+    }
+  }
+  if (!pragma_once) {
+    ctx.report(f, 1, "H1", "header",
+               "header is missing `#pragma once` (double inclusion breaks the "
+               "one-definition rule)");
+  }
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (is_ident(t[i], "using") && is_ident(t[i + 1], "namespace")) {
+      ctx.report(f, t[i].line, "H1", "header",
+                 "`using namespace` at header scope pollutes every includer's "
+                 "namespace");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D4: transitive determinism — no function reachable from the event loop
+// may reach a wall-clock/entropy/sleep primitive. The one sanctioned seam
+// is src/common/profile.cpp (profiler measurement of the simulator, never
+// input to it). Subsumes D3's direct-only sleep check with a whole-graph
+// reachability argument.
+// ---------------------------------------------------------------------------
+
+void rule_transitive_determinism(const Ctx& ctx) {
+  static constexpr std::string_view kSeam = "src/common/profile.cpp";
+  const std::vector<int> parent = ctx.graph.reach_from_roots({});
+  const auto& funcs = ctx.idx.functions();
+  for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+    const Function& fn = funcs[fi];
+    if (!fn.has_body()) continue;
+    const SourceFile& f = ctx.idx.files()[fn.file];
+    if (f.path.size() >= kSeam.size() &&
+        f.path.compare(f.path.size() - kSeam.size(), kSeam.size(), kSeam) == 0) {
+      continue;  // the sanctioned wall-clock seam
+    }
+    const auto [tok, name] = find_sink(f.tokens, fn.body_begin, fn.body_end);
+    if (name.empty()) continue;
+    const int node = ctx.graph.node_of_function(static_cast<int>(fi));
+    if (parent[node] == -1) continue;  // not event-reachable
+    ctx.result->sink_nodes.insert(node);
+    const int line = f.tokens[tok].line;
+    if (allowed(f, fn.line, "event-reachable")) continue;
+    std::string msg = "`";
+    msg += fn.qual();
+    msg += "` touches `";
+    msg += name;
+    msg += "` and is reachable from the event loop (";
+    msg += ctx.graph.path_to(parent, node);
+    msg += "); nondeterminism on this path breaks same-seed replay";
+    ctx.report(f, line, "D4", "event-reachable", std::move(msg));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R1: must-check statuses — a call whose every candidate returns a status
+// type must be consumed: assigned, compared, returned, or (void)-cast with
+// an adjacent allow(ignore-status) annotation carrying a reason.
+// ---------------------------------------------------------------------------
+
+bool returns_status(const Function& f) {
+  static const char* kStatus[] = {"FsStatus", "NfsStat",   "NfsStatus", "RpcStatus",
+                                  "FsResult", "NfsResult", "Result"};
+  for (const char* s : kStatus) {
+    if (f.ret_contains(s)) return true;
+  }
+  return false;
+}
+
+void rule_must_check(const Ctx& ctx) {
+  const auto& funcs = ctx.idx.functions();
+  for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+    const Function& caller = funcs[fi];
+    if (!caller.has_body()) continue;
+    const SourceFile& f = ctx.idx.files()[caller.file];
+    const auto& t = f.tokens;
+    for (std::size_t k = caller.body_begin + 1; k + 1 < caller.body_end; ++k) {
+      if (t[k].kind != TokKind::kIdent) continue;
+      std::size_t arg_open = 0;
+      if (is_punct(t[k + 1], "(")) {
+        arg_open = k + 1;
+      } else if (is_punct(t[k + 1], "<")) {
+        const std::size_t after = skip_angles(t, k + 1);
+        if (after < caller.body_end && is_punct(t[after], "(")) arg_open = after;
+      }
+      if (arg_open == 0 || call_blocklisted(t[k].text)) continue;
+      const std::size_t close = skip_balanced(t, arg_open, "(", ")");
+      std::vector<int> cands;
+      resolve_call(ctx.idx, t, k, count_call_args(t, arg_open, close), caller, &cands);
+      if (cands.empty()) continue;
+      bool all_status = true;
+      for (const int id : cands) {
+        if (!returns_status(ctx.idx.functions()[id])) {
+          all_status = false;
+          break;
+        }
+      }
+      if (!all_status) continue;
+      // Walk back over the receiver chain to the start of the expression.
+      std::size_t start = k;
+      while (start >= 2 &&
+             (is_punct(t[start - 1], ".") || is_punct(t[start - 1], "->") ||
+              is_punct(t[start - 1], "::")) &&
+             t[start - 2].kind == TokKind::kIdent) {
+        start -= 2;
+      }
+      // (void)-cast: sanctioned only with an annotated reason.
+      if (start >= 3 && is_punct(t[start - 1], ")") && is_ident(t[start - 2], "void") &&
+          is_punct(t[start - 3], "(")) {
+        ctx.report(f, t[k].line, "R1", "ignore-status",
+                   "status of `" + t[k].text +
+                       "` discarded with a (void) cast but no adjacent "
+                       "`kosha-lint: allow(ignore-status): <why>` annotation");
+        continue;
+      }
+      // Expression statement: starts a statement and ends at ';' with the
+      // value never touched.
+      bool stmt_start = start == caller.body_begin + 1;
+      if (!stmt_start && start > 0) {
+        const Token& p = t[start - 1];
+        stmt_start = is_punct(p, ";") || is_punct(p, "{") || is_punct(p, "}") ||
+                     is_punct(p, ")") || is_ident(p, "else") || is_ident(p, "do");
+      }
+      if (!stmt_start) continue;
+      if (close < t.size() && is_punct(t[close], ";")) {
+        ctx.report(f, t[k].line, "R1", "must-check",
+                   "status returned by `" + t[k].text +
+                       "` is silently discarded; assign, compare, return, or "
+                       "(void)-cast it with an annotated reason");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A1: hot-path allocation audit — functions reachable from the event-loop
+// dispatch or the SimNetwork service surface may not construct std::string,
+// call new, or insert into node-based associative containers. An
+// allow(hot-alloc) annotation on a function's definition line both excuses
+// its body and stops hotness from propagating through it (a sanctioned
+// allocation subtree).
+// ---------------------------------------------------------------------------
+
+void rule_hot_alloc(const Ctx& ctx) {
+  const auto& funcs = ctx.idx.functions();
+  std::set<int> stop;
+  for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+    const Function& fn = funcs[fi];
+    const SourceFile& f = ctx.idx.files()[fn.file];
+    if (allowed(f, fn.line, "hot-alloc")) {
+      stop.insert(ctx.graph.node_of_function(static_cast<int>(fi)));
+    }
+  }
+  const std::vector<int> parent = ctx.graph.reach_from_roots(stop);
+  for (std::size_t n = 0; n < ctx.graph.nodes().size(); ++n) {
+    if (parent[n] != -1) ctx.result->hot_nodes.insert(static_cast<int>(n));
+  }
+  for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+    const Function& fn = funcs[fi];
+    if (!fn.has_body()) continue;
+    const SourceFile& f = ctx.idx.files()[fn.file];
+    if (f.path.rfind("src/", 0) != 0) continue;
+    const int node = ctx.graph.node_of_function(static_cast<int>(fi));
+    if (parent[node] == -1 || stop.count(node) > 0) continue;
+    const std::string path = ctx.graph.path_to(parent, node);
+    const auto& t = f.tokens;
+    // node_map_names() is repo-global, so a local std::vector can share a
+    // name with a map in another TU. A contiguous container declared in
+    // this very body shadows the global verdict — inserting into it is not
+    // a node allocation.
+    const auto contiguous_local = [&](const std::string& name) {
+      for (std::size_t j = fn.body_begin; j + 1 < fn.body_end; ++j) {
+        if (t[j].kind != TokKind::kIdent ||
+            (t[j].text != "vector" && t[j].text != "deque" && t[j].text != "array")) {
+          continue;
+        }
+        if (!is_punct(t[j + 1], "<")) continue;
+        std::size_t after = skip_angles(t, j + 1);
+        while (after < fn.body_end &&
+               (is_punct(t[after], "&") || is_punct(t[after], "*"))) {
+          ++after;
+        }
+        if (after < fn.body_end && t[after].kind == TokKind::kIdent &&
+            t[after].text == name) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (std::size_t k = fn.body_begin + 1; k + 1 < fn.body_end; ++k) {
+      if (t[k].kind != TokKind::kIdent) continue;
+      const std::string& w = t[k].text;
+      if (w == "new") {
+        ctx.report(f, t[k].line, "A1", "hot-alloc",
+                   "`new` on the event hot path (" + path +
+                       "); pre-allocate outside the dispatch path or annotate "
+                       "allow(hot-alloc) with a reason");
+        continue;
+      }
+      if (w == "string") {
+        // Construction only: `string name`, `string(...)`, `string{...}`.
+        // References, pointers and template arguments don't allocate.
+        if (k + 1 < fn.body_end &&
+            (t[k + 1].kind == TokKind::kIdent || is_punct(t[k + 1], "(") ||
+             is_punct(t[k + 1], "{"))) {
+          ctx.report(f, t[k].line, "A1", "hot-alloc",
+                     "std::string constructed on the event hot path (" + path +
+                         "); build labels/keys at setup time or annotate "
+                         "allow(hot-alloc) with a reason");
+        }
+        continue;
+      }
+      if (w == "to_string" && k + 1 < fn.body_end && is_punct(t[k + 1], "(")) {
+        ctx.report(f, t[k].line, "A1", "hot-alloc",
+                   "std::to_string allocates on the event hot path (" + path +
+                       "); format at setup/report time or annotate "
+                       "allow(hot-alloc) with a reason");
+        continue;
+      }
+      if ((w == "insert" || w == "emplace" || w == "try_emplace" ||
+           w == "emplace_hint") &&
+          k >= 2 && (is_punct(t[k - 1], ".") || is_punct(t[k - 1], "->")) &&
+          t[k - 2].kind == TokKind::kIdent &&
+          ctx.idx.node_map_names().count(t[k - 2].text) > 0 &&
+          !contiguous_local(t[k - 2].text) && k + 1 < fn.body_end &&
+          is_punct(t[k + 1], "(")) {
+        ctx.report(f, t[k].line, "A1", "hot-alloc",
+                   "insertion into node-based container `" + t[k - 2].text +
+                       "` on the event hot path (" + path +
+                       "); each node is a heap allocation — reserve a flat "
+                       "structure or annotate allow(hot-alloc) with a reason");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// P4: deadline propagation — a child RpcContext built on the koshad
+// failover / NFS client-server paths must carry the parent's deadline, or
+// downstream overload control silently loses the time budget.
+// ---------------------------------------------------------------------------
+
+void rule_deadline_prop(const Ctx& ctx) {
+  for (std::size_t fidx = 0; fidx < ctx.idx.files().size(); ++fidx) {
+    const SourceFile& f = ctx.idx.files()[fidx];
+    if (f.path.rfind("src/kosha/", 0) != 0 && f.path.rfind("src/nfs/", 0) != 0) continue;
+    const auto& t = f.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!is_ident(t[i], "RpcContext")) continue;
+      if (i > 0 && (is_ident(t[i - 1], "struct") || is_ident(t[i - 1], "class"))) continue;
+      std::size_t j = i + 1;
+      if (j < t.size() && t[j].kind == TokKind::kIdent) {
+        if (j + 1 < t.size() && is_punct(t[j + 1], "::")) continue;  // return type
+        ++j;
+      }
+      if (j < t.size() && is_punct(t[j], "=")) ++j;
+      if (j >= t.size() || !is_punct(t[j], "{")) continue;
+      const std::size_t end = skip_balanced(t, j, "{", "}");
+      bool any = false;
+      for (std::size_t k = j + 1; k + 1 < end; ++k) {
+        any = true;
+        break;
+      }
+      if (!any) continue;  // empty sentinel — P2's domain
+      const int encl = ctx.idx.enclosing_function(static_cast<int>(fidx), t[i].line);
+      if (encl < 0) continue;
+      const Function& fn = ctx.idx.functions()[encl];
+      bool carries_deadline = false;
+      for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
+        if (is_ident(t[k], "deadline")) {
+          carries_deadline = true;
+          break;
+        }
+      }
+      if (carries_deadline) continue;
+      ctx.report(f, t[i].line, "P4", "deadline-prop",
+                 "child RpcContext constructed in `" + fn.qual() +
+                     "` without propagating the parent's deadline; downstream "
+                     "admission control sees an infinite time budget");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// E1: edge-annotation hygiene — a hand-asserted call edge the builder could
+// not honor must fail loudly, or the call graph silently loses coverage.
+// ---------------------------------------------------------------------------
+
+void rule_edge_annotations(const Ctx& ctx) {
+  for (const CallGraph::BadEdge& be : ctx.graph.bad_edges()) {
+    const SourceFile& f = ctx.idx.files()[be.file];
+    if (be.missing_reason) {
+      ctx.result->diags.push_back(
+          {f.path, be.line, "E1", "edge",
+           "edge(" + be.target +
+               ") annotation carries no reason; an unexplained asserted edge "
+               "is dropped from the call graph"});
+    } else {
+      ctx.result->diags.push_back(
+          {f.path, be.line, "E1", "edge",
+           "edge(" + be.target +
+               ") names no indexed function; fix the target so the asserted "
+               "edge reaches the graph"});
+    }
+  }
+}
+
+}  // namespace
+
+RuleResult run_rules(const Config& config, const Index& idx, const CallGraph& graph) {
+  RuleResult result;
+  Ctx ctx{config, idx, graph, &result};
+  for (const SourceFile& f : idx.files()) {
+    rule_wall_clock(ctx, f);
+    rule_unordered_iter(ctx, f);
+    rule_event_callbacks(ctx, f);
+    rule_drc(ctx, f);
+    rule_early_reject(ctx, f);
+    rule_rpc_ctx(ctx, f);
+    rule_storage_seam(ctx, f);
+    rule_header(ctx, f);
+  }
+  rule_transitive_determinism(ctx);
+  rule_must_check(ctx);
+  rule_hot_alloc(ctx);
+  rule_deadline_prop(ctx);
+  rule_edge_annotations(ctx);
+  std::sort(result.diags.begin(), result.diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+}  // namespace kosha::lint

@@ -1,0 +1,28 @@
+#pragma once
+
+// kosha_lint phase 2 — the rule families, run over the phase-1 index and
+// call graph. Per-file rules (D1–D3, P1–P3, S1, H1) walk tokens exactly as
+// the pre-graph linter did; the interprocedural rules (D4, R1, A1, P4) and
+// the edge-annotation check (E1) consume the call graph.
+
+#include <set>
+#include <vector>
+
+#include "lint/graph.hpp"
+#include "lint/index.hpp"
+#include "lint/lint.hpp"
+
+namespace kosha::lint {
+
+struct RuleResult {
+  std::vector<Diagnostic> diags;
+  /// Nodes reachable from the event roots (A1's hot set) — drives the DOT
+  /// highlighting.
+  std::set<int> hot_nodes;
+  /// Nodes containing a wall-clock/entropy/sleep sink (D4) — ditto.
+  std::set<int> sink_nodes;
+};
+
+RuleResult run_rules(const Config& config, const Index& idx, const CallGraph& graph);
+
+}  // namespace kosha::lint
